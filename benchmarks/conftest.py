@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench prints (and archives under ``benchmarks/results/``) the same
+rows/series the paper's corresponding table or figure reports, so the
+harness output can be compared against the paper side by side.
+
+Environment knobs:
+
+* ``REPRO_BENCH_RUNS`` — per-cell run count for the Fig. 11 latency sweep
+  (default 30; the paper uses 100 — set 100 for a full reproduction).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def paper_corpus():
+    """The full 6392-project synthetic corpus (shared across Figs 7-10)."""
+    from repro.core.corpus import PAPER_SPEC, generate_corpus
+
+    return generate_corpus(PAPER_SPEC)
+
+
+@pytest.fixture(scope="session")
+def paper_study(paper_corpus):
+    """Analyzer results over the full corpus."""
+    from repro.core.study import run_study
+
+    return run_study(paper_corpus.projects)
+
+

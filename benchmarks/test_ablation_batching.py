@@ -1,0 +1,93 @@
+"""Ablation — block batch size vs end-to-end throughput and latency.
+
+The orderer cuts blocks by count or timeout (Section II-B2).  Larger
+batches amortize Raft rounds and per-block validation setup over more
+transactions; smaller batches commit each transaction sooner.  This bench
+sweeps the batch size and reports per-transaction wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaincode.contracts import PrivateAssetContract
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+
+from _bench_utils import record
+
+TX_COUNT = 30
+
+
+def _network(batch_size: int) -> FabricNetwork:
+    orgs = [Organization(f"Org{i}MSP") for i in (1, 2, 3)]
+    channel = ChannelConfig(channel_id="batching", organizations=orgs)
+    channel.deploy_chaincode(
+        "pdccc",
+        collections=[
+            CollectionConfig(
+                name="PDC1",
+                policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                required_peer_count=0,
+            )
+        ],
+    )
+    net = FabricNetwork(channel=channel, batch_size=batch_size)
+    for org in orgs:
+        net.add_peer(org.msp_id)
+    net.install_chaincode("pdccc", PrivateAssetContract())
+    return net
+
+
+def _pump_transactions(net: FabricNetwork, count: int) -> float:
+    """Endorse+submit ``count`` write txs; returns wall-clock seconds.
+
+    Envelopes are submitted to the orderer directly so the cutter can
+    actually batch them (submit_envelope would flush per tx).
+    """
+    client = net.client("Org1MSP")
+    endorsers = [net.default_peer_for("Org1MSP"), net.default_peer_for("Org2MSP")]
+    start = time.perf_counter()
+    envelopes = []
+    for i in range(count):
+        proposal = client._proposal(
+            "pdccc", "set_private", ["PDC1", f"k{i}"], {"value": b"v"}
+        )
+        responses = [net.request_endorsement(p, proposal).response for p in endorsers]
+        envelopes.append(client.assemble(proposal, responses))
+    for envelope in envelopes:
+        net.orderer.submit(envelope)
+    net.orderer.flush()
+    elapsed = time.perf_counter() - start
+    peer = net.default_peer_for("Org3MSP")
+    assert sum(len(v.block) for v in peer.ledger.blockchain.blocks()) == count
+    return elapsed
+
+
+class TestBatchingAblation:
+    @pytest.mark.parametrize("batch_size", [1, 5, 15, 30])
+    def test_bench_throughput(self, benchmark, batch_size):
+        net = _network(batch_size)
+        elapsed = benchmark.pedantic(
+            lambda: _pump_transactions(_network(batch_size), TX_COUNT),
+            rounds=1,
+            iterations=1,
+        )
+        assert elapsed > 0
+
+    def test_batching_reduces_block_count(self, results_dir):
+        lines = [
+            f"Ablation — batch size vs blocks and per-tx latency ({TX_COUNT} write txs)",
+            f"{'batch':>6} {'blocks':>7} {'ms/tx':>8}",
+        ]
+        for batch_size in (1, 5, 15, 30):
+            net = _network(batch_size)
+            elapsed = _pump_transactions(net, TX_COUNT)
+            blocks = net.orderer.blocks_delivered
+            lines.append(f"{batch_size:>6} {blocks:>7} {1000 * elapsed / TX_COUNT:>8.2f}")
+            assert blocks == -(-TX_COUNT // batch_size)  # ceil division
+        record(results_dir, "ablation_batching", "\n".join(lines))

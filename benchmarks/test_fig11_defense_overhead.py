@@ -1,0 +1,65 @@
+"""Fig. 11 — impact of the defense measures on system performance.
+
+Measures execution latency and validation latency per transaction for
+read / write / delete under the original and the modified (all defenses)
+framework, REPRO_BENCH_RUNS runs per cell (paper: 100), and asserts the
+paper's claim: the new features have minor impact.
+
+"Minor" is asserted as: the modified framework's mean latency stays
+within 25% of the original for every cell (the paper's Fig. 11 bars are
+visually near-identical; we leave slack for simulator timing noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.latency import measure_fig11, measure_tx_latency, overhead_pct, render_fig11
+from repro.core.defense.features import FrameworkFeatures
+
+from _bench_utils import bench_runs, record
+
+
+@pytest.fixture(scope="module")
+def fig11_results():
+    return measure_fig11(runs=bench_runs())
+
+
+class TestFig11:
+    def test_render_and_minor_overhead(self, fig11_results, results_dir):
+        record(results_dir, "fig11_defense_overhead", render_fig11(fig11_results))
+        for tx_type in ("read", "write", "delete"):
+            for phase in ("execution", "validation"):
+                overhead = overhead_pct(fig11_results, tx_type, phase)
+                assert overhead < 25.0, (
+                    f"{tx_type}/{phase} overhead {overhead:.1f}% is not 'minor'"
+                )
+
+    def test_all_cells_measured(self, fig11_results):
+        assert len(fig11_results) == 6
+        for result in fig11_results.values():
+            assert len(result.execution.samples_ms) == bench_runs()
+            assert len(result.validation.samples_ms) == bench_runs()
+
+    def test_latencies_positive_and_sane(self, fig11_results):
+        for result in fig11_results.values():
+            assert result.execution.mean > 0
+            assert result.validation.mean > 0
+            assert result.execution.p95 >= result.execution.median
+
+    def test_bench_single_tx_original(self, benchmark):
+        """pytest-benchmark timing of one full measured cell (small N)."""
+        result = benchmark.pedantic(
+            lambda: measure_tx_latency(FrameworkFeatures.original(), "write", runs=5),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(result.execution.samples_ms) == 5
+
+    def test_bench_single_tx_defended(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: measure_tx_latency(FrameworkFeatures.defended(), "write", runs=5),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(result.execution.samples_ms) == 5

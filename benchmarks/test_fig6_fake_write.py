@@ -1,0 +1,40 @@
+"""Fig. 6 — injecting fake results into write-only transactions.
+
+Replays the walkthrough: peer0.org1 requires k1 < 15, victim peer0.org2
+requires k1 > 10, peer0.org3 has no constraint; client0.org1 writes
+k1 = 5 endorsed by org1 + org3, and the commit violates org2's logic.
+"""
+
+from __future__ import annotations
+
+from repro.core.attacks import run_fake_write_injection
+from repro.network.presets import three_org_network
+
+from _bench_utils import record
+
+
+class TestFig6:
+    def test_walkthrough(self, results_dir):
+        net = three_org_network()
+        report = run_fake_write_injection(net, seed_value=b"12", malicious_value=b"5")
+        assert report.succeeded
+        victim_value = int(report.details["victim_value"])
+        assert not victim_value > 10  # org2's business rule violated
+        lines = [
+            "Fig. 6 — fake write result injection (measured walkthrough)",
+            "  constraints      : org1 requires k1 < 15; org2 (victim) requires k1 > 10;"
+            " org3 none",
+            "  seed             : k1 = 12 (satisfies both member constraints)",
+            f"  attack           : client0.org1 writes k1 = 5 endorsed by "
+            f"{report.details['endorsing_orgs']}",
+            f"  tx status        : {report.details['status']}",
+            f"  victim world st. : k1 = {victim_value} (violates k1 > 10)",
+            f"  verdict          : {report.summary}",
+        ]
+        record(results_dir, "fig6_fake_write", "\n".join(lines))
+
+    def test_bench_attack(self, benchmark):
+        report = benchmark.pedantic(
+            lambda: run_fake_write_injection(three_org_network()), rounds=3, iterations=1
+        )
+        assert report.succeeded

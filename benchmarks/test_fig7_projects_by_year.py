@@ -1,0 +1,50 @@
+"""Fig. 7 — Fabric projects on GitHub across years (2016-2020).
+
+Regenerates the growth series from the calibrated synthetic corpus and
+benchmarks corpus generation + analysis throughput.
+"""
+
+from __future__ import annotations
+
+from repro.core.corpus import generate_corpus, small_spec
+from repro.core.study import run_study
+
+from _bench_utils import record
+
+PAPER_YEARS = {2016: 52, 2017: 403, 2018: 914, 2019: 2281, 2020: 2742}
+PAPER_PDC_YEARS = {2018: 21, 2019: 87, 2020: 148}
+
+
+class TestFig7:
+    def test_year_series(self, paper_study, results_dir):
+        record(results_dir, "fig7_projects_by_year", paper_study.render_fig7())
+        assert paper_study.projects_by_year == PAPER_YEARS
+        assert paper_study.pdc_by_year == PAPER_PDC_YEARS
+        assert paper_study.total_projects == 6392
+
+    def test_growth_shape(self, paper_study):
+        """The qualitative Fig. 7 claims: sharp growth in 2019/2020, no
+        PDC before 2018, PDC share growing."""
+        years = paper_study.projects_by_year
+        assert years[2019] > 2 * years[2018]
+        assert years[2020] > years[2019]
+        assert 2016 not in paper_study.pdc_by_year
+        assert 2017 not in paper_study.pdc_by_year
+        pdc = paper_study.pdc_by_year
+        assert pdc[2018] < pdc[2019] < pdc[2020]
+
+    def test_bench_generate_and_analyze_small_corpus(self, benchmark):
+        """Corpus generate+analyze throughput (scaled-down corpus)."""
+
+        def run():
+            return run_study(generate_corpus(small_spec(scale=8)).projects)
+
+        results = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert results.total_projects == 80
+
+    def test_bench_full_corpus_analysis(self, benchmark, paper_corpus):
+        """Analyzer throughput over all 6392 projects (the §V-C workload)."""
+        results = benchmark.pedantic(
+            lambda: run_study(paper_corpus.projects), rounds=1, iterations=1
+        )
+        assert results.total_projects == 6392

@@ -1,0 +1,35 @@
+"""Fig. 8 — PDC definition type distribution.
+
+Paper: 98.44% of PDC projects involve the explicit type (86.33%
+explicit-only + 12.11% both); 1.56% are implicit-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer.scanner import analyze_project
+
+from _bench_utils import record
+
+
+class TestFig8:
+    def test_type_split(self, paper_study, results_dir):
+        record(results_dir, "fig8_pdc_types", paper_study.render_fig8())
+        assert paper_study.explicit_count == 252
+        assert paper_study.implicit_count == 35
+        assert paper_study.both_count == 31
+        assert paper_study.explicit_only_pct == pytest.approx(86.33, abs=0.01)
+        assert paper_study.both_pct == pytest.approx(12.11, abs=0.01)
+        assert paper_study.implicit_only_pct == pytest.approx(1.56, abs=0.01)
+
+    def test_explicit_share(self, paper_study):
+        """98.44% of PDC projects use the explicit type."""
+        explicit_share = 100.0 * paper_study.explicit_count / paper_study.pdc_union_count
+        assert explicit_share == pytest.approx(98.44, abs=0.01)
+
+    def test_bench_single_project_analysis(self, benchmark, paper_corpus):
+        """Per-project analysis latency (the analyzer's unit of work)."""
+        project = next(p for p in paper_corpus.projects if "collections_config.json" in p.file_map)
+        analysis = benchmark(lambda: analyze_project(project))
+        assert analysis.is_explicit_pdc

@@ -1,0 +1,38 @@
+"""Fig. 9 + §V-C2 — endorsement policy of explicit PDC projects.
+
+Paper: 86.51% (218/252) use the chaincode-level policy (vulnerable to the
+injection attacks); 120 configtx.yaml found among them, 116 configuring
+MAJORITY Endorsement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer.yaml_lite import extract_endorsement_rule
+from repro.core.corpus.templates import configtx_yaml
+
+from _bench_utils import record
+
+
+class TestFig9:
+    def test_policy_split(self, paper_study, results_dir):
+        record(results_dir, "fig9_policy_split", paper_study.render_fig9())
+        assert paper_study.chaincode_level_count == 218
+        assert paper_study.collection_policy_count == 34
+        assert paper_study.injection_vulnerable_pct == pytest.approx(86.51, abs=0.01)
+
+    def test_majority_popularity(self, paper_study):
+        """116 of the 120 configtx.yaml configure MAJORITY Endorsement."""
+        assert paper_study.configtx_found == 120
+        assert paper_study.configtx_majority == 116
+
+    def test_vulnerable_majority_share(self, paper_study):
+        """The combination the attacks need — chaincode-level policy and
+        MAJORITY default — dominates the measured population."""
+        assert paper_study.configtx_majority / paper_study.configtx_found > 0.9
+
+    def test_bench_configtx_extraction(self, benchmark):
+        text = configtx_yaml("MAJORITY Endorsement")
+        rule = benchmark(lambda: extract_endorsement_rule(text))
+        assert rule == "MAJORITY Endorsement"

@@ -1,0 +1,130 @@
+"""Table I — read/write sets of the four transaction types.
+
+Regenerates the table by simulating each transaction type against a live
+peer and dumping the resulting read/write set, then benchmarks read/write
+set construction throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.contracts import PrivateAssetContract
+from repro.chaincode.rwset import RWSetBuilder
+from repro.chaincode.stub import ChaincodeStub
+from repro.ledger.ledger import PeerLedger
+from repro.ledger.version import Version
+from repro.network.presets import three_org_network
+from repro.protocol.proposal import new_proposal
+
+from _bench_utils import record
+
+
+def _simulate(net, function, args, transient=None):
+    """Simulate one chaincode call at the org1 member peer."""
+    peer = net.peer_of(1)
+    client = net.network.channel.organization("Org1MSP").enroll_client()
+    proposal = new_proposal(
+        "mychannel", net.chaincode_id, function, args, client.certificate, transient
+    )
+    stub = ChaincodeStub(
+        proposal=proposal, ledger=peer.ledger, channel=net.network.channel,
+        local_msp_id="Org1MSP",
+    )
+    contract = PrivateAssetContract()
+    contract.invoke(stub, function, list(args))
+    return stub.build_result()
+
+
+def _render_row(label, ns):
+    reads = (
+        ", ".join(f"({r.key}, {r.version})" for r in ns.reads) if ns and ns.reads else "NULL"
+    )
+    writes = (
+        ", ".join(
+            f"({w.key}, {w.value!r}, is_delete={str(w.is_delete).lower()})" for w in ns.writes
+        )
+        if ns and ns.writes
+        else "NULL"
+    )
+    return f"{label:<12} | read set: {reads:<24} | write set: {writes}"
+
+
+@pytest.fixture(scope="module")
+def seeded_net():
+    net = three_org_network()
+    net.network.install_chaincode(net.chaincode_id, PrivateAssetContract())
+    net.client_of(1).submit_transaction(
+        net.chaincode_id, "set_private", [net.collection, "k1"],
+        transient={"value": b"41"},
+        endorsing_peers=[net.peer_of(1), net.peer_of(2)],
+    ).raise_for_status()
+    return net
+
+
+class TestTableI:
+    def test_table1_shapes(self, seeded_net, results_dir):
+        """Each transaction type produces exactly the Table I shape.
+
+        (On private data the on-chain sets are hashed; shapes — which of
+        read/write set is NULL — are what Table I asserts.)"""
+        net = seeded_net
+        rows = ["Table I — read/write sets per transaction type (measured, collection PDC1)"]
+
+        read_only = _simulate(net, "get_private", [net.collection, "k1"])
+        col = read_only.rwset.namespace(net.chaincode_id).collection(net.collection)
+        assert col.has_reads and not col.has_writes
+        rows.append(f"{'Read-only':<12} | hashed reads: 1 (version {col.hashed_reads[0].version}) | hashed writes: NULL")
+
+        write_only = _simulate(
+            net, "set_private", [net.collection, "k1"], {"value": b"41"}
+        )
+        col = write_only.rwset.namespace(net.chaincode_id).collection(net.collection)
+        assert not col.has_reads and col.has_writes and not col.hashed_writes[0].is_delete
+        rows.append(f"{'Write-only':<12} | hashed reads: NULL | hashed writes: 1 (is_delete=false)")
+
+        read_write = _simulate(net, "add_private", [net.collection, "k1", "1"])
+        col = read_write.rwset.namespace(net.chaincode_id).collection(net.collection)
+        assert col.has_reads and col.has_writes
+        rows.append(f"{'Read-Write':<12} | hashed reads: 1 (version {col.hashed_reads[0].version}) | hashed writes: 1 (is_delete=false)")
+
+        delete_only = _simulate(net, "del_private", [net.collection, "k1"])
+        col = delete_only.rwset.namespace(net.chaincode_id).collection(net.collection)
+        assert not col.has_reads and col.has_writes
+        assert col.hashed_writes[0].is_delete and col.hashed_writes[0].value_hash is None
+        rows.append(f"{'Delete-only':<12} | hashed reads: NULL | hashed writes: 1 (value=null, is_delete=true)")
+
+        record(results_dir, "table1_rwset", "\n".join(rows))
+
+    def test_table1_public_shapes(self, results_dir):
+        """The public-data version of Table I, built directly."""
+        rows = ["Table I (public form) — operating on (k1, val1), version 1.0"]
+        builder = RWSetBuilder()
+        builder.add_read("cc", "k1", Version(1, 0))
+        rows.append(_render_row("Read-only", builder.build().rwset.namespace("cc")))
+        builder = RWSetBuilder()
+        builder.add_write("cc", "k1", b"val1")
+        rows.append(_render_row("Write-only", builder.build().rwset.namespace("cc")))
+        builder = RWSetBuilder()
+        builder.add_read("cc", "k1", Version(1, 0))
+        builder.add_write("cc", "k1", b"val1")
+        rows.append(_render_row("Read-Write", builder.build().rwset.namespace("cc")))
+        builder = RWSetBuilder()
+        builder.add_delete("cc", "k1")
+        rows.append(_render_row("Delete-only", builder.build().rwset.namespace("cc")))
+        record(results_dir, "table1_public", "\n".join(rows))
+
+    def test_bench_rwset_build(self, benchmark):
+        """Throughput of building a mixed 20-entry read/write set."""
+
+        def build():
+            builder = RWSetBuilder()
+            for i in range(5):
+                builder.add_read("cc", f"k{i}", Version(1, i))
+                builder.add_write("cc", f"k{i}", b"v")
+                builder.add_private_read("cc", "col", bytes([i]) * 32, Version(1, i))
+                builder.add_private_write("cc", "col", f"p{i}", b"s")
+            return builder.build()
+
+        result = benchmark(build)
+        assert len(result.rwset.namespaces) == 1

@@ -1,0 +1,39 @@
+"""Table II — the full attack & defense matrix.
+
+Runs all 16 injection cells and 4 leakage cells, prints the measured
+matrix, and asserts it reproduces the paper's ✓/× pattern exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attacks import run_attack_matrix
+
+from _bench_utils import record
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_attack_matrix()
+
+
+class TestTableII:
+    def test_matrix_reproduces_paper(self, matrix, results_dir):
+        record(results_dir, "table2_attack_matrix", matrix.render())
+        assert matrix.matches_paper(), matrix.mismatches()
+
+    def test_bench_one_attack_cell(self, benchmark):
+        """Wall-clock of one full attack experiment (network build, seed,
+        attack, verdict) — the unit of Table II's evaluation."""
+        from repro.core.attacks import run_injection_cell
+
+        report = benchmark.pedantic(
+            lambda: run_injection_cell("write-only", "majority"), rounds=3, iterations=1
+        )
+        assert report.succeeded
+
+    def test_bench_full_matrix(self, benchmark, results_dir):
+        """Wall-clock of regenerating the entire Table II."""
+        matrix = benchmark.pedantic(run_attack_matrix, rounds=1, iterations=1)
+        assert matrix.matches_paper()

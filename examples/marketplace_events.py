@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Marketplace: rich queries, chaincode events, wallets — and their pitfalls.
+
+A JSON-asset marketplace where applications subscribe to chaincode events
+and query by owner with CouchDB-style selectors.  Demonstrates three
+subtleties this library reproduces faithfully from Fabric:
+
+1. rich queries are **not phantom-protected** (unlike range scans);
+2. chaincode events are **plaintext at every peer** — an event carrying a
+   private value leaks it to non-member applications (the event analogue
+   of the paper's Use Case 3);
+3. identities persist in wallets and reload across "processes".
+
+Run:  python examples/marketplace_events.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.chaincode.api import Chaincode
+from repro.chaincode.contracts import JsonAssetContract
+from repro.client.events import EventHub
+from repro.client.gateway import Gateway
+from repro.identity.organization import Organization
+from repro.identity.wallet import FileWallet
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+
+
+class ListingContract(JsonAssetContract):
+    """The marketplace contract: JSON assets + bid events + a private reserve."""
+
+    def list_for_sale(self, stub, args):
+        asset_id = args[0]
+        reserve = stub.get_transient("reserve_price")
+        if reserve is None:
+            raise ValueError("missing transient field 'reserve_price'")
+        stub.put_private_data("reserves", asset_id, reserve)
+        stub.set_event("Listed", asset_id.encode())  # safe: announces only the id
+        return b""
+
+    def list_for_sale_noisy(self, stub, args):
+        asset_id = args[0]
+        reserve = stub.get_transient("reserve_price")
+        stub.put_private_data("reserves", asset_id, reserve)
+        stub.set_event("Listed", reserve)  # SLOPPY: announces the secret
+        return b""
+
+
+def main() -> None:
+    print("=== Marketplace channel: seller, buyer, auditor ===")
+    orgs = [Organization("SellerMSP"), Organization("BuyerMSP"), Organization("AuditorMSP")]
+    channel = ChannelConfig(channel_id="market", organizations=orgs)
+    channel.deploy_chaincode(
+        "market",
+        collections=[
+            CollectionConfig(
+                name="reserves",
+                policy="OR('SellerMSP.member')",  # only the seller knows reserves
+                required_peer_count=0,
+                # Collection-level policy: the seller alone endorses
+                # reserve updates (and, per the paper, this is what keeps
+                # non-members out of the write path).
+                endorsement_policy="OR('SellerMSP.peer')",
+            )
+        ],
+    )
+    network = FabricNetwork(channel=channel)
+    peers = {org.msp_id: network.add_peer(org.msp_id) for org in orgs}
+    network.install_chaincode("market", ListingContract())
+
+    print("\n=== Wallet: enroll once, reload anywhere ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        wallet = FileWallet(Path(tmp) / "wallet")
+        wallet.put("seller-app", orgs[0].enroll_client("seller-app"))
+        seller = Gateway(identity=wallet.get("seller-app"), network=network)
+        print(f"    reloaded identity: {seller.identity.enrollment_id}")
+
+    endorsers = [peers["SellerMSP"], peers["BuyerMSP"]]
+    for asset_id, owner, color, size in (
+        ("lot1", "seller", "red", "3"), ("lot2", "seller", "blue", "8"),
+        ("lot3", "estate", "red", "5"),
+    ):
+        seller.submit_transaction(
+            "market", "create_json_asset", [asset_id, owner, color, size],
+            endorsing_peers=endorsers,
+        ).raise_for_status()
+
+    print("\n=== Rich queries (CouchDB selectors) ===")
+    selector = json.dumps({"color": "red", "size": {"$gte": 4}})
+    hits = seller.evaluate_transaction("market", "query_selector", [selector])
+    print(f"    red assets with size >= 4 -> {hits.decode()}")
+    print("    (rich queries record no read set: results are NOT re-validated")
+    print("     at commit — phantom-unsafe, exactly as Fabric documents)")
+
+    print("\n=== Events: a buyer app subscribed at its own peer ===")
+    buyer_hub = EventHub(peers["BuyerMSP"])
+    seller.submit_transaction(
+        "market", "list_for_sale", ["lot1"],
+        transient={"reserve_price": b"15000"}, endorsing_peers=[peers["SellerMSP"]],
+    ).raise_for_status()
+    listed = buyer_hub.events_named("Listed")[0]
+    print(f"    buyer sees event: {listed.event_name}({listed.payload.decode()})")
+    print(f"    buyer's private store of the reserve: "
+          f"{peers['BuyerMSP'].query_private('market', 'reserves', 'lot1')}")
+
+    print("\n=== The sloppy variant leaks the reserve through the event ===")
+    auditor_hub = EventHub(peers["AuditorMSP"])
+    seller.submit_transaction(
+        "market", "list_for_sale_noisy", ["lot2"],
+        transient={"reserve_price": b"99000"}, endorsing_peers=[peers["SellerMSP"]],
+    ).raise_for_status()
+    leaked = auditor_hub.events_named("Listed")[0]
+    print(f"    NON-member auditor app received: Listed({leaked.payload.decode()})"
+          "   <- the secret reserve price")
+    print("    the collection kept the data private; the EVENT gave it away.")
+
+    print("\n=== Commit notifications ===")
+    result = seller.submit_transaction(
+        "market", "transfer_json_asset", ["lot3", "buyer"], endorsing_peers=endorsers
+    )
+    print(f"    tx {result.tx_id[:16]}… status via event hub: "
+          f"{buyer_hub.status_of(result.tx_id).value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a Fabric network and run the full tx lifecycle.
+
+Builds the paper's 3-organization prototype (§V), deploys a public asset
+chaincode and a private-data chaincode over collection PDC1 (members:
+org1, org2), and walks through evaluate/submit, private reads/writes,
+and what each class of peer can actually see.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.chaincode.contracts import AssetContract, PrivateAssetContract
+from repro.network.presets import three_org_network
+
+
+def main() -> None:
+    print("=== 1. Build the 3-org test network (MAJORITY Endorsement) ===")
+    net = three_org_network()
+    net.network.channel.deploy_chaincode("assetcc")  # public-data chaincode
+    net.network.install_chaincode("assetcc", AssetContract())
+    net.network.install_chaincode(net.chaincode_id, PrivateAssetContract())
+    client = net.client_of(1)
+    endorsers = [net.peer_of(1), net.peer_of(2)]
+    print(f"    orgs: {net.network.channel.msp_ids()}")
+    print(f"    PDC1 members: {sorted(net.network.channel.collection('pdccc', 'PDC1').member_orgs())}")
+
+    print("\n=== 2. Public data: create, read, update ===")
+    client.submit_transaction(
+        "assetcc", "create_asset", ["car42", "20000"], endorsing_peers=endorsers
+    ).raise_for_status()
+    value = client.evaluate_transaction("assetcc", "read_asset", ["car42"])
+    print(f"    asset car42 = {value.decode()}  (visible at every peer)")
+    for org_num in (1, 2, 3):
+        peer = net.peer_of(org_num)
+        print(f"    {peer.name}: world state car42 = {peer.query_public('assetcc', 'asset:car42')}")
+
+    print("\n=== 3. Private data: the value stays with PDC members ===")
+    client.submit_transaction(
+        net.chaincode_id, "set_private", [net.collection, "price"],
+        transient={"value": b"18500"},  # travels OUTSIDE the signed tx
+        endorsing_peers=endorsers,
+    ).raise_for_status()
+    for org_num in (1, 2, 3):
+        peer = net.peer_of(org_num)
+        original = peer.query_private(net.chaincode_id, net.collection, "price")
+        digest = peer.query_private_hash(net.chaincode_id, net.collection, "price")
+        print(
+            f"    {peer.name}: original={original}  hash={'yes' if digest else 'no'}"
+            f"  ({'member' if original else 'NON-member'})"
+        )
+
+    print("\n=== 4. Reading privately: evaluate (off-chain) vs submit (on-chain!) ===")
+    value = client.evaluate_transaction(
+        net.chaincode_id, "get_private", [net.collection, "price"], peer=net.peer_of(1)
+    )
+    print(f"    evaluate_transaction -> {value.decode()}  (nothing recorded on-chain)")
+    print("    (submitting the same read would put the payload into every peer's")
+    print("     blockchain in PLAINTEXT — the leakage of §IV-B; see attack_demo.py)")
+
+    print("\n=== 5. Hash verification: a non-member proving a claimed value ===")
+    verdict = net.client_of(3).evaluate_transaction(
+        net.chaincode_id, "verify_private", [net.collection, "price", "18500"],
+        peer=net.peer_of(3),
+    )
+    print(f"    org3 verifies claim '18500' against the hash store -> {verdict.decode()}")
+
+    print("\n=== 6. Read-modify-write + the blockchain view ===")
+    client.submit_transaction(
+        net.chaincode_id, "add_private", [net.collection, "price", "500"],
+        endorsing_peers=endorsers,
+    ).raise_for_status()
+    print(f"    price after add_private(+500): "
+          f"{net.peer_of(2).query_private(net.chaincode_id, net.collection, 'price')}")
+    peer = net.peer_of(3)
+    print(f"    {peer.name} blockchain height: {peer.ledger.height}, "
+          f"chain verifies: {peer.ledger.blockchain.verify_chain()}")
+
+
+if __name__ == "__main__":
+    main()

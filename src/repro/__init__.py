@@ -1,0 +1,37 @@
+"""repro — reproduction of "On Private Data Collection of Hyperledger Fabric".
+
+A from-scratch, in-process Hyperledger Fabric simulator (identities,
+policies, ledger, chaincode, gossip, peers, Raft ordering, client SDK),
+the paper's fake-PDC-results-injection and PDC-leakage attacks, the two
+defense features, and the GitHub static-analysis study with a calibrated
+synthetic corpus.
+
+Quickstart::
+
+    from repro.network import three_org_network
+    from repro.chaincode.contracts import PrivateAssetContract
+
+    net = three_org_network()
+    net.network.install_chaincode("pdccc", PrivateAssetContract())
+    client = net.client_of(1)
+    client.submit_transaction(
+        "pdccc", "set_private", ["PDC1", "k1"],
+        transient={"value": b"12"},
+        endorsing_peers=[net.peer_of(1), net.peer_of(2)],
+    ).raise_for_status()
+"""
+
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.network import FabricNetwork
+from repro.network.presets import TestNetwork, five_org_network, three_org_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrameworkFeatures",
+    "FabricNetwork",
+    "TestNetwork",
+    "five_org_network",
+    "three_org_network",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Measurement harnesses behind the benchmark suite."""
+
+from repro.bench.latency import (
+    DEFAULT_RUNS,
+    TX_TYPES,
+    LatencyStats,
+    TxLatency,
+    measure_fig11,
+    measure_tx_latency,
+    overhead_pct,
+    render_fig11,
+)
+
+__all__ = [
+    "DEFAULT_RUNS",
+    "TX_TYPES",
+    "LatencyStats",
+    "TxLatency",
+    "measure_fig11",
+    "measure_tx_latency",
+    "overhead_pct",
+    "render_fig11",
+]

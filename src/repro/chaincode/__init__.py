@@ -1,0 +1,32 @@
+"""Chaincode programming model: shim, rwsets, bundled contracts."""
+
+from repro.chaincode.api import Chaincode, require_args
+from repro.chaincode.rwset import (
+    HashedCollectionRWSet,
+    KVRead,
+    KVReadHash,
+    KVWrite,
+    KVWriteHash,
+    NamespaceRWSet,
+    PrivateCollectionWrites,
+    RWSetBuilder,
+    SimulationResult,
+    TxReadWriteSet,
+)
+from repro.chaincode.stub import ChaincodeStub
+
+__all__ = [
+    "Chaincode",
+    "require_args",
+    "HashedCollectionRWSet",
+    "KVRead",
+    "KVReadHash",
+    "KVWrite",
+    "KVWriteHash",
+    "NamespaceRWSet",
+    "PrivateCollectionWrites",
+    "RWSetBuilder",
+    "SimulationResult",
+    "TxReadWriteSet",
+    "ChaincodeStub",
+]

@@ -1,0 +1,70 @@
+"""The chaincode programming model.
+
+A chaincode is a class whose public methods are invocable functions; the
+method receives the :class:`~repro.chaincode.stub.ChaincodeStub` and the
+string arguments, and returns the bytes that become the ``payload`` field
+of the proposal response — the very field Use Case 3 warns about.
+
+Chaincode is *customizable per peer* (Section IV-A1): different peers may
+install different implementations of the same chaincode name, e.g. to add
+org-specific validation — or, in the paper's attacks, to collude on forged
+results.  Only the produced read/write sets and responses must agree
+across endorsers for a transaction to assemble.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.common.errors import ChaincodeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.chaincode.stub import ChaincodeStub
+
+ChaincodeFn = Callable[["ChaincodeStub", list], Optional[bytes]]
+
+
+class Chaincode:
+    """Base class for chaincode implementations.
+
+    Subclasses define invocable functions as public methods taking
+    ``(stub, args)`` where ``args`` is a list of strings, and returning
+    ``bytes`` (the response payload) or ``None`` (empty payload).
+    Raising :class:`ChaincodeError` (or any exception) fails the proposal
+    with status 500.
+    """
+
+    def invoke(self, stub: "ChaincodeStub", function: str, args: list) -> bytes:
+        handler = self._resolve(function)
+        result = handler(stub, list(args))
+        if result is None:
+            return b""
+        if not isinstance(result, bytes):
+            raise ChaincodeError(
+                f"function {function!r} returned {type(result).__name__}, expected bytes"
+            )
+        return result
+
+    def _resolve(self, function: str) -> ChaincodeFn:
+        if function.startswith("_"):
+            raise ChaincodeError(f"function {function!r} is not invocable")
+        handler = getattr(self, function, None)
+        if handler is None or not callable(handler):
+            raise ChaincodeError(f"chaincode {type(self).__name__} has no function {function!r}")
+        return handler
+
+    def functions(self) -> list[str]:
+        """Names of the invocable functions (for documentation/tools)."""
+        return sorted(
+            name
+            for name in dir(self)
+            if not name.startswith("_")
+            and name not in ("invoke", "functions")
+            and callable(getattr(self, name))
+        )
+
+
+def require_args(args: list, count: int, usage: str) -> None:
+    """Argument-count guard used by the bundled contracts."""
+    if len(args) != count:
+        raise ChaincodeError(f"incorrect arguments: expecting {usage}")

@@ -1,0 +1,32 @@
+"""Bundled chaincode: honest, constrained, leaky and malicious contracts."""
+
+from repro.chaincode.contracts.asset_contract import AssetContract
+from repro.chaincode.contracts.constrained_pdc import (
+    ConstrainedPrivateAssetContract,
+    WriteConstraint,
+    greater_than,
+    less_than,
+)
+from repro.chaincode.contracts.json_asset_contract import JsonAssetContract
+from repro.chaincode.contracts.leaky_contracts import PerfTestContract, SaccPrivateContract
+from repro.chaincode.contracts.malicious import (
+    ForgedReadContract,
+    ForgedReadWriteContract,
+    UnconstrainedWriteContract,
+)
+from repro.chaincode.contracts.pdc_contract import PrivateAssetContract
+
+__all__ = [
+    "AssetContract",
+    "ConstrainedPrivateAssetContract",
+    "WriteConstraint",
+    "greater_than",
+    "less_than",
+    "JsonAssetContract",
+    "PerfTestContract",
+    "SaccPrivateContract",
+    "ForgedReadContract",
+    "ForgedReadWriteContract",
+    "UnconstrainedWriteContract",
+    "PrivateAssetContract",
+]

@@ -1,0 +1,96 @@
+"""A plain public-data asset chaincode (quickstart workload).
+
+Exercises every public-data operation of Table I: read-only, write-only,
+read-write and delete-only transactions.
+"""
+
+from __future__ import annotations
+
+from repro.chaincode.api import Chaincode, require_args
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError
+
+
+class AssetContract(Chaincode):
+    """CRUD over public assets stored as ``asset:<id>``."""
+
+    @staticmethod
+    def _asset_key(asset_id: str) -> str:
+        return f"asset:{asset_id}"
+
+    def create_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``create_asset(id, value)`` — write-only transaction."""
+        require_args(args, 2, "an asset id and a value")
+        asset_id, value = args
+        stub.put_state(self._asset_key(asset_id), value.encode("utf-8"))
+        return b""
+
+    def read_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``read_asset(id)`` — read-only; value returned via payload."""
+        require_args(args, 1, "an asset id")
+        value = stub.get_state(self._asset_key(args[0]))
+        if value is None:
+            raise ChaincodeError(f"asset {args[0]!r} does not exist")
+        return value
+
+    def update_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``update_asset(id, value)`` — read-write (existence check + write)."""
+        require_args(args, 2, "an asset id and a value")
+        asset_id, value = args
+        if stub.get_state(self._asset_key(asset_id)) is None:
+            raise ChaincodeError(f"asset {asset_id!r} does not exist")
+        stub.put_state(self._asset_key(asset_id), value.encode("utf-8"))
+        return b""
+
+    def add_to_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``add_to_asset(id, delta)`` — the read-modify-write of §IV-A3."""
+        require_args(args, 2, "an asset id and an integer delta")
+        asset_id, delta_text = args
+        current = stub.get_state(self._asset_key(asset_id))
+        if current is None:
+            raise ChaincodeError(f"asset {asset_id!r} does not exist")
+        try:
+            total = int(current.decode("utf-8")) + int(delta_text)
+        except ValueError as exc:
+            raise ChaincodeError(f"asset {asset_id!r} is not numeric: {exc}") from exc
+        stub.put_state(self._asset_key(asset_id), str(total).encode("utf-8"))
+        return str(total).encode("utf-8")
+
+    def set_asset_policy(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``set_asset_policy(id, policy)`` — attach a key-level endorsement
+        policy (state-based endorsement) to an asset."""
+        require_args(args, 2, "an asset id and a signature policy")
+        asset_id, policy_text = args
+        stub.set_state_validation_parameter(self._asset_key(asset_id), policy_text)
+        return b""
+
+    def get_asset_policy(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``get_asset_policy(id)`` — the committed key-level policy, if any."""
+        require_args(args, 1, "an asset id")
+        policy = stub.get_state_validation_parameter(self._asset_key(args[0]))
+        return (policy or "").encode("utf-8")
+
+    def delete_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``delete_asset(id)`` — delete-only transaction."""
+        require_args(args, 1, "an asset id")
+        stub.del_state(self._asset_key(args[0]))
+        return b""
+
+    def list_assets(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``list_assets()`` — range scan over every asset (phantom-protected)."""
+        require_args(args, 0, "no arguments")
+        entries = stub.get_state_by_range("asset:", "asset;")  # ';' = ':' + 1
+        listing = ",".join(f"{key.split(':', 1)[1]}={value.decode('utf-8', 'replace')}"
+                           for key, value in entries)
+        return listing.encode("utf-8")
+
+    def transfer_asset(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``transfer_asset(from_id, to_id)`` — multi-key read-write."""
+        require_args(args, 2, "a source and a destination asset id")
+        src, dst = args
+        value = stub.get_state(self._asset_key(src))
+        if value is None:
+            raise ChaincodeError(f"asset {src!r} does not exist")
+        stub.del_state(self._asset_key(src))
+        stub.put_state(self._asset_key(dst), value)
+        return value

@@ -1,0 +1,106 @@
+"""Per-org customized PDC chaincode with business-logic constraints.
+
+Section V-A of the paper runs its injection experiments against peers
+whose chaincode enforces *different* write constraints:
+
+* peer0.org1 requires ``k1.value < 15``,
+* peer0.org2 (the victim) requires ``k1.value > 10``,
+* peer0.org3 (PDC non-member) adds no constraint at all.
+
+Fabric's customizable-chaincode feature makes this legal — only the
+execution *results* must match across endorsers — and the attack exploits
+the fact that a client can simply pick endorsers whose constraints accept
+the malicious value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.chaincode.api import require_args
+from repro.chaincode.contracts.pdc_contract import PrivateAssetContract
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError
+
+Constraint = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class WriteConstraint:
+    """A named predicate over the integer value being written/deleted."""
+
+    description: str
+    predicate: Constraint
+
+    def check(self, value: int) -> None:
+        if not self.predicate(value):
+            raise ChaincodeError(
+                f"business-logic constraint violated: value {value} fails {self.description!r}"
+            )
+
+
+def less_than(bound: int) -> WriteConstraint:
+    return WriteConstraint(f"value < {bound}", lambda v: v < bound)
+
+
+def greater_than(bound: int) -> WriteConstraint:
+    return WriteConstraint(f"value > {bound}", lambda v: v > bound)
+
+
+class ConstrainedPrivateAssetContract(PrivateAssetContract):
+    """The PDC contract extended with an org-specific write constraint.
+
+    ``constraint=None`` reproduces the non-member peers that "add no
+    constraints" — the sloppy practice §IV-A2 calls out.
+    """
+
+    def __init__(self, constraint: Optional[WriteConstraint] = None) -> None:
+        self._constraint = constraint
+
+    def _check(self, raw_value: bytes) -> None:
+        if self._constraint is None:
+            return
+        try:
+            value = int(raw_value.decode("utf-8"))
+        except ValueError as exc:
+            raise ChaincodeError(f"constrained contract expects integer values: {exc}") from exc
+        self._constraint.check(value)
+
+    def set_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 2, "a collection and a key")
+        value = stub.get_transient("value")
+        if value is None:
+            raise ChaincodeError("missing transient field 'value'")
+        self._check(value)
+        return super().set_private(stub, args)
+
+    def add_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        """Read-modify-write with the constraint applied to the *sum*."""
+        require_args(args, 3, "a collection, a key and an integer delta")
+        collection, key, delta_text = args
+        current = stub.get_private_data(collection, key)
+        total = int(current.decode("utf-8")) + int(delta_text)
+        self._check(str(total).encode("utf-8"))
+        stub.put_private_data(collection, key, str(total).encode("utf-8"))
+        return b""
+
+    def del_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        """Delete gated on the *current* value satisfying the constraint.
+
+        Mirrors §V-A4: org1 requires k1 < 15 to delete, org2 requires
+        k1 > 10.  Reading the current value makes this a read+delete
+        transaction at constrained members; the unconstrained non-member
+        still produces a delete-only rwset... which would diverge.  To
+        keep endorsements comparable (and faithfully model the paper's
+        delete-only experiment), the constraint is checked against the
+        *claimed* value passed by the client in transient['current'],
+        so the rwset stays write-only everywhere.
+        """
+        require_args(args, 2, "a collection and a key")
+        if self._constraint is not None:
+            claimed = stub.get_transient("current")
+            if claimed is None:
+                raise ChaincodeError("missing transient field 'current' for constrained delete")
+            self._check(claimed)
+        return super().del_private(stub, args)

@@ -1,0 +1,69 @@
+"""Python ports of the two vulnerable GitHub chaincodes of Section V-B.
+
+Listing 1 (Node.js, fabricPerfTest): ``readPrivatePerfTest`` fetches a
+private value with ``getPrivateData`` and returns it — so when the client
+*submits* (rather than evaluates) the call, the plaintext lands in the
+``payload`` field of a transaction distributed to every peer.
+
+Listing 2 (Go, privatedatadeepdive): ``setPrivate`` writes a private value
+taken from ``args[1]`` and then *returns args[1]* — leaking the value even
+on the write path, and additionally exposing it in the proposal arguments.
+"""
+
+from __future__ import annotations
+
+from repro.chaincode.api import Chaincode, require_args
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError, KeyNotFoundError
+
+
+class PerfTestContract(Chaincode):
+    """Listing 1: the PDC-read leak."""
+
+    def __init__(self, collection: str = "CollectionPerfTest") -> None:
+        self._collection = collection
+
+    def private_perf_test_exists(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 1, "a perf test id")
+        digest = stub.get_private_data_hash(self._collection, args[0])
+        return b"true" if digest is not None else b"false"
+
+    def read_private_perf_test(self, stub: ChaincodeStub, args: list) -> bytes:
+        """Faithful port of Listing 1: existence check, read, *return value*."""
+        require_args(args, 1, "a perf test id")
+        perf_test_id = args[0]
+        exists = stub.get_private_data_hash(self._collection, perf_test_id) is not None
+        if not exists:
+            raise ChaincodeError(f"The perf test {perf_test_id} does not exist")
+        try:
+            buffer = stub.get_private_data(self._collection, perf_test_id)
+        except KeyNotFoundError as exc:
+            raise ChaincodeError(str(exc)) from exc
+        return buffer  # the leak: plaintext PDC value into the payload field
+
+    def create_private_perf_test(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 1, "a perf test id")
+        value = stub.get_transient("asset")
+        if value is None:
+            raise ChaincodeError("missing transient field 'asset'")
+        stub.put_private_data(self._collection, args[0], value)
+        return b""
+
+
+class SaccPrivateContract(Chaincode):
+    """Listing 2: the PDC-write leak (collection name fixed to 'demo')."""
+
+    COLLECTION = "demo"
+
+    def set_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        """Faithful port of Listing 2, including the leaky return."""
+        if len(args) != 2:
+            raise ChaincodeError("Incorrect arguments. Expecting a key and a value")
+        key, value = args
+        stub.put_private_data(self.COLLECTION, key, value.encode("utf-8"))
+        return value.encode("utf-8")  # the leak: echoes the PDC value back
+
+    def get_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        if len(args) != 1:
+            raise ChaincodeError("Incorrect arguments. Expecting a key")
+        return stub.get_private_data(self.COLLECTION, args[0])

@@ -1,0 +1,101 @@
+"""Malicious customized chaincode: the endorsement forgery of §IV-A1.
+
+Fabric only requires that *execution results agree across endorsers* — the
+chaincode binaries themselves may differ per peer ("customizable
+chaincode").  Colluding peers exploit this: they install a contract that
+
+1. obtains the genuine ``(hash(key), version)`` read-set entry through
+   ``get_private_data_hash`` — an API every peer may call — and
+2. returns an agreed-upon **fake value** through the ``payload`` field.
+
+The resulting proposal-response is byte-identical across the colluders and
+carries a read set whose version matches the world state, so it passes
+both checks of the proof-of-policy consensus at validation time.
+"""
+
+from __future__ import annotations
+
+from repro.chaincode.api import Chaincode, require_args
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError
+
+
+class ForgedReadContract(Chaincode):
+    """Forges ``get_private`` results (fake read injection, §IV-A1).
+
+    All colluding endorsers install this contract configured with the same
+    ``fake_value``; honest peers are never asked to endorse.
+    """
+
+    def __init__(self, fake_value: bytes) -> None:
+        self._fake_value = fake_value
+
+    def get_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        """Same signature as the honest contract's read function.
+
+        Instead of ``get_private_data`` (which would fail at a non-member),
+        it calls ``get_private_data_hash`` — producing the *same* hashed
+        read-set entry — and returns the colluders' fake value.
+        """
+        require_args(args, 2, "a collection and a key")
+        collection, key = args
+        digest = stub.get_private_data_hash(collection, key)
+        if digest is None:
+            raise ChaincodeError(f"no private data hash for key {key!r}")
+        return self._fake_value
+
+
+class ForgedReadWriteContract(Chaincode):
+    """Forges the read half of a read-modify-write (§IV-A3).
+
+    The honest ``add_private`` reads the current value, adds ``delta`` and
+    writes the sum.  The forged variant fabricates the read value (so the
+    colluders control the sum — e.g. forcing it below a victim's lower
+    bound) while still emitting a read-set entry with the genuine version.
+    """
+
+    def __init__(self, fake_current_value: int) -> None:
+        self._fake_current = fake_current_value
+
+    def add_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 3, "a collection, a key and an integer delta")
+        collection, key, delta_text = args
+        digest = stub.get_private_data_hash(collection, key)
+        if digest is None:
+            raise ChaincodeError(f"no private data hash for key {key!r}")
+        total = self._fake_current + int(delta_text)
+        stub.put_private_data(collection, key, str(total).encode("utf-8"))
+        return b""
+
+
+class UnconstrainedWriteContract(Chaincode):
+    """A write path with no business-logic checks at all (§IV-A2).
+
+    Not malicious per se — it is the *absence* of validation the paper
+    expects at PDC non-member peers "with no interest in such private
+    data".  Exposes the same function names as the constrained contract so
+    proposal responses line up.
+    """
+
+    def set_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 2, "a collection and a key")
+        collection, key = args
+        value = stub.get_transient("value")
+        if value is None:
+            raise ChaincodeError("missing transient field 'value'")
+        stub.put_private_data(collection, key, value)
+        return b""
+
+    def add_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 3, "a collection, a key and an integer delta")
+        collection, key, delta_text = args
+        current = stub.get_private_data(collection, key)
+        total = int(current.decode("utf-8")) + int(delta_text)
+        stub.put_private_data(collection, key, str(total).encode("utf-8"))
+        return b""
+
+    def del_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 2, "a collection and a key")
+        collection, key = args
+        stub.del_private_data(collection, key)
+        return b""

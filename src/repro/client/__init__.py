@@ -1,0 +1,5 @@
+"""Client SDK: gateways, submit/evaluate semantics."""
+
+from repro.client.gateway import Gateway, SubmitResult
+
+__all__ = ["Gateway", "SubmitResult"]

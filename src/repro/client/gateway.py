@@ -1,0 +1,207 @@
+"""The client SDK / gateway: evaluate and submit transactions.
+
+Implements the client half of the three-phase workflow (Fig. 2):
+
+* :meth:`Gateway.evaluate_transaction` — query-style: endorse at one peer
+  and return the payload; nothing is ordered or committed.
+* :meth:`Gateway.submit_transaction` — the full pipeline: collect
+  endorsements from the requested peers, check that all proposal
+  responses agree, assemble and sign the envelope, submit for ordering,
+  and report the validation outcome.
+
+The PDC-read leakage of §IV-B1 arises precisely when an application uses
+``submit_transaction`` for reads (e.g. to audit who read what): the
+response payload rides into the block.  Under New Feature 2 the assembled
+payload is the hashed variant while :class:`SubmitResult.payload` still
+hands the client the original plaintext (Fig. 4, steps 6-7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from repro.common.errors import (
+    EndorsementError,
+    ProposalResponseMismatchError,
+    TransactionInvalidError,
+)
+from repro.common.hashing import sha256
+from repro.identity.identity import SigningIdentity
+from repro.protocol.proposal import Proposal, new_proposal
+from repro.protocol.response import ProposalResponse
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import FabricNetwork
+    from repro.peer.node import PeerNode
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Outcome of a submitted transaction."""
+
+    tx_id: str
+    status: ValidationCode
+    payload: bytes  # the chaincode response payload as seen by the client
+    envelope: TransactionEnvelope
+
+    @property
+    def committed(self) -> bool:
+        return self.status is ValidationCode.VALID
+
+    def raise_for_status(self) -> "SubmitResult":
+        if not self.committed:
+            raise TransactionInvalidError(self.tx_id, self.status.value)
+        return self
+
+
+class Gateway:
+    """A client application's connection to the network."""
+
+    def __init__(self, identity: SigningIdentity, network: "FabricNetwork") -> None:
+        self.identity = identity
+        self._network = network
+
+    @property
+    def msp_id(self) -> str:
+        return self.identity.msp_id
+
+    # -- query path --------------------------------------------------------
+    def evaluate_transaction(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str] = (),
+        transient: Optional[Mapping[str, bytes]] = None,
+        peer: Optional["PeerNode"] = None,
+    ) -> bytes:
+        """Endorse at a single peer and return the payload (no commit).
+
+        This is the leak-free way to read private data: the response never
+        leaves the client/peer pair.
+        """
+        target = peer or self._network.default_peer_for(self.msp_id)
+        proposal = self._proposal(chaincode_id, function, args, transient)
+        output = self._network.request_endorsement(target, proposal)
+        return output.response.client_response.payload
+
+    # -- submit path -----------------------------------------------------------
+    def submit_transaction(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str] = (),
+        transient: Optional[Mapping[str, bytes]] = None,
+        endorsing_peers: Optional[Sequence["PeerNode"]] = None,
+    ) -> SubmitResult:
+        """Run the full execute-order-validate pipeline.
+
+        ``endorsing_peers`` is the client's choice — and choosing
+        *favourable* endorsers is exactly the degree of freedom the
+        paper's malicious clients exploit.
+        """
+        peers = list(endorsing_peers or self._network.default_endorsers())
+        if not peers:
+            raise EndorsementError("no endorsing peers supplied")
+        proposal = self._proposal(chaincode_id, function, args, transient)
+
+        responses: list[ProposalResponse] = []
+        for peer in peers:
+            output = self._network.request_endorsement(peer, proposal)
+            responses.append(output.response)
+
+        self._check_consistency(proposal, responses)
+        envelope = self.assemble(proposal, responses)
+        return self._network.submit_envelope(envelope, client_payload=responses[0].client_response.payload)
+
+    def submit_with_retry(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str] = (),
+        transient: Optional[Mapping[str, bytes]] = None,
+        endorsing_peers: Optional[Sequence["PeerNode"]] = None,
+        max_attempts: int = 3,
+    ) -> SubmitResult:
+        """Submit, re-endorsing on MVCC/phantom conflicts.
+
+        Version conflicts are the *expected* outcome of concurrent
+        read-modify-writes (Section II-B3); the standard client remedy is
+        to re-simulate against fresh state and resubmit.  Other failure
+        codes are not retried — they indicate policy or integrity
+        problems, not contention.
+        """
+        last: SubmitResult | None = None
+        for _attempt in range(max_attempts):
+            last = self.submit_transaction(
+                chaincode_id, function, args, transient=transient,
+                endorsing_peers=endorsing_peers,
+            )
+            if last.status not in (
+                ValidationCode.MVCC_READ_CONFLICT,
+                ValidationCode.PHANTOM_READ_CONFLICT,
+            ):
+                return last
+        assert last is not None
+        return last
+
+    # -- the execution-phase client checks ----------------------------------------
+    def _check_consistency(self, proposal: Proposal, responses: list[ProposalResponse]) -> None:
+        """The client-side agreement + signature checks.
+
+        All returned proposal-response payloads must be byte-identical and
+        every endorsement signature must verify.  Under New Feature 2 the
+        client additionally recomputes ``hash(payload)`` and checks it is
+        what the endorser actually signed (Fig. 4, step 6).
+        """
+        reference = responses[0].payload.bytes()
+        for response in responses:
+            if response.payload.bytes() != reference:
+                raise ProposalResponseMismatchError(
+                    f"endorsers returned divergent results for tx {proposal.tx_id}"
+                )
+            if not response.verify_endorsement():
+                raise EndorsementError(
+                    f"invalid endorsement signature from "
+                    f"{response.endorsement.endorser.enrollment_id}"
+                )
+            signed = response.payload.response.payload
+            original = response.client_response.payload
+            if signed != original and signed != sha256(original):
+                raise EndorsementError(
+                    "signed payload is neither the original nor its hash"
+                )
+
+    def assemble(
+        self, proposal: Proposal, responses: list[ProposalResponse]
+    ) -> TransactionEnvelope:
+        """Assemble and sign the transaction envelope."""
+        unsigned = TransactionEnvelope(
+            tx_id=proposal.tx_id,
+            channel_id=proposal.channel_id,
+            chaincode_id=proposal.chaincode_id,
+            creator=self.identity.certificate,
+            payload=responses[0].payload,
+            endorsements=tuple(r.endorsement for r in responses),
+            signature=b"",
+            function=proposal.function,
+            args=proposal.args,
+        )
+        return replace(unsigned, signature=self.identity.sign(unsigned.signed_bytes()))
+
+    def _proposal(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str],
+        transient: Optional[Mapping[str, bytes]] = None,
+    ) -> Proposal:
+        return new_proposal(
+            channel_id=self._network.channel.channel_id,
+            chaincode_id=chaincode_id,
+            function=function,
+            args=tuple(args),
+            creator=self.identity.certificate,
+            transient=transient,
+        )

@@ -1,0 +1,125 @@
+"""Public-key signatures for node identities.
+
+Hyperledger Fabric signs with ECDSA over X.509 identities.  The protocol
+logic reproduced here only needs a *publicly verifiable* signature scheme:
+endorsers sign proposal responses, clients sign envelopes, and validators
+verify both before evaluating endorsement policies.  We implement Schnorr
+signatures over the RFC 3526 1536-bit MODP group using nothing but the
+standard library, with deterministic (RFC 6979-style) nonces so every run
+of the simulator is reproducible.
+
+The substitution is documented in DESIGN.md: the attacks and defenses in
+the paper do not depend on the curve, only on unforgeability and public
+verifiability — both of which Schnorr over a safe-prime group provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+# RFC 3526, group 5 (1536-bit MODP).  p is a safe prime: p = 2q + 1.
+_P_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+)
+P = int(_P_HEX, 16)
+Q = (P - 1) // 2
+# 4 = 2**2 is a quadratic residue mod p, hence generates the order-q subgroup.
+G = 4
+
+
+class SignatureError(Exception):
+    """A signature failed to verify or could not be decoded."""
+
+
+def _hash_to_int(*parts: bytes) -> int:
+    digest = hashlib.sha256(b"||".join(parts)).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Schnorr public key ``y = g^x mod p``."""
+
+    y: int
+
+    def to_bytes(self) -> bytes:
+        return self.y.to_bytes((P.bit_length() + 7) // 8, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        return cls(int.from_bytes(data, "big"))
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Check a signature produced by the matching private key.
+
+        Accepts and rejects rather than raising so policy evaluation can
+        simply skip invalid endorsements, the way Fabric's VSCC does.
+        """
+        try:
+            s, e = _decode_signature(signature)
+        except SignatureError:
+            return False
+        if not (0 <= s < Q and 0 < e):
+            return False
+        # r' = g^s * y^{-e} = g^s * y^(q-e mod q) ... use modular inverse.
+        y_e = pow(self.y, e, P)
+        r_prime = (pow(G, s, P) * pow(y_e, P - 2, P)) % P
+        e_prime = _hash_to_int(_int_bytes(r_prime), self.to_bytes(), message) % Q
+        return e_prime == e
+
+
+def _int_bytes(value: int) -> bytes:
+    return value.to_bytes((P.bit_length() + 7) // 8, "big")
+
+
+def _decode_signature(signature: bytes) -> tuple[int, int]:
+    width = (P.bit_length() + 7) // 8
+    if len(signature) != 2 * width:
+        raise SignatureError(f"signature must be {2 * width} bytes, got {len(signature)}")
+    s = int.from_bytes(signature[:width], "big")
+    e = int.from_bytes(signature[width:], "big")
+    return s, e
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """Schnorr private key (the exponent ``x``)."""
+
+    x: int
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "PrivateKey":
+        """Derive a private key deterministically from a seed.
+
+        The CA derives each identity's key from its enrollment id so that a
+        simulator run is fully reproducible.
+        """
+        x = _hash_to_int(b"repro-keygen", seed) % Q
+        return cls(x or 1)
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(pow(G, self.x, P))
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a deterministic Schnorr signature over ``message``."""
+        k_seed = hmac.new(_int_bytes(self.x), message, hashlib.sha256).digest()
+        k = int.from_bytes(k_seed, "big") % Q
+        k = k or 1
+        r = pow(G, k, P)
+        e = _hash_to_int(_int_bytes(r), self.public_key().to_bytes(), message) % Q
+        s = (k + self.x * e) % Q
+        width = (P.bit_length() + 7) // 8
+        return s.to_bytes(width, "big") + e.to_bytes(width, "big")
+
+
+def generate_keypair(seed: bytes) -> tuple[PrivateKey, PublicKey]:
+    """Deterministically derive a keypair from ``seed``."""
+    private = PrivateKey.from_seed(seed)
+    return private, private.public_key()

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  The hierarchy
+mirrors the places Hyperledger Fabric itself surfaces errors: endorsement,
+validation, ordering, chaincode execution, identity/policy evaluation, and
+the static analyzer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigError(ReproError):
+    """A network, channel, chaincode or collection configuration is invalid."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, bad signature encoding)."""
+
+
+class IdentityError(ReproError):
+    """An identity could not be issued, deserialized, or validated."""
+
+
+class PolicyError(ReproError):
+    """A policy expression could not be parsed or evaluated."""
+
+
+class PolicyNotSatisfiedError(PolicyError):
+    """A set of signers does not satisfy a policy.
+
+    Raised by evaluation helpers that are asked to *assert* satisfaction;
+    plain evaluation returns a boolean instead.
+    """
+
+
+class LedgerError(ReproError):
+    """World state / block store invariant violated."""
+
+
+class KeyNotFoundError(LedgerError):
+    """A requested key does not exist in the (private) world state.
+
+    This is the error a PDC non-member endorser hits when it executes a
+    private-data *read* (Use Case 1 of the paper): the original
+    ``(key, value, version)`` is simply absent from its store.
+    """
+
+    def __init__(self, namespace: str, key: str, collection: str = "") -> None:
+        self.namespace = namespace
+        self.key = key
+        self.collection = collection
+        where = f"collection {collection!r} of " if collection else ""
+        super().__init__(f"key {key!r} not found in {where}namespace {namespace!r}")
+
+
+class ChaincodeError(ReproError):
+    """A chaincode function raised or returned a failure response."""
+
+
+class EndorsementError(ReproError):
+    """A peer refused to endorse a proposal, or endorsement collection failed."""
+
+
+class ProposalResponseMismatchError(EndorsementError):
+    """Endorsers returned divergent results for the same proposal.
+
+    The client-side check from the execution phase: all proposal responses
+    must be byte-identical before a transaction may be assembled.
+    """
+
+
+class OrderingError(ReproError):
+    """The ordering service rejected or failed to order an envelope."""
+
+
+class ValidationError(ReproError):
+    """A block or transaction failed structural validation."""
+
+
+class TransactionInvalidError(ReproError):
+    """A submitted transaction was committed with an invalid flag."""
+
+    def __init__(self, tx_id: str, code: str) -> None:
+        self.tx_id = tx_id
+        self.code = code
+        super().__init__(f"transaction {tx_id} invalidated: {code}")
+
+
+class GossipError(ReproError):
+    """Private data dissemination failed to reach required peers."""
+
+
+class AnalyzerError(ReproError):
+    """The static analyzer could not scan a project source."""
+
+
+class CorpusError(ReproError):
+    """The synthetic corpus generator was given an unsatisfiable spec."""

@@ -1,0 +1,42 @@
+"""Hashing helpers.
+
+Hyperledger Fabric uses SHA-256 throughout: for private-data key/value
+hashes, block data hashes, and the proposal-response hashing introduced by
+the paper's New Feature 2.  We centralise it here so every module hashes
+the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_key(key: str) -> bytes:
+    """Hash a private-data *key* the way Fabric stores it at non-members.
+
+    Non-member peers only ever see ``(hash(key), hash(value), version)``.
+    """
+    return sha256(key.encode("utf-8"))
+
+
+def hash_value(value: bytes) -> bytes:
+    """Hash a private-data *value* the way Fabric stores it at non-members."""
+    return sha256(value)
+
+
+def chain_hash(prev_hash: bytes, data_hash: bytes) -> bytes:
+    """Combine a block's predecessor hash with its data hash.
+
+    Used to build the tamper-evident hash chain of the blockchain.
+    """
+    return sha256(prev_hash + data_hash)

@@ -1,0 +1,61 @@
+"""Canonical byte serialization for signing and hashing.
+
+Fabric serialises messages with protobuf; what matters for the protocol
+logic is only that serialization is *canonical* — the same logical message
+always produces the same bytes, so signatures and hashes are comparable
+across nodes.  We implement a small deterministic encoder over the JSON
+data model (dict / list / str / bytes / int / bool / None) instead of
+pulling in protobuf.
+
+``canonical_bytes`` is used everywhere a message is signed or hashed:
+proposal responses, transaction envelopes, block data hashes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+_BYTES_TAG = "__b64__"
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, bytes):
+        return {_BYTES_TAG: base64.b64encode(obj).decode("ascii")}
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    to_wire = getattr(obj, "to_wire", None)
+    if callable(to_wire):
+        return _encode(to_wire())
+    raise TypeError(f"cannot canonically serialize {type(obj).__name__}")
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj.keys()) == {_BYTES_TAG}:
+            return base64.b64decode(obj[_BYTES_TAG])
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Serialize ``obj`` to deterministic bytes.
+
+    Dict keys are sorted, bytes values are base64-tagged, and objects that
+    expose ``to_wire()`` are converted first.  Two logically equal messages
+    always serialize to identical bytes — the property endorsement
+    signature comparison relies on.
+    """
+    return json.dumps(_encode(obj), sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def from_canonical_bytes(data: bytes) -> Any:
+    """Inverse of :func:`canonical_bytes` (modulo tuples becoming lists)."""
+    return _decode(json.loads(data.decode("utf-8")))

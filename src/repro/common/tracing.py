@@ -1,0 +1,63 @@
+"""Pipeline tracing: observe the Fig. 2 sequence as it happens.
+
+Attach a :class:`Tracer` to a :class:`~repro.network.network.FabricNetwork`
+and every transaction's journey is recorded step by step — proposal,
+simulation, endorsement, gossip dissemination, ordering, delivery,
+validation, commit — in the same order as the paper's sequence diagram.
+Useful for debugging, teaching, and asserting pipeline behaviour in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline step."""
+
+    seq: int
+    actor: str  # "client", "peer0.Org1MSP", "orderer", ...
+    action: str  # "send-proposal", "simulate", "endorse", ...
+    tx_id: str
+    detail: dict
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+        tx = f" tx={self.tx_id[:8]}" if self.tx_id else ""
+        return f"[{self.seq:>3}] {self.actor:<18} {self.action:<22}{tx}  {extras}"
+
+
+@dataclass
+class Tracer:
+    """An append-only event log."""
+
+    events: list = field(default_factory=list)
+    _counter: int = 0
+
+    def record(self, actor: str, action: str, tx_id: str = "", **detail: Any) -> None:
+        self._counter += 1
+        self.events.append(
+            TraceEvent(
+                seq=self._counter, actor=actor, action=action, tx_id=tx_id, detail=detail
+            )
+        )
+
+    def actions(self, tx_id: Optional[str] = None) -> list:
+        """The action names, optionally filtered to one transaction."""
+        return [
+            event.action
+            for event in self.events
+            if tx_id is None or event.tx_id == tx_id or not event.tx_id
+        ]
+
+    def for_tx(self, tx_id: str) -> list:
+        return [e for e in self.events if e.tx_id == tx_id]
+
+    def render(self) -> str:
+        return "\n".join(str(event) for event in self.events)
+
+    def clear(self) -> None:
+        self.events = []
+        self._counter = 0

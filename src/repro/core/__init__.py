@@ -1,0 +1,1 @@
+"""The paper's contribution: attacks, defenses, analyzer, corpus, study."""

@@ -1,0 +1,336 @@
+"""Language-aware leakage heuristics for chaincode (Go, JS/TS, Java).
+
+Implements the per-function analysis behind the paper's §V-C "Generality
+of PDC leakage issues": a chaincode function leaks private data when it
+
+* **read-leak** — calls ``GetPrivateData`` and *returns* the fetched value
+  (directly or through derived variables), sending it into the plaintext
+  ``payload`` field of the proposal response (Listing 1); or
+* **write-leak** — calls ``PutPrivateData`` and returns the written value
+  (e.g. ``return args[1], nil`` in Listing 2).
+
+The analysis extracts function bodies by brace matching, seeds a small
+taint set (variables assigned from ``GetPrivateData`` / the value argument
+of ``PutPrivateData``), propagates taint through straight-line
+assignments, and flags functions whose ``return`` statements (or Go
+``shim.Success(...)`` payloads) mention a tainted expression.  Calls to
+``GetPrivateDataHash`` never taint — returning a hash is the safe pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.analyzer.source import ProjectFile
+
+_GO_FUNC_RE = re.compile(r"\bfunc\s+(?:\([^)]*\)\s*)?(?P<name>[A-Za-z_]\w*)\s*\([^)]*\)[^{]*\{")
+_JS_FUNC_RE = re.compile(
+    r"(?:\basync\s+)?(?:\bfunction\s+)?(?P<name>[A-Za-z_$][\w$]*)\s*\([^)]*\)\s*\{"
+)
+_JAVA_FUNC_RE = re.compile(
+    r"(?:public|private|protected)\s+(?:static\s+)?[\w<>\[\],\s]+?\s(?P<name>[A-Za-z_]\w*)\s*\([^)]*\)\s*(?:throws[\w\s,]*)?\{"
+)
+
+_JS_KEYWORDS = {"if", "for", "while", "switch", "catch", "function", "return"}
+
+# Access expressions: identifiers with optional member / index suffixes,
+# e.g. ``asset``, ``args[1]``, ``resp.payload``.
+_ACCESS_RE = re.compile(r"[A-Za-z_$][\w$]*(?:\s*\[\s*[^\]]+\s*\]|\.[A-Za-z_$][\w$]*)*")
+
+_GET_PRIVATE_RE = re.compile(r"\bGetPrivateData\s*\(", re.IGNORECASE)
+_GET_PRIVATE_HASH_RE = re.compile(r"\bGetPrivateDataHash\s*\(", re.IGNORECASE)
+_PUT_PRIVATE_RE = re.compile(r"\bPutPrivateData\s*\(", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One extracted chaincode function."""
+
+    name: str
+    body: str
+    language: str
+
+
+def _language_of(file: ProjectFile) -> str | None:
+    return {".go": "go", ".js": "js", ".ts": "js", ".java": "java"}.get(file.extension)
+
+
+def extract_functions(file: ProjectFile) -> list[FunctionInfo]:
+    """Extract named function bodies via header regex + brace matching."""
+    language = _language_of(file)
+    if language is None:
+        return []
+    pattern = {"go": _GO_FUNC_RE, "js": _JS_FUNC_RE, "java": _JAVA_FUNC_RE}[language]
+    functions = []
+    for match in pattern.finditer(file.content):
+        name = match.group("name")
+        if language == "js" and name in _JS_KEYWORDS:
+            continue
+        body = _matched_braces(file.content, match.end() - 1)
+        if body is not None:
+            functions.append(FunctionInfo(name=name, body=body, language=language))
+    return functions
+
+
+def _matched_braces(text: str, open_index: int) -> str | None:
+    """The text between the brace at ``open_index`` and its partner."""
+    depth = 0
+    in_string: str | None = None
+    index = open_index
+    while index < len(text):
+        ch = text[index]
+        if in_string:
+            if ch == "\\":
+                index += 2
+                continue
+            if ch == in_string:
+                in_string = None
+        elif ch in "'\"`":
+            in_string = ch
+        elif ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_index + 1 : index]
+        index += 1
+    return None
+
+
+def _normalize(expr: str) -> str:
+    return re.sub(r"\s+", "", expr)
+
+
+_STRING_LITERAL_RE = re.compile(r"'[^']*'|\"[^\"]*\"|`[^`]*`")
+
+
+def _accesses_in(expr: str) -> set[str]:
+    # Words inside string literals are not variable accesses — an error
+    # message mentioning "asset" must not count as a use of `asset`.
+    stripped = _STRING_LITERAL_RE.sub("''", expr)
+    return {_normalize(m.group(0)) for m in _ACCESS_RE.finditer(stripped)}
+
+
+def _root_of(access: str) -> str:
+    return re.split(r"[.\[]", access, 1)[0]
+
+
+def _call_arguments(body: str, call_match: re.Match) -> list[str]:
+    """Split the argument list of a call, respecting nesting."""
+    depth = 1
+    start = call_match.end()
+    args, current = [], []
+    index = start
+    while index < len(body) and depth > 0:
+        ch = body[index]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                break
+        if ch == "," and depth == 1:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    if current:
+        args.append("".join(current))
+    return [a.strip() for a in args if a.strip()]
+
+
+def _assignment_targets(line: str) -> tuple[list[str], str] | None:
+    """Parse ``lhs = rhs`` / ``lhs := rhs`` / ``const lhs = rhs`` lines.
+
+    Typed declarations (``byte[] data = ...``, ``final String s = ...``)
+    contribute only the declared *name* (the last identifier of each
+    comma-separated part); Go's ``_`` and error results never taint.
+    """
+    stripped = line.strip()
+    stripped = re.sub(r"^(?:const|let|var|final)\s+", "", stripped)
+    match = re.match(r"^([\w$.,\s\[\]<>]+?)\s*:?=\s*(?![=])(.+)$", stripped)
+    if match is None:
+        return None
+    lhs, rhs = match.group(1), match.group(2)
+    targets = []
+    for part in lhs.split(","):
+        tokens = [m.group(0) for m in _ACCESS_RE.finditer(part)]
+        if not tokens:
+            continue
+        name = _normalize(tokens[-1])
+        if name in ("_", "err", "error"):
+            continue
+        targets.append(name)
+    return (targets, rhs) if targets else None
+
+
+def _is_tainted(access: str, tainted: set[str]) -> bool:
+    """An access is tainted exactly, or through its root variable.
+
+    ``args[1]`` in the taint set does NOT taint ``args[0]`` — only the
+    precise access or derivations of a tainted *bare* variable count,
+    which keeps error paths like ``return "", fmt.Errorf(..., args[0])``
+    from false-positiving write-leak detection.
+    """
+    return access in tainted or _root_of(access) in tainted
+
+
+def _tainted_returns(body: str, seeds: set[str], language: str) -> bool:
+    """Propagate taint through assignments; check return statements."""
+    tainted = set(seeds)
+    # Two propagation passes handle simple forward chains (a = get(); b =
+    # parse(a); return b) without needing a full dataflow fixpoint.
+    for _ in range(2):
+        for line in body.splitlines():
+            parsed = _assignment_targets(line)
+            if parsed is None:
+                continue
+            targets, rhs = parsed
+            if any(_is_tainted(a, tainted) for a in _accesses_in(rhs)):
+                tainted.update(targets)
+
+    for line in body.splitlines():
+        stripped = line.strip()
+        return_match = re.match(r"^return\b(.*)$", stripped)
+        if return_match is None:
+            continue
+        expr = return_match.group(1).strip().rstrip(";")
+        if not expr:
+            continue
+        if language == "go":
+            # ``return "", err`` / ``return nil, err`` are error paths.
+            expr = ",".join(
+                part for part in expr.split(",") if part.strip() not in ("nil", "err", "''", '""')
+            )
+        if any(_is_tainted(a, tainted) for a in _accesses_in(expr)):
+            return True
+    # Go chaincode often responds via shim.Success(payload) instead of a
+    # plain return value.
+    for match in re.finditer(r"shim\.Success\s*\(", body):
+        for arg in _call_arguments(body, match):
+            if any(_is_tainted(a, tainted) for a in _accesses_in(arg)):
+                return True
+    return False
+
+
+def find_read_leaks(file: ProjectFile) -> list[str]:
+    """Functions that return data obtained from ``GetPrivateData``."""
+    leaks = []
+    for function in extract_functions(file):
+        body = function.body
+        if not _GET_PRIVATE_RE.search(_GET_PRIVATE_HASH_RE.sub("ignored(", body)):
+            continue
+        seeds: set[str] = set()
+        sanitized = _GET_PRIVATE_HASH_RE.sub("ignored(", body)
+        for line in sanitized.splitlines():
+            if not _GET_PRIVATE_RE.search(line):
+                continue
+            parsed = _assignment_targets(line)
+            if parsed is None:
+                continue
+            targets, _rhs = parsed
+            seeds.update(targets)
+        if seeds and _tainted_returns(sanitized, seeds, function.language):
+            leaks.append(function.name)
+    return leaks
+
+
+_SET_EVENT_RE = re.compile(r"\bSetEvent\s*\(", re.IGNORECASE)
+_GET_TRANSIENT_RE = re.compile(r"\bGetTransient\s*\(", re.IGNORECASE)
+
+
+def find_transient_bypass(file: ProjectFile) -> list[str]:
+    """Write functions that take the private value from plaintext args.
+
+    The proper channel for private input is the *transient* map, which
+    never enters the signed proposal or the transaction.  A function that
+    passes ``args[...]``-derived data to ``PutPrivateData`` records the
+    value in every committed transaction's argument list — Listing 2's
+    secondary flaw, which even New Feature 2 cannot repair.
+    """
+    flagged = []
+    for function in extract_functions(file):
+        body = function.body
+        if _GET_TRANSIENT_RE.search(body):
+            continue  # value comes from the transient map: correct pattern
+        for match in _PUT_PRIVATE_RE.finditer(body):
+            arguments = _call_arguments(body, match)
+            value_expr = arguments[2] if len(arguments) >= 3 else (
+                arguments[1] if len(arguments) == 2 else ""
+            )
+            if any(access.startswith("args[") for access in _accesses_in(value_expr)):
+                flagged.append(function.name)
+                break
+    return flagged
+
+
+def find_event_leaks(file: ProjectFile) -> list[str]:
+    """Functions that put ``GetPrivateData`` results into a chaincode event.
+
+    Beyond the paper's payload analysis: events are committed in plaintext
+    with the transaction and broadcast to every subscriber, so they leak
+    exactly like the ``payload`` field.
+    """
+    leaks = []
+    for function in extract_functions(file):
+        sanitized = _GET_PRIVATE_HASH_RE.sub("ignored(", function.body)
+        if not _GET_PRIVATE_RE.search(sanitized):
+            continue
+        seeds: set[str] = set()
+        for line in sanitized.splitlines():
+            if not _GET_PRIVATE_RE.search(line):
+                continue
+            parsed = _assignment_targets(line)
+            if parsed is not None:
+                seeds.update(parsed[0])
+        if not seeds:
+            continue
+        # Propagate, then check SetEvent argument expressions as sinks.
+        tainted = set(seeds)
+        for _ in range(2):
+            for line in sanitized.splitlines():
+                parsed = _assignment_targets(line)
+                if parsed is None:
+                    continue
+                targets, rhs = parsed
+                if any(_is_tainted(a, tainted) for a in _accesses_in(rhs)):
+                    tainted.update(targets)
+        for match in _SET_EVENT_RE.finditer(sanitized):
+            for arg in _call_arguments(sanitized, match):
+                if any(_is_tainted(a, tainted) for a in _accesses_in(arg)):
+                    leaks.append(function.name)
+                    break
+            else:
+                continue
+            break
+    return leaks
+
+
+def find_write_leaks(file: ProjectFile) -> list[str]:
+    """Functions that echo back the value they passed to ``PutPrivateData``."""
+    leaks = []
+    for function in extract_functions(file):
+        body = function.body
+        seeds: set[str] = set()
+        for match in _PUT_PRIVATE_RE.finditer(body):
+            args = _call_arguments(body, match)
+            if len(args) >= 3:
+                value_expr = args[2]
+            elif len(args) == 2:  # JS contract API: putPrivateData(key, value)
+                value_expr = args[1]
+            else:
+                continue
+            seeds.update(_accesses_in(value_expr))
+        # Conversion wrappers are not data sources.
+        seeds -= {"byte", "Buffer", "Buffer.from", "bytes", "String", "JSON.stringify"}
+        # A method access like ``value.getBytes`` taints the receiver
+        # ``value`` as well; a *subscript* like ``args[1]`` stays exact so
+        # ``args[0]`` (the key) is never considered leaked.
+        for seed in list(seeds):
+            if "." in seed and "[" not in seed:
+                seeds.add(_root_of(seed))
+        if seeds and _tainted_returns(body, seeds, function.language):
+            leaks.append(function.name)
+    return leaks

@@ -1,0 +1,131 @@
+"""Project sources the static analyzer can scan.
+
+The paper's tool scanned 6392 GitHub repositories.  Offline, the analyzer
+accepts two interchangeable source types: directories on disk
+(:class:`FilesystemProject`) and synthetic in-memory projects
+(:class:`InMemoryProject`, produced by the corpus generator).  Detectors
+only ever see :class:`ProjectFile` records, so they cannot tell the
+difference — detection is earned by parsing file contents either way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.common.errors import AnalyzerError
+
+# Extensions the scanner reads; everything else is skipped (binaries etc.).
+SCANNED_EXTENSIONS = {".json", ".yaml", ".yml", ".go", ".js", ".ts", ".java"}
+MAX_FILE_BYTES = 1_000_000
+
+CHAINCODE_EXTENSIONS = {".go", ".js", ".ts", ".java"}
+
+METADATA_FILENAME = ".repro-meta.json"
+
+
+@dataclass(frozen=True)
+class ProjectFile:
+    """One scannable file: repo-relative POSIX path + decoded text."""
+
+    path: str
+    content: str
+
+    @property
+    def extension(self) -> str:
+        dot = self.path.rfind(".")
+        return self.path[dot:] if dot >= 0 else ""
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def is_chaincode(self) -> bool:
+        return self.extension in CHAINCODE_EXTENSIONS
+
+
+@dataclass
+class InMemoryProject:
+    """A synthetic project (what the corpus generator emits)."""
+
+    name: str
+    file_map: dict[str, str] = field(default_factory=dict)
+    year: Optional[int] = None
+
+    def add(self, path: str, content: str) -> "InMemoryProject":
+        self.file_map[path] = content
+        return self
+
+    def files(self) -> Iterator[ProjectFile]:
+        for path in sorted(self.file_map):
+            yield ProjectFile(path=path, content=self.file_map[path])
+
+    def materialize(self, root: Path) -> Path:
+        """Write the project tree to disk (for filesystem-scan tests)."""
+        base = root / self.name
+        for path, content in self.file_map.items():
+            target = base / path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        if self.year is not None:
+            (base / METADATA_FILENAME).write_text(
+                json.dumps({"year": self.year}), encoding="utf-8"
+            )
+        return base
+
+
+class FilesystemProject:
+    """A project rooted at a directory on disk."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise AnalyzerError(f"{self.root} is not a directory")
+        self.name = self.root.name
+        self.year = self._read_year()
+
+    def _read_year(self) -> Optional[int]:
+        meta = self.root / METADATA_FILENAME
+        if not meta.is_file():
+            return None
+        try:
+            return int(json.loads(meta.read_text(encoding="utf-8")).get("year"))
+        except (ValueError, TypeError, json.JSONDecodeError):
+            return None
+
+    def files(self) -> Iterator[ProjectFile]:
+        for path in sorted(self.root.rglob("*")):
+            if not path.is_file() or path.name == METADATA_FILENAME:
+                continue
+            if path.suffix not in SCANNED_EXTENSIONS:
+                continue
+            if path.stat().st_size > MAX_FILE_BYTES:
+                continue
+            try:
+                content = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            yield ProjectFile(path=path.relative_to(self.root).as_posix(), content=content)
+
+
+def discover_projects(root: Path | str) -> list[FilesystemProject]:
+    """Treat every direct child directory of ``root`` as one project."""
+    root = Path(root)
+    if not root.is_dir():
+        raise AnalyzerError(f"{root} is not a directory")
+    return [FilesystemProject(child) for child in sorted(root.iterdir()) if child.is_dir()]
+
+
+def project_files(project) -> list[ProjectFile]:
+    """Normalise any project source to a file list."""
+    if isinstance(project, (InMemoryProject, FilesystemProject)):
+        return list(project.files())
+    files = getattr(project, "files", None)
+    if callable(files):
+        return list(files())
+    if isinstance(project, Iterable):
+        return list(project)
+    raise AnalyzerError(f"cannot scan object of type {type(project).__name__}")

@@ -1,0 +1,235 @@
+"""A dependency-free YAML-subset reader for ``configtx.yaml``.
+
+The analyzer needs exactly one thing from a project's ``configtx.yaml``:
+the channel application's default ``Endorsement`` policy rule (§V-C1,
+"Popularity of MAJORITY Endorsement policy").  Fabric's configtx files use
+a plain mapping/list subset of YAML, which this module parses:
+
+* nested mappings by indentation,
+* ``key: value`` scalars with optional quotes,
+* block lists of scalars or mappings (``- item`` / ``- key: value``),
+* comments (``#``) and blank lines,
+* anchors/aliases are tolerated and stripped (``&name`` / ``*name`` and
+  ``<<: *name`` merges are recorded as plain string values).
+
+Anything fancier raises :class:`YamlLiteError` — a static scanner should
+fail loud on files it cannot understand rather than misreport them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+
+class YamlLiteError(Exception):
+    """The document uses YAML features outside the supported subset."""
+
+
+_ANCHOR_RE = re.compile(r"&[A-Za-z0-9_-]+\s*")
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    result = []
+    quote: Optional[str] = None
+    for ch in line:
+        if quote:
+            result.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            result.append(ch)
+            continue
+        if ch == "#":
+            break
+        result.append(ch)
+    return "".join(result).rstrip()
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    text = _ANCHOR_RE.sub("", text).strip()
+    if not text:
+        return None
+    if text.startswith(("'", '"')) and text.endswith(text[0]) and len(text) >= 2:
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+class _Line:
+    __slots__ = ("indent", "text")
+
+    def __init__(self, indent: int, text: str) -> None:
+        self.indent = indent
+        self.text = text
+
+
+def _logical_lines(document: str) -> list[_Line]:
+    lines = []
+    for raw in document.splitlines():
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        if stripped.strip() in ("---", "..."):
+            continue  # document markers
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlLiteError("tabs in indentation are not supported")
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(indent, stripped.strip()))
+    return lines
+
+
+def parse_yaml_lite(document: str) -> Any:
+    """Parse a configtx-style YAML document into dicts/lists/scalars."""
+    lines = _logical_lines(document)
+    if not lines:
+        return {}
+    value, index = _parse_block(lines, 0, lines[0].indent)
+    if index != len(lines):
+        raise YamlLiteError(f"trailing content at line {index}")
+    return value
+
+
+def _parse_block(lines: list[_Line], index: int, indent: int):
+    if lines[index].text.startswith("- "):
+        return _parse_list(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_list(lines: list[_Line], index: int, indent: int):
+    items: list[Any] = []
+    while index < len(lines) and lines[index].indent == indent and (
+        lines[index].text.startswith("- ") or lines[index].text == "-"
+    ):
+        item_text = lines[index].text[2:].strip() if lines[index].text != "-" else ""
+        # An anchor-only item ("- &Org1") introduces a nested block too.
+        item_text = _ANCHOR_RE.sub("", item_text).strip()
+        if not item_text:
+            # "-" alone: nested block item
+            index += 1
+            if index >= len(lines) or lines[index].indent <= indent:
+                items.append(None)
+                continue
+            value, index = _parse_block(lines, index, lines[index].indent)
+            items.append(value)
+            continue
+        if ":" in item_text and not item_text.startswith(("'", '"')):
+            # "- key: value" — a mapping item; re-parse as a mini mapping
+            # whose first line sits at a synthetic deeper indent.
+            key, _, rest = item_text.partition(":")
+            mapping: dict[str, Any] = {}
+            if rest.strip():
+                mapping[key.strip()] = _parse_scalar(rest)
+                index += 1
+            else:
+                index += 1
+                if index < len(lines) and lines[index].indent > indent + 2:
+                    value, index = _parse_block(lines, index, lines[index].indent)
+                    mapping[key.strip()] = value
+                else:
+                    mapping[key.strip()] = None
+            # continuation keys of the same list item are indented past "- "
+            while index < len(lines) and lines[index].indent == indent + 2:
+                sub, index = _parse_mapping_entry(lines, index)
+                mapping.update(sub)
+            items.append(mapping)
+            continue
+        items.append(_parse_scalar(item_text))
+        index += 1
+    return items, index
+
+
+def _parse_mapping(lines: list[_Line], index: int, indent: int):
+    mapping: dict[str, Any] = {}
+    while index < len(lines) and lines[index].indent == indent:
+        if lines[index].text.startswith("- "):
+            break
+        entry, index = _parse_mapping_entry(lines, index)
+        mapping.update(entry)
+    return mapping, index
+
+
+def _parse_mapping_entry(lines: list[_Line], index: int):
+    line = lines[index]
+    if ":" not in line.text:
+        raise YamlLiteError(f"expected 'key: value', found {line.text!r}")
+    key, _, rest = line.text.partition(":")
+    key = key.strip().strip("'\"")
+    rest = rest.strip()
+    if re.fullmatch(r"&[A-Za-z0-9_-]+", rest):
+        rest = ""  # "Key: &anchor" introduces the nested block below
+    if rest:
+        if rest.startswith("*"):
+            return {key: rest}, index + 1  # alias: keep as opaque string
+        return {key: _parse_scalar(rest)}, index + 1
+    index += 1
+    if index < len(lines) and lines[index].indent > line.indent:
+        value, index = _parse_block(lines, index, lines[index].indent)
+        return {key: value}, index
+    return {key: None}, index
+
+
+def find_key_paths(document: Any, key: str) -> list[Any]:
+    """All values found under mappings whose key equals ``key`` (recursive)."""
+    found: list[Any] = []
+    if isinstance(document, dict):
+        for k, v in document.items():
+            if k == key:
+                found.append(v)
+            found.extend(find_key_paths(v, key))
+    elif isinstance(document, list):
+        for item in document:
+            found.extend(find_key_paths(item, key))
+    return found
+
+
+def extract_endorsement_rule(configtx_text: str) -> Optional[str]:
+    """The channel application's default Endorsement policy rule.
+
+    Returns e.g. ``"MAJORITY Endorsement"`` or ``"ANY Endorsement"`` from::
+
+        Application:
+          Policies:
+            Endorsement:
+              Type: ImplicitMeta
+              Rule: "MAJORITY Endorsement"
+
+    Returns ``None`` when no Endorsement policy block is present or the
+    file cannot be parsed.
+    """
+    try:
+        doc = parse_yaml_lite(configtx_text)
+    except YamlLiteError:
+        return None
+    # Search the Application section first — that is where the channel's
+    # default chaincode endorsement policy lives; per-org "Endorsement"
+    # signature sub-policies elsewhere in the file are not the default.
+    scopes = find_key_paths(doc, "Application") + [doc]
+    fallback: Optional[str] = None
+    for scope in scopes:
+        for block in find_key_paths(scope, "Endorsement"):
+            if not (isinstance(block, dict) and isinstance(block.get("Rule"), str)):
+                continue
+            if str(block.get("Type", "")).lower() == "implicitmeta":
+                return block["Rule"]
+            if fallback is None:
+                fallback = block["Rule"]
+    return fallback

@@ -1,0 +1,75 @@
+"""Common scaffolding for the attack experiments of Section V.
+
+Every attack driver returns an :class:`AttackReport` stating whether the
+attack *achieved its goal* (not merely whether a transaction committed),
+together with the evidence: transaction status, observed values at the
+victim, and the violated invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaincode.contracts import (
+    ConstrainedPrivateAssetContract,
+    greater_than,
+    less_than,
+)
+from repro.network.presets import TestNetwork
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one attack run."""
+
+    name: str
+    tx_type: str  # "read-only" | "write-only" | "read-write" | "delete-only"
+    succeeded: bool
+    summary: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mark(self) -> str:
+        """The Table II cell symbol."""
+        return "√" if self.succeeded else "×"
+
+    def __str__(self) -> str:
+        verdict = "SUCCEEDED" if self.succeeded else "FAILED"
+        return f"[{verdict}] {self.name}: {self.summary}"
+
+
+# The §V-A business constraints.
+ORG1_CONSTRAINT = less_than(15)  # peer0.org1 requires k1.value < 15
+ORG2_CONSTRAINT = greater_than(10)  # peer0.org2 (victim) requires k1.value > 10
+
+
+def install_constrained_contracts(net: TestNetwork) -> None:
+    """Install the §V-A per-org contracts on the member peers.
+
+    org1 gets the ``< 15`` constraint, org2 the ``> 10`` constraint; other
+    orgs are installed separately by each experiment (unconstrained or
+    malicious contracts).
+    """
+    net.peer_of(1).install_chaincode(
+        net.chaincode_id, ConstrainedPrivateAssetContract(ORG1_CONSTRAINT)
+    )
+    net.peer_of(2).install_chaincode(
+        net.chaincode_id, ConstrainedPrivateAssetContract(ORG2_CONSTRAINT)
+    )
+
+
+def seed_private_value(net: TestNetwork, key: str, value: bytes) -> None:
+    """Honestly write the initial PDC value through the member peers.
+
+    Uses a write endorsed by the two member orgs — always policy-valid
+    under the presets (MAJORITY of 3, 2OutOf5, and AND(org1,org2) alike).
+    """
+    client = net.client_of(1)
+    client.submit_transaction(
+        net.chaincode_id,
+        "set_private",
+        [net.collection, key],
+        transient={"value": value},
+        endorsing_peers=[net.peer_of(1), net.peer_of(2)],
+    ).raise_for_status()

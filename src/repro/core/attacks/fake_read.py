@@ -1,0 +1,102 @@
+"""Fake read result injection (Section IV-A1, Fig. 5).
+
+Malicious endorsers (member org1 and non-member org3 in the 3-org
+prototype) install a customized chaincode that
+
+1. obtains the genuine read-set entry ``(hash(key), version)`` via
+   ``get_private_data_hash`` — legal at any peer — and
+2. returns an agreed **fake value** in the ``payload`` field.
+
+The malicious client endorses only at the colluders, assembles the
+transaction and submits it.  Because read-only transactions are validated
+solely against the chaincode-level policy (Use Case 2) and the version
+check matches, the fabricated transaction commits as VALID on every peer
+— including the honest victim's — and the blockchain now immutably
+records a fake value for the private key.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chaincode.contracts import ConstrainedPrivateAssetContract, ForgedReadContract
+from repro.common.errors import ReproError
+from repro.core.attacks.base import (
+    ORG2_CONSTRAINT,
+    AttackReport,
+    seed_private_value,
+)
+from repro.network.presets import TestNetwork
+from repro.protocol.transaction import ValidationCode
+
+
+def run_fake_read_injection(
+    net: TestNetwork,
+    malicious_org_nums: Sequence[int] = (1, 3),
+    victim_org_num: int = 2,
+    genuine_value: bytes = b"12",
+    fake_value: bytes = b"999",
+    key: str = "k1",
+) -> AttackReport:
+    """Execute the Fig. 5 attack on a fresh preset network."""
+    # -- setup: honest world -------------------------------------------------
+    net.peer_of(1).install_chaincode(net.chaincode_id, ConstrainedPrivateAssetContract())
+    net.peer_of(victim_org_num).install_chaincode(
+        net.chaincode_id, ConstrainedPrivateAssetContract(ORG2_CONSTRAINT)
+    )
+    seed_private_value(net, key, genuine_value)
+
+    # -- setup: collusion -------------------------------------------------------
+    forged = ForgedReadContract(fake_value=fake_value)
+    for org_num in malicious_org_nums:
+        net.peer_of(org_num).install_chaincode(net.chaincode_id, forged)
+
+    # -- the attack ----------------------------------------------------------------
+    malicious_client = net.client_of(malicious_org_nums[0])
+    endorsers = [net.peer_of(n) for n in malicious_org_nums]
+    try:
+        result = malicious_client.submit_transaction(
+            net.chaincode_id,
+            "get_private",
+            [net.collection, key],
+            endorsing_peers=endorsers,
+        )
+    except ReproError as exc:
+        return AttackReport(
+            name="fake-read-result-injection",
+            tx_type="read-only",
+            succeeded=False,
+            summary=f"attack transaction rejected before commit: {exc}",
+            details={"error": str(exc)},
+        )
+
+    # -- verdict ---------------------------------------------------------------------
+    victim = net.peer_of(victim_org_num)
+    committed = victim.ledger.blockchain.find_transaction(result.tx_id)
+    on_chain_payload = committed[0].payload.response.payload if committed else None
+    flag = committed[1] if committed else None
+    genuine_untouched = victim.query_private(net.chaincode_id, net.collection, key)
+
+    succeeded = (
+        result.status is ValidationCode.VALID
+        and flag is ValidationCode.VALID
+        and on_chain_payload == fake_value
+    )
+    return AttackReport(
+        name="fake-read-result-injection",
+        tx_type="read-only",
+        succeeded=succeeded,
+        summary=(
+            "fabricated read committed as VALID with fake payload "
+            f"{fake_value!r} (genuine value {genuine_value!r})"
+            if succeeded
+            else f"transaction flagged {result.status.value}; blockchain integrity held"
+        ),
+        details={
+            "tx_id": result.tx_id,
+            "status": result.status.value,
+            "on_chain_payload": on_chain_payload,
+            "genuine_value": genuine_untouched,
+            "endorsing_orgs": [p.msp_id for p in endorsers],
+        },
+    )

@@ -1,0 +1,220 @@
+"""Fake write / read-write / delete result injection (Sections IV-A2..4).
+
+These attacks need no forged payloads — only *favourable endorsers*.  The
+malicious client routes its proposal to peers whose chaincode accepts the
+malicious value (org1's ``< 15`` constraint, org3's absent constraint) and
+around the victim whose chaincode would reject it (org2's ``> 10``).  The
+chaincode-level policy is satisfied by the chosen endorsers, so the
+validated transaction updates the private world state at *every* member —
+including the victim, whose business logic is thereby violated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chaincode.contracts import (
+    ForgedReadWriteContract,
+    UnconstrainedWriteContract,
+)
+from repro.common.errors import ReproError
+from repro.core.attacks.base import (
+    AttackReport,
+    install_constrained_contracts,
+    seed_private_value,
+)
+from repro.network.presets import TestNetwork
+from repro.protocol.transaction import ValidationCode
+
+
+def _submit_attack(net, client, function, args, transient, endorsers):
+    return client.submit_transaction(
+        net.chaincode_id, function, args, transient=transient, endorsing_peers=endorsers
+    )
+
+
+def run_fake_write_injection(
+    net: TestNetwork,
+    malicious_org_nums: Sequence[int] = (1, 3),
+    victim_org_num: int = 2,
+    seed_value: bytes = b"12",
+    malicious_value: bytes = b"5",
+    key: str = "k1",
+) -> AttackReport:
+    """The Fig. 6 attack: write ``k1 = 5`` past org2's ``> 10`` constraint."""
+    install_constrained_contracts(net)
+    for org_num in malicious_org_nums:
+        if org_num not in (1, 2):
+            net.peer_of(org_num).install_chaincode(
+                net.chaincode_id, UnconstrainedWriteContract()
+            )
+    seed_private_value(net, key, seed_value)
+
+    client = net.client_of(malicious_org_nums[0])
+    endorsers = [net.peer_of(n) for n in malicious_org_nums]
+    try:
+        result = _submit_attack(
+            net, client, "set_private", [net.collection, key],
+            {"value": malicious_value}, endorsers,
+        )
+    except ReproError as exc:
+        return AttackReport(
+            name="fake-write-result-injection",
+            tx_type="write-only",
+            succeeded=False,
+            summary=f"attack transaction rejected before commit: {exc}",
+            details={"error": str(exc)},
+        )
+
+    victim_value = net.peer_of(victim_org_num).query_private(
+        net.chaincode_id, net.collection, key
+    )
+    succeeded = result.status is ValidationCode.VALID and victim_value == malicious_value
+    return AttackReport(
+        name="fake-write-result-injection",
+        tx_type="write-only",
+        succeeded=succeeded,
+        summary=(
+            f"victim org{victim_org_num}'s world state now holds "
+            f"{malicious_value!r}, violating its business constraint"
+            if succeeded
+            else f"transaction flagged {result.status.value}; victim still holds "
+            f"{victim_value!r}"
+        ),
+        details={
+            "tx_id": result.tx_id,
+            "status": result.status.value,
+            "victim_value": victim_value,
+            "endorsing_orgs": [p.msp_id for p in endorsers],
+        },
+    )
+
+
+def run_fake_read_write_injection(
+    net: TestNetwork,
+    malicious_org_nums: Sequence[int] = (1, 3),
+    victim_org_num: int = 2,
+    seed_value: bytes = b"12",
+    fake_current: int = 3,
+    delta: int = 2,
+    key: str = "k1",
+) -> AttackReport:
+    """The §V-A3 attack: forge the read half of ``add_private``.
+
+    The honest sum would be ``12 + 2 = 14`` (accepted by every org); the
+    forged read of 3 drives the committed sum to ``5``, violating the
+    victim's ``> 10`` constraint.
+    """
+    install_constrained_contracts(net)
+    seed_private_value(net, key, seed_value)
+    forged = ForgedReadWriteContract(fake_current_value=fake_current)
+    for org_num in malicious_org_nums:
+        net.peer_of(org_num).install_chaincode(net.chaincode_id, forged)
+
+    client = net.client_of(malicious_org_nums[0])
+    endorsers = [net.peer_of(n) for n in malicious_org_nums]
+    expected = str(fake_current + delta).encode("utf-8")
+    try:
+        result = _submit_attack(
+            net, client, "add_private", [net.collection, key, str(delta)], None, endorsers
+        )
+    except ReproError as exc:
+        return AttackReport(
+            name="fake-read-write-result-injection",
+            tx_type="read-write",
+            succeeded=False,
+            summary=f"attack transaction rejected before commit: {exc}",
+            details={"error": str(exc)},
+        )
+
+    victim_value = net.peer_of(victim_org_num).query_private(
+        net.chaincode_id, net.collection, key
+    )
+    succeeded = result.status is ValidationCode.VALID and victim_value == expected
+    return AttackReport(
+        name="fake-read-write-result-injection",
+        tx_type="read-write",
+        succeeded=succeeded,
+        summary=(
+            f"forged read drove the committed sum to {expected!r} at the victim"
+            if succeeded
+            else f"transaction flagged {result.status.value}; victim still holds "
+            f"{victim_value!r}"
+        ),
+        details={
+            "tx_id": result.tx_id,
+            "status": result.status.value,
+            "victim_value": victim_value,
+            "fake_current": fake_current,
+            "delta": delta,
+        },
+    )
+
+
+def run_fake_delete_injection(
+    net: TestNetwork,
+    malicious_org_nums: Sequence[int] = (1, 3),
+    victim_org_num: int = 2,
+    key: str = "k1",
+) -> AttackReport:
+    """The §V-A4 attack: delete ``k1`` although the victim forbids it.
+
+    Setup follows the paper: ``k1 = 5`` (planted by the preceding fake
+    write), so org1's delete guard ``< 15`` passes while the victim org2's
+    ``> 10`` guard would reject the delete it never gets to endorse.
+    """
+    plant = run_fake_write_injection(
+        net, malicious_org_nums=malicious_org_nums, victim_org_num=victim_org_num
+    )
+    if not plant.succeeded:
+        # Without the planted k1=5 the delete-only scenario of the paper
+        # cannot even be staged; under a collection-level policy this is
+        # exactly the "attack fails" outcome of Table II.
+        return AttackReport(
+            name="fake-delete-result-injection",
+            tx_type="delete-only",
+            succeeded=False,
+            summary=f"setup write was rejected ({plant.summary}); delete attack cannot proceed",
+            details={"setup": plant.details},
+        )
+
+    client = net.client_of(malicious_org_nums[0])
+    endorsers = [net.peer_of(n) for n in malicious_org_nums]
+    try:
+        result = _submit_attack(
+            net, client, "del_private", [net.collection, key], {"current": b"5"}, endorsers
+        )
+    except ReproError as exc:
+        return AttackReport(
+            name="fake-delete-result-injection",
+            tx_type="delete-only",
+            succeeded=False,
+            summary=f"attack transaction rejected before commit: {exc}",
+            details={"error": str(exc)},
+        )
+
+    victim = net.peer_of(victim_org_num)
+    victim_value = victim.query_private(net.chaincode_id, net.collection, key)
+    victim_hash = victim.query_private_hash(net.chaincode_id, net.collection, key)
+    succeeded = (
+        result.status is ValidationCode.VALID
+        and victim_value is None
+        and victim_hash is None
+    )
+    return AttackReport(
+        name="fake-delete-result-injection",
+        tx_type="delete-only",
+        succeeded=succeeded,
+        summary=(
+            "private key deleted at every member including the victim"
+            if succeeded
+            else f"transaction flagged {result.status.value}; victim still holds "
+            f"{victim_value!r}"
+        ),
+        details={
+            "tx_id": result.tx_id,
+            "status": result.status.value,
+            "victim_value": victim_value,
+            "victim_hash_present": victim_hash is not None,
+        },
+    )

@@ -1,0 +1,185 @@
+"""PDC leakage through the plaintext ``payload`` field (Section IV-B).
+
+No protocol violation is needed: a PDC non-member peer simply parses the
+transactions it already stores in its local blockchain and reads the
+``payload`` field of each proposal-response — plaintext under the original
+framework even for PDC transactions (Use Case 3).
+
+Two scenarios reproduce the vulnerable GitHub projects of §V-B:
+
+* **PDC-read leakage** — an auditing application *submits* PDC reads so
+  they are recorded on-chain; the chaincode returns the value (Listing 1).
+* **PDC-write leakage** — a sloppy write function echoes the written value
+  back (Listing 2).
+
+Under **New Feature 2** the on-chain payload is ``SHA-256(value)``; the
+extraction still runs but recovers no plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaincode.contracts import PerfTestContract, SaccPrivateContract
+from repro.core.attacks.base import AttackReport
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+from repro.peer.node import PeerNode
+from repro.protocol.transaction import ValidationCode
+
+
+@dataclass(frozen=True)
+class LeakedRecord:
+    """One payload harvested from a peer's local blockchain."""
+
+    tx_id: str
+    function: str
+    args: tuple[str, ...]
+    payload: bytes
+    collections: tuple[str, ...]
+    event_payload: bytes = b""  # chaincode events are plaintext too
+
+
+def harvest_payloads(
+    peer: PeerNode, chaincode_id: str, collection: str
+) -> list[LeakedRecord]:
+    """What a (non-member) peer can extract from its own block store.
+
+    Scans every *valid* committed transaction that touched ``collection``
+    and returns the response payloads — the §IV-B extraction, verbatim.
+    """
+    records = []
+    for tx, flag in peer.ledger.blockchain.all_transactions():
+        if flag is not ValidationCode.VALID or tx.chaincode_id != chaincode_id:
+            continue
+        touched = {col for _ns, col in tx.payload.results.collections_touched()}
+        if collection not in touched:
+            continue
+        records.append(
+            LeakedRecord(
+                tx_id=tx.tx_id,
+                function=tx.function,
+                args=tx.args,
+                payload=tx.payload.response.payload,
+                collections=tuple(sorted(touched)),
+                event_payload=tx.payload.event.payload if tx.payload.event else b"",
+            )
+        )
+    return records
+
+
+def _two_org_read_network(features: FrameworkFeatures) -> tuple[FabricNetwork, PeerNode, PeerNode]:
+    """The Listing-1 project: org1 is the sole PDC member, org2 is not."""
+    orgs = [Organization("Org1MSP"), Organization("Org2MSP")]
+    channel = ChannelConfig(channel_id="leakchannel", organizations=orgs)
+    channel.deploy_chaincode(
+        "perftest",
+        endorsement_policy="OR('Org1MSP.peer')",
+        collections=[
+            CollectionConfig(
+                name="CollectionPerfTest",
+                policy="OR('Org1MSP.member')",
+                required_peer_count=0,
+            )
+        ],
+    )
+    network = FabricNetwork(channel=channel, features=features)
+    member = network.add_peer("Org1MSP")
+    nonmember = network.add_peer("Org2MSP")
+    network.install_chaincode("perftest", PerfTestContract())
+    return network, member, nonmember
+
+
+def run_pdc_read_leakage(
+    features: FrameworkFeatures | None = None, secret: bytes = b"confidential-perf-report"
+) -> AttackReport:
+    """Reproduce the §V-B1 leakage (GitHub project [14])."""
+    features = features or FrameworkFeatures.original()
+    network, member, nonmember = _two_org_read_network(features)
+    client = network.client("Org1MSP")
+    client.submit_transaction(
+        "perftest", "create_private_perf_test", ["perf1"],
+        transient={"asset": secret}, endorsing_peers=[member],
+    ).raise_for_status()
+    # The auditing pattern: the read is *submitted*, so it lands on-chain.
+    read = client.submit_transaction(
+        "perftest", "read_private_perf_test", ["perf1"], endorsing_peers=[member]
+    )
+    read.raise_for_status()
+    assert read.payload == secret, "the client always receives the plaintext"
+
+    harvested = harvest_payloads(nonmember, "perftest", "CollectionPerfTest")
+    leaked = any(record.payload == secret for record in harvested)
+    assert nonmember.query_private("perftest", "CollectionPerfTest", "perf1") is None, (
+        "the non-member never holds the original private data store entry"
+    )
+    return AttackReport(
+        name="pdc-leakage-read",
+        tx_type="pdc-read",
+        succeeded=leaked,
+        summary=(
+            "non-member recovered the plaintext PDC value from its local blockchain"
+            if leaked
+            else "non-member saw only hashed payloads; plaintext stayed with members"
+        ),
+        details={
+            "framework": features.describe(),
+            "harvested_payloads": [r.payload for r in harvested],
+            "client_payload": read.payload,
+        },
+    )
+
+
+def run_pdc_write_leakage(
+    features: FrameworkFeatures | None = None, secret: str = "trade-volume-42000"
+) -> AttackReport:
+    """Reproduce the §V-B2 leakage (GitHub project [15], 3 orgs)."""
+    features = features or FrameworkFeatures.original()
+    orgs = [Organization("Org1MSP"), Organization("Org2MSP"), Organization("Org3MSP")]
+    channel = ChannelConfig(channel_id="leakchannel", organizations=orgs)
+    channel.deploy_chaincode(
+        "sacc",
+        endorsement_policy="MAJORITY Endorsement",
+        collections=[
+            CollectionConfig(
+                name="demo",
+                policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                required_peer_count=0,
+            )
+        ],
+    )
+    network = FabricNetwork(channel=channel, features=features)
+    p1 = network.add_peer("Org1MSP")
+    p2 = network.add_peer("Org2MSP")
+    p3 = network.add_peer("Org3MSP")
+    network.install_chaincode("sacc", SaccPrivateContract())
+
+    client = network.client("Org1MSP")
+    result = client.submit_transaction(
+        "sacc", "set_private", ["acct", secret], endorsing_peers=[p1, p2]
+    )
+    result.raise_for_status()
+
+    harvested = harvest_payloads(p3, "sacc", "demo")
+    leaked_via_payload = any(r.payload == secret.encode("utf-8") for r in harvested)
+    return AttackReport(
+        name="pdc-leakage-write",
+        tx_type="pdc-write",
+        succeeded=leaked_via_payload,
+        summary=(
+            "non-member org3 recovered the written PDC value from the echoed payload"
+            if leaked_via_payload
+            else "payload on-chain is hashed; org3 recovered nothing"
+        ),
+        details={
+            "framework": features.describe(),
+            "harvested_payloads": [r.payload for r in harvested],
+            # Listing 2 additionally passes the value as a plain proposal
+            # argument — a second leak channel the paper notes in passing;
+            # Feature 2 does not (and cannot) close this one.
+            "args_on_chain": [r.args for r in harvested],
+        },
+    )

@@ -1,0 +1,188 @@
+"""The Table II attack & defense matrix.
+
+Runs every injection attack under every configuration column of Table II
+(chaincode-level MAJORITY, chaincode-level 2OutOf5, collection-level
+AND(org1, org2), and New Feature 1) plus both leakage attacks under the
+original framework and New Feature 2, and assembles the same ✓/× matrix
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.attacks.base import AttackReport
+from repro.core.attacks.fake_read import run_fake_read_injection
+from repro.core.attacks.fake_write import (
+    run_fake_delete_injection,
+    run_fake_read_write_injection,
+    run_fake_write_injection,
+)
+from repro.core.attacks.leakage import run_pdc_read_leakage, run_pdc_write_leakage
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.presets import TestNetwork, five_org_network, three_org_network
+
+COLLECTION_LEVEL_POLICY = "AND('Org1MSP.peer', 'Org2MSP.peer')"
+
+INJECTION_ROWS = ("read-only", "write-only", "read-write", "delete-related")
+INJECTION_COLUMNS = (
+    "majority",  # Default Policy: MAJORITY
+    "2outof5",  # Default Policy: 2OutOf5
+    "collection-policy",  # Define Collection-level Policy: AND(org1, org2)
+    "feature1",  # New Feature 1 enabled (with the collection-level policy defined)
+)
+# Beyond Table II: the supplemental non-member endorsement filter of §V-D,
+# on an otherwise-default MAJORITY network (no collection-level policy).
+EXTRA_INJECTION_COLUMNS = ("nonmember-filter",)
+LEAKAGE_ROWS = ("pdc-read", "pdc-write")
+LEAKAGE_COLUMNS = ("original", "feature2")
+
+# Expected marks straight from Table II of the paper.
+PAPER_INJECTION_MATRIX: dict[tuple[str, str], str] = {
+    ("read-only", "majority"): "√",
+    ("read-only", "2outof5"): "√",
+    ("read-only", "collection-policy"): "√",
+    ("read-only", "feature1"): "×",
+    ("write-only", "majority"): "√",
+    ("write-only", "2outof5"): "√",
+    ("write-only", "collection-policy"): "×",
+    ("write-only", "feature1"): "×",
+    ("read-write", "majority"): "√",
+    ("read-write", "2outof5"): "√",
+    ("read-write", "collection-policy"): "×",
+    ("read-write", "feature1"): "×",
+    ("delete-related", "majority"): "√",
+    ("delete-related", "2outof5"): "√",
+    ("delete-related", "collection-policy"): "×",
+    ("delete-related", "feature1"): "×",
+}
+PAPER_LEAKAGE_MATRIX: dict[tuple[str, str], str] = {
+    ("pdc-read", "original"): "√",
+    ("pdc-read", "feature2"): "×",
+    ("pdc-write", "original"): "√",
+    ("pdc-write", "feature2"): "×",
+}
+
+
+def _network_for(column: str) -> tuple[TestNetwork, tuple[int, ...]]:
+    """Build the preset network for one Table II column.
+
+    Returns the network and which org numbers play the malicious
+    endorsers (§V-A: org1+org3 for the 3-org setups; org3+org4 — both PDC
+    non-members — for the 2OutOf5 setup).
+    """
+    if column == "majority":
+        return three_org_network(), (1, 3)
+    if column == "2outof5":
+        return five_org_network(), (3, 4)
+    if column == "collection-policy":
+        return three_org_network(collection_policy=COLLECTION_LEVEL_POLICY), (1, 3)
+    if column == "feature1":
+        return (
+            three_org_network(
+                collection_policy=COLLECTION_LEVEL_POLICY,
+                features=FrameworkFeatures.feature1_only(),
+            ),
+            (1, 3),
+        )
+    if column == "nonmember-filter":
+        return (
+            three_org_network(
+                features=FrameworkFeatures(filter_nonmember_endorsements=True)
+            ),
+            (1, 3),
+        )
+    raise ValueError(f"unknown Table II column {column!r}")
+
+
+_INJECTION_RUNNERS: dict[str, Callable[..., AttackReport]] = {
+    "read-only": run_fake_read_injection,
+    "write-only": run_fake_write_injection,
+    "read-write": run_fake_read_write_injection,
+    "delete-related": run_fake_delete_injection,
+}
+
+
+def run_injection_cell(row: str, column: str) -> AttackReport:
+    """Run one injection attack under one configuration."""
+    net, malicious = _network_for(column)
+    runner = _INJECTION_RUNNERS[row]
+    return runner(net, malicious_org_nums=malicious)
+
+
+def run_leakage_cell(row: str, column: str) -> AttackReport:
+    features = (
+        FrameworkFeatures.feature2_only() if column == "feature2" else FrameworkFeatures.original()
+    )
+    if row == "pdc-read":
+        return run_pdc_read_leakage(features)
+    if row == "pdc-write":
+        return run_pdc_write_leakage(features)
+    raise ValueError(f"unknown leakage row {row!r}")
+
+
+@dataclass
+class AttackMatrix:
+    """The measured Table II, with per-cell evidence."""
+
+    injection: dict[tuple[str, str], AttackReport] = field(default_factory=dict)
+    leakage: dict[tuple[str, str], AttackReport] = field(default_factory=dict)
+
+    def mark(self, row: str, column: str) -> str:
+        cell = self.injection.get((row, column)) or self.leakage.get((row, column))
+        if cell is None:
+            return "N/A"
+        return cell.mark
+
+    def matches_paper(self) -> bool:
+        """Whether every measured cell reproduces Table II."""
+        return not self.mismatches()
+
+    def mismatches(self) -> list[tuple[str, str, str, str]]:
+        """Cells that deviate from the paper: (row, col, paper, measured)."""
+        wrong = []
+        for (row, col), expected in PAPER_INJECTION_MATRIX.items():
+            measured = self.mark(row, col)
+            if measured != expected:
+                wrong.append((row, col, expected, measured))
+        for (row, col), expected in PAPER_LEAKAGE_MATRIX.items():
+            measured = self.mark(row, col)
+            if measured != expected:
+                wrong.append((row, col, expected, measured))
+        return wrong
+
+    def render(self) -> str:
+        """A printable Table II."""
+        lines = ["Table II — Attack & Defense evaluation (measured)"]
+        header = f"{'Attack':<16}" + "".join(f"{c:>20}" for c in INJECTION_COLUMNS)
+        lines.append(header)
+        for row in INJECTION_ROWS:
+            cells = "".join(f"{self.mark(row, c):>20}" for c in INJECTION_COLUMNS)
+            lines.append(f"{row:<16}{cells}")
+        lines.append("")
+        lines.append(f"{'Leakage':<16}" + "".join(f"{c:>20}" for c in LEAKAGE_COLUMNS))
+        for row in LEAKAGE_ROWS:
+            cells = "".join(f"{self.mark(row, c):>20}" for c in LEAKAGE_COLUMNS)
+            lines.append(f"{row:<16}{cells}")
+        return "\n".join(lines)
+
+
+def run_attack_matrix(
+    injection_columns: tuple[str, ...] = INJECTION_COLUMNS,
+    leakage_columns: tuple[str, ...] = LEAKAGE_COLUMNS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> AttackMatrix:
+    """Run the full Table II evaluation (16 injection + 4 leakage cells)."""
+    matrix = AttackMatrix()
+    for column in injection_columns:
+        for row in INJECTION_ROWS:
+            if progress:
+                progress(f"injection {row} under {column}")
+            matrix.injection[(row, column)] = run_injection_cell(row, column)
+    for column in leakage_columns:
+        for row in LEAKAGE_ROWS:
+            if progress:
+                progress(f"leakage {row} under {column}")
+            matrix.leakage[(row, column)] = run_leakage_cell(row, column)
+    return matrix

@@ -1,0 +1,21 @@
+"""Synthetic GitHub corpus calibrated to the paper's measurements."""
+
+from repro.core.corpus.generator import (
+    ProjectDescriptor,
+    SyntheticCorpus,
+    build_project,
+    generate_corpus,
+    plan_corpus,
+)
+from repro.core.corpus.spec import PAPER_SPEC, CorpusSpec, small_spec
+
+__all__ = [
+    "ProjectDescriptor",
+    "SyntheticCorpus",
+    "build_project",
+    "generate_corpus",
+    "plan_corpus",
+    "PAPER_SPEC",
+    "CorpusSpec",
+    "small_spec",
+]

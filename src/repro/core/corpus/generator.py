@@ -1,0 +1,181 @@
+"""Synthetic corpus generator.
+
+Builds :class:`~repro.core.analyzer.source.InMemoryProject` trees whose
+population statistics match a :class:`CorpusSpec` *exactly* — every
+attribute is assigned by deterministic seeded shuffles over descriptor
+lists, never by independent coin flips, so the analyzer's aggregate
+output reproduces the paper's numbers bit-for-bit on every run.
+
+The generator emits real files (collection JSON, chaincode in three
+languages, configtx.yaml); nothing about a project's classification is
+stored anywhere the analyzer could cheat from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.analyzer.source import InMemoryProject
+from repro.core.corpus import templates
+from repro.core.corpus.spec import CorpusSpec, PAPER_SPEC
+
+
+@dataclass
+class ProjectDescriptor:
+    """The ground-truth attributes of one synthetic project."""
+
+    index: int
+    year: int
+    explicit: bool = False
+    implicit: bool = False
+    collection_policy: bool = False
+    has_configtx: bool = False
+    configtx_rule: str = "MAJORITY Endorsement"
+    read_leak: bool = False
+    write_leak: bool = False
+    language: str = "go"
+    # Cosmetic variation (does not affect the calibrated statistics):
+    collection_count: int = 1
+    with_readme: bool = False
+    with_compose: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"fabric-project-{self.index:05d}"
+
+
+def plan_corpus(spec: CorpusSpec = PAPER_SPEC) -> list[ProjectDescriptor]:
+    """Assign attributes to descriptors with exact marginal counts."""
+    spec.validate()
+    rng = random.Random(spec.seed)
+
+    descriptors: list[ProjectDescriptor] = []
+    index = 0
+    pdc_descriptors: list[ProjectDescriptor] = []
+    for year in sorted(spec.projects_by_year):
+        total = spec.projects_by_year[year]
+        pdc = spec.pdc_by_year.get(year, 0)
+        for position in range(total):
+            descriptor = ProjectDescriptor(index=index, year=year)
+            descriptors.append(descriptor)
+            if position < pdc:
+                pdc_descriptors.append(descriptor)
+            index += 1
+
+    # Which PDC projects are explicit-only / both / implicit-only.
+    rng.shuffle(pdc_descriptors)
+    explicit_only = spec.explicit_only
+    both = spec.both_projects
+    for i, descriptor in enumerate(pdc_descriptors):
+        if i < explicit_only:
+            descriptor.explicit = True
+        elif i < explicit_only + both:
+            descriptor.explicit = True
+            descriptor.implicit = True
+        else:
+            descriptor.implicit = True
+
+    explicit_descriptors = [d for d in pdc_descriptors if d.explicit]
+
+    # Collection-level EndorsementPolicy subset.
+    shuffled = list(explicit_descriptors)
+    rng.shuffle(shuffled)
+    for descriptor in shuffled[: spec.collection_policy_projects]:
+        descriptor.collection_policy = True
+
+    # configtx.yaml among the chaincode-level projects; MAJORITY vs ANY.
+    chaincode_level = [d for d in explicit_descriptors if not d.collection_policy]
+    rng.shuffle(chaincode_level)
+    with_configtx = chaincode_level[: spec.configtx_projects]
+    for i, descriptor in enumerate(with_configtx):
+        descriptor.has_configtx = True
+        descriptor.configtx_rule = (
+            "MAJORITY Endorsement" if i < spec.configtx_majority else "ANY Endorsement"
+        )
+
+    # Leakage: read leaks, then write leaks as a subset of the read-leaky.
+    shuffled = list(explicit_descriptors)
+    rng.shuffle(shuffled)
+    read_leaky = shuffled[: spec.read_leak_projects]
+    for descriptor in read_leaky:
+        descriptor.read_leak = True
+    rng.shuffle(read_leaky)
+    for descriptor in read_leaky[: spec.write_leak_projects]:
+        descriptor.write_leak = True
+
+    # Languages, weighted; plus cosmetic per-project variation.
+    languages = sorted(spec.language_weights)
+    weights = [spec.language_weights[lang] for lang in languages]
+    for descriptor in descriptors:
+        descriptor.language = rng.choices(languages, weights=weights, k=1)[0]
+        descriptor.collection_count = rng.choices((1, 2, 3), weights=(0.7, 0.2, 0.1))[0]
+        descriptor.with_readme = rng.random() < 0.8
+        descriptor.with_compose = rng.random() < 0.5
+
+    return descriptors
+
+
+def build_project(descriptor: ProjectDescriptor) -> InMemoryProject:
+    """Materialise one descriptor into actual project files."""
+    project = InMemoryProject(name=descriptor.name, year=descriptor.year)
+    collection = "assetCollection"
+
+    if descriptor.explicit:
+        project.add(
+            "collections_config.json",
+            templates.collections_config_json(
+                collection_names=[collection]
+                + [f"auxCollection{i}" for i in range(1, descriptor.collection_count)],
+                with_endorsement_policy=descriptor.collection_policy,
+            ),
+        )
+        path, content = templates.chaincode_for(
+            descriptor.language, collection, descriptor.read_leak, descriptor.write_leak
+        )
+        project.add(path, content)
+    elif descriptor.implicit:
+        project.add("chaincode/org_secret.go", templates.implicit_pdc_chaincode())
+    else:
+        project.add("chaincode/public_asset.go", templates.public_only_chaincode())
+
+    if descriptor.explicit and descriptor.implicit:
+        project.add("chaincode/org_secret.go", templates.implicit_pdc_chaincode())
+
+    if descriptor.has_configtx:
+        project.add("network/configtx.yaml", templates.configtx_yaml(descriptor.configtx_rule))
+
+    # Every project ships an application manifest that must never trip
+    # the explicit-PDC detector; most ship a README and compose file too.
+    project.add("application/package.json", templates.decoy_package_json(descriptor.name))
+    if descriptor.with_readme:
+        project.add("README.md", templates.readme_md(descriptor.name))
+    if descriptor.with_compose:
+        project.add("docker-compose.yaml", templates.docker_compose_yaml())
+    return project
+
+
+@dataclass
+class SyntheticCorpus:
+    """The generated corpus: descriptors (ground truth) + projects."""
+
+    spec: CorpusSpec
+    descriptors: list[ProjectDescriptor]
+    projects: list[InMemoryProject] = field(default_factory=list)
+
+    def materialize(self, root: Path | str, limit: Optional[int] = None) -> Path:
+        """Write (a sample of) the corpus to disk for filesystem scans."""
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        for project in self.projects[: limit if limit is not None else len(self.projects)]:
+            project.materialize(root)
+        return root
+
+
+def generate_corpus(spec: CorpusSpec = PAPER_SPEC) -> SyntheticCorpus:
+    """Plan and build the full corpus in memory."""
+    descriptors = plan_corpus(spec)
+    projects = [build_project(d) for d in descriptors]
+    return SyntheticCorpus(spec=spec, descriptors=descriptors, projects=projects)

@@ -1,0 +1,116 @@
+"""Corpus specification: the population the paper measured (Section V-C2).
+
+GitHub is unreachable offline, so the corpus is synthesized — but its
+*marginal statistics* are the ones the paper reports for the 6392
+repositories it crawled (January 2016 – December 2020):
+
+* 6392 projects total; 252 explicit-PDC, 35 implicit-PDC, 31 both;
+* 218 of the 252 explicit projects rely on the chaincode-level policy
+  (86.51%), 34 define a collection-level ``EndorsementPolicy``;
+* 120 ``configtx.yaml`` files among the 218, of which 116 configure
+  ``MAJORITY Endorsement``;
+* 231 of the 252 explicit projects leak PDC through read functions
+  (91.67%), 20 of those *also* through write functions;
+* no PDC before 2018 (the feature shipped in Fabric 1.2, mid-2018).
+
+Cross-attribute joints are not reported by the paper, so they are drawn
+deterministically from a seeded shuffle with the marginals held exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Exact target counts for the synthetic corpus."""
+
+    total_projects: int = 6392
+    # Fig. 7 year shape: sharp growth in 2019/2020; totals sum to 6392.
+    projects_by_year: dict = field(
+        default_factory=lambda: {2016: 52, 2017: 403, 2018: 914, 2019: 2281, 2020: 2742}
+    )
+    # PDC projects (union explicit ∪ implicit = 256) by year, 2018+ only.
+    pdc_by_year: dict = field(default_factory=lambda: {2018: 21, 2019: 87, 2020: 148})
+
+    explicit_projects: int = 252
+    implicit_projects: int = 35
+    both_projects: int = 31
+
+    collection_policy_projects: int = 34  # of the explicit 252
+    configtx_projects: int = 120  # of the 218 chaincode-level projects
+    configtx_majority: int = 116  # of the 120
+
+    read_leak_projects: int = 231  # of the explicit 252
+    write_leak_projects: int = 20  # subset of the 231 read-leaky ones
+
+    language_weights: dict = field(
+        default_factory=lambda: {"go": 0.55, "js": 0.35, "java": 0.10}
+    )
+
+    seed: int = 2021
+
+    # -- derived counts ------------------------------------------------------
+    @property
+    def explicit_only(self) -> int:
+        return self.explicit_projects - self.both_projects
+
+    @property
+    def implicit_only(self) -> int:
+        return self.implicit_projects - self.both_projects
+
+    @property
+    def pdc_union(self) -> int:
+        return self.explicit_only + self.implicit_only + self.both_projects
+
+    @property
+    def chaincode_level_projects(self) -> int:
+        return self.explicit_projects - self.collection_policy_projects
+
+    def validate(self) -> None:
+        if sum(self.projects_by_year.values()) != self.total_projects:
+            raise CorpusError("projects_by_year must sum to total_projects")
+        if sum(self.pdc_by_year.values()) != self.pdc_union:
+            raise CorpusError("pdc_by_year must sum to the PDC project union")
+        if self.both_projects > min(self.explicit_projects, self.implicit_projects):
+            raise CorpusError("both_projects exceeds explicit/implicit counts")
+        if self.collection_policy_projects > self.explicit_projects:
+            raise CorpusError("collection_policy_projects exceeds explicit count")
+        if self.configtx_projects > self.chaincode_level_projects:
+            raise CorpusError("configtx_projects exceeds chaincode-level count")
+        if self.configtx_majority > self.configtx_projects:
+            raise CorpusError("configtx_majority exceeds configtx count")
+        if self.read_leak_projects > self.explicit_projects:
+            raise CorpusError("read_leak_projects exceeds explicit count")
+        if self.write_leak_projects > self.read_leak_projects:
+            raise CorpusError("write_leak_projects must be a subset of read-leaky ones")
+        for year in self.pdc_by_year:
+            if self.pdc_by_year[year] > self.projects_by_year.get(year, 0):
+                raise CorpusError(f"more PDC than total projects in {year}")
+        if abs(sum(self.language_weights.values()) - 1.0) > 1e-9:
+            raise CorpusError("language_weights must sum to 1")
+
+
+PAPER_SPEC = CorpusSpec()
+
+
+def small_spec(scale: int = 20) -> CorpusSpec:
+    """A scaled-down spec for fast tests (exact proportions not preserved,
+    but every attribute class is populated)."""
+    return CorpusSpec(
+        total_projects=scale * 10,
+        projects_by_year={2016: scale, 2017: scale, 2018: 2 * scale, 2019: 3 * scale, 2020: 3 * scale},
+        pdc_by_year={2018: scale // 2, 2019: scale // 2, 2020: scale},
+        explicit_projects=2 * scale - scale // 4,
+        implicit_projects=scale // 2,
+        both_projects=scale // 4,
+        collection_policy_projects=scale // 4,
+        configtx_projects=scale // 2,
+        configtx_majority=scale // 2 - 1,
+        read_leak_projects=scale,
+        write_leak_projects=scale // 5,
+        seed=7,
+    )

@@ -1,0 +1,456 @@
+"""File templates for the synthetic GitHub corpus.
+
+Every template emits *real* project files — collection-config JSON,
+Go/JS/Java chaincode, ``configtx.yaml`` — that the static analyzer must
+genuinely parse.  Vulnerable and safe variants differ exactly the way the
+paper's §V-B listings differ from well-written chaincode: whether the
+function returns the private value, or only a hash / status.
+"""
+
+from __future__ import annotations
+
+import json
+
+LANGUAGES = ("go", "js", "java")
+
+
+# --------------------------------------------------------------------------
+# Collection configuration JSON (the explicit PDC definition)
+# --------------------------------------------------------------------------
+def collection_config_json(
+    collection_name: str = "assetCollection",
+    member_orgs: tuple[str, ...] = ("Org1MSP", "Org2MSP"),
+    with_endorsement_policy: bool = False,
+    block_to_live: int = 0,
+) -> str:
+    members = ", ".join(f"'{org}.member'" for org in member_orgs)
+    config: dict = {
+        "name": collection_name,
+        "policy": f"OR({members})",
+        "requiredPeerCount": 1,
+        "maxPeerCount": 2,
+        "blockToLive": block_to_live,
+        "memberOnlyRead": True,
+    }
+    if with_endorsement_policy:
+        peers = ", ".join(f"'{org}.peer'" for org in member_orgs)
+        config["endorsementPolicy"] = {"signaturePolicy": f"AND({peers})"}
+    return json.dumps([config], indent=2)
+
+
+def collections_config_json(
+    collection_names: list,
+    member_orgs: tuple[str, ...] = ("Org1MSP", "Org2MSP"),
+    with_endorsement_policy: bool = False,
+) -> str:
+    """A multi-collection config file.
+
+    When ``with_endorsement_policy`` is set, *every* collection defines
+    one (the project counts as collection-level either way, so keeping
+    them uniform preserves the calibrated project-level statistics).
+    """
+    members = ", ".join(f"'{org}.member'" for org in member_orgs)
+    collections = []
+    for name in collection_names:
+        config: dict = {
+            "name": name,
+            "policy": f"OR({members})",
+            "requiredPeerCount": 1,
+            "maxPeerCount": 2,
+            "blockToLive": 0,
+            "memberOnlyRead": True,
+        }
+        if with_endorsement_policy:
+            peers = ", ".join(f"'{org}.peer'" for org in member_orgs)
+            config["endorsementPolicy"] = {"signaturePolicy": f"AND({peers})"}
+        collections.append(config)
+    return json.dumps(collections, indent=2)
+
+
+def readme_md(project_name: str) -> str:
+    """A README decoy — markdown is never scanned, but real repos have it."""
+    return (
+        f"# {project_name}\n\n"
+        "A Hyperledger Fabric sample application.\n\n"
+        "## Setup\n\n"
+        "```bash\n./network.sh up createChannel -ca\n"
+        "./network.sh deployCC -ccn basic -ccp ./chaincode\n```\n"
+    )
+
+
+def docker_compose_yaml() -> str:
+    """A compose-file decoy: YAML the configtx detector must NOT match."""
+    return """version: '2.4'
+
+services:
+  peer0.org1.example.com:
+    image: hyperledger/fabric-peer:2.2
+    environment:
+      - CORE_PEER_ID=peer0.org1.example.com
+      - CORE_PEER_GOSSIP_USELEADERELECTION=true
+    ports:
+      - 7051:7051
+
+  orderer.example.com:
+    image: hyperledger/fabric-orderer:2.2
+    environment:
+      - ORDERER_GENERAL_LISTENPORT=7050
+    ports:
+      - 7050:7050
+"""
+
+
+def decoy_package_json(project_name: str) -> str:
+    """A ``package.json`` that must *not* trigger the explicit detector."""
+    return json.dumps(
+        {
+            "name": project_name,
+            "version": "1.0.0",
+            "description": "Hyperledger Fabric sample application",
+            "scripts": {"test": "mocha"},
+            "dependencies": {"fabric-network": "^2.2.0"},
+        },
+        indent=2,
+    )
+
+
+# --------------------------------------------------------------------------
+# configtx.yaml
+# --------------------------------------------------------------------------
+def configtx_yaml(endorsement_rule: str = "MAJORITY Endorsement") -> str:
+    return f"""---
+Organizations:
+  - &Org1
+    Name: Org1MSP
+    ID: Org1MSP
+    MSPDir: crypto-config/peerOrganizations/org1.example.com/msp
+    Policies:
+      Readers:
+        Type: Signature
+        Rule: "OR('Org1MSP.member')"
+      Endorsement:
+        Type: Signature
+        Rule: "OR('Org1MSP.peer')"
+
+Application: &ApplicationDefaults
+  Organizations:
+  Policies:
+    Readers:
+      Type: ImplicitMeta
+      Rule: "ANY Readers"
+    Writers:
+      Type: ImplicitMeta
+      Rule: "ANY Writers"
+    LifecycleEndorsement:
+      Type: ImplicitMeta
+      Rule: "MAJORITY Endorsement"
+    Endorsement:
+      Type: ImplicitMeta
+      Rule: "{endorsement_rule}"
+  Capabilities:
+    V2_0: true
+
+Orderer: &OrdererDefaults
+  OrdererType: etcdraft
+  BatchTimeout: 2s
+  BatchSize:
+    MaxMessageCount: 10
+"""
+
+
+# --------------------------------------------------------------------------
+# Go chaincode
+# --------------------------------------------------------------------------
+_GO_HEADER = """package main
+
+import (
+\t"fmt"
+\t"encoding/hex"
+
+\t"github.com/hyperledger/fabric-chaincode-go/shim"
+)
+
+type SmartContract struct {
+}
+"""
+
+_GO_READ_LEAKY = """
+// readPrivateAsset returns the private value to the caller -- the
+// Listing-1 pattern: the value lands in the plaintext payload field.
+func readPrivateAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 1 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key")
+\t}
+\tasset, err := stub.GetPrivateData("%(collection)s", args[0])
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to get asset: %%s", args[0])
+\t}
+\treturn string(asset), nil
+}
+"""
+
+_GO_READ_SAFE = """
+// verifyPrivateAsset only ever exposes the SHA-256 hash of the value.
+func verifyPrivateAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 1 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key")
+\t}
+\tdigest, err := stub.GetPrivateDataHash("%(collection)s", args[0])
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to get asset hash: %%s", args[0])
+\t}
+\treturn hex.EncodeToString(digest), nil
+}
+
+// privateAssetExists reads the private value but returns only a flag.
+func privateAssetExists(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tasset, err := stub.GetPrivateData("%(collection)s", args[0])
+\tif err != nil {
+\t\treturn "", err
+\t}
+\tif asset == nil {
+\t\treturn "false", nil
+\t}
+\treturn "true", nil
+}
+"""
+
+_GO_WRITE_LEAKY = """
+// setPrivate is the Listing-2 pattern: it echoes args[1] back to the
+// client, leaking the written value through the payload field.
+func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 2 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+\t}
+\terr := stub.PutPrivateData("%(collection)s", args[0], []byte(args[1]))
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to set asset: %%s", args[0])
+\t}
+\treturn args[1], nil
+}
+"""
+
+_GO_WRITE_SAFE = """
+// setPrivateAsset acknowledges the write without echoing the value.
+func setPrivateAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 2 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+\t}
+\terr := stub.PutPrivateData("%(collection)s", args[0], []byte(args[1]))
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to set asset: %%s", args[0])
+\t}
+\treturn "ok", nil
+}
+"""
+
+
+def go_chaincode(collection: str, read_leak: bool, write_leak: bool) -> str:
+    parts = [_GO_HEADER]
+    parts.append((_GO_READ_LEAKY if read_leak else _GO_READ_SAFE) % {"collection": collection})
+    parts.append((_GO_WRITE_LEAKY if write_leak else _GO_WRITE_SAFE) % {"collection": collection})
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# JavaScript / TypeScript chaincode
+# --------------------------------------------------------------------------
+_JS_HEADER = """'use strict';
+
+const { Contract } = require('fabric-contract-api');
+
+class PrivateAssetContract extends Contract {
+"""
+
+_JS_READ_LEAKY = """
+    async readPrivateAsset(ctx, assetId) {
+        const exists = await this.privateAssetHashExists(ctx, assetId);
+        if (!exists) {
+            throw new Error(`The asset ${assetId} does not exist`);
+        }
+        const buffer = await ctx.stub.getPrivateData('%(collection)s', assetId);
+        const asset = JSON.parse(buffer.toString());
+        return asset;
+    }
+"""
+
+_JS_READ_SAFE = """
+    async privateAssetSummary(ctx, assetId) {
+        const buffer = await ctx.stub.getPrivateData('%(collection)s', assetId);
+        if (!buffer || buffer.length === 0) {
+            throw new Error(`The asset ${assetId} does not exist`);
+        }
+        return 'present';
+    }
+
+    async privateAssetHash(ctx, assetId) {
+        const digest = await ctx.stub.getPrivateDataHash('%(collection)s', assetId);
+        return digest.toString('hex');
+    }
+"""
+
+_JS_WRITE_LEAKY = """
+    async setPrivateAsset(ctx, assetId, value) {
+        await ctx.stub.putPrivateData('%(collection)s', assetId, Buffer.from(value));
+        return value;
+    }
+"""
+
+_JS_WRITE_SAFE = """
+    async createPrivateAsset(ctx, assetId) {
+        const transientMap = ctx.stub.getTransient();
+        const value = transientMap.get('asset');
+        await ctx.stub.putPrivateData('%(collection)s', assetId, value);
+        return 'committed';
+    }
+"""
+
+_JS_FOOTER = """
+    async privateAssetHashExists(ctx, assetId) {
+        const digest = await ctx.stub.getPrivateDataHash('%(collection)s', assetId);
+        return !!digest && digest.length > 0;
+    }
+}
+
+module.exports = PrivateAssetContract;
+"""
+
+
+def js_chaincode(collection: str, read_leak: bool, write_leak: bool) -> str:
+    parts = [_JS_HEADER]
+    parts.append((_JS_READ_LEAKY if read_leak else _JS_READ_SAFE) % {"collection": collection})
+    parts.append((_JS_WRITE_LEAKY if write_leak else _JS_WRITE_SAFE) % {"collection": collection})
+    parts.append(_JS_FOOTER % {"collection": collection})
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Java chaincode
+# --------------------------------------------------------------------------
+_JAVA_HEADER = """package org.example.chaincode;
+
+import org.hyperledger.fabric.contract.Context;
+import org.hyperledger.fabric.contract.ContractInterface;
+import org.hyperledger.fabric.shim.ChaincodeStub;
+
+public final class PrivateAssetContract implements ContractInterface {
+"""
+
+_JAVA_READ_LEAKY = """
+    public String readPrivateAsset(final Context ctx, final String assetId) {
+        ChaincodeStub stub = ctx.getStub();
+        byte[] data = stub.getPrivateData("%(collection)s", assetId);
+        if (data == null || data.length == 0) {
+            throw new RuntimeException("asset not found");
+        }
+        String result = new String(data);
+        return result;
+    }
+"""
+
+_JAVA_READ_SAFE = """
+    public String privateAssetExists(final Context ctx, final String assetId) {
+        ChaincodeStub stub = ctx.getStub();
+        byte[] data = stub.getPrivateData("%(collection)s", assetId);
+        if (data == null || data.length == 0) {
+            return "false";
+        }
+        return "true";
+    }
+"""
+
+_JAVA_WRITE_LEAKY = """
+    public String setPrivateAsset(final Context ctx, final String assetId, final String value) {
+        ChaincodeStub stub = ctx.getStub();
+        stub.putPrivateData("%(collection)s", assetId, value.getBytes());
+        return value;
+    }
+"""
+
+_JAVA_WRITE_SAFE = """
+    public String createPrivateAsset(final Context ctx, final String assetId) {
+        ChaincodeStub stub = ctx.getStub();
+        byte[] value = stub.getTransient().get("asset");
+        stub.putPrivateData("%(collection)s", assetId, value);
+        return "committed";
+    }
+"""
+
+_JAVA_FOOTER = """
+}
+"""
+
+
+def java_chaincode(collection: str, read_leak: bool, write_leak: bool) -> str:
+    parts = [_JAVA_HEADER]
+    parts.append((_JAVA_READ_LEAKY if read_leak else _JAVA_READ_SAFE) % {"collection": collection})
+    parts.append((_JAVA_WRITE_LEAKY if write_leak else _JAVA_WRITE_SAFE) % {"collection": collection})
+    parts.append(_JAVA_FOOTER)
+    return "".join(parts)
+
+
+def chaincode_for(language: str, collection: str, read_leak: bool, write_leak: bool) -> tuple[str, str]:
+    """(relative path, content) of the chaincode file for ``language``."""
+    if language == "go":
+        return "chaincode/private_asset.go", go_chaincode(collection, read_leak, write_leak)
+    if language == "js":
+        return "chaincode/lib/private-asset-contract.js", js_chaincode(
+            collection, read_leak, write_leak
+        )
+    if language == "java":
+        return (
+            "chaincode/src/main/java/org/example/PrivateAssetContract.java",
+            java_chaincode(collection, read_leak, write_leak),
+        )
+    raise ValueError(f"unknown language {language!r}")
+
+
+# --------------------------------------------------------------------------
+# Implicit PDC and non-PDC chaincode
+# --------------------------------------------------------------------------
+def implicit_pdc_chaincode() -> str:
+    """Go chaincode using the per-org implicit collections."""
+    return (
+        _GO_HEADER
+        + """
+// storeOrgSecret writes into the caller organization's implicit collection.
+func storeOrgSecret(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 2 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+\t}
+\tcollection := "_implicit_org_Org1MSP"
+\terr := stub.PutPrivateData(collection, args[0], []byte(args[1]))
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to store secret: %s", args[0])
+\t}
+\treturn "stored", nil
+}
+"""
+    )
+
+
+def public_only_chaincode() -> str:
+    """Chaincode that never touches private data (a non-PDC project)."""
+    return (
+        _GO_HEADER
+        + """
+func createAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tif len(args) != 2 {
+\t\treturn "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+\t}
+\terr := stub.PutState(args[0], []byte(args[1]))
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to create asset: %s", args[0])
+\t}
+\treturn args[1], nil
+}
+
+func readAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+\tvalue, err := stub.GetState(args[0])
+\tif err != nil {
+\t\treturn "", fmt.Errorf("Failed to read asset: %s", args[0])
+\t}
+\treturn string(value), nil
+}
+"""
+    )

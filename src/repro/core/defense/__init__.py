@@ -1,0 +1,6 @@
+"""Defenses of Section IV-C: framework flags + the deployment advisor."""
+
+from repro.core.defense.advisor import AdvisoryReport, Finding, Severity, advise
+from repro.core.defense.features import FrameworkFeatures
+
+__all__ = ["AdvisoryReport", "Finding", "Severity", "advise", "FrameworkFeatures"]

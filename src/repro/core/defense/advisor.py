@@ -1,0 +1,222 @@
+"""Deployment advisor: the paper's §IV-C guidance as an executable audit.
+
+Given a channel configuration (and optionally the framework features in
+use), produce the findings a security review along the paper's lines
+would raise:
+
+* **PDC-W1** — a collection with no collection-level ``EndorsementPolicy``
+  while the chaincode-level policy is implicitMeta: the fake write /
+  read-write / delete injections of §IV-A apply.
+* **PDC-R1** — PDC read-only transactions validated against the
+  chaincode-level policy (always true without New Feature 1): fake read
+  injection applies even when a collection-level policy exists.
+* **PDC-C1** — the collusion threshold: how many orgs must collude, and
+  whether non-members alone suffice (§IV-A5).
+* **PDC-L1** — the plaintext ``payload``/event fields (Use Case 3): any
+  submitted PDC read, or write that echoes values, leaks without New
+  Feature 2.
+* **PDC-M1** — ``memberOnlyRead``/``memberOnlyWrite`` disabled: PDC
+  non-member peers can endorse private-data operations (Use Case 1).
+
+Each finding carries the mitigations the paper proposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.attacks.collusion import CollusionReport, analyze_collusion
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.channel import ChannelConfig
+from repro.policy.implicit_meta import is_implicit_meta
+
+
+class Severity(str, enum.Enum):
+    HIGH = "HIGH"
+    MEDIUM = "MEDIUM"
+    INFO = "INFO"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    code: str
+    severity: Severity
+    chaincode_id: str
+    collection: Optional[str]
+    title: str
+    explanation: str
+    mitigation: str
+
+    def __str__(self) -> str:
+        where = f"{self.chaincode_id}" + (f"/{self.collection}" if self.collection else "")
+        return f"[{self.severity.value:<6}] {self.code} {where}: {self.title}"
+
+
+@dataclass
+class AdvisoryReport:
+    """All findings for one channel."""
+
+    channel_id: str
+    features: FrameworkFeatures
+    findings: list = field(default_factory=list)
+    collusion: dict = field(default_factory=dict)  # (cc, col) -> CollusionReport
+
+    def by_severity(self, severity: Severity) -> list:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        for severity in (Severity.HIGH, Severity.MEDIUM, Severity.INFO):
+            if self.by_severity(severity):
+                return severity
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"Security advisory for channel {self.channel_id!r} "
+            f"({self.features.describe()})",
+            f"{len(self.findings)} finding(s)"
+            + (f", worst severity {self.worst.value}" if self.worst else ""),
+            "",
+        ]
+        for finding in self.findings:
+            lines.append(str(finding))
+            lines.append(f"         why: {finding.explanation}")
+            lines.append(f"         fix: {finding.mitigation}")
+        for (cc, col), report in sorted(self.collusion.items()):
+            lines.append("")
+            lines.append(report.summary())
+        return "\n".join(lines)
+
+
+def advise(
+    channel: ChannelConfig, features: FrameworkFeatures | None = None
+) -> AdvisoryReport:
+    """Audit every chaincode + collection on the channel."""
+    features = features or FrameworkFeatures.original()
+    report = AdvisoryReport(channel_id=channel.channel_id, features=features)
+
+    for name, definition in sorted(channel.chaincodes.items()):
+        implicit = is_implicit_meta(definition.endorsement_policy)
+        for collection in definition.collections:
+            where = dict(chaincode_id=name, collection=collection.name)
+
+            if collection.endorsement_policy is None and implicit:
+                report.findings.append(
+                    Finding(
+                        code="PDC-W1",
+                        severity=Severity.HIGH,
+                        title="write/delete injection possible",
+                        explanation=(
+                            f"no collection-level EndorsementPolicy; write-related "
+                            f"transactions validate against the implicitMeta "
+                            f"chaincode policy {definition.endorsement_policy!r}, "
+                            "which PDC non-member endorsements can satisfy (§IV-A2..4)"
+                        ),
+                        mitigation=(
+                            "define a collection-level EndorsementPolicy naming the "
+                            "member orgs, e.g. AND over the collection members"
+                        ),
+                        **where,
+                    )
+                )
+
+            if not features.collection_policy_on_reads:
+                report.findings.append(
+                    Finding(
+                        code="PDC-R1",
+                        severity=Severity.HIGH,
+                        title="fake read result injection possible",
+                        explanation=(
+                            "read-only PDC transactions are validated against the "
+                            "chaincode-level policy only; colluding endorsers can "
+                            "forge payloads using GetPrivateDataHash versions (§IV-A1)"
+                            + (
+                                " — the collection-level policy does NOT protect reads"
+                                if collection.endorsement_policy is not None
+                                else ""
+                            )
+                        ),
+                        mitigation=(
+                            "enable New Feature 1 (collection-level policy check for "
+                            "PDC read transactions during validation)"
+                        ),
+                        **where,
+                    )
+                )
+
+            if not features.hashed_payload_endorsement:
+                report.findings.append(
+                    Finding(
+                        code="PDC-L1",
+                        severity=Severity.MEDIUM,
+                        title="plaintext payload/event leakage on submitted transactions",
+                        explanation=(
+                            "the proposal-response payload (and any chaincode event) "
+                            "is committed in plaintext at every peer; submitted PDC "
+                            "reads or echoing writes reveal the value to non-members "
+                            "(§IV-B, Use Case 3)"
+                        ),
+                        mitigation=(
+                            "enable New Feature 2 (endorse the hashed payload, Fig. 4) "
+                            "and never return private values from submitted functions"
+                        ),
+                        **where,
+                    )
+                )
+
+            if not collection.member_only_read or not collection.member_only_write:
+                missing = [
+                    flag
+                    for flag, on in (
+                        ("memberOnlyRead", collection.member_only_read),
+                        ("memberOnlyWrite", collection.member_only_write),
+                    )
+                    if not on
+                ]
+                report.findings.append(
+                    Finding(
+                        code="PDC-M1",
+                        severity=Severity.MEDIUM,
+                        title=f"{' and '.join(missing)} disabled",
+                        explanation=(
+                            "PDC non-member peers can endorse private-data "
+                            "operations (write/delete always; Use Case 1)"
+                        ),
+                        mitigation=(
+                            "set memberOnlyRead/memberOnlyWrite, or enable the "
+                            "supplemental non-member endorsement filter"
+                        ),
+                        **where,
+                    )
+                )
+
+            collusion = analyze_collusion(channel, name, collection.name)
+            report.collusion[(name, collection.name)] = collusion
+            if collusion.nonmember_only_possible:
+                report.findings.append(
+                    Finding(
+                        code="PDC-C1",
+                        severity=Severity.HIGH,
+                        title=(
+                            f"{collusion.minimum_nonmember_orgs} non-member org(s) "
+                            "can satisfy the chaincode policy alone"
+                        ),
+                        explanation=(
+                            f"policy {definition.endorsement_policy!r} is satisfiable "
+                            f"by {sorted(collusion.minimum_nonmember_set)} — the §IV-A5 "
+                            "NOutOf scenario: attacks need zero insider collusion"
+                        ),
+                        mitigation=(
+                            "restrict the chaincode policy (or add collection-level "
+                            "policies + New Feature 1) so non-members alone can "
+                            "never endorse PDC transactions"
+                        ),
+                        **where,
+                    )
+                )
+    return report

@@ -1,0 +1,5 @@
+"""The GitHub study: analyzer results aggregated into Figs 7-10."""
+
+from repro.core.study.aggregate import StudyResults, aggregate, run_study
+
+__all__ = ["StudyResults", "aggregate", "run_study"]

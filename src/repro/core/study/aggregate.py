@@ -1,0 +1,177 @@
+"""Aggregation of analyzer results into the paper's study figures.
+
+Turns a list of per-project analyses into exactly the quantities Section
+V-C2 reports: the year histogram (Fig. 7), the PDC definition-type split
+(Fig. 8), the endorsement-policy split of explicit PDC projects (Fig. 9),
+the configtx MAJORITY popularity, and the leakage breakdown (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.analyzer.report import ProjectAnalysis
+
+
+@dataclass
+class StudyResults:
+    """All aggregate statistics of the GitHub study."""
+
+    total_projects: int = 0
+    projects_by_year: dict = field(default_factory=dict)
+    pdc_by_year: dict = field(default_factory=dict)
+
+    explicit_count: int = 0
+    implicit_count: int = 0
+    both_count: int = 0
+
+    collection_policy_count: int = 0
+    chaincode_level_count: int = 0
+
+    configtx_found: int = 0
+    configtx_majority: int = 0
+
+    read_leak_count: int = 0
+    write_leak_count: int = 0
+    leak_any_count: int = 0
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def pdc_union_count(self) -> int:
+        return self.explicit_count + self.implicit_count - self.both_count
+
+    @property
+    def explicit_only_count(self) -> int:
+        return self.explicit_count - self.both_count
+
+    @property
+    def implicit_only_count(self) -> int:
+        return self.implicit_count - self.both_count
+
+    @property
+    def injection_vulnerable_pct(self) -> float:
+        """Fig. 9 headline: % of explicit projects on the chaincode-level policy."""
+        if not self.explicit_count:
+            return 0.0
+        return 100.0 * self.chaincode_level_count / self.explicit_count
+
+    @property
+    def leakage_pct(self) -> float:
+        """Fig. 10 headline: % of explicit projects with a PDC leak."""
+        if not self.explicit_count:
+            return 0.0
+        return 100.0 * self.leak_any_count / self.explicit_count
+
+    @property
+    def explicit_only_pct(self) -> float:
+        if not self.pdc_union_count:
+            return 0.0
+        return 100.0 * self.explicit_only_count / self.pdc_union_count
+
+    @property
+    def both_pct(self) -> float:
+        if not self.pdc_union_count:
+            return 0.0
+        return 100.0 * self.both_count / self.pdc_union_count
+
+    @property
+    def implicit_only_pct(self) -> float:
+        if not self.pdc_union_count:
+            return 0.0
+        return 100.0 * self.implicit_only_count / self.pdc_union_count
+
+    # -- rendering ---------------------------------------------------------------
+    def render_fig7(self) -> str:
+        lines = ["Fig. 7 — Projects across years (measured)"]
+        lines.append(f"{'year':>6} {'projects':>10} {'pdc':>6}")
+        for year in sorted(self.projects_by_year):
+            lines.append(
+                f"{year:>6} {self.projects_by_year[year]:>10} "
+                f"{self.pdc_by_year.get(year, 0):>6}"
+            )
+        lines.append(f"{'total':>6} {self.total_projects:>10} {self.pdc_union_count:>6}")
+        return "\n".join(lines)
+
+    def render_fig8(self) -> str:
+        return "\n".join(
+            [
+                "Fig. 8 — PDC definition types (measured)",
+                f"explicit-only : {self.explicit_only_count:>4} ({self.explicit_only_pct:.2f}%)",
+                f"both          : {self.both_count:>4} ({self.both_pct:.2f}%)",
+                f"implicit-only : {self.implicit_only_count:>4} ({self.implicit_only_pct:.2f}%)",
+                f"explicit total: {self.explicit_count:>4}   implicit total: {self.implicit_count}",
+            ]
+        )
+
+    def render_fig9(self) -> str:
+        return "\n".join(
+            [
+                "Fig. 9 — Endorsement policy of explicit PDC projects (measured)",
+                f"chaincode-level : {self.chaincode_level_count:>4} "
+                f"({self.injection_vulnerable_pct:.2f}%)  <- vulnerable to injection",
+                f"collection-level: {self.collection_policy_count:>4} "
+                f"({100 - self.injection_vulnerable_pct:.2f}%)",
+                f"configtx.yaml found: {self.configtx_found}, "
+                f"MAJORITY Endorsement: {self.configtx_majority}",
+            ]
+        )
+
+    def render_fig10(self) -> str:
+        return "\n".join(
+            [
+                "Fig. 10 — PDC leakage issues among explicit PDC projects (measured)",
+                f"read-leak  : {self.read_leak_count:>4}",
+                f"write-leak : {self.write_leak_count:>4} (all also read-leaky)",
+                f"any leak   : {self.leak_any_count:>4} ({self.leakage_pct:.2f}%)",
+            ]
+        )
+
+    def render_all(self) -> str:
+        return "\n\n".join(
+            [self.render_fig7(), self.render_fig8(), self.render_fig9(), self.render_fig10()]
+        )
+
+
+def aggregate(analyses: Iterable[ProjectAnalysis]) -> StudyResults:
+    """Fold per-project analyses into study statistics."""
+    results = StudyResults()
+    years: Counter = Counter()
+    pdc_years: Counter = Counter()
+    for analysis in analyses:
+        results.total_projects += 1
+        if analysis.year is not None:
+            years[analysis.year] += 1
+            if analysis.is_pdc:
+                pdc_years[analysis.year] += 1
+        if analysis.is_explicit_pdc:
+            results.explicit_count += 1
+            if analysis.has_collection_level_policy:
+                results.collection_policy_count += 1
+            else:
+                results.chaincode_level_count += 1
+                if analysis.configtx:
+                    results.configtx_found += 1
+                    if analysis.configtx_is_majority:
+                        results.configtx_majority += 1
+            if analysis.has_read_leak:
+                results.read_leak_count += 1
+            if analysis.has_write_leak:
+                results.write_leak_count += 1
+            if analysis.has_leak:
+                results.leak_any_count += 1
+        if analysis.is_implicit_pdc:
+            results.implicit_count += 1
+        if analysis.is_explicit_pdc and analysis.is_implicit_pdc:
+            results.both_count += 1
+    results.projects_by_year = dict(sorted(years.items()))
+    results.pdc_by_year = dict(sorted(pdc_years.items()))
+    return results
+
+
+def run_study(projects: Iterable) -> StudyResults:
+    """Convenience: analyze every project, then aggregate."""
+    from repro.core.analyzer.scanner import analyze_corpus
+
+    return aggregate(analyze_corpus(projects))

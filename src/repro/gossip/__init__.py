@@ -1,0 +1,6 @@
+"""Gossip layer: private data dissemination and reconciliation."""
+
+from repro.gossip.dissemination import GossipNetwork
+from repro.gossip.reconciler import Reconciler
+
+__all__ = ["GossipNetwork", "Reconciler"]

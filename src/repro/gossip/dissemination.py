@@ -1,0 +1,80 @@
+"""Private data dissemination over the peer-to-peer gossip layer.
+
+After simulating a PDC write, the endorsing peer pushes the plaintext
+private rwset to collection member peers (Section III-A2, step 7-9 of
+Fig. 2) so they can commit the original data when the transaction later
+arrives in a block.  The collection config governs fan-out:
+
+* ``RequiredPeerCount`` — dissemination *fails the endorsement* if the
+  plaintext cannot reach at least this many other member peers (data
+  durability guarantee);
+* ``MaxPeerCount`` — push to at most this many member peers; the rest
+  rely on reconciliation.
+
+Note the endorser itself need not be a collection member — a non-member
+endorser of a write-only transaction holds the plaintext write set it
+produced and disseminates it to the members, which is what makes the
+paper's fake-write injection commit at victim members.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.chaincode.rwset import PrivateCollectionWrites
+from repro.common.errors import GossipError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+    from repro.peer.node import PeerNode
+
+
+class GossipNetwork:
+    """The channel-wide gossip membership view."""
+
+    def __init__(self, channel: "ChannelConfig") -> None:
+        self._channel = channel
+        self._peers: list["PeerNode"] = []
+        self.pushes = 0  # dissemination counter (observability / benches)
+
+    def register_peer(self, peer: "PeerNode") -> None:
+        self._peers.append(peer)
+
+    def peers(self) -> list["PeerNode"]:
+        return list(self._peers)
+
+    def member_peers(self, namespace: str, collection: str) -> list["PeerNode"]:
+        config = self._channel.collection(namespace, collection)
+        members = config.member_orgs()
+        return [p for p in self._peers if p.msp_id in members]
+
+    def disseminate(
+        self,
+        endorsing_peer: "PeerNode",
+        tx_id: str,
+        private_writes: tuple[PrivateCollectionWrites, ...],
+    ) -> int:
+        """Push plaintext private writes to collection members.
+
+        Returns the number of pushes performed; raises
+        :class:`GossipError` when ``RequiredPeerCount`` cannot be met.
+        """
+        pushed = 0
+        for writes in private_writes:
+            config = self._channel.collection(writes.namespace, writes.collection)
+            eligible = [
+                p
+                for p in self.member_peers(writes.namespace, writes.collection)
+                if p is not endorsing_peer
+            ]
+            if len(eligible) < config.required_peer_count:
+                raise GossipError(
+                    f"collection {writes.collection!r} requires dissemination to "
+                    f"{config.required_peer_count} peers but only {len(eligible)} "
+                    f"member peers are reachable"
+                )
+            for target in eligible[: config.max_peer_count]:
+                target.receive_private_data(tx_id, writes)
+                pushed += 1
+                self.pushes += 1
+        return pushed

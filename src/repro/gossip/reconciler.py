@@ -1,0 +1,90 @@
+"""Private data reconciliation: filling post-commit gaps.
+
+A member peer that missed the gossip push (dissemination capped by
+``MaxPeerCount``, or the peer was down) commits the block *without* the
+original private data and records the gap.  The reconciler later pulls the
+committed private rwset from another member peer, re-verifies it against
+the on-chain hashes, and applies it — mirroring Fabric's pvtdata
+reconciliation loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ledger.version import Version
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gossip.dissemination import GossipNetwork
+    from repro.peer.node import PeerNode
+
+
+class Reconciler:
+    """Pull-based repair of missing private data."""
+
+    def __init__(self, gossip: "GossipNetwork") -> None:
+        self._gossip = gossip
+
+    def reconcile_peer(self, peer: "PeerNode") -> int:
+        """Attempt to repair every recorded gap at ``peer``; returns fills."""
+        filled = 0
+        for missing in list(peer.ledger.missing_private):
+            if self._reconcile_one(peer, missing):
+                filled += 1
+        return filled
+
+    def reconcile_all(self) -> int:
+        return sum(self.reconcile_peer(peer) for peer in self._gossip.peers())
+
+    def _reconcile_one(self, peer: "PeerNode", missing) -> bool:
+        located = peer.ledger.blockchain.find_transaction(missing.tx_id)
+        if located is None:
+            return False
+        tx, _flag = located
+        ns_set = tx.payload.results.namespace(missing.namespace)
+        if ns_set is None:
+            return False
+        hashed_col = ns_set.collection(missing.collection)
+        if hashed_col is None:
+            return False
+
+        for source in self._gossip.member_peers(missing.namespace, missing.collection):
+            if source is peer:
+                continue
+            plaintext = source.serve_private_data(
+                missing.tx_id, missing.namespace, missing.collection
+            )
+            if plaintext is None:
+                continue
+            # Never trust a pulled rwset without re-checking the hashes.
+            if not plaintext.matches_hashes(hashed_col):
+                continue
+            block_num, tx_num = self._locate(peer, missing.tx_id)
+            version = Version(block_num, tx_num)
+            for write in plaintext.writes:
+                if write.is_delete:
+                    peer.ledger.private_data.delete(
+                        missing.namespace, missing.collection, write.key
+                    )
+                else:
+                    peer.ledger.private_data.put(
+                        missing.namespace, missing.collection, write.key,
+                        write.value or b"", version,
+                    )
+                    peer.ledger.note_private_commit(
+                        missing.namespace, missing.collection, write.key, block_num
+                    )
+            peer.ledger.committed_private_rwsets[
+                (missing.tx_id, missing.namespace, missing.collection)
+            ] = plaintext
+            peer.ledger.resolve_missing(missing.tx_id, missing.namespace, missing.collection)
+            return True
+        return False
+
+    @staticmethod
+    def _locate(peer: "PeerNode", tx_id: str) -> tuple[int, int]:
+        for validated in peer.ledger.blockchain.blocks():
+            for tx_num, tx in enumerate(validated.block.transactions):
+                if tx.tx_id == tx_id:
+                    return validated.number, tx_num
+        raise KeyError(tx_id)

@@ -1,0 +1,16 @@
+"""Identities, CAs, organizations and MSP validation."""
+
+from repro.identity.ca import CertificateAuthority
+from repro.identity.identity import Certificate, SigningIdentity
+from repro.identity.msp import MSPRegistry
+from repro.identity.organization import Organization
+from repro.identity.roles import Role
+
+__all__ = [
+    "CertificateAuthority",
+    "Certificate",
+    "SigningIdentity",
+    "MSPRegistry",
+    "Organization",
+    "Role",
+]

@@ -1,0 +1,82 @@
+"""A per-organization certificate authority.
+
+Each organization runs a CA that enrolls its nodes: the CA derives a
+keypair for the node (deterministically, from the CA seed and enrollment
+id, so simulator runs are reproducible) and signs a certificate binding
+the public key to ``(enrollment_id, msp_id, role)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.crypto import PrivateKey, PublicKey, generate_keypair
+from repro.common.errors import IdentityError
+from repro.identity.identity import Certificate, SigningIdentity
+from repro.identity.roles import Role
+
+# Each CA instance gets a process-unique root seed component.  Without it,
+# the root key would be derivable from the MSP id alone — and an attacker
+# could instantiate a look-alike CA that mints certificates the genuine
+# registry validates.  (Caught by
+# tests/test_policy_properties.py::test_forged_certificates_never_help.)
+_CA_INSTANCE_COUNTER = itertools.count(1)
+
+
+class CertificateAuthority:
+    """Issues and validates certificates for one organization (MSP)."""
+
+    def __init__(self, msp_id: str, seed: bytes | None = None) -> None:
+        self.msp_id = msp_id
+        if seed is None:
+            seed = f"instance-{next(_CA_INSTANCE_COUNTER)}".encode("ascii")
+        self._seed = seed
+        self._root_key: PrivateKey
+        self._root_key, self.root_public_key = generate_keypair(
+            b"ca:" + msp_id.encode("utf-8") + b":" + seed
+        )
+        self._issued: dict[str, Certificate] = {}
+
+    def enroll(self, enrollment_id: str, role: Role) -> SigningIdentity:
+        """Enroll a node, returning its signing identity.
+
+        Re-enrolling the same id with the same role returns an identity
+        with the same keys (deterministic derivation); re-enrolling with a
+        different role is an error, as it would in a real CA database.
+        """
+        existing = self._issued.get(enrollment_id)
+        if existing is not None and existing.role is not role:
+            raise IdentityError(
+                f"{enrollment_id!r} already enrolled with role {existing.role.value!r}"
+            )
+        # The CA's private seed participates in key derivation — otherwise
+        # anyone could re-derive any node's private key from public names.
+        private, public = generate_keypair(
+            b"id:" + self._seed + b":" + self.msp_id.encode("utf-8")
+            + b":" + enrollment_id.encode("utf-8")
+        )
+        unsigned = Certificate(
+            enrollment_id=enrollment_id,
+            msp_id=self.msp_id,
+            role=role,
+            public_key=public,
+            issuer_signature=b"",
+        )
+        signature = self._root_key.sign(unsigned.body_bytes())
+        certificate = Certificate(
+            enrollment_id=enrollment_id,
+            msp_id=self.msp_id,
+            role=role,
+            public_key=public,
+            issuer_signature=signature,
+        )
+        self._issued[enrollment_id] = certificate
+        return SigningIdentity(certificate=certificate, private_key=private)
+
+    def validate(self, certificate: Certificate) -> bool:
+        """Whether ``certificate`` was genuinely issued by this CA."""
+        if certificate.msp_id != self.msp_id:
+            return False
+        return self.root_public_key.verify(
+            certificate.body_bytes(), certificate.issuer_signature
+        )

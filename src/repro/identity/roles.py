@@ -1,0 +1,29 @@
+"""Node roles recognised by MSP principals.
+
+Fabric principals name an MSP (organization) and a role within it, e.g.
+``Org1MSP.peer``.  Policies match endorsements against these principals.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Role(str, enum.Enum):
+    """The role a certificate grants within its organization."""
+
+    PEER = "peer"
+    CLIENT = "client"
+    ORDERER = "orderer"
+    ADMIN = "admin"
+    MEMBER = "member"  # wildcard: any enrolled identity of the org
+
+    def matches(self, other: "Role") -> bool:
+        """Whether an identity holding ``other`` satisfies this required role.
+
+        ``MEMBER`` is satisfied by any role; ``ADMIN`` identities also count
+        as members but not as peers (mirrors Fabric's MSP principal rules).
+        """
+        if self is Role.MEMBER:
+            return True
+        return self is other

@@ -1,0 +1,26 @@
+"""Ledger substrate: world state, private data stores, blocks, chain."""
+
+from repro.ledger.block import GENESIS_PREV_HASH, Block, BlockHeader, ValidatedBlock
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.ledger import MissingPrivateData, PeerLedger
+from repro.ledger.private_state import HashedEntry, PrivateDataStore, PrivateHashStore
+from repro.ledger.transient_store import TransientStore
+from repro.ledger.version import Version
+from repro.ledger.world_state import StateEntry, WorldState
+
+__all__ = [
+    "GENESIS_PREV_HASH",
+    "Block",
+    "BlockHeader",
+    "ValidatedBlock",
+    "Blockchain",
+    "MissingPrivateData",
+    "PeerLedger",
+    "HashedEntry",
+    "PrivateDataStore",
+    "PrivateHashStore",
+    "TransientStore",
+    "Version",
+    "StateEntry",
+    "WorldState",
+]

@@ -1,0 +1,86 @@
+"""Blocks: header, transaction list, metadata (Fig. 3).
+
+The orderer produces an *unvalidated* block — header plus envelopes.  Each
+committing peer then validates every transaction independently and records
+the resulting flag vector in the block metadata before appending the block
+to its chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.hashing import chain_hash, sha256
+from repro.common.serialization import canonical_bytes
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+GENESIS_PREV_HASH = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Number, previous block hash, and hash over the block's data."""
+
+    number: int
+    prev_hash: bytes
+    data_hash: bytes
+
+    def block_hash(self) -> bytes:
+        """The hash the *next* block's ``prev_hash`` must equal."""
+        return chain_hash(self.prev_hash, self.data_hash)
+
+
+@dataclass(frozen=True)
+class Block:
+    """An ordered block as distributed by the ordering service."""
+
+    header: BlockHeader
+    transactions: tuple[TransactionEnvelope, ...]
+
+    @staticmethod
+    def data_hash_of(transactions: tuple[TransactionEnvelope, ...]) -> bytes:
+        return sha256(canonical_bytes([tx.to_wire() for tx in transactions]))
+
+    @classmethod
+    def create(
+        cls, number: int, prev_hash: bytes, transactions: tuple[TransactionEnvelope, ...]
+    ) -> "Block":
+        header = BlockHeader(
+            number=number, prev_hash=prev_hash, data_hash=cls.data_hash_of(transactions)
+        )
+        return cls(header=header, transactions=transactions)
+
+    def verify_data_hash(self) -> bool:
+        return self.header.data_hash == self.data_hash_of(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+
+@dataclass
+class ValidatedBlock:
+    """A block plus the flag vector a peer computed during validation."""
+
+    block: Block
+    flags: list[ValidationCode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.flags) not in (0, len(self.block.transactions)):
+            raise ValueError("flag vector length must match transaction count")
+
+    @property
+    def number(self) -> int:
+        return self.block.header.number
+
+    def valid_transactions(self) -> list[TransactionEnvelope]:
+        return [
+            tx
+            for tx, flag in zip(self.block.transactions, self.flags)
+            if flag is ValidationCode.VALID
+        ]
+
+    def flag_of(self, tx_id: str) -> ValidationCode:
+        for tx, flag in zip(self.block.transactions, self.flags):
+            if tx.tx_id == tx_id:
+                return flag
+        raise KeyError(tx_id)

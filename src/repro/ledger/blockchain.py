@@ -1,0 +1,89 @@
+"""The per-peer block store: an append-only, hash-chained sequence.
+
+Any peer can iterate its own copy of the chain — which is precisely what
+the paper's PDC-leakage "attack" does: a non-member peer needs no protocol
+violation at all, it simply parses the transactions it already stores
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.errors import LedgerError
+from repro.ledger.block import GENESIS_PREV_HASH, ValidatedBlock
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+
+class Blockchain:
+    """Append-only store of validated blocks with hash-chain checking."""
+
+    def __init__(self) -> None:
+        self._blocks: list[ValidatedBlock] = []
+        self._tx_index: dict[str, tuple[int, int]] = {}
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    def last_hash(self) -> bytes:
+        if not self._blocks:
+            return GENESIS_PREV_HASH
+        return self._blocks[-1].block.header.block_hash()
+
+    def append(self, validated: ValidatedBlock) -> None:
+        """Append a block, enforcing numbering and hash-chain continuity."""
+        block = validated.block
+        if block.header.number != self.height:
+            raise LedgerError(
+                f"expected block number {self.height}, got {block.header.number}"
+            )
+        if block.header.prev_hash != self.last_hash():
+            raise LedgerError(f"block {block.header.number} breaks the hash chain")
+        if not block.verify_data_hash():
+            raise LedgerError(f"block {block.header.number} has a corrupted data hash")
+        if len(validated.flags) != len(block.transactions):
+            raise LedgerError("validated block must carry one flag per transaction")
+        for tx_num, tx in enumerate(block.transactions):
+            self._tx_index.setdefault(tx.tx_id, (block.header.number, tx_num))
+        self._blocks.append(validated)
+
+    def block(self, number: int) -> ValidatedBlock:
+        try:
+            return self._blocks[number]
+        except IndexError:
+            raise LedgerError(f"no block number {number} (height {self.height})") from None
+
+    def blocks(self) -> Iterator[ValidatedBlock]:
+        return iter(self._blocks)
+
+    def find_transaction(
+        self, tx_id: str
+    ) -> Optional[tuple[TransactionEnvelope, ValidationCode]]:
+        """Locate a committed transaction and its validity flag by id."""
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            return None
+        block_num, tx_num = location
+        validated = self._blocks[block_num]
+        return validated.block.transactions[tx_num], validated.flags[tx_num]
+
+    def has_transaction(self, tx_id: str) -> bool:
+        return tx_id in self._tx_index
+
+    def all_transactions(self) -> Iterator[tuple[TransactionEnvelope, ValidationCode]]:
+        """Every committed transaction with its flag, in commit order."""
+        for validated in self._blocks:
+            yield from zip(validated.block.transactions, validated.flags)
+
+    def verify_chain(self) -> bool:
+        """Re-check the whole hash chain (integrity audit helper)."""
+        prev = GENESIS_PREV_HASH
+        for number, validated in enumerate(self._blocks):
+            header = validated.block.header
+            if header.number != number or header.prev_hash != prev:
+                return False
+            if not validated.block.verify_data_hash():
+                return False
+            prev = header.block_hash()
+        return True

@@ -1,0 +1,80 @@
+"""The per-peer ledger: world state + private stores + blockchain.
+
+One :class:`PeerLedger` instance backs one peer on one channel.  It also
+tracks two pieces of PDC bookkeeping the committer needs:
+
+* which ``(tx, namespace, collection)`` private payloads were *missing*
+  at commit time (the block still commits; reconciliation may fill the
+  gap later — Fabric behaves the same way), and
+* the commit height of each private key, so ``BlockToLive`` expiry can
+  purge old private data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.private_state import PrivateDataStore, PrivateHashStore
+from repro.ledger.transient_store import TransientStore
+from repro.ledger.world_state import WorldState
+
+
+@dataclass(frozen=True)
+class MissingPrivateData:
+    """A private payload a member peer could not obtain at commit time."""
+
+    tx_id: str
+    block_num: int
+    namespace: str
+    collection: str
+
+
+@dataclass
+class PeerLedger:
+    """Everything one peer stores for one channel."""
+
+    world_state: WorldState = field(default_factory=WorldState)
+    private_data: PrivateDataStore = field(default_factory=PrivateDataStore)
+    private_hashes: PrivateHashStore = field(default_factory=PrivateHashStore)
+    blockchain: Blockchain = field(default_factory=Blockchain)
+    transient_store: TransientStore = field(default_factory=TransientStore)
+    missing_private: list[MissingPrivateData] = field(default_factory=list)
+    # Archive of committed plaintext private rwsets, indexed by
+    # (tx_id, namespace, collection) — what reconciliation serves to
+    # member peers that missed the gossip push.
+    committed_private_rwsets: dict = field(default_factory=dict)
+    _private_commit_heights: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        return self.blockchain.height
+
+    def record_missing(self, missing: MissingPrivateData) -> None:
+        self.missing_private.append(missing)
+
+    def resolve_missing(self, tx_id: str, namespace: str, collection: str) -> None:
+        self.missing_private = [
+            m
+            for m in self.missing_private
+            if not (m.tx_id == tx_id and m.namespace == namespace and m.collection == collection)
+        ]
+
+    def note_private_commit(self, namespace: str, collection: str, key: str, block_num: int) -> None:
+        self._private_commit_heights[(namespace, collection, key)] = block_num
+
+    def purge_expired_private(self, block_to_live: dict[tuple[str, str], int], height: int) -> int:
+        """Purge original private data past its collection's BlockToLive.
+
+        ``block_to_live`` maps ``(namespace, collection)`` to the BTL value
+        (0 = never purge).  Only the original data is purged; the hashes
+        stay on every peer forever, as in Fabric.  Returns purge count.
+        """
+        purged = 0
+        for (ns, col, key), committed_at in list(self._private_commit_heights.items()):
+            btl = block_to_live.get((ns, col), 0)
+            if btl and height > committed_at + btl:
+                self.private_data.delete(ns, col, key)
+                del self._private_commit_heights[(ns, col, key)]
+                purged += 1
+        return purged

@@ -1,0 +1,109 @@
+"""Private data storage: the two formats of Section III-A1.
+
+Private data lives in *two* stores:
+
+* :class:`PrivateDataStore` — the original ``(key, value, version)``
+  triples, present **only at PDC member peers** (and at endorsers that
+  simulated the write, until disseminated).
+* :class:`PrivateHashStore` — the hashed form ``(hash(key), hash(value),
+  version)``, present **at every peer** in the channel.  Non-members
+  validate and version-check private transactions against this store;
+  it is what ``GetPrivateDataHash`` reads — the API the paper's
+  endorsement-forgery attack abuses to learn genuine versions.
+
+Both stores are namespaced by ``(chaincode, collection)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.hashing import hash_key, hash_value
+from repro.ledger.version import Version
+from repro.ledger.world_state import StateEntry
+
+
+class PrivateDataStore:
+    """Original private data, keyed by ``(namespace, collection, key)``."""
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, str, str], StateEntry] = {}
+
+    def get(self, namespace: str, collection: str, key: str) -> Optional[StateEntry]:
+        return self._data.get((namespace, collection, key))
+
+    def put(self, namespace: str, collection: str, key: str, value: bytes, version: Version) -> None:
+        self._data[(namespace, collection, key)] = StateEntry(value=value, version=version)
+
+    def delete(self, namespace: str, collection: str, key: str) -> None:
+        self._data.pop((namespace, collection, key), None)
+
+    def keys(self, namespace: str, collection: str) -> list[str]:
+        return sorted(k for ns, col, k in self._data if ns == namespace and col == collection)
+
+    def items(self, namespace: str, collection: str) -> Iterator[tuple[str, StateEntry]]:
+        for (ns, col, key), entry in sorted(self._data.items()):
+            if ns == namespace and col == collection:
+                yield key, entry
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class HashedEntry:
+    """One committed hashed private entry."""
+
+    value_hash: bytes
+    version: Version
+
+
+class PrivateHashStore:
+    """Hashed private data, present at all peers.
+
+    Indexed by the *key hash* — a non-member peer never needs (and never
+    has) the plaintext key.  Member peers index by ``hash(key)`` too, and
+    compute the hash on lookup.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, str, bytes], HashedEntry] = {}
+
+    def get_by_key(self, namespace: str, collection: str, key: str) -> Optional[HashedEntry]:
+        """Convenience lookup for callers that hold the plaintext key."""
+        return self.get(namespace, collection, hash_key(key))
+
+    def get(self, namespace: str, collection: str, key_hash: bytes) -> Optional[HashedEntry]:
+        return self._data.get((namespace, collection, key_hash))
+
+    def get_version(self, namespace: str, collection: str, key_hash: bytes) -> Optional[Version]:
+        entry = self._data.get((namespace, collection, key_hash))
+        return entry.version if entry else None
+
+    def put(
+        self,
+        namespace: str,
+        collection: str,
+        key_hash: bytes,
+        value_hash: bytes,
+        version: Version,
+    ) -> None:
+        self._data[(namespace, collection, key_hash)] = HashedEntry(
+            value_hash=value_hash, version=version
+        )
+
+    def put_plain(
+        self, namespace: str, collection: str, key: str, value: bytes, version: Version
+    ) -> None:
+        """Hash-and-store helper used when committing from plaintext writes."""
+        self.put(namespace, collection, hash_key(key), hash_value(value), version)
+
+    def delete(self, namespace: str, collection: str, key_hash: bytes) -> None:
+        self._data.pop((namespace, collection, key_hash), None)
+
+    def key_hashes(self, namespace: str, collection: str) -> list[bytes]:
+        return sorted(kh for ns, col, kh in self._data if ns == namespace and col == collection)
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,123 @@
+"""CouchDB-style rich queries over JSON state values.
+
+Fabric peers backed by CouchDB support *rich queries* — Mango/Cloudant
+selectors over JSON documents (``{"selector": {"owner": "alice"}}``).
+This module implements the selector subset chaincode actually uses:
+
+* field equality (including dotted nested paths ``"a.b"``)
+* comparison operators ``$eq $ne $gt $gte $lt $lte``
+* membership ``$in`` / ``$nin``
+* existence ``$exists``
+* boolean composition ``$and`` / ``$or`` / ``$not``
+
+**Security note (real Fabric behaviour, reproduced here):** rich query
+results are *not* recorded in the read set and are *not* re-validated at
+commit time — unlike key reads (MVCC) and range scans (phantom check).
+Chaincode that makes decisions from rich-query results is exposed to
+phantom reads; Fabric's own documentation carries the same warning.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import LedgerError
+
+_OPERATORS = {"$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin", "$exists"}
+_COMBINATORS = {"$and", "$or", "$not"}
+
+
+class SelectorError(LedgerError):
+    """The selector document is malformed."""
+
+
+def _lookup(document: Any, dotted_path: str) -> tuple[bool, Any]:
+    """Resolve ``a.b.c`` in nested dicts; returns (found, value)."""
+    node = document
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
+def _compare(value: Any, op: str, operand: Any) -> bool:
+    if op == "$eq":
+        return value == operand
+    if op == "$ne":
+        return value != operand
+    if op == "$in":
+        if not isinstance(operand, list):
+            raise SelectorError("$in requires a list operand")
+        return value in operand
+    if op == "$nin":
+        if not isinstance(operand, list):
+            raise SelectorError("$nin requires a list operand")
+        return value not in operand
+    try:
+        if op == "$gt":
+            return value > operand
+        if op == "$gte":
+            return value >= operand
+        if op == "$lt":
+            return value < operand
+        if op == "$lte":
+            return value <= operand
+    except TypeError:
+        return False  # CouchDB-style: cross-type comparisons don't match
+    raise SelectorError(f"unknown operator {op!r}")
+
+
+def _match_condition(document: Any, field: str, condition: Any) -> bool:
+    found, value = _lookup(document, field)
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        for op, operand in condition.items():
+            if op == "$exists":
+                if bool(operand) != found:
+                    return False
+                continue
+            if op not in _OPERATORS:
+                raise SelectorError(f"unknown operator {op!r} for field {field!r}")
+            if not found or not _compare(value, op, operand):
+                return False
+        return True
+    return found and value == condition
+
+
+def matches_selector(document: Any, selector: dict) -> bool:
+    """Whether a decoded JSON document satisfies the selector."""
+    if not isinstance(selector, dict):
+        raise SelectorError("selector must be a mapping")
+    for key, condition in selector.items():
+        if key == "$and":
+            if not all(matches_selector(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches_selector(document, sub) for sub in condition):
+                return False
+        elif key == "$not":
+            if matches_selector(document, condition):
+                return False
+        elif key.startswith("$"):
+            raise SelectorError(f"unknown combinator {key!r}")
+        elif not _match_condition(document, key, condition):
+            return False
+    return True
+
+
+def execute_rich_query(items, selector: dict) -> list[tuple[str, bytes]]:
+    """Filter ``(key, StateEntry)`` pairs whose JSON value matches.
+
+    Non-JSON values are skipped, as a CouchDB state database would skip
+    non-document attachments.
+    """
+    results = []
+    for key, entry in items:
+        try:
+            document = json.loads(entry.value.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if matches_selector(document, selector):
+            results.append((key, entry.value))
+    return results

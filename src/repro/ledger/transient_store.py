@@ -1,0 +1,60 @@
+"""Transient store: private write sets awaiting commit.
+
+Endorsers park the plaintext private rwset here after simulation; gossip
+delivers copies to the other collection members, who also park them here
+until the corresponding transaction arrives in a block.  Entries are
+purged once consumed or after a block-height horizon, mirroring Fabric's
+``transientBlockRetention``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - break the ledger<->chaincode import cycle
+    from repro.chaincode.rwset import PrivateCollectionWrites
+
+DEFAULT_RETENTION_BLOCKS = 1000
+
+
+@dataclass(frozen=True)
+class TransientEntry:
+    tx_id: str
+    writes: "PrivateCollectionWrites"
+    received_at_height: int
+
+
+class TransientStore:
+    """Per-peer staging area for plaintext private data."""
+
+    def __init__(self, retention_blocks: int = DEFAULT_RETENTION_BLOCKS) -> None:
+        self._entries: dict[tuple[str, str, str], TransientEntry] = {}
+        self._retention = retention_blocks
+
+    def put(self, tx_id: str, writes: "PrivateCollectionWrites", height: int) -> None:
+        key = (tx_id, writes.namespace, writes.collection)
+        self._entries[key] = TransientEntry(tx_id=tx_id, writes=writes, received_at_height=height)
+
+    def get(self, tx_id: str, namespace: str, collection: str) -> "PrivateCollectionWrites | None":
+        entry = self._entries.get((tx_id, namespace, collection))
+        return entry.writes if entry else None
+
+    def has(self, tx_id: str, namespace: str, collection: str) -> bool:
+        return (tx_id, namespace, collection) in self._entries
+
+    def remove_transaction(self, tx_id: str) -> None:
+        """Drop all entries of a committed (or abandoned) transaction."""
+        for key in [k for k in self._entries if k[0] == tx_id]:
+            del self._entries[key]
+
+    def purge_below(self, height: int) -> int:
+        """Purge entries older than the retention horizon; returns count."""
+        horizon = height - self._retention
+        stale = [k for k, e in self._entries.items() if e.received_at_height < horizon]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,39 @@
+"""Height-style versions used for multi-version concurrency control.
+
+Fabric versions a key by the *height* of the transaction that last wrote
+it: ``(block_num, tx_num)``.  The version recorded in a read set at
+execution time must still match the committed version at validation time
+(the "version conflict check" of the proof-of-policy protocol), otherwise
+the transaction is invalidated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """The height ``(block_num, tx_num)`` of the writing transaction."""
+
+    block_num: int
+    tx_num: int
+
+    def __post_init__(self) -> None:
+        if self.block_num < 0 or self.tx_num < 0:
+            raise ValueError(f"negative version component: {self}")
+
+    def __lt__(self, other: "Version") -> bool:
+        return (self.block_num, self.tx_num) < (other.block_num, other.tx_num)
+
+    def to_wire(self) -> dict:
+        return {"block_num": self.block_num, "tx_num": self.tx_num}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Version":
+        return cls(block_num=data["block_num"], tx_num=data["tx_num"])
+
+    def __str__(self) -> str:
+        return f"{self.block_num}.{self.tx_num}"

@@ -1,0 +1,87 @@
+"""The public world state: a versioned key/value database.
+
+Public data is stored as ``(key, value, version)`` at every peer in the
+channel.  Namespaces isolate chaincodes from one another, exactly as
+Fabric's state database prefixes keys with the chaincode name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.ledger.version import Version
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """One committed ``(value, version)`` pair."""
+
+    value: bytes
+    version: Version
+
+
+class WorldState:
+    """Versioned KV store with namespace isolation.
+
+    Mutations happen only at commit time (the committer applies validated
+    write sets); endorsement-phase reads never modify it.
+
+    Besides values, each key may carry *metadata* — Fabric uses this for
+    the key-level ("state-based") endorsement policy consulted by
+    ``validator_keylevel.go``, the validator the paper's Use Case 2
+    analyses.
+    """
+
+    VALIDATION_PARAMETER = "VALIDATION_PARAMETER"
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, str], StateEntry] = {}
+        self._metadata: dict[tuple[str, str], dict[str, bytes]] = {}
+
+    def get(self, namespace: str, key: str) -> Optional[StateEntry]:
+        """The committed entry for ``key``, or ``None`` when absent."""
+        return self._data.get((namespace, key))
+
+    def get_version(self, namespace: str, key: str) -> Optional[Version]:
+        entry = self._data.get((namespace, key))
+        return entry.version if entry else None
+
+    def put(self, namespace: str, key: str, value: bytes, version: Version) -> None:
+        """Commit a write.  Versions must never move backwards."""
+        existing = self._data.get((namespace, key))
+        if existing is not None and version < existing.version:
+            raise ValueError(
+                f"version regression on {namespace}/{key}: {existing.version} -> {version}"
+            )
+        self._data[(namespace, key)] = StateEntry(value=value, version=version)
+
+    def delete(self, namespace: str, key: str) -> None:
+        """Commit a delete; deleting an absent key is a no-op (as in Fabric).
+
+        Deleting a key also clears its metadata (incl. any key-level
+        endorsement policy)."""
+        self._data.pop((namespace, key), None)
+        self._metadata.pop((namespace, key), None)
+
+    # -- key metadata (key-level endorsement policies) ---------------------
+    def set_metadata(self, namespace: str, key: str, name: str, value: bytes) -> None:
+        self._metadata.setdefault((namespace, key), {})[name] = value
+
+    def get_metadata(self, namespace: str, key: str, name: str) -> Optional[bytes]:
+        return self._metadata.get((namespace, key), {}).get(name)
+
+    def get_validation_parameter(self, namespace: str, key: str) -> Optional[bytes]:
+        """The key-level endorsement policy bytes, if one was ever set."""
+        return self.get_metadata(namespace, key, self.VALIDATION_PARAMETER)
+
+    def keys(self, namespace: str) -> list[str]:
+        return sorted(key for ns, key in self._data if ns == namespace)
+
+    def items(self, namespace: str) -> Iterator[tuple[str, StateEntry]]:
+        for (ns, key), entry in sorted(self._data.items()):
+            if ns == namespace:
+                yield key, entry
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,32 @@
+"""Network assembly: channels, collections, the running network, presets."""
+
+from repro.network.channel import DEFAULT_ENDORSEMENT_POLICY, ChannelConfig
+from repro.network.collection import ChaincodeDefinition, CollectionConfig
+from repro.network.lifecycle import ChaincodeLifecycle, ProposedDefinition
+from repro.network.network import FabricNetwork
+from repro.network.presets import (
+    CHAINCODE,
+    CHANNEL,
+    COLLECTION,
+    PRIVATE_KEY_NAME,
+    TestNetwork,
+    five_org_network,
+    three_org_network,
+)
+
+__all__ = [
+    "DEFAULT_ENDORSEMENT_POLICY",
+    "ChannelConfig",
+    "ChaincodeDefinition",
+    "ChaincodeLifecycle",
+    "ProposedDefinition",
+    "CollectionConfig",
+    "FabricNetwork",
+    "CHAINCODE",
+    "CHANNEL",
+    "COLLECTION",
+    "PRIVATE_KEY_NAME",
+    "TestNetwork",
+    "five_org_network",
+    "three_org_network",
+]

@@ -1,0 +1,82 @@
+"""Export a channel configuration as a ``configtx.yaml`` document.
+
+Closes the loop between the simulator and the static analyzer: a channel
+built programmatically can be written out in the same format the
+analyzer's configtx detector parses, so a simulated deployment can be
+audited exactly like a GitHub project.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.network.channel import ChannelConfig
+from repro.policy.implicit_meta import is_implicit_meta
+
+
+def export_configtx(channel: ChannelConfig) -> str:
+    """Render the channel's organizations and default policies as YAML."""
+    lines = ["---", "Organizations:"]
+    for org in channel.organizations:
+        sub_policy = channel.org_sub_policies[org.msp_id]
+        lines += [
+            f"  - &{org.msp_id}",
+            f"    Name: {org.msp_id}",
+            f"    ID: {org.msp_id}",
+            f"    MSPDir: crypto-config/peerOrganizations/{org.msp_id.lower()}/msp",
+            "    Policies:",
+            "      Readers:",
+            "        Type: Signature",
+            f"        Rule: \"OR('{org.msp_id}.member')\"",
+            "      Endorsement:",
+            "        Type: Signature",
+            f"        Rule: \"{sub_policy}\"",
+        ]
+
+    default = channel.default_endorsement_policy
+    if is_implicit_meta(default):
+        endorsement_block = [
+            "    Endorsement:",
+            "      Type: ImplicitMeta",
+            f"      Rule: \"{default}\"",
+        ]
+    else:
+        endorsement_block = [
+            "    Endorsement:",
+            "      Type: Signature",
+            f"      Rule: \"{default}\"",
+        ]
+
+    lines += [
+        "",
+        "Application: &ApplicationDefaults",
+        "  Organizations:",
+        "  Policies:",
+        "    Readers:",
+        "      Type: ImplicitMeta",
+        "      Rule: \"ANY Readers\"",
+        "    Writers:",
+        "      Type: ImplicitMeta",
+        "      Rule: \"ANY Writers\"",
+        "    LifecycleEndorsement:",
+        "      Type: ImplicitMeta",
+        "      Rule: \"MAJORITY Endorsement\"",
+        *endorsement_block,
+        "  Capabilities:",
+        "    V2_0: true",
+        "",
+        "Orderer: &OrdererDefaults",
+        "  OrdererType: etcdraft",
+        "  BatchTimeout: 2s",
+        "  BatchSize:",
+        "    MaxMessageCount: 10",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def export_collections_json(channel: ChannelConfig, chaincode_id: str) -> str:
+    """Render a chaincode's collections as the on-disk JSON config."""
+    definition = channel.chaincode(chaincode_id)
+    return json.dumps(
+        [collection.to_json_dict() for collection in definition.collections], indent=2
+    )

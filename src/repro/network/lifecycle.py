@@ -1,0 +1,160 @@
+"""The Fabric 2.x chaincode lifecycle: approve-then-commit.
+
+A chaincode definition (name, version, endorsement policy, collection
+configs) does not take effect when one org wants it to — organizations
+*approve* the definition individually, and it can only be *committed* to
+the channel once the approvals satisfy the channel's
+``LifecycleEndorsement`` policy (``MAJORITY Endorsement`` by default,
+exactly the implicitMeta machinery of Eq. (1)).
+
+Approvals are matched by the definition *digest*: an org that approved a
+different endorsement policy or different collection set has approved a
+different definition, and its approval does not count — this is how
+Fabric forces the consortium to agree on the collection configuration the
+paper's attacks and defenses revolve around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.hashing import sha256_hex
+from repro.common.serialization import canonical_bytes
+from repro.network.channel import ChannelConfig
+from repro.network.collection import ChaincodeDefinition, CollectionConfig
+from repro.policy.implicit_meta import majority_threshold
+
+
+@dataclass(frozen=True)
+class ProposedDefinition:
+    """One (name, version, sequence) chaincode definition up for approval."""
+
+    name: str
+    version: str
+    sequence: int
+    endorsement_policy: str
+    collections: tuple[CollectionConfig, ...] = ()
+
+    def digest(self) -> str:
+        """The content hash approvals are matched on."""
+        return sha256_hex(
+            canonical_bytes(
+                {
+                    "name": self.name,
+                    "version": self.version,
+                    "sequence": self.sequence,
+                    "endorsement_policy": self.endorsement_policy,
+                    "collections": [c.to_json_dict() for c in self.collections],
+                }
+            )
+        )
+
+    def to_chaincode_definition(self) -> ChaincodeDefinition:
+        return ChaincodeDefinition(
+            name=self.name,
+            endorsement_policy=self.endorsement_policy,
+            collections=self.collections,
+        )
+
+
+@dataclass
+class LifecycleState:
+    """Approvals collected for one chaincode name."""
+
+    proposed: ProposedDefinition
+    approvals: dict = field(default_factory=dict)  # msp_id -> digest
+
+
+class ChaincodeLifecycle:
+    """Drives approve/commit for one channel."""
+
+    def __init__(self, channel: ChannelConfig) -> None:
+        self._channel = channel
+        self._pending: dict[str, LifecycleState] = {}
+        self._committed_sequence: dict[str, int] = {}
+
+    # -- step 1: any org proposes/approves a definition -------------------
+    def approve_for_org(
+        self,
+        msp_id: str,
+        name: str,
+        version: str,
+        sequence: int,
+        endorsement_policy: Optional[str] = None,
+        collections: Iterable[CollectionConfig] = (),
+    ) -> ProposedDefinition:
+        """Record ``msp_id``'s approval of a definition.
+
+        The first approval fixes the *reference* proposal tracked for the
+        name+sequence; later approvals with a different digest are
+        recorded but will not count toward committing the reference.
+        """
+        if not self._channel.msp_registry.is_known(msp_id):
+            raise ConfigError(f"unknown organization {msp_id!r}")
+        expected_sequence = self._committed_sequence.get(name, 0) + 1
+        if sequence != expected_sequence:
+            raise ConfigError(
+                f"chaincode {name!r} requires sequence {expected_sequence}, got {sequence}"
+            )
+        proposal = ProposedDefinition(
+            name=name,
+            version=version,
+            sequence=sequence,
+            endorsement_policy=endorsement_policy
+            or self._channel.default_endorsement_policy,
+            collections=tuple(collections),
+        )
+        state = self._pending.get(name)
+        if state is None or state.proposed.sequence != sequence:
+            state = LifecycleState(proposed=proposal)
+            self._pending[name] = state
+        state.approvals[msp_id] = proposal.digest()
+        return proposal
+
+    # -- step 2: readiness check (the `checkcommitreadiness` equivalent) -----
+    def check_commit_readiness(self, name: str) -> dict:
+        """Which orgs have approved the reference definition."""
+        state = self._pending.get(name)
+        if state is None:
+            raise ConfigError(f"no pending definition for chaincode {name!r}")
+        reference = state.proposed.digest()
+        return {
+            msp_id: state.approvals.get(msp_id) == reference
+            for msp_id in self._channel.msp_ids()
+        }
+
+    def approvals_needed(self) -> int:
+        """MAJORITY over the channel's orgs (Eq. (1) threshold)."""
+        return majority_threshold(len(self._channel.msp_ids()))
+
+    # -- step 3: commit ---------------------------------------------------------
+    def commit(self, name: str) -> ChaincodeDefinition:
+        """Commit the reference definition once approvals reach MAJORITY."""
+        state = self._pending.get(name)
+        if state is None:
+            raise ConfigError(f"no pending definition for chaincode {name!r}")
+        readiness = self.check_commit_readiness(name)
+        approved = sum(1 for ok in readiness.values() if ok)
+        if approved < self.approvals_needed():
+            dissent = sorted(msp for msp, ok in readiness.items() if not ok)
+            raise ConfigError(
+                f"chaincode {name!r} not ready to commit: {approved} approval(s), "
+                f"need {self.approvals_needed()} (missing/mismatched: {dissent})"
+            )
+        definition = state.proposed.to_chaincode_definition()
+        if name in self._channel.chaincodes:
+            # Upgrade: replace the agreed definition in place.
+            del self._channel.chaincodes[name]
+        self._channel.deploy_chaincode(
+            name,
+            endorsement_policy=definition.endorsement_policy,
+            collections=definition.collections,
+        )
+        self._committed_sequence[name] = state.proposed.sequence
+        del self._pending[name]
+        return self._channel.chaincode(name)
+
+    def committed_sequence(self, name: str) -> int:
+        return self._committed_sequence.get(name, 0)

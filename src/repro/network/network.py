@@ -1,0 +1,196 @@
+"""The assembled Fabric network: channel + peers + gossip + ordering.
+
+:class:`FabricNetwork` is the top-level object applications (and the
+attack/defense experiments) interact with.  It owns the wiring of Fig. 1:
+organizations contribute peers and clients, peers register with the gossip
+layer and with block delivery, and the ordering service turns submitted
+envelopes into blocks every peer validates independently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.chaincode.api import Chaincode
+from repro.client.gateway import Gateway, SubmitResult
+from repro.common.errors import ConfigError, EndorsementError
+from repro.common.tracing import Tracer
+from repro.core.defense.features import FrameworkFeatures
+from repro.gossip.dissemination import GossipNetwork
+from repro.gossip.reconciler import Reconciler
+from repro.network.channel import ChannelConfig
+from repro.orderer.service import OrderingService
+from repro.peer.endorser import EndorsementOutput
+from repro.peer.node import PeerNode
+from repro.protocol.proposal import Proposal
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+
+class FabricNetwork:
+    """One channel's worth of running infrastructure."""
+
+    def __init__(
+        self,
+        channel: ChannelConfig,
+        features: FrameworkFeatures | None = None,
+        orderer_cluster_size: int = 3,
+        batch_size: int = 1,
+        disseminate_on_endorsement: bool = True,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.channel = channel
+        self.features = features or FrameworkFeatures.original()
+        self.gossip = GossipNetwork(channel)
+        self.reconciler = Reconciler(self.gossip)
+        self.orderer = OrderingService(
+            cluster_size=orderer_cluster_size, batch_size=batch_size
+        )
+        self._peers: dict[str, PeerNode] = {}
+        self._disseminate = disseminate_on_endorsement
+        self.tracer = tracer
+
+    # -- topology ------------------------------------------------------------
+    def add_peer(
+        self,
+        msp_id: str,
+        name: str = "peer0",
+        features: FrameworkFeatures | None = None,
+    ) -> PeerNode:
+        """Create a peer for ``msp_id`` and wire it into gossip + delivery."""
+        org = self.channel.organization(msp_id)
+        identity = org.enroll_peer(name)
+        peer = PeerNode(
+            identity=identity, channel=self.channel, features=features or self.features
+        )
+        if peer.name in self._peers:
+            raise ConfigError(f"peer {peer.name!r} already exists")
+        self._peers[peer.name] = peer
+        self.gossip.register_peer(peer)
+        if self.tracer is None:
+            self.orderer.register_delivery(peer.deliver_block)
+        else:
+            def traced_delivery(block, _peer=peer):
+                self.tracer.record(
+                    "orderer", "deliver-block", block=block.header.number, to=_peer.name
+                )
+                validated = _peer.deliver_block(block)
+                for tx, flag in zip(block.transactions, validated.flags):
+                    self.tracer.record(
+                        _peer.name, "validate+commit", tx.tx_id, flag=flag.value
+                    )
+                return validated
+
+            self.orderer.register_delivery(traced_delivery)
+        return peer
+
+    def peer(self, name: str) -> PeerNode:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise ConfigError(f"no peer named {name!r}") from None
+
+    def peers(self) -> list[PeerNode]:
+        return list(self._peers.values())
+
+    def peers_of(self, msp_id: str) -> list[PeerNode]:
+        return [p for p in self._peers.values() if p.msp_id == msp_id]
+
+    def default_peer_for(self, msp_id: str) -> PeerNode:
+        peers = self.peers_of(msp_id)
+        if not peers:
+            raise ConfigError(f"organization {msp_id!r} has no peers")
+        return peers[0]
+
+    def default_endorsers(self) -> list[PeerNode]:
+        """One peer per organization — enough for any MAJORITY/ALL policy."""
+        seen: dict[str, PeerNode] = {}
+        for peer in self._peers.values():
+            seen.setdefault(peer.msp_id, peer)
+        return list(seen.values())
+
+    def client(self, msp_id: str, name: str = "client0") -> Gateway:
+        identity = self.channel.organization(msp_id).enroll_client(name)
+        return Gateway(identity=identity, network=self)
+
+    # -- chaincode ------------------------------------------------------------
+    def install_chaincode(
+        self,
+        name: str,
+        contract_factory: Callable[[PeerNode], Chaincode] | Chaincode,
+        peers: Optional[Sequence[PeerNode]] = None,
+    ) -> None:
+        """Install a contract on the given peers (default: all).
+
+        Pass a factory ``peer -> Chaincode`` to install per-peer customized
+        implementations (org-specific constraints — or malicious forks).
+        """
+        targets = list(peers) if peers is not None else self.peers()
+        for peer in targets:
+            if callable(contract_factory) and not isinstance(contract_factory, Chaincode):
+                contract = contract_factory(peer)
+            else:
+                contract = contract_factory  # shared instance: contracts are stateless
+            peer.install_chaincode(name, contract)
+
+    # -- the execution phase (endorsement + dissemination) ----------------------
+    def request_endorsement(self, peer: PeerNode, proposal: Proposal) -> EndorsementOutput:
+        """Endorse at ``peer``; on success, stage + gossip the private writes."""
+        if self.tracer:
+            self.tracer.record(
+                "client", "send-proposal", proposal.tx_id,
+                to=peer.name, function=proposal.function,
+            )
+        output = peer.endorse(proposal)
+        if self.tracer:
+            self.tracer.record(peer.name, "simulate+endorse", proposal.tx_id)
+        if output.private_writes:
+            peer.stage_private_writes(proposal.tx_id, output.private_writes)
+            if self._disseminate:
+                pushed = self.gossip.disseminate(peer, proposal.tx_id, output.private_writes)
+                if self.tracer:
+                    self.tracer.record(
+                        peer.name, "gossip-private-rwset", proposal.tx_id, pushes=pushed
+                    )
+        return output
+
+    # -- the ordering + validation phases ------------------------------------------
+    def submit_envelope(
+        self, envelope: TransactionEnvelope, client_payload: bytes = b""
+    ) -> SubmitResult:
+        """Order the envelope, wait for commit, and report the outcome.
+
+        The returned status is the flag computed by the peers — honest
+        peers always agree because validation is deterministic over the
+        same block and (converged) state.
+        """
+        if self.tracer:
+            self.tracer.record(
+                "client", "assemble+submit", envelope.tx_id,
+                endorsements=len(envelope.endorsements),
+            )
+        self.orderer.submit(envelope)
+        self.orderer.flush()
+        status = self._status_of(envelope.tx_id)
+        return SubmitResult(
+            tx_id=envelope.tx_id,
+            status=status,
+            payload=client_payload,
+            envelope=envelope,
+        )
+
+    def _status_of(self, tx_id: str) -> ValidationCode:
+        statuses = {
+            peer.transaction_status(tx_id)
+            for peer in self._peers.values()
+            if peer.transaction_status(tx_id) is not None
+        }
+        if not statuses:
+            raise EndorsementError(f"transaction {tx_id} was never committed to any peer")
+        if len(statuses) > 1:  # pragma: no cover - would indicate a simulator bug
+            raise EndorsementError(f"peers disagree on tx {tx_id}: {statuses}")
+        return statuses.pop()
+
+    # -- maintenance --------------------------------------------------------------
+    def reconcile_private_data(self) -> int:
+        """Run one reconciliation sweep; returns the number of repairs."""
+        return self.reconciler.reconcile_all()

@@ -1,0 +1,118 @@
+"""The prototype networks of Section V.
+
+Three presets reproduce the paper's experimental setups:
+
+* :func:`three_org_network` — orgs 1-3, one peer + one client each, PDC1
+  shared by org1 and org2, chaincode-level ``MAJORITY Endorsement``
+  (the default and, per the GitHub study, by far the most common policy).
+* :func:`five_org_network` — adds org4 and org5 with the chaincode-level
+  ``2OutOf(org1..org5)`` policy of §V-A5.
+* any preset accepts ``collection_policy`` to add the §V-A6
+  collection-level ``AND(org1, org2)`` policy, and ``features`` to run on
+  the defended (modified) framework.
+
+All presets deploy the chaincode *definition*; experiments install the
+actual contracts (honest, constrained, or malicious) per peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.client.gateway import Gateway
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+from repro.peer.node import PeerNode
+
+CHAINCODE = "pdccc"
+COLLECTION = "PDC1"
+CHANNEL = "mychannel"
+PRIVATE_KEY_NAME = "k1"
+
+
+@dataclass
+class TestNetwork:
+    """A preset network plus handles to its peers and clients."""
+
+    network: FabricNetwork
+    peers: dict[str, PeerNode]  # "peer0.Org1MSP" -> node
+    clients: dict[str, Gateway]  # "Org1MSP" -> gateway
+    chaincode_id: str = CHAINCODE
+    collection: str = COLLECTION
+
+    def peer_of(self, org_num: int) -> PeerNode:
+        return self.peers[f"peer0.Org{org_num}MSP"]
+
+    def client_of(self, org_num: int) -> Gateway:
+        return self.clients[f"Org{org_num}MSP"]
+
+
+def _build(
+    org_count: int,
+    member_org_nums: tuple[int, ...],
+    chaincode_policy: str,
+    collection_policy: Optional[str],
+    features: FrameworkFeatures,
+    required_peer_count: int = 1,
+    max_peer_count: int = 3,
+) -> TestNetwork:
+    organizations = [Organization(f"Org{i}MSP") for i in range(1, org_count + 1)]
+    channel = ChannelConfig(channel_id=CHANNEL, organizations=organizations)
+    members = ", ".join(f"'Org{i}MSP.member'" for i in member_org_nums)
+    channel.deploy_chaincode(
+        CHAINCODE,
+        endorsement_policy=chaincode_policy,
+        collections=[
+            CollectionConfig(
+                name=COLLECTION,
+                policy=f"OR({members})",
+                required_peer_count=required_peer_count,
+                max_peer_count=max_peer_count,
+                endorsement_policy=collection_policy,
+            )
+        ],
+    )
+    network = FabricNetwork(channel=channel, features=features)
+    peers = {}
+    clients = {}
+    for org in organizations:
+        peer = network.add_peer(org.msp_id, "peer0")
+        peers[peer.name] = peer
+        clients[org.msp_id] = network.client(org.msp_id, "client0")
+    return TestNetwork(network=network, peers=peers, clients=clients)
+
+
+def three_org_network(
+    collection_policy: Optional[str] = None,
+    features: FrameworkFeatures | None = None,
+) -> TestNetwork:
+    """The §V-A prototype: 3 orgs, PDC1 = {org1, org2}, MAJORITY policy."""
+    return _build(
+        org_count=3,
+        member_org_nums=(1, 2),
+        chaincode_policy="MAJORITY Endorsement",
+        collection_policy=collection_policy,
+        features=features or FrameworkFeatures.original(),
+    )
+
+
+def five_org_network(
+    collection_policy: Optional[str] = None,
+    features: FrameworkFeatures | None = None,
+) -> TestNetwork:
+    """The §V-A5 prototype: 5 orgs, PDC1 = {org1, org2}, 2OutOf policy."""
+    policy = (
+        "OutOf(2, 'Org1MSP.peer', 'Org2MSP.peer', 'Org3MSP.peer', "
+        "'Org4MSP.peer', 'Org5MSP.peer')"
+    )
+    return _build(
+        org_count=5,
+        member_org_nums=(1, 2),
+        chaincode_policy=policy,
+        collection_policy=collection_policy,
+        features=features or FrameworkFeatures.original(),
+    )

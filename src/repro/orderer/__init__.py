@@ -1,0 +1,7 @@
+"""Ordering service: Raft consensus, block cutting, block delivery."""
+
+from repro.orderer.block_cutter import BlockCutter
+from repro.orderer.raft import RaftCluster, RaftNode, RaftState
+from repro.orderer.service import OrderingService
+
+__all__ = ["BlockCutter", "RaftCluster", "RaftNode", "RaftState", "OrderingService"]

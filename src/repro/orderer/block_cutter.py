@@ -1,0 +1,58 @@
+"""The block cutter: batching envelopes into block-sized groups.
+
+Orderers "collect a pre-defined number of transactions or wait a
+pre-defined time" (Section II-B2) before cutting a block.  Time is modeled
+in ticks of the ordering loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.transaction import TransactionEnvelope
+
+DEFAULT_BATCH_SIZE = 10
+DEFAULT_BATCH_TIMEOUT_TICKS = 2
+
+
+@dataclass
+class BlockCutter:
+    """Accumulates envelopes; cuts on size or timeout."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    batch_timeout_ticks: int = DEFAULT_BATCH_TIMEOUT_TICKS
+    _pending: list[TransactionEnvelope] = field(default_factory=list)
+    _ticks_waiting: int = 0
+
+    def add(self, envelope: TransactionEnvelope) -> list[tuple[TransactionEnvelope, ...]]:
+        """Add an envelope; returns zero or more cut batches."""
+        self._pending.append(envelope)
+        if len(self._pending) >= self.batch_size:
+            return [self._cut()]
+        return []
+
+    def tick(self) -> list[tuple[TransactionEnvelope, ...]]:
+        """Advance the batch timer; cut on expiry."""
+        if not self._pending:
+            self._ticks_waiting = 0
+            return []
+        self._ticks_waiting += 1
+        if self._ticks_waiting >= self.batch_timeout_ticks:
+            return [self._cut()]
+        return []
+
+    def flush(self) -> list[tuple[TransactionEnvelope, ...]]:
+        """Force-cut whatever is pending (used at end of a test scenario)."""
+        if not self._pending:
+            return []
+        return [self._cut()]
+
+    def _cut(self) -> tuple[TransactionEnvelope, ...]:
+        batch = tuple(self._pending)
+        self._pending = []
+        self._ticks_waiting = 0
+        return batch
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

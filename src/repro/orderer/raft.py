@@ -1,0 +1,415 @@
+"""A deterministic Raft implementation for the ordering service.
+
+Fabric's ordering service runs etcd/raft: orderers agree on the *sequence
+of blocks* without ever validating transaction content.  We implement the
+core of the Raft protocol (leader election, log replication, commit-index
+advancement — Ongaro & Ousterhout 2014) over a simulated message-passing
+network driven by discrete ticks.
+
+Determinism: election timeouts are staggered by node index instead of
+randomized, so the same cluster always elects the same leader in the same
+number of ticks and simulator runs are exactly reproducible.  Message
+delivery order is FIFO per destination.  Crash/partition injection is
+supported for tests (``stop``/``restart``/``partition``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import OrderingError
+
+HEARTBEAT_INTERVAL = 3
+ELECTION_TIMEOUT_BASE = 10
+ELECTION_TIMEOUT_STAGGER = 4
+
+
+class RaftState(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    term: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate_id: int
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    voter_id: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader_id: int
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    follower_id: int
+    success: bool
+    match_index: int
+
+
+@dataclass
+class _Inbox:
+    messages: list[tuple[int, Any]] = field(default_factory=list)  # (sender, message)
+
+
+class RaftNode:
+    """One Raft participant.  Log indices are 1-based, per the paper."""
+
+    def __init__(self, node_id: int, cluster_size: int) -> None:
+        self.node_id = node_id
+        self.cluster_size = cluster_size
+        self.state = RaftState.FOLLOWER
+        self.current_term = 0
+        self.voted_for: Optional[int] = None
+        self.log: list[LogEntry] = []
+        self.commit_index = 0
+        self.last_applied = 0
+        self.next_index: dict[int, int] = {}
+        self.match_index: dict[int, int] = {}
+        self.ticks_since_heartbeat = 0
+        self.votes_received: set[int] = set()
+        self.alive = True
+
+    # -- log helpers --------------------------------------------------------
+    def last_log_index(self) -> int:
+        return len(self.log)
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    def term_at(self, index: int) -> int:
+        if index == 0:
+            return 0
+        return self.log[index - 1].term
+
+    def election_timeout(self) -> int:
+        return ELECTION_TIMEOUT_BASE + self.node_id * ELECTION_TIMEOUT_STAGGER
+
+    # -- state transitions ------------------------------------------------------
+    def become_follower(self, term: int) -> None:
+        self.state = RaftState.FOLLOWER
+        self.current_term = term
+        self.voted_for = None
+        self.votes_received = set()
+        self.ticks_since_heartbeat = 0
+
+    def become_candidate(self) -> RequestVote:
+        self.state = RaftState.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self.votes_received = {self.node_id}
+        self.ticks_since_heartbeat = 0
+        return RequestVote(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.last_log_index(),
+            last_log_term=self.last_log_term(),
+        )
+
+    def become_leader(self) -> None:
+        self.state = RaftState.LEADER
+        self.next_index = {
+            peer: self.last_log_index() + 1
+            for peer in range(self.cluster_size)
+            if peer != self.node_id
+        }
+        self.match_index = {peer: 0 for peer in range(self.cluster_size) if peer != self.node_id}
+        self.ticks_since_heartbeat = 0
+
+
+class RaftCluster:
+    """A cluster of Raft nodes plus the simulated network between them.
+
+    ``on_commit(payload)`` fires exactly once per committed log entry, in
+    log order, when the *leader* applies it — this is where the ordering
+    service turns an agreed entry into a delivered block.
+    """
+
+    def __init__(self, size: int, on_commit: Optional[Callable[[Any], None]] = None) -> None:
+        if size < 1:
+            raise OrderingError("a Raft cluster needs at least one node")
+        self.nodes = [RaftNode(i, size) for i in range(size)]
+        self._inboxes = [_Inbox() for _ in range(size)]
+        self._on_commit = on_commit
+        self._partitioned: set[int] = set()
+        self.ticks_elapsed = 0
+
+    # -- fault injection ----------------------------------------------------
+    def stop(self, node_id: int) -> None:
+        self.nodes[node_id].alive = False
+
+    def restart(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        node.alive = True
+        node.state = RaftState.FOLLOWER
+        node.ticks_since_heartbeat = 0
+
+    def partition(self, node_ids: set[int]) -> None:
+        """Nodes in ``node_ids`` can only talk to each other."""
+        self._partitioned = set(node_ids)
+
+    def heal_partition(self) -> None:
+        self._partitioned = set()
+
+    def _can_talk(self, a: int, b: int) -> bool:
+        if not self._partitioned:
+            return True
+        return (a in self._partitioned) == (b in self._partitioned)
+
+    # -- network ----------------------------------------------------------------
+    def _send(self, sender: int, target: int, message: Any) -> None:
+        if self.nodes[target].alive and self._can_talk(sender, target):
+            self._inboxes[target].messages.append((sender, message))
+
+    def _broadcast(self, sender: int, message: Any) -> None:
+        for target in range(len(self.nodes)):
+            if target != sender:
+                self._send(sender, target, message)
+
+    # -- main loop -----------------------------------------------------------------
+    def leader(self) -> Optional[RaftNode]:
+        leaders = [n for n in self.nodes if n.alive and n.state is RaftState.LEADER]
+        if not leaders:
+            return None
+        # With partitions there may briefly be two leaders; the one with
+        # the highest term is authoritative.
+        return max(leaders, key=lambda n: n.current_term)
+
+    def propose(self, payload: Any) -> None:
+        """Append a payload at the current leader (electing one if needed)."""
+        leader = self.leader()
+        if leader is None:
+            self.run_until(lambda: self.leader() is not None, max_ticks=1000)
+            leader = self.leader()
+            if leader is None:
+                raise OrderingError("no Raft leader could be elected")
+        leader.log.append(LogEntry(term=leader.current_term, payload=payload))
+
+    def tick(self) -> None:
+        """One time step: timers fire, then all queued messages deliver."""
+        self.ticks_elapsed += 1
+        for node in self.nodes:
+            if node.alive:
+                self._tick_node(node)
+        # Deliver everything queued this tick (one network round).
+        for node_id, inbox in enumerate(self._inboxes):
+            pending, inbox.messages = inbox.messages, []
+            node = self.nodes[node_id]
+            if not node.alive:
+                continue
+            for sender, message in pending:
+                self._handle(node, sender, message)
+        self._advance_commit()
+
+    def run_until(self, predicate: Callable[[], bool], max_ticks: int = 2000) -> None:
+        for _ in range(max_ticks):
+            if predicate():
+                return
+            self.tick()
+        if not predicate():
+            raise OrderingError(f"condition not reached within {max_ticks} ticks")
+
+    def replicate_and_commit(self, payload: Any, max_ticks: int = 2000) -> None:
+        """Propose and run until the entry is committed and applied."""
+        self.propose(payload)
+        leader = self.leader()
+        assert leader is not None
+        target = leader.last_log_index()
+        self.run_until(
+            lambda: leader.alive and leader.last_applied >= target, max_ticks=max_ticks
+        )
+
+    # -- per-node timers --------------------------------------------------------------
+    def _tick_node(self, node: RaftNode) -> None:
+        if node.state is RaftState.LEADER:
+            node.ticks_since_heartbeat += 1
+            if node.ticks_since_heartbeat >= HEARTBEAT_INTERVAL:
+                node.ticks_since_heartbeat = 0
+                self._send_append_entries(node)
+            return
+        node.ticks_since_heartbeat += 1
+        if node.ticks_since_heartbeat >= node.election_timeout():
+            request = node.become_candidate()
+            if node.cluster_size == 1:
+                node.become_leader()
+            else:
+                self._broadcast(node.node_id, request)
+
+    def _send_append_entries(self, leader: RaftNode) -> None:
+        for peer in range(leader.cluster_size):
+            if peer == leader.node_id:
+                continue
+            next_idx = leader.next_index.get(peer, leader.last_log_index() + 1)
+            prev_index = next_idx - 1
+            entries = tuple(leader.log[next_idx - 1 :])
+            self._send(
+                leader.node_id,
+                peer,
+                AppendEntries(
+                    term=leader.current_term,
+                    leader_id=leader.node_id,
+                    prev_log_index=prev_index,
+                    prev_log_term=leader.term_at(prev_index),
+                    entries=entries,
+                    leader_commit=leader.commit_index,
+                ),
+            )
+
+    # -- message handlers ----------------------------------------------------------------
+    def _handle(self, node: RaftNode, sender: int, message: Any) -> None:
+        if isinstance(message, RequestVote):
+            self._handle_request_vote(node, message)
+        elif isinstance(message, RequestVoteReply):
+            self._handle_vote_reply(node, message)
+        elif isinstance(message, AppendEntries):
+            self._handle_append_entries(node, message)
+        elif isinstance(message, AppendEntriesReply):
+            self._handle_append_reply(node, message)
+
+    def _handle_request_vote(self, node: RaftNode, msg: RequestVote) -> None:
+        if msg.term > node.current_term:
+            node.become_follower(msg.term)
+        granted = False
+        if msg.term == node.current_term and node.voted_for in (None, msg.candidate_id):
+            log_ok = (msg.last_log_term, msg.last_log_index) >= (
+                node.last_log_term(),
+                node.last_log_index(),
+            )
+            if log_ok:
+                granted = True
+                node.voted_for = msg.candidate_id
+                node.ticks_since_heartbeat = 0
+        self._send(
+            node.node_id,
+            msg.candidate_id,
+            RequestVoteReply(term=node.current_term, voter_id=node.node_id, granted=granted),
+        )
+
+    def _handle_vote_reply(self, node: RaftNode, msg: RequestVoteReply) -> None:
+        if msg.term > node.current_term:
+            node.become_follower(msg.term)
+            return
+        if node.state is not RaftState.CANDIDATE or msg.term < node.current_term:
+            return
+        if msg.granted:
+            node.votes_received.add(msg.voter_id)
+            if len(node.votes_received) > node.cluster_size // 2:
+                node.become_leader()
+                self._send_append_entries(node)
+
+    def _handle_append_entries(self, node: RaftNode, msg: AppendEntries) -> None:
+        if msg.term > node.current_term or (
+            msg.term == node.current_term and node.state is not RaftState.FOLLOWER
+        ):
+            node.become_follower(msg.term)
+        if msg.term < node.current_term:
+            self._send(
+                node.node_id,
+                msg.leader_id,
+                AppendEntriesReply(
+                    term=node.current_term,
+                    follower_id=node.node_id,
+                    success=False,
+                    match_index=0,
+                ),
+            )
+            return
+        node.ticks_since_heartbeat = 0
+        # Consistency check on the previous entry.
+        if msg.prev_log_index > node.last_log_index() or (
+            msg.prev_log_index > 0 and node.term_at(msg.prev_log_index) != msg.prev_log_term
+        ):
+            self._send(
+                node.node_id,
+                msg.leader_id,
+                AppendEntriesReply(
+                    term=node.current_term,
+                    follower_id=node.node_id,
+                    success=False,
+                    match_index=0,
+                ),
+            )
+            return
+        # Append / overwrite conflicting suffix.
+        index = msg.prev_log_index
+        for entry in msg.entries:
+            index += 1
+            if index <= node.last_log_index():
+                if node.term_at(index) != entry.term:
+                    del node.log[index - 1 :]
+                    node.log.append(entry)
+            else:
+                node.log.append(entry)
+        if msg.leader_commit > node.commit_index:
+            node.commit_index = min(msg.leader_commit, node.last_log_index())
+        self._send(
+            node.node_id,
+            msg.leader_id,
+            AppendEntriesReply(
+                term=node.current_term,
+                follower_id=node.node_id,
+                success=True,
+                match_index=msg.prev_log_index + len(msg.entries),
+            ),
+        )
+
+    def _handle_append_reply(self, node: RaftNode, msg: AppendEntriesReply) -> None:
+        if msg.term > node.current_term:
+            node.become_follower(msg.term)
+            return
+        if node.state is not RaftState.LEADER:
+            return
+        if msg.success:
+            node.match_index[msg.follower_id] = max(
+                node.match_index.get(msg.follower_id, 0), msg.match_index
+            )
+            node.next_index[msg.follower_id] = node.match_index[msg.follower_id] + 1
+        else:
+            node.next_index[msg.follower_id] = max(1, node.next_index.get(msg.follower_id, 1) - 1)
+
+    # -- commit-index advancement -------------------------------------------------------------
+    def _advance_commit(self) -> None:
+        for node in self.nodes:
+            if not node.alive:
+                continue
+            if node.state is RaftState.LEADER:
+                for candidate in range(node.last_log_index(), node.commit_index, -1):
+                    if node.term_at(candidate) != node.current_term:
+                        continue
+                    replicas = 1 + sum(
+                        1 for m in node.match_index.values() if m >= candidate
+                    )
+                    if replicas > node.cluster_size // 2:
+                        node.commit_index = candidate
+                        break
+            self._apply(node)
+
+    def _apply(self, node: RaftNode) -> None:
+        while node.last_applied < node.commit_index:
+            node.last_applied += 1
+            if node.state is RaftState.LEADER and self._on_commit is not None:
+                self._on_commit(node.log[node.last_applied - 1].payload)

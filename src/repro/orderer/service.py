@@ -1,0 +1,97 @@
+"""The ordering service: Raft-replicated block creation and delivery.
+
+Orderers bundle submitted envelopes into blocks **without validating
+transaction content** (Section II-B2) — a property the paper's attacks
+rely on: a fabricated-but-well-formed transaction is ordered like any
+other.  Each cut batch is replicated through the Raft cluster; once the
+cluster commits it, the service seals it into a hash-chained block and
+delivers it to every registered peer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.errors import OrderingError
+from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.orderer.block_cutter import BlockCutter
+from repro.orderer.raft import RaftCluster
+from repro.protocol.transaction import TransactionEnvelope
+
+BlockDeliveryHandler = Callable[[Block], Any]
+
+
+class OrderingService:
+    """Front-end over a Raft cluster of orderer nodes."""
+
+    def __init__(
+        self,
+        cluster_size: int = 3,
+        batch_size: int = 10,
+        batch_timeout_ticks: int = 2,
+    ) -> None:
+        self._cutter = BlockCutter(batch_size=batch_size, batch_timeout_ticks=batch_timeout_ticks)
+        self._cluster = RaftCluster(size=cluster_size, on_commit=self._on_raft_commit)
+        self._delivery_handlers: list[BlockDeliveryHandler] = []
+        self._next_block_number = 0
+        self._prev_hash = GENESIS_PREV_HASH
+        self._delivered_batch_ids: set[int] = set()
+        self._batch_counter = 0
+        self._delivered_blocks: list[Block] = []
+        self.blocks_delivered = 0
+
+    @property
+    def raft(self) -> RaftCluster:
+        """The underlying cluster (exposed for fault-injection tests)."""
+        return self._cluster
+
+    def register_delivery(self, handler: BlockDeliveryHandler) -> None:
+        """Subscribe a peer's ``deliver_block`` to new blocks.
+
+        Blocks already ordered are replayed first, so a peer joining the
+        channel late catches up from block 0 — Fabric's deliver service
+        behaves the same way.
+        """
+        for block in self._delivered_blocks:
+            handler(block)
+        self._delivery_handlers.append(handler)
+
+    # -- ordering phase -----------------------------------------------------
+    def submit(self, envelope: TransactionEnvelope) -> None:
+        """Accept an envelope; content is *not* validated, only well-formedness."""
+        if not envelope.tx_id:
+            raise OrderingError("envelope missing tx id")
+        for batch in self._cutter.add(envelope):
+            self._order_batch(batch)
+
+    def tick(self) -> None:
+        """Advance batch timers (cuts on timeout)."""
+        for batch in self._cutter.tick():
+            self._order_batch(batch)
+
+    def flush(self) -> None:
+        """Cut and order whatever is pending — used to finish a scenario."""
+        for batch in self._cutter.flush():
+            self._order_batch(batch)
+
+    # -- consensus + delivery --------------------------------------------------
+    def _order_batch(self, batch: tuple[TransactionEnvelope, ...]) -> None:
+        self._batch_counter += 1
+        self._cluster.replicate_and_commit((self._batch_counter, batch))
+
+    def _on_raft_commit(self, payload: Any) -> None:
+        batch_id, batch = payload
+        if batch_id in self._delivered_batch_ids:
+            # Leadership changes can re-apply entries at a new leader;
+            # delivery is exactly-once per batch.
+            return
+        self._delivered_batch_ids.add(batch_id)
+        block = Block.create(
+            number=self._next_block_number, prev_hash=self._prev_hash, transactions=batch
+        )
+        self._next_block_number += 1
+        self._prev_hash = block.header.block_hash()
+        self._delivered_blocks.append(block)
+        self.blocks_delivered += 1
+        for handler in self._delivery_handlers:
+            handler(block)

@@ -1,0 +1,8 @@
+"""Peers: endorsement, validation (VSCC + MVCC), commit."""
+
+from repro.peer.committer import Committer
+from repro.peer.endorser import EndorsementOutput, Endorser
+from repro.peer.node import PeerNode
+from repro.peer.validator import Validator
+
+__all__ = ["Committer", "EndorsementOutput", "Endorser", "PeerNode", "Validator"]

@@ -1,0 +1,123 @@
+"""The commit half of a peer (validation phase, steps 14-20 of Fig. 2).
+
+After validation, the committer applies the write sets of *valid*
+transactions to the ledger:
+
+* public writes update the world state at every peer;
+* hashed private writes update the hash store at every peer;
+* the original private writes are applied **only where the plaintext is
+  available and matches the on-chain hashes** — member peers obtain it
+  from their transient store (filled by their own endorsement or by
+  gossip) and verify it before committing (Section III-A2).
+
+If a member peer cannot obtain the plaintext, the block still commits and
+the gap is recorded for later reconciliation — Fabric behaves the same.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ledger.block import Block, ValidatedBlock
+from repro.ledger.ledger import MissingPrivateData, PeerLedger
+from repro.ledger.version import Version
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+
+
+class Committer:
+    """Applies validated blocks to one peer's ledger."""
+
+    def __init__(self, channel: "ChannelConfig", local_msp_id: str) -> None:
+        self._channel = channel
+        self._local_msp_id = local_msp_id
+
+    def commit_block(
+        self, block: Block, flags: list[ValidationCode], ledger: PeerLedger
+    ) -> ValidatedBlock:
+        """Apply all valid transactions and append the block to the chain."""
+        validated = ValidatedBlock(block=block, flags=list(flags))
+        for tx_num, (tx, flag) in enumerate(zip(block.transactions, flags)):
+            if flag is ValidationCode.VALID:
+                self._apply_transaction(tx, Version(block.header.number, tx_num), ledger)
+            ledger.transient_store.remove_transaction(tx.tx_id)
+        ledger.blockchain.append(validated)
+        ledger.transient_store.purge_below(ledger.height)
+        ledger.purge_expired_private(self._channel.block_to_live_map(), ledger.height)
+        return validated
+
+    def _apply_transaction(
+        self, tx: TransactionEnvelope, version: Version, ledger: PeerLedger
+    ) -> None:
+        for ns in tx.payload.results.namespaces:
+            for write in ns.writes:
+                if write.is_delete:
+                    ledger.world_state.delete(ns.namespace, write.key)
+                else:
+                    ledger.world_state.put(
+                        ns.namespace, write.key, write.value or b"", version
+                    )
+            for meta in ns.metadata_writes:
+                ledger.world_state.set_metadata(ns.namespace, meta.key, meta.name, meta.value)
+            for col in ns.collections:
+                if col.hashed_writes:
+                    self._apply_collection_writes(tx, ns.namespace, col, version, ledger)
+
+    def _apply_collection_writes(self, tx, namespace, hashed_col, version, ledger: PeerLedger):
+        # 1. Hashed writes land at every peer.
+        for hashed_write in hashed_col.hashed_writes:
+            if hashed_write.is_delete:
+                ledger.private_hashes.delete(namespace, hashed_col.collection, hashed_write.key_hash)
+            else:
+                ledger.private_hashes.put(
+                    namespace,
+                    hashed_col.collection,
+                    hashed_write.key_hash,
+                    hashed_write.value_hash or b"",
+                    version,
+                )
+
+        # 2. Original writes land only where the plaintext is available.
+        config = self._channel.collection(namespace, hashed_col.collection)
+        is_member = config.is_member_org(self._local_msp_id)
+        plaintext = ledger.transient_store.get(tx.tx_id, namespace, hashed_col.collection)
+
+        if plaintext is None:
+            if is_member:
+                ledger.record_missing(
+                    MissingPrivateData(
+                        tx_id=tx.tx_id,
+                        block_num=version.block_num,
+                        namespace=namespace,
+                        collection=hashed_col.collection,
+                    )
+                )
+            return
+
+        # A member never trusts gossip blindly: the plaintext must match
+        # the hashes carried by the (already validated) transaction.
+        if not plaintext.matches_hashes(hashed_col):
+            if is_member:
+                ledger.record_missing(
+                    MissingPrivateData(
+                        tx_id=tx.tx_id,
+                        block_num=version.block_num,
+                        namespace=namespace,
+                        collection=hashed_col.collection,
+                    )
+                )
+            return
+
+        ledger.committed_private_rwsets[(tx.tx_id, namespace, hashed_col.collection)] = plaintext
+        for write in plaintext.writes:
+            if write.is_delete:
+                ledger.private_data.delete(namespace, hashed_col.collection, write.key)
+            else:
+                ledger.private_data.put(
+                    namespace, hashed_col.collection, write.key, write.value or b"", version
+                )
+                ledger.note_private_commit(
+                    namespace, hashed_col.collection, write.key, version.block_num
+                )

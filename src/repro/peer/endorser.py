@@ -1,0 +1,128 @@
+"""The endorsement half of a peer (execution phase, steps 2-4 of Fig. 2).
+
+The endorser simulates the proposed chaincode function against its *local*
+ledger, producing a read/write set and a chaincode response, then signs
+the proposal-response payload.  Two paper-relevant behaviours live here:
+
+* simulation runs the **peer's own** installed contract for the chaincode
+  name — contracts are customizable per peer, which is what lets malicious
+  peers collude on forged results;
+* under **New Feature 2** the endorser signs the payload-*hashed* variant
+  of the proposal response whenever the transaction touches a private
+  collection, while still returning the original to the client (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.chaincode.api import Chaincode
+from repro.chaincode.rwset import PrivateCollectionWrites
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import EndorsementError
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.identity import SigningIdentity
+from repro.ledger.ledger import PeerLedger
+from repro.protocol.proposal import Proposal
+from repro.protocol.response import (
+    STATUS_ERROR,
+    ChaincodeResponse,
+    Endorsement,
+    ProposalResponse,
+    ProposalResponsePayload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+
+
+@dataclass(frozen=True)
+class EndorsementOutput:
+    """What endorsing produces: the response plus the off-chain private writes."""
+
+    response: ProposalResponse
+    private_writes: tuple[PrivateCollectionWrites, ...]
+
+
+class Endorser:
+    """Simulates proposals and signs proposal responses for one peer."""
+
+    def __init__(
+        self,
+        identity: SigningIdentity,
+        ledger: PeerLedger,
+        channel: "ChannelConfig",
+        chaincodes: Mapping[str, Chaincode],
+        features: FrameworkFeatures,
+    ) -> None:
+        self._identity = identity
+        self._ledger = ledger
+        self._channel = channel
+        self._chaincodes = chaincodes
+        self._features = features
+
+    def process_proposal(self, proposal: Proposal) -> EndorsementOutput:
+        """Simulate and endorse; raises :class:`EndorsementError` on failure.
+
+        A failed simulation produces a status-500 response and **no
+        endorsement** — the error carries the failure response so clients
+        can inspect the ``message`` field, mirroring Fabric.
+        """
+        contract = self._chaincodes.get(proposal.chaincode_id)
+        if contract is None:
+            raise EndorsementError(
+                f"chaincode {proposal.chaincode_id!r} is not installed on "
+                f"{self._identity.enrollment_id}"
+            )
+        stub = ChaincodeStub(
+            proposal=proposal,
+            ledger=self._ledger,
+            channel=self._channel,
+            local_msp_id=self._identity.msp_id,
+        )
+        try:
+            payload_bytes = contract.invoke(stub, proposal.function, list(proposal.args))
+        except Exception as exc:  # chaincode failures become 500 responses
+            failure = ChaincodeResponse(status=STATUS_ERROR, message=str(exc), payload=b"")
+            error = EndorsementError(
+                f"chaincode {proposal.chaincode_id!r} failed at "
+                f"{self._identity.enrollment_id}: {exc}"
+            )
+            error.response = failure  # type: ignore[attr-defined]
+            raise error from exc
+
+        simulation = stub.build_result()
+        response = ChaincodeResponse(status=200, message="", payload=payload_bytes)
+        event = None
+        if stub.event is not None:
+            from repro.protocol.response import ChaincodeEvent
+
+            event = ChaincodeEvent(name=stub.event[0], payload=stub.event[1])
+        original_payload = ProposalResponsePayload(
+            proposal_hash=proposal.proposal_hash(),
+            results=simulation.rwset,
+            response=response,
+            event=event,
+        )
+
+        touches_private = bool(simulation.rwset.collections_touched())
+        if self._features.hashed_payload_endorsement and touches_private:
+            # New Feature 2: sign (and ship for assembly) the hashed-payload
+            # variant; the client still receives the original response.
+            signed_payload = original_payload.with_hashed_payload()
+        else:
+            signed_payload = original_payload
+
+        endorsement = Endorsement(
+            endorser=self._identity.certificate,
+            signature=self._identity.sign(signed_payload.bytes()),
+        )
+        proposal_response = ProposalResponse(
+            payload=signed_payload,
+            endorsement=endorsement,
+            client_response=response,
+        )
+        return EndorsementOutput(
+            response=proposal_response, private_writes=simulation.private_writes
+        )

@@ -1,0 +1,141 @@
+"""A peer node: endorser + validator + committer + local ledger.
+
+Each peer holds its own :class:`PeerLedger`, its own (possibly customized)
+chaincode installations, and its own framework feature flags — a defended
+network is simply a network of peers constructed with the defense features
+enabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.chaincode.api import Chaincode
+from repro.chaincode.rwset import PrivateCollectionWrites
+from repro.common.errors import ConfigError
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.identity import Certificate, SigningIdentity
+from repro.ledger.block import Block, ValidatedBlock
+from repro.ledger.ledger import PeerLedger
+from repro.peer.committer import Committer
+from repro.peer.endorser import EndorsementOutput, Endorser
+from repro.peer.validator import Validator
+from repro.protocol.proposal import Proposal
+from repro.protocol.transaction import ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+
+CommitListener = Callable[["PeerNode", ValidatedBlock], None]
+
+
+class PeerNode:
+    """One peer on one channel."""
+
+    def __init__(
+        self,
+        identity: SigningIdentity,
+        channel: "ChannelConfig",
+        features: FrameworkFeatures | None = None,
+    ) -> None:
+        self.identity = identity
+        self.channel = channel
+        self.features = features or FrameworkFeatures.original()
+        self.ledger = PeerLedger()
+        self._chaincodes: dict[str, Chaincode] = {}
+        self._endorser = Endorser(
+            identity=identity,
+            ledger=self.ledger,
+            channel=channel,
+            chaincodes=self._chaincodes,
+            features=self.features,
+        )
+        self._validator = Validator(channel=channel, features=self.features)
+        self._committer = Committer(channel=channel, local_msp_id=identity.msp_id)
+        self._commit_listeners: list[CommitListener] = []
+
+    # -- identity helpers ---------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.identity.enrollment_id
+
+    @property
+    def msp_id(self) -> str:
+        return self.identity.msp_id
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.identity.certificate
+
+    def is_collection_member(self, chaincode_id: str, collection: str) -> bool:
+        return self.channel.collection(chaincode_id, collection).is_member_org(self.msp_id)
+
+    # -- chaincode installation ----------------------------------------------
+    def install_chaincode(self, name: str, contract: Chaincode) -> None:
+        """Install (or replace) this peer's implementation of ``name``.
+
+        Installing a *different* implementation than other peers is legal
+        — the customizable-chaincode feature — and is how both the per-org
+        business constraints and the paper's collusion attacks are set up.
+        """
+        if not self.channel.chaincodes.get(name):
+            raise ConfigError(f"chaincode {name!r} is not deployed on {self.channel.channel_id!r}")
+        self._chaincodes[name] = contract
+
+    def installed_chaincodes(self) -> list[str]:
+        return sorted(self._chaincodes)
+
+    # -- execution phase ------------------------------------------------------
+    def endorse(self, proposal: Proposal) -> EndorsementOutput:
+        """Simulate + sign a proposal (raises EndorsementError on failure)."""
+        return self._endorser.process_proposal(proposal)
+
+    def stage_private_writes(
+        self, tx_id: str, private_writes: tuple[PrivateCollectionWrites, ...]
+    ) -> None:
+        """Park plaintext private writes until the transaction commits."""
+        for writes in private_writes:
+            self.ledger.transient_store.put(tx_id, writes, self.ledger.height)
+
+    def receive_private_data(self, tx_id: str, writes: PrivateCollectionWrites) -> None:
+        """Gossip push handler: store disseminated private data."""
+        self.ledger.transient_store.put(tx_id, writes, self.ledger.height)
+
+    # -- validation phase ------------------------------------------------------
+    def deliver_block(self, block: Block) -> ValidatedBlock:
+        """Validate and commit an ordered block (steps 13-20 of Fig. 2)."""
+        flags = self._validator.validate_block(block, self.ledger)
+        validated = self._committer.commit_block(block, flags, self.ledger)
+        for listener in self._commit_listeners:
+            listener(self, validated)
+        return validated
+
+    def on_commit(self, listener: CommitListener) -> None:
+        self._commit_listeners.append(listener)
+
+    # -- reconciliation ----------------------------------------------------------
+    def serve_private_data(
+        self, tx_id: str, namespace: str, collection: str
+    ) -> Optional[PrivateCollectionWrites]:
+        """Serve a committed private rwset to a reconciling member peer."""
+        return self.ledger.committed_private_rwsets.get((tx_id, namespace, collection))
+
+    # -- queries (used by applications, tests and the leakage analysis) -------
+    def query_public(self, chaincode_id: str, key: str) -> Optional[bytes]:
+        entry = self.ledger.world_state.get(chaincode_id, key)
+        return entry.value if entry else None
+
+    def query_private(self, chaincode_id: str, collection: str, key: str) -> Optional[bytes]:
+        entry = self.ledger.private_data.get(chaincode_id, collection, key)
+        return entry.value if entry else None
+
+    def query_private_hash(self, chaincode_id: str, collection: str, key: str) -> Optional[bytes]:
+        entry = self.ledger.private_hashes.get_by_key(chaincode_id, collection, key)
+        return entry.value_hash if entry else None
+
+    def transaction_status(self, tx_id: str) -> Optional[ValidationCode]:
+        found = self.ledger.blockchain.find_transaction(tx_id)
+        return found[1] if found else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerNode({self.name!r}, features={self.features.describe()!r})"

@@ -1,0 +1,262 @@
+"""Transaction validation: the proof-of-policy (PoP) consensus checks.
+
+Every committing peer validates each transaction of a delivered block
+independently, through the two checks the paper names (Section II-B3):
+
+1. **Endorsement policy check** — are there enough *valid* endorsement
+   signatures from identities satisfying the applicable policy?
+2. **Version conflict check (MVCC)** — do the versions recorded in the
+   read set still match the committed state?
+
+The policy-selection rules are where the paper's Use Case 2 lives, and
+they reproduce Fabric's ``validator_keylevel.go`` behaviour:
+
+* collection *writes* are validated against the collection-level policy
+  when one is defined (otherwise the chaincode-level policy);
+* **read-only transactions are always validated against the
+  chaincode-level policy** — even when a collection-level policy exists —
+  which is what lets forged PDC reads through;
+* **New Feature 1** adds the collection-level policy check for collections
+  *read* by a read-only transaction, closing that hole.
+
+The supplemental defense filters endorsements from PDC non-member orgs
+before evaluating any policy of a PDC transaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.identity import Certificate
+from repro.ledger.block import Block
+from repro.ledger.ledger import PeerLedger
+from repro.ledger.version import Version
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+
+
+class Validator:
+    """VSCC + MVCC validation for one peer on one channel."""
+
+    def __init__(self, channel: "ChannelConfig", features: FrameworkFeatures) -> None:
+        self._channel = channel
+        self._features = features
+        self._evaluator = channel.evaluator()
+
+    # -- block-level entry point ------------------------------------------
+    def validate_block(self, block: Block, ledger: PeerLedger) -> list[ValidationCode]:
+        """Validate every transaction, honouring intra-block write order.
+
+        Later transactions in the same block see the keys written by
+        earlier *valid* transactions as conflicting (standard Fabric MVCC
+        within a block).
+        """
+        flags: list[ValidationCode] = []
+        block_writes: set[tuple[str, str]] = set()
+        block_private_writes: set[tuple[str, str, bytes]] = set()
+        seen_tx_ids: set[str] = set()
+
+        for tx in block.transactions:
+            flag = self._validate_transaction(
+                tx, ledger, block_writes, block_private_writes, seen_tx_ids
+            )
+            flags.append(flag)
+            seen_tx_ids.add(tx.tx_id)
+            if flag is ValidationCode.VALID:
+                for ns in tx.payload.results.namespaces:
+                    for write in ns.writes:
+                        block_writes.add((ns.namespace, write.key))
+                    for col in ns.collections:
+                        for hashed_write in col.hashed_writes:
+                            block_private_writes.add(
+                                (ns.namespace, col.collection, hashed_write.key_hash)
+                            )
+        return flags
+
+    # -- per-transaction pipeline ------------------------------------------
+    def _validate_transaction(
+        self,
+        tx: TransactionEnvelope,
+        ledger: PeerLedger,
+        block_writes: set[tuple[str, str]],
+        block_private_writes: set[tuple[str, str, bytes]],
+        seen_tx_ids: set[str],
+    ) -> ValidationCode:
+        if tx.tx_id in seen_tx_ids or ledger.blockchain.has_transaction(tx.tx_id):
+            return ValidationCode.DUPLICATE_TXID
+        if tx.channel_id != self._channel.channel_id:
+            return ValidationCode.INVALID_OTHER
+        if not self._channel.chaincodes.get(tx.chaincode_id):
+            return ValidationCode.INVALID_OTHER
+        if not self._channel.msp_registry.validate_certificate(tx.creator):
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.verify_creator_signature():
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.payload.response.ok:
+            return ValidationCode.BAD_RESPONSE_STATUS
+        if not self._check_endorsement_policies(tx, ledger):
+            return ValidationCode.ENDORSEMENT_POLICY_FAILURE
+        if not self._check_versions(tx, ledger, block_writes, block_private_writes):
+            return ValidationCode.MVCC_READ_CONFLICT
+        if not self._check_range_queries(tx, ledger, block_writes):
+            return ValidationCode.PHANTOM_READ_CONFLICT
+        return ValidationCode.VALID
+
+    # -- check 1: endorsement policy ---------------------------------------
+    def _valid_signers(self, tx: TransactionEnvelope) -> list[Certificate]:
+        """Certificates whose endorsement signature verifies over the payload.
+
+        Invalid signatures are dropped rather than failing the transaction
+        — they simply do not count towards any policy, as in Fabric.
+        """
+        payload_bytes = tx.payload.bytes()
+        signers = []
+        for endorsement in tx.endorsements:
+            if not self._channel.msp_registry.validate_certificate(endorsement.endorser):
+                continue
+            if endorsement.verify(payload_bytes):
+                signers.append(endorsement.endorser)
+        return signers
+
+    def _check_endorsement_policies(self, tx: TransactionEnvelope, ledger: PeerLedger) -> bool:
+        definition = self._channel.chaincode(tx.chaincode_id)
+        results = tx.payload.results
+        signers = self._valid_signers(tx)
+
+        touched = results.collections_touched()
+        if touched and self._features.filter_nonmember_endorsements:
+            # Supplemental defense: a PDC transaction only counts
+            # endorsements from organizations that are members of every
+            # collection it touches.
+            member_orgs: set[str] | None = None
+            for namespace, collection_name in touched:
+                config = self._channel.collection(namespace, collection_name)
+                orgs = config.member_orgs()
+                member_orgs = orgs if member_orgs is None else member_orgs & orgs
+            signers = [c for c in signers if c.msp_id in (member_orgs or set())]
+
+        chaincode_policy_needed = False
+        extra_policies: list[str] = []
+
+        if results.is_read_only:
+            # The vulnerable rule: read-only transactions use the
+            # chaincode-level policy, full stop (Use Case 2) — neither
+            # collection-level nor key-level policies of the keys *read*
+            # are consulted.
+            chaincode_policy_needed = True
+            if self._features.collection_policy_on_reads:
+                # New Feature 1: also apply collection-level policies to
+                # the collections this read-only transaction *read*.
+                for namespace, collection_name in sorted(touched):
+                    config = self._channel.collection(namespace, collection_name)
+                    if config.endorsement_policy is not None:
+                        extra_policies.append(config.endorsement_policy)
+        else:
+            for ns in results.namespaces:
+                # Public writes: governed by the key-level policy when one
+                # is committed for the key (state-based endorsement),
+                # otherwise by the chaincode-level policy.
+                for write in ns.writes:
+                    key_policy = ledger.world_state.get_validation_parameter(
+                        ns.namespace, write.key
+                    )
+                    if key_policy is not None:
+                        extra_policies.append(key_policy.decode("utf-8"))
+                    else:
+                        chaincode_policy_needed = True
+                # Changing a key's policy requires satisfying its current one.
+                for meta in ns.metadata_writes:
+                    key_policy = ledger.world_state.get_validation_parameter(
+                        ns.namespace, meta.key
+                    )
+                    if key_policy is not None:
+                        extra_policies.append(key_policy.decode("utf-8"))
+                    else:
+                        chaincode_policy_needed = True
+                # Collection writes: collection-level policy or fallback.
+                for col in ns.collections:
+                    if not col.hashed_writes:
+                        continue
+                    config = self._channel.collection(ns.namespace, col.collection)
+                    if config.endorsement_policy is not None:
+                        extra_policies.append(config.endorsement_policy)
+                    else:
+                        chaincode_policy_needed = True
+
+        if chaincode_policy_needed and not self._evaluator.evaluate(
+            definition.endorsement_policy, signers
+        ):
+            return False
+        for policy_text in extra_policies:
+            if not self._evaluator.evaluate(policy_text, signers):
+                return False
+        return True
+
+    # -- check 2: version conflicts (MVCC) -----------------------------------
+    def _check_versions(
+        self,
+        tx: TransactionEnvelope,
+        ledger: PeerLedger,
+        block_writes: set[tuple[str, str]],
+        block_private_writes: set[tuple[str, str, bytes]],
+    ) -> bool:
+        """The version conflict check of the PoP protocol.
+
+        Note what this check does **not** do: it never re-executes the
+        chaincode and never inspects the response payload — which is why
+        a fabricated payload with a genuine ``(key, version)`` read set
+        sails through (Section IV-A1).
+        """
+        for ns in tx.payload.results.namespaces:
+            for read in ns.reads:
+                if (ns.namespace, read.key) in block_writes:
+                    return False
+                committed: Version | None = ledger.world_state.get_version(ns.namespace, read.key)
+                if committed != read.version:
+                    return False
+            for col in ns.collections:
+                for hashed_read in col.hashed_reads:
+                    key = (ns.namespace, col.collection, hashed_read.key_hash)
+                    if key in block_private_writes:
+                        return False
+                    committed_private = ledger.private_hashes.get_version(
+                        ns.namespace, col.collection, hashed_read.key_hash
+                    )
+                    if committed_private != hashed_read.version:
+                        return False
+        return True
+
+    # -- phantom reads: range-query re-execution ------------------------------
+    def _check_range_queries(
+        self,
+        tx: TransactionEnvelope,
+        ledger: PeerLedger,
+        block_writes: set[tuple[str, str]],
+    ) -> bool:
+        """Re-scan each recorded range against current state and compare.
+
+        Any insertion, deletion or version change within the range since
+        simulation — including by earlier transactions in this block — is
+        a phantom read.
+        """
+        for ns in tx.payload.results.namespaces:
+            for query in ns.range_queries:
+                current: list[tuple[str, Version]] = []
+                for key, entry in ledger.world_state.items(ns.namespace):
+                    if key < query.start_key or (query.end_key and key >= query.end_key):
+                        continue
+                    current.append((key, entry.version))
+                recorded = [(r.key, r.version) for r in query.reads]
+                if current != recorded:
+                    return False
+                # Earlier transactions in this same block may have written
+                # (inserted, updated or deleted) keys inside the range.
+                for write_ns, key in block_writes:
+                    if write_ns != ns.namespace:
+                        continue
+                    if key >= query.start_key and (not query.end_key or key < query.end_key):
+                        return False
+        return True

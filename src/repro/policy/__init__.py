@@ -1,0 +1,29 @@
+"""Signature and implicitMeta policies: AST, parser, evaluation."""
+
+from repro.policy.ast import NOutOf, PolicyNode, Principal, and_, or_, out_of
+from repro.policy.evaluator import AnyPolicy, PolicyEvaluator
+from repro.policy.implicit_meta import (
+    ImplicitMetaPolicy,
+    ResolvedImplicitMeta,
+    is_implicit_meta,
+    majority_threshold,
+    parse_implicit_meta,
+)
+from repro.policy.parser import parse_policy
+
+__all__ = [
+    "NOutOf",
+    "PolicyNode",
+    "Principal",
+    "and_",
+    "or_",
+    "out_of",
+    "AnyPolicy",
+    "PolicyEvaluator",
+    "ImplicitMetaPolicy",
+    "ResolvedImplicitMeta",
+    "is_implicit_meta",
+    "majority_threshold",
+    "parse_implicit_meta",
+    "parse_policy",
+]

@@ -1,0 +1,106 @@
+"""Signature policy expression tree.
+
+A signature policy is a logical expression over MSP principals, built from
+``AND``, ``OR`` and ``NOutOf`` combinators (Section II of the paper).  A
+policy evaluates a *set of signer certificates*: it returns true when the
+signers include identities matching enough principals.
+
+Evaluation semantics match Fabric's: each leaf principal may be satisfied
+by any one signer, and a single signer may satisfy multiple leaves (Fabric
+deduplicates identities per leaf, not globally — e.g. ``AND(Org1.peer,
+Org1.peer)`` is satisfied by one Org1 peer signing once, but
+``AND(Org1.peer, Org2.peer)`` needs signers from both orgs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.identity.identity import Certificate
+from repro.identity.roles import Role
+
+# A predicate deciding whether a certificate satisfies (msp_id, role);
+# supplied by the evaluator so MSP validation stays pluggable.
+PrincipalMatcher = Callable[[Certificate, str, Role], bool]
+
+
+class PolicyNode:
+    """Base class of signature-policy AST nodes."""
+
+    def evaluate(self, signers: Sequence[Certificate], matcher: PrincipalMatcher) -> bool:
+        raise NotImplementedError
+
+    def principals(self) -> list["Principal"]:
+        """All leaf principals mentioned by the policy (with duplicates)."""
+        raise NotImplementedError
+
+    def msp_ids(self) -> set[str]:
+        return {p.msp_id for p in self.principals()}
+
+
+@dataclass(frozen=True)
+class Principal(PolicyNode):
+    """A leaf: ``MspId.role`` — e.g. ``Org1MSP.peer``."""
+
+    msp_id: str
+    role: Role
+
+    def evaluate(self, signers: Sequence[Certificate], matcher: PrincipalMatcher) -> bool:
+        return any(matcher(cert, self.msp_id, self.role) for cert in signers)
+
+    def principals(self) -> list["Principal"]:
+        return [self]
+
+    def __str__(self) -> str:
+        return f"'{self.msp_id}.{self.role.value}'"
+
+
+@dataclass(frozen=True)
+class NOutOf(PolicyNode):
+    """``n`` of the sub-policies must be satisfied.
+
+    ``AND`` is ``NOutOf(len(children))`` and ``OR`` is ``NOutOf(1)``; the
+    parser produces this single node type for all three spellings, the way
+    Fabric compiles policies to ``SignaturePolicy.NOutOf``.
+    """
+
+    n: int
+    children: tuple[PolicyNode, ...]
+    spelling: str = "OutOf"  # retained for round-tripping to text
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n <= len(self.children):
+            raise ValueError(
+                f"NOutOf threshold {self.n} out of range for {len(self.children)} children"
+            )
+
+    def evaluate(self, signers: Sequence[Certificate], matcher: PrincipalMatcher) -> bool:
+        satisfied = sum(1 for child in self.children if child.evaluate(signers, matcher))
+        return satisfied >= self.n
+
+    def principals(self) -> list[Principal]:
+        return [p for child in self.children for p in child.principals()]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(child) for child in self.children)
+        if self.spelling == "AND":
+            return f"AND({inner})"
+        if self.spelling == "OR":
+            return f"OR({inner})"
+        return f"OutOf({self.n}, {inner})"
+
+
+def and_(*children: PolicyNode) -> NOutOf:
+    """Convenience constructor: all children must be satisfied."""
+    return NOutOf(n=len(children), children=tuple(children), spelling="AND")
+
+
+def or_(*children: PolicyNode) -> NOutOf:
+    """Convenience constructor: any child suffices."""
+    return NOutOf(n=1, children=tuple(children), spelling="OR")
+
+
+def out_of(n: int, *children: PolicyNode) -> NOutOf:
+    """Convenience constructor: ``n`` of the children must be satisfied."""
+    return NOutOf(n=n, children=tuple(children), spelling="OutOf")

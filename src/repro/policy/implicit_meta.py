@@ -1,0 +1,94 @@
+"""ImplicitMeta policies: ``ANY | ALL | MAJORITY <sub-policy name>``.
+
+An implicitMeta policy does not name principals directly; it aggregates the
+*per-organization* signature policies of a channel.  ``MAJORITY
+Endorsement`` — the default chaincode-level endorsement policy, and per the
+paper's GitHub study by far the most common (116/120 configtx.yaml) — is
+Eq. (1) of the paper:
+
+    Majority(e_1, ..., e_n) = floor(1/2 + (sum(e_i) - 1/2) / n)
+
+where ``e_i`` is the boolean result of org i's own "Endorsement" signature
+policy.  Because the per-org policies are typically ``OR(orgI.peer)``, the
+implicitMeta policy is satisfied by *any* peers from a majority of orgs —
+including PDC non-member orgs, which is exactly the misuse the paper's
+injection attacks exploit.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.common.errors import PolicyError
+from repro.identity.identity import Certificate
+from repro.policy.ast import NOutOf, PolicyNode, PrincipalMatcher
+
+_IMPLICIT_RE = re.compile(r"^\s*(ANY|ALL|MAJORITY)\s+([A-Za-z0-9_-]+)\s*$", re.IGNORECASE)
+
+
+def majority_threshold(n: int) -> int:
+    """Strict-majority threshold from Eq. (1): smallest t with t/n > 1/2."""
+    if n <= 0:
+        raise PolicyError("majority over zero organizations is undefined")
+    return math.floor(n / 2) + 1
+
+
+@dataclass(frozen=True)
+class ImplicitMetaPolicy:
+    """``rule`` over the sub-policy named ``sub_policy`` of each org."""
+
+    rule: str  # "ANY" | "ALL" | "MAJORITY"
+    sub_policy: str  # e.g. "Endorsement"
+
+    def __post_init__(self) -> None:
+        if self.rule not in ("ANY", "ALL", "MAJORITY"):
+            raise PolicyError(f"unknown implicitMeta rule {self.rule!r}")
+
+    def threshold(self, org_count: int) -> int:
+        if self.rule == "ANY":
+            return 1 if org_count else 0
+        if self.rule == "ALL":
+            return org_count
+        return majority_threshold(org_count)
+
+    def resolve(self, org_policies: Mapping[str, PolicyNode]) -> "ResolvedImplicitMeta":
+        """Bind the meta policy to a channel's per-org sub-policies."""
+        if not org_policies:
+            raise PolicyError("implicitMeta policy over an empty organization set")
+        ordered = tuple(org_policies[msp] for msp in sorted(org_policies))
+        return ResolvedImplicitMeta(
+            meta=self,
+            org_policies=ordered,
+            node=NOutOf(n=self.threshold(len(ordered)), children=ordered),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.rule} {self.sub_policy}"
+
+
+@dataclass(frozen=True)
+class ResolvedImplicitMeta:
+    """An implicitMeta policy resolved against a concrete channel."""
+
+    meta: ImplicitMetaPolicy
+    org_policies: tuple[PolicyNode, ...]
+    node: NOutOf
+
+    def evaluate(self, signers: Sequence[Certificate], matcher: PrincipalMatcher) -> bool:
+        return self.node.evaluate(signers, matcher)
+
+
+def parse_implicit_meta(text: str) -> ImplicitMetaPolicy:
+    """Parse ``"MAJORITY Endorsement"``-style text."""
+    match = _IMPLICIT_RE.match(text)
+    if match is None:
+        raise PolicyError(f"not an implicitMeta policy: {text!r}")
+    return ImplicitMetaPolicy(rule=match.group(1).upper(), sub_policy=match.group(2))
+
+
+def is_implicit_meta(text: str) -> bool:
+    """Whether ``text`` uses the implicitMeta grammar."""
+    return _IMPLICIT_RE.match(text) is not None

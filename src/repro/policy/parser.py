@@ -1,0 +1,136 @@
+"""Parser for the textual signature-policy grammar.
+
+Accepts the syntax used throughout Fabric documentation, collection
+configuration files, and the paper itself::
+
+    AND('Org1MSP.peer', 'Org2MSP.peer')
+    OR(Org1.member, AND(Org2.peer, Org3.peer))
+    OutOf(2, 'Org1.peer', 'Org2.peer', 'Org3.peer')
+
+Quotes around principals are optional; nesting is arbitrary.  The paper's
+``2OutOf(...)`` spelling for "2 out of the listed principals" is accepted
+as a synonym for ``OutOf(2, ...)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import PolicyError
+from repro.identity.roles import Role
+from repro.policy.ast import NOutOf, PolicyNode, Principal
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<quoted>'[^']*'|"[^"]*")
+      | (?P<word>[A-Za-z0-9_.\-]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            raise PolicyError(f"unexpected character at {pos} in policy {text!r}")
+        pos = match.end()
+        for group in ("lparen", "rparen", "comma", "quoted", "word"):
+            value = match.group(group)
+            if value is not None:
+                if group == "quoted":
+                    value = value[1:-1]
+                tokens.append(value)
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise PolicyError(f"unexpected end of policy {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise PolicyError(f"expected {token!r} but found {got!r} in {self.text!r}")
+
+    def parse(self) -> PolicyNode:
+        node = self.parse_expr()
+        if self.peek() is not None:
+            raise PolicyError(f"trailing tokens after policy expression in {self.text!r}")
+        return node
+
+    def parse_expr(self) -> PolicyNode:
+        head = self.next()
+        n_out_of = re.fullmatch(r"(\d+)OutOf", head, re.IGNORECASE)
+        if self.peek() == "(":
+            if head.upper() in ("AND", "OR", "OUTOF", "NOUTOF") or n_out_of:
+                return self.parse_combinator(head, n_out_of)
+            raise PolicyError(f"unknown combinator {head!r} in {self.text!r}")
+        return self.parse_principal(head)
+
+    def parse_combinator(self, head: str, n_out_of: re.Match | None) -> PolicyNode:
+        self.expect("(")
+        threshold: int | None = int(n_out_of.group(1)) if n_out_of else None
+        spelling = head.upper() if head.upper() in ("AND", "OR") else "OutOf"
+        if head.upper() in ("OUTOF", "NOUTOF"):
+            count = self.next()
+            if not count.isdigit():
+                raise PolicyError(f"OutOf needs a leading integer, found {count!r}")
+            threshold = int(count)
+            self.expect(",")
+        children: list[PolicyNode] = [self.parse_expr()]
+        while self.peek() == ",":
+            self.next()
+            children.append(self.parse_expr())
+        self.expect(")")
+        if spelling == "AND":
+            threshold = len(children)
+        elif spelling == "OR":
+            threshold = 1
+        assert threshold is not None
+        if threshold > len(children):
+            raise PolicyError(
+                f"threshold {threshold} exceeds {len(children)} sub-policies in {self.text!r}"
+            )
+        return NOutOf(n=threshold, children=tuple(children), spelling=spelling)
+
+    def parse_principal(self, token: str) -> Principal:
+        if "." not in token:
+            raise PolicyError(f"principal {token!r} must look like 'MspId.role'")
+        msp_id, _, role_text = token.rpartition(".")
+        try:
+            role = Role(role_text.lower())
+        except ValueError:
+            raise PolicyError(f"unknown role {role_text!r} in principal {token!r}") from None
+        return Principal(msp_id=msp_id, role=role)
+
+
+def parse_policy(text: str) -> PolicyNode:
+    """Parse a textual signature policy into an AST.
+
+    Raises :class:`~repro.common.errors.PolicyError` on malformed input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise PolicyError("empty policy expression")
+    return _Parser(stripped).parse()

@@ -1,0 +1,26 @@
+"""Wire messages of the execute-order-validate pipeline."""
+
+from repro.protocol.proposal import Proposal, new_proposal, next_nonce
+from repro.protocol.response import (
+    STATUS_ERROR,
+    STATUS_OK,
+    ChaincodeResponse,
+    Endorsement,
+    ProposalResponse,
+    ProposalResponsePayload,
+)
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+__all__ = [
+    "Proposal",
+    "new_proposal",
+    "next_nonce",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "ChaincodeResponse",
+    "Endorsement",
+    "ProposalResponse",
+    "ProposalResponsePayload",
+    "TransactionEnvelope",
+    "ValidationCode",
+]

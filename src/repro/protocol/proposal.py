@@ -1,0 +1,83 @@
+"""Transaction proposals: what a client sends to endorsers.
+
+A proposal names the channel, chaincode, function and arguments, and
+carries the client's identity (Fig. 3, "transaction proposal").  Private
+input intended for the chaincode travels in the ``transient`` map, which
+is *never* included in the signed/hashed proposal bytes — exactly why
+Fabric applications pass private values through it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.common.hashing import sha256, sha256_hex
+from repro.common.serialization import canonical_bytes
+from repro.identity.identity import Certificate
+
+_NONCE_COUNTER = itertools.count(1)
+
+
+def next_nonce() -> bytes:
+    """A process-unique nonce; deterministic so runs are reproducible."""
+    return f"nonce-{next(_NONCE_COUNTER)}".encode("ascii")
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A transaction proposal (execution-phase request)."""
+
+    channel_id: str
+    chaincode_id: str
+    function: str
+    args: tuple[str, ...]
+    creator: Certificate
+    nonce: bytes
+    transient: Mapping[str, bytes] = field(default_factory=dict)
+
+    @property
+    def tx_id(self) -> str:
+        """Fabric derives the tx id as ``hash(nonce || creator)``."""
+        return sha256_hex(self.nonce + self.creator.body_bytes())
+
+    def header_bytes(self) -> bytes:
+        """The proposal content covered by hashes and signatures.
+
+        The transient map is deliberately excluded: it must never leak
+        into anything that reaches the ordering service.
+        """
+        return canonical_bytes(
+            {
+                "channel_id": self.channel_id,
+                "chaincode_id": self.chaincode_id,
+                "function": self.function,
+                "args": list(self.args),
+                "creator": self.creator.to_wire(),
+                "nonce": self.nonce,
+            }
+        )
+
+    def proposal_hash(self) -> bytes:
+        return sha256(self.header_bytes())
+
+
+def new_proposal(
+    channel_id: str,
+    chaincode_id: str,
+    function: str,
+    args: tuple[str, ...] | list[str],
+    creator: Certificate,
+    transient: Mapping[str, bytes] | None = None,
+) -> Proposal:
+    """Build a proposal with a fresh nonce."""
+    return Proposal(
+        channel_id=channel_id,
+        chaincode_id=chaincode_id,
+        function=function,
+        args=tuple(args),
+        creator=creator,
+        nonce=next_nonce(),
+        transient=dict(transient or {}),
+    )

@@ -1,0 +1,85 @@
+"""Assembled transactions and validation codes.
+
+A :class:`TransactionEnvelope` is what the client submits to ordering: a
+header identifying channel/chaincode/creator, the proposal-response
+payload agreed on by the endorsers, the list of endorsements, and the
+client's signature over all of it (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.serialization import canonical_bytes
+from repro.identity.identity import Certificate
+from repro.protocol.response import Endorsement, ProposalResponsePayload
+
+
+class ValidationCode(str, enum.Enum):
+    """Per-transaction validity flags recorded in block metadata."""
+
+    VALID = "VALID"
+    ENDORSEMENT_POLICY_FAILURE = "ENDORSEMENT_POLICY_FAILURE"
+    MVCC_READ_CONFLICT = "MVCC_READ_CONFLICT"
+    PHANTOM_READ_CONFLICT = "PHANTOM_READ_CONFLICT"
+    BAD_CREATOR_SIGNATURE = "BAD_CREATOR_SIGNATURE"
+    BAD_RESPONSE_STATUS = "BAD_RESPONSE_STATUS"
+    DUPLICATE_TXID = "DUPLICATE_TXID"
+    INVALID_OTHER = "INVALID_OTHER"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is ValidationCode.VALID
+
+
+@dataclass(frozen=True)
+class TransactionEnvelope:
+    """A signed, endorsed transaction ready for ordering."""
+
+    tx_id: str
+    channel_id: str
+    chaincode_id: str
+    creator: Certificate
+    payload: ProposalResponsePayload
+    endorsements: tuple[Endorsement, ...]
+    signature: bytes
+    # The chaincode input (Fig. 3 "transaction proposal"): committed with
+    # the transaction, and therefore readable by every peer.  The
+    # *transient* map is deliberately NOT part of an envelope.
+    function: str = ""
+    args: tuple[str, ...] = ()
+
+    def signed_bytes(self) -> bytes:
+        """The content covered by the creator's signature."""
+        return canonical_bytes(
+            {
+                "tx_id": self.tx_id,
+                "channel_id": self.channel_id,
+                "chaincode_id": self.chaincode_id,
+                "creator": self.creator.to_wire(),
+                "payload": self.payload.to_wire(),
+                "endorsements": [e.to_wire() for e in self.endorsements],
+                "function": self.function,
+                "args": list(self.args),
+            }
+        )
+
+    def to_wire(self) -> dict:
+        return {
+            "tx_id": self.tx_id,
+            "channel_id": self.channel_id,
+            "chaincode_id": self.chaincode_id,
+            "creator": self.creator.to_wire(),
+            "payload": self.payload.to_wire(),
+            "endorsements": [e.to_wire() for e in self.endorsements],
+            "signature": self.signature,
+            "function": self.function,
+            "args": list(self.args),
+        }
+
+    def verify_creator_signature(self) -> bool:
+        return self.creator.public_key.verify(self.signed_bytes(), self.signature)
+
+    def endorser_certificates(self) -> tuple[Certificate, ...]:
+        return tuple(e.endorser for e in self.endorsements)

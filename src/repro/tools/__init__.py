@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.scan <dir>`` — run the static analyzer over a
+  directory of Fabric projects (each child directory = one project).
+* ``python -m repro.tools.matrix`` — regenerate Table II.
+* ``python -m repro.tools.study`` — regenerate the GitHub study (Figs 7-10).
+* ``python -m repro.tools.overhead`` — regenerate Fig. 11.
+* ``python -m repro.tools.collusion`` — analyse collusion thresholds for
+  the §V preset networks.
+"""

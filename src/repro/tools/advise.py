@@ -1,0 +1,42 @@
+"""CLI: security advisory for the §V preset channels (or a custom one).
+
+Usage::
+
+    python -m repro.tools.advise [--preset {three,five}] [--defended]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.defense.advisor import advise
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.presets import five_org_network, three_org_network
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.advise",
+        description="Audit a channel configuration against the paper's attack classes",
+    )
+    parser.add_argument("--preset", choices=("three", "five"), default="three")
+    parser.add_argument(
+        "--collection-policy", action="store_true",
+        help="define the collection-level AND(org1, org2) policy",
+    )
+    parser.add_argument(
+        "--defended", action="store_true", help="audit with all defense features enabled"
+    )
+    args = parser.parse_args(argv)
+
+    features = FrameworkFeatures.defended() if args.defended else FrameworkFeatures.original()
+    policy = "AND('Org1MSP.peer', 'Org2MSP.peer')" if args.collection_policy else None
+    build = three_org_network if args.preset == "three" else five_org_network
+    net = build(collection_policy=policy, features=features)
+    report = advise(net.network.channel, features)
+    print(report.render())
+    return 0 if report.worst is None else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

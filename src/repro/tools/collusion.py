@@ -1,0 +1,62 @@
+"""CLI: collusion-threshold analysis for the §V preset networks.
+
+Usage::
+
+    python -m repro.tools.collusion [--policy TEXT] [--orgs N] [--members M ...]
+
+By default prints the analysis for both presets (3-org MAJORITY and
+5-org 2OutOf5); a custom policy over ``--orgs`` organizations with
+``--members`` PDC member numbers can be analysed too.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.attacks import analyze_collusion
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.presets import five_org_network, three_org_network
+
+
+def _custom(policy: str, org_count: int, member_nums: list[int]) -> None:
+    orgs = [Organization(f"Org{i}MSP") for i in range(1, org_count + 1)]
+    channel = ChannelConfig(channel_id="custom", organizations=orgs)
+    members = ", ".join(f"'Org{i}MSP.member'" for i in member_nums)
+    channel.deploy_chaincode(
+        "cc",
+        endorsement_policy=policy,
+        collections=[CollectionConfig(name="PDC", policy=f"OR({members})")],
+    )
+    print(analyze_collusion(channel, "cc", "PDC").summary())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.collusion",
+        description="Minimum colluding organizations per endorsement policy (§IV-A5)",
+    )
+    parser.add_argument("--policy", help="custom chaincode-level policy text")
+    parser.add_argument("--orgs", type=int, default=5, help="org count for --policy")
+    parser.add_argument(
+        "--members", type=int, nargs="+", default=[1, 2], help="PDC member org numbers"
+    )
+    args = parser.parse_args(argv)
+
+    if args.policy:
+        _custom(args.policy, args.orgs, args.members)
+        return 0
+
+    print("== 3 orgs, MAJORITY Endorsement, PDC1 = {org1, org2} ==")
+    net3 = three_org_network()
+    print(analyze_collusion(net3.network.channel, "pdccc", "PDC1").summary())
+    print()
+    print("== 5 orgs, 2OutOf5, PDC1 = {org1, org2} ==")
+    net5 = five_org_network()
+    print(analyze_collusion(net5.network.channel, "pdccc", "PDC1").summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

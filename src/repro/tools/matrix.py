@@ -1,0 +1,37 @@
+"""CLI: regenerate Table II (attack & defense matrix).
+
+Usage::
+
+    python -m repro.tools.matrix [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.attacks import run_attack_matrix
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.matrix", description="Run the Table II attack/defense evaluation"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    args = parser.parse_args(argv)
+
+    progress = None if args.quiet else (lambda msg: print(f"running: {msg}"))
+    matrix = run_attack_matrix(progress=progress)
+    print()
+    print(matrix.render())
+    mismatches = matrix.mismatches()
+    if mismatches:
+        print("\nDEVIATIONS FROM THE PAPER:")
+        for row, column, expected, measured in mismatches:
+            print(f"  {row} / {column}: paper {expected}, measured {measured}")
+        return 1
+    print("\nevery cell reproduces the paper's Table II")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""CLI: regenerate Fig. 11 (defense overhead).
+
+Usage::
+
+    python -m repro.tools.overhead [--runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.latency import measure_fig11, render_fig11
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.overhead",
+        description="Measure execution/validation latency, original vs modified framework",
+    )
+    parser.add_argument("--runs", type=int, default=100, help="runs per cell (paper: 100)")
+    args = parser.parse_args(argv)
+
+    results = measure_fig11(
+        runs=args.runs, progress=lambda msg: print(f"measuring: {msg}")
+    )
+    print()
+    print(render_fig11(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Tests for the deployment advisor (§IV-C guidance, executable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.defense.advisor import Severity, advise
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.presets import five_org_network, three_org_network
+from repro.tools import advise as advise_cli
+
+COLLECTION_POLICY = "AND('Org1MSP.peer', 'Org2MSP.peer')"
+
+
+def _codes(report):
+    return sorted({f.code for f in report.findings})
+
+
+class TestVulnerableDeployments:
+    def test_default_three_org_preset_is_flagged(self):
+        net = three_org_network()
+        report = advise(net.network.channel)
+        assert "PDC-W1" in _codes(report)  # no collection policy + MAJORITY
+        assert "PDC-R1" in _codes(report)  # no Feature 1
+        assert "PDC-L1" in _codes(report)  # no Feature 2
+        assert "PDC-M1" in _codes(report)  # memberOnly* off
+        assert report.worst is Severity.HIGH
+
+    def test_collection_policy_removes_write_finding_only(self):
+        net = three_org_network(collection_policy=COLLECTION_POLICY)
+        report = advise(net.network.channel)
+        codes = _codes(report)
+        assert "PDC-W1" not in codes
+        assert "PDC-R1" in codes  # reads still exposed — the Table II subtlety
+
+    def test_noutof_flags_nonmember_collusion(self):
+        net = five_org_network()
+        report = advise(net.network.channel)
+        assert "PDC-C1" in _codes(report)
+        finding = next(f for f in report.findings if f.code == "PDC-C1")
+        assert "zero insider collusion" in finding.explanation
+
+    def test_majority_of_three_has_no_collusion_finding(self):
+        net = three_org_network()
+        report = advise(net.network.channel)
+        assert "PDC-C1" not in _codes(report)
+        collusion = report.collusion[("pdccc", "PDC1")]
+        assert not collusion.nonmember_only_possible
+
+
+class TestDefendedDeployments:
+    def test_fully_defended_well_configured_channel(self):
+        """Collection policy + memberOnly flags + both features: only the
+        residual collusion info remains (none for MAJORITY-of-3)."""
+        from repro.identity.organization import Organization
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+
+        orgs = [Organization(f"Org{i}MSP") for i in (1, 2, 3)]
+        channel = ChannelConfig(channel_id="hardened", organizations=orgs)
+        channel.deploy_chaincode(
+            "pdccc",
+            collections=[
+                CollectionConfig(
+                    name="PDC1",
+                    policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                    endorsement_policy=COLLECTION_POLICY,
+                    member_only_read=True,
+                    member_only_write=True,
+                )
+            ],
+        )
+        report = advise(channel, FrameworkFeatures.defended())
+        assert report.findings == []
+        assert report.worst is None
+
+    def test_feature1_clears_read_finding(self):
+        net = three_org_network(
+            collection_policy=COLLECTION_POLICY,
+            features=FrameworkFeatures.feature1_only(),
+        )
+        report = advise(net.network.channel, FrameworkFeatures.feature1_only())
+        assert "PDC-R1" not in _codes(report)
+
+    def test_feature2_clears_leak_finding(self):
+        net = three_org_network(features=FrameworkFeatures.feature2_only())
+        report = advise(net.network.channel, FrameworkFeatures.feature2_only())
+        assert "PDC-L1" not in _codes(report)
+
+
+class TestAdvisorConsistencyWithAttacks:
+    """The advisor must agree with the measured Table II outcomes."""
+
+    def test_flagged_write_config_is_actually_attackable(self):
+        from repro.core.attacks import run_fake_write_injection
+
+        net = three_org_network()
+        report = advise(net.network.channel)
+        assert "PDC-W1" in _codes(report)
+        assert run_fake_write_injection(net).succeeded
+
+    def test_clean_write_config_resists_the_attack(self):
+        from repro.core.attacks import run_fake_write_injection
+
+        net = three_org_network(collection_policy=COLLECTION_POLICY)
+        report = advise(net.network.channel)
+        assert "PDC-W1" not in _codes(report)
+        assert not run_fake_write_injection(net).succeeded
+
+
+class TestRenderAndCli:
+    def test_render_contains_mitigations(self):
+        report = advise(three_org_network().network.channel)
+        text = report.render()
+        assert "New Feature 1" in text and "New Feature 2" in text
+
+    def test_cli_vulnerable_exit_code(self, capsys):
+        assert advise_cli.main(["--preset", "five"]) == 1
+        assert "PDC-C1" in capsys.readouterr().out
+
+    def test_cli_defended_still_reports_memberonly(self, capsys):
+        # defended features but memberOnly flags off -> PDC-M1 remains
+        assert advise_cli.main(["--defended", "--collection-policy"]) == 1
+        out = capsys.readouterr().out
+        assert "PDC-M1" in out and "PDC-R1" not in out

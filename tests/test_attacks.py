@@ -1,0 +1,157 @@
+"""Tests for the fake PDC results injection attacks (Section IV-A / V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attacks import (
+    run_fake_delete_injection,
+    run_fake_read_injection,
+    run_fake_read_write_injection,
+    run_fake_write_injection,
+)
+from repro.core.attacks.scenarios import COLLECTION_LEVEL_POLICY
+from repro.core.defense.features import FrameworkFeatures
+from repro.network.presets import five_org_network, three_org_network
+
+
+class TestFakeReadInjection:
+    def test_succeeds_under_majority(self):
+        report = run_fake_read_injection(three_org_network())
+        assert report.succeeded
+        assert report.details["on_chain_payload"] == b"999"
+        # The genuine private data is untouched — the lie lives on-chain.
+        assert report.details["genuine_value"] == b"12"
+
+    def test_forged_payload_recorded_immutably(self):
+        net = three_org_network()
+        report = run_fake_read_injection(net, fake_value=b"777")
+        assert report.succeeded
+        victim = net.peer_of(2)
+        tx, flag = victim.ledger.blockchain.find_transaction(report.details["tx_id"])
+        assert flag.value == "VALID"
+        assert tx.payload.response.payload == b"777"
+
+    def test_nonmember_only_collusion_under_2outof5(self):
+        """§V-A5: org3 + org4 (both non-members) suffice under 2OutOf5."""
+        report = run_fake_read_injection(five_org_network(), malicious_org_nums=(3, 4))
+        assert report.succeeded
+        assert set(report.details["endorsing_orgs"]) == {"Org3MSP", "Org4MSP"}
+
+    def test_still_works_under_collection_policy(self):
+        """§V-A6: read-only txs are validated with the chaincode-level
+        policy even when a collection-level policy exists."""
+        report = run_fake_read_injection(
+            three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        )
+        assert report.succeeded
+
+    def test_blocked_by_feature1(self):
+        report = run_fake_read_injection(
+            three_org_network(
+                collection_policy=COLLECTION_LEVEL_POLICY,
+                features=FrameworkFeatures.feature1_only(),
+            )
+        )
+        assert not report.succeeded
+
+    def test_blocked_by_nonmember_filter(self):
+        """The supplemental defense also stops it: org3's endorsement is
+        discarded, leaving only org1 — below MAJORITY."""
+        report = run_fake_read_injection(
+            three_org_network(features=FrameworkFeatures(filter_nonmember_endorsements=True))
+        )
+        assert not report.succeeded
+
+
+class TestFakeWriteInjection:
+    def test_succeeds_under_majority(self):
+        report = run_fake_write_injection(three_org_network())
+        assert report.succeeded
+        assert report.details["victim_value"] == b"5"
+
+    def test_violates_victim_constraint(self):
+        """k1=5 violates org2's `> 10` rule — the integrity breach."""
+        report = run_fake_write_injection(three_org_network())
+        value = int(report.details["victim_value"])
+        assert not value > 10
+
+    def test_succeeds_under_2outof5_without_members(self):
+        report = run_fake_write_injection(five_org_network(), malicious_org_nums=(3, 4))
+        assert report.succeeded
+
+    def test_blocked_by_collection_policy(self):
+        report = run_fake_write_injection(
+            three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        )
+        assert not report.succeeded
+        assert report.details["victim_value"] == b"12"  # seed survived
+
+    def test_honest_write_still_works_under_collection_policy(self):
+        """The defense must not break legitimate member-endorsed writes."""
+        from repro.core.attacks.base import install_constrained_contracts, seed_private_value
+
+        net = three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        install_constrained_contracts(net)
+        seed_private_value(net, "k1", b"12")
+        assert net.peer_of(2).query_private(net.chaincode_id, net.collection, "k1") == b"12"
+
+
+class TestFakeReadWriteInjection:
+    def test_succeeds_under_majority(self):
+        report = run_fake_read_write_injection(three_org_network())
+        assert report.succeeded
+        assert report.details["victim_value"] == b"5"
+
+    def test_honest_sum_would_have_passed(self):
+        """Sanity: the honest add (12+2=14) satisfies every org; only the
+        forged read value drives it below the victim's bound."""
+        from repro.core.attacks.base import install_constrained_contracts, seed_private_value
+
+        net = three_org_network()
+        install_constrained_contracts(net)
+        seed_private_value(net, "k1", b"12")
+        client = net.client_of(1)
+        client.submit_transaction(
+            net.chaincode_id, "add_private", [net.collection, "k1", "2"],
+            endorsing_peers=[net.peer_of(1), net.peer_of(2)],
+        ).raise_for_status()
+        assert net.peer_of(2).query_private(net.chaincode_id, net.collection, "k1") == b"14"
+
+    def test_blocked_by_collection_policy(self):
+        report = run_fake_read_write_injection(
+            three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        )
+        assert not report.succeeded
+
+
+class TestFakeDeleteInjection:
+    def test_succeeds_under_majority(self):
+        report = run_fake_delete_injection(three_org_network())
+        assert report.succeeded
+        assert report.details["victim_value"] is None
+        assert report.details["victim_hash_present"] is False
+
+    def test_succeeds_under_2outof5(self):
+        report = run_fake_delete_injection(five_org_network(), malicious_org_nums=(3, 4))
+        assert report.succeeded
+
+    def test_blocked_by_collection_policy(self):
+        report = run_fake_delete_injection(
+            three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        )
+        assert not report.succeeded
+
+
+class TestAttackReportRendering:
+    def test_marks(self):
+        report = run_fake_read_injection(three_org_network())
+        assert report.mark == "√"
+        assert "SUCCEEDED" in str(report)
+
+    def test_failed_mark(self):
+        report = run_fake_write_injection(
+            three_org_network(collection_policy=COLLECTION_LEVEL_POLICY)
+        )
+        assert report.mark == "×"
+        assert "FAILED" in str(report)

@@ -1,0 +1,88 @@
+"""Round-trip tests: exported channel config ⇄ the static analyzer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.analyzer.detectors import detect_configtx_policy, detect_explicit_pdc
+from repro.core.analyzer.source import ProjectFile
+from repro.core.analyzer.yaml_lite import extract_endorsement_rule
+from repro.network.configtx_export import export_collections_json, export_configtx
+from repro.network.presets import five_org_network, three_org_network
+
+
+class TestConfigtxRoundTrip:
+    def test_default_policy_recovered_by_analyzer(self):
+        """Export the §V preset's configtx; the analyzer reads MAJORITY back."""
+        net = three_org_network()
+        text = export_configtx(net.network.channel)
+        assert extract_endorsement_rule(text) == "MAJORITY Endorsement"
+
+    def test_detector_classifies_exported_file(self):
+        net = three_org_network()
+        file = ProjectFile(path="configtx.yaml", content=export_configtx(net.network.channel))
+        findings = detect_configtx_policy([file])
+        assert len(findings) == 1 and findings[0].is_majority
+
+    def test_signature_default_policy_exported(self):
+        from repro.identity.organization import Organization
+        from repro.network.channel import ChannelConfig
+
+        channel = ChannelConfig(
+            channel_id="sig",
+            organizations=[Organization("Org1MSP")],
+            default_endorsement_policy="OR('Org1MSP.peer')",
+        )
+        rule = extract_endorsement_rule(export_configtx(channel))
+        assert rule == "OR('Org1MSP.peer')"
+
+    def test_all_orgs_listed(self):
+        net = five_org_network()
+        text = export_configtx(net.network.channel)
+        for i in range(1, 6):
+            assert f"Name: Org{i}MSP" in text
+
+
+class TestCollectionsJsonRoundTrip:
+    def test_exported_collections_detected_as_explicit_pdc(self):
+        net = three_org_network(collection_policy="AND('Org1MSP.peer', 'Org2MSP.peer')")
+        text = export_collections_json(net.network.channel, "pdccc")
+        file = ProjectFile(path="collections_config.json", content=text)
+        result = detect_explicit_pdc([file])
+        assert result.detected
+        assert result.collections[0].name == "PDC1"
+        assert result.any_collection_policy
+
+    def test_export_without_policy_detected_as_chaincode_level(self):
+        net = three_org_network()
+        text = export_collections_json(net.network.channel, "pdccc")
+        result = detect_explicit_pdc([ProjectFile(path="c.json", content=text)])
+        assert result.detected and not result.any_collection_policy
+
+    def test_exported_json_is_valid(self):
+        net = three_org_network()
+        parsed = json.loads(export_collections_json(net.network.channel, "pdccc"))
+        assert parsed[0]["name"] == "PDC1"
+        assert parsed[0]["memberOnlyRead"] is False
+
+
+class TestSimulatedDeploymentAudit:
+    def test_simulated_channel_auditable_like_a_repo(self, tmp_path):
+        """Materialise a simulated deployment as project files and run the
+        full analyzer over them — simulator and analyzer agree."""
+        from repro.core.analyzer import FilesystemProject, analyze_project
+
+        net = three_org_network()
+        root = tmp_path / "deployment"
+        (root / "network").mkdir(parents=True)
+        (root / "network" / "configtx.yaml").write_text(
+            export_configtx(net.network.channel), encoding="utf-8"
+        )
+        (root / "collections_config.json").write_text(
+            export_collections_json(net.network.channel, "pdccc"), encoding="utf-8"
+        )
+        analysis = analyze_project(FilesystemProject(root))
+        assert analysis.is_explicit_pdc
+        assert analysis.uses_chaincode_level_policy  # the vulnerable default
+        assert analysis.configtx_is_majority
+        assert analysis.potentially_vulnerable_to_injection

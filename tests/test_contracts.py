@@ -1,0 +1,250 @@
+"""Tests for the bundled chaincode contracts via the real pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.api import Chaincode, require_args
+from repro.chaincode.contracts import (
+    ConstrainedPrivateAssetContract,
+    ForgedReadContract,
+    PerfTestContract,
+    PrivateAssetContract,
+    SaccPrivateContract,
+    UnconstrainedWriteContract,
+    greater_than,
+    less_than,
+)
+from repro.common.errors import ChaincodeError, EndorsementError
+
+
+class TestChaincodeBase:
+    def test_functions_listing(self):
+        contract = PrivateAssetContract()
+        functions = contract.functions()
+        assert "set_private" in functions and "get_private" in functions
+        assert "invoke" not in functions
+
+    def test_private_function_not_invocable(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+
+        class Sneaky(Chaincode):
+            def _hidden(self, stub, args):
+                return b"no"
+
+        peer.install_chaincode("pdccc", Sneaky())
+        client = network.client("Org1MSP")
+        with pytest.raises(EndorsementError):
+            client.evaluate_transaction("pdccc", "_hidden", [], peer=peer)
+
+    def test_non_bytes_return_rejected(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+
+        class Wrong(Chaincode):
+            def f(self, stub, args):
+                return "not-bytes"
+
+        peer.install_chaincode("pdccc", Wrong())
+        client = network.client("Org1MSP")
+        with pytest.raises(EndorsementError, match="expected bytes"):
+            client.evaluate_transaction("pdccc", "f", [], peer=peer)
+
+    def test_none_return_becomes_empty_payload(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+
+        class Quiet(Chaincode):
+            def f(self, stub, args):
+                return None
+
+        peer.install_chaincode("pdccc", Quiet())
+        client = network.client("Org1MSP")
+        assert client.evaluate_transaction("pdccc", "f", [], peer=peer) == b""
+
+    def test_require_args(self):
+        require_args(["a"], 1, "one arg")
+        with pytest.raises(ChaincodeError):
+            require_args(["a", "b"], 1, "one arg")
+
+
+class TestConstraints:
+    def test_less_than(self):
+        constraint = less_than(15)
+        constraint.check(14)
+        with pytest.raises(ChaincodeError):
+            constraint.check(15)
+
+    def test_greater_than(self):
+        constraint = greater_than(10)
+        constraint.check(11)
+        with pytest.raises(ChaincodeError):
+            constraint.check(10)
+
+    def test_constrained_set_rejects_violation(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+        peer.install_chaincode("pdccc", ConstrainedPrivateAssetContract(less_than(15)))
+        client = network.client("Org1MSP")
+        with pytest.raises(EndorsementError, match="constraint violated"):
+            client.evaluate_transaction(
+                "pdccc", "set_private", ["PDC1", "k"], transient={"value": b"20"}, peer=peer
+            )
+
+    def test_constrained_set_accepts_valid(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+        peer.install_chaincode("pdccc", ConstrainedPrivateAssetContract(less_than(15)))
+        client = network.client("Org1MSP")
+        client.evaluate_transaction(
+            "pdccc", "set_private", ["PDC1", "k"], transient={"value": b"10"}, peer=peer
+        )
+
+    def test_non_numeric_rejected_by_constrained(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+        peer.install_chaincode("pdccc", ConstrainedPrivateAssetContract(less_than(15)))
+        client = network.client("Org1MSP")
+        with pytest.raises(EndorsementError, match="integer"):
+            client.evaluate_transaction(
+                "pdccc", "set_private", ["PDC1", "k"], transient={"value": b"abc"}, peer=peer
+            )
+
+    def test_unconstrained_contract_accepts_anything(self, network):
+        peer = network.peers_of("Org3MSP")[0]
+        peer.install_chaincode("pdccc", UnconstrainedWriteContract())
+        client = network.client("Org3MSP")
+        client.evaluate_transaction(
+            "pdccc", "set_private", ["PDC1", "k"], transient={"value": b"-999999"}, peer=peer
+        )
+
+    def test_constrained_delete_needs_claimed_current(self, network):
+        peer = network.peers_of("Org1MSP")[0]
+        peer.install_chaincode("pdccc", ConstrainedPrivateAssetContract(less_than(15)))
+        client = network.client("Org1MSP")
+        with pytest.raises(EndorsementError, match="current"):
+            client.evaluate_transaction("pdccc", "del_private", ["PDC1", "k"], peer=peer)
+
+
+class TestForgedContracts:
+    def test_forged_read_needs_existing_hash(self, network):
+        peer = network.peers_of("Org3MSP")[0]
+        peer.install_chaincode("pdccc", ForgedReadContract(b"fake"))
+        client = network.client("Org3MSP")
+        with pytest.raises(EndorsementError, match="no private data hash"):
+            client.evaluate_transaction("pdccc", "get_private", ["PDC1", "ghost"], peer=peer)
+
+    def test_forged_read_returns_fake(self, network):
+        endorsers = [network.peers_of("Org1MSP")[0], network.peers_of("Org2MSP")[0]]
+        network.client("Org1MSP").submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"real"}, endorsing_peers=endorsers,
+        ).raise_for_status()
+        rogue = network.peers_of("Org3MSP")[0]
+        rogue.install_chaincode("pdccc", ForgedReadContract(b"fake"))
+        client = network.client("Org3MSP")
+        assert client.evaluate_transaction(
+            "pdccc", "get_private", ["PDC1", "k"], peer=rogue
+        ) == b"fake"
+
+
+class TestLeakyContracts:
+    def test_perftest_contract_roundtrip(self, three_orgs):
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+        from repro.network.network import FabricNetwork
+
+        channel = ChannelConfig(channel_id="ch", organizations=three_orgs[:1])
+        channel.deploy_chaincode(
+            "perftest",
+            endorsement_policy="OR('Org1MSP.peer')",
+            collections=[
+                CollectionConfig(
+                    name="CollectionPerfTest",
+                    policy="OR('Org1MSP.member')",
+                    required_peer_count=0,
+                )
+            ],
+        )
+        net = FabricNetwork(channel=channel)
+        peer = net.add_peer("Org1MSP")
+        net.install_chaincode("perftest", PerfTestContract())
+        client = net.client("Org1MSP")
+        client.submit_transaction(
+            "perftest", "create_private_perf_test", ["p1"],
+            transient={"asset": b"data"}, endorsing_peers=[peer],
+        ).raise_for_status()
+        assert client.evaluate_transaction(
+            "perftest", "private_perf_test_exists", ["p1"], peer=peer
+        ) == b"true"
+        assert client.evaluate_transaction(
+            "perftest", "read_private_perf_test", ["p1"], peer=peer
+        ) == b"data"
+
+    def test_perftest_missing_asset_raises(self, three_orgs):
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+        from repro.network.network import FabricNetwork
+
+        channel = ChannelConfig(channel_id="ch", organizations=three_orgs[:1])
+        channel.deploy_chaincode(
+            "perftest",
+            endorsement_policy="OR('Org1MSP.peer')",
+            collections=[
+                CollectionConfig(
+                    name="CollectionPerfTest",
+                    policy="OR('Org1MSP.member')",
+                    required_peer_count=0,
+                )
+            ],
+        )
+        net = FabricNetwork(channel=channel)
+        peer = net.add_peer("Org1MSP")
+        net.install_chaincode("perftest", PerfTestContract())
+        client = net.client("Org1MSP")
+        with pytest.raises(EndorsementError, match="does not exist"):
+            client.evaluate_transaction("perftest", "read_private_perf_test", ["nope"], peer=peer)
+
+    def test_sacc_echoes_written_value(self, three_orgs):
+        """Listing 2's leak: the response payload equals the written value."""
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+        from repro.network.network import FabricNetwork
+
+        channel = ChannelConfig(channel_id="ch", organizations=three_orgs)
+        channel.deploy_chaincode(
+            "sacc",
+            endorsement_policy="MAJORITY Endorsement",
+            collections=[
+                CollectionConfig(
+                    name="demo",
+                    policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                    required_peer_count=0,
+                )
+            ],
+        )
+        net = FabricNetwork(channel=channel)
+        peers = [net.add_peer(f"Org{i}MSP") for i in (1, 2, 3)]
+        net.install_chaincode("sacc", SaccPrivateContract())
+        result = net.client("Org1MSP").submit_transaction(
+            "sacc", "set_private", ["k", "secret!"], endorsing_peers=peers[:2]
+        )
+        result.raise_for_status()
+        assert result.payload == b"secret!"
+        assert result.envelope.payload.response.payload == b"secret!"  # on-chain
+
+    def test_sacc_arg_count_enforced(self, three_orgs):
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+        from repro.network.network import FabricNetwork
+
+        channel = ChannelConfig(channel_id="ch", organizations=three_orgs[:1])
+        channel.deploy_chaincode(
+            "sacc",
+            endorsement_policy="OR('Org1MSP.peer')",
+            collections=[
+                CollectionConfig(
+                    name="demo", policy="OR('Org1MSP.member')", required_peer_count=0
+                )
+            ],
+        )
+        net = FabricNetwork(channel=channel)
+        peer = net.add_peer("Org1MSP")
+        net.install_chaincode("sacc", SaccPrivateContract())
+        with pytest.raises(EndorsementError, match="Incorrect arguments"):
+            net.client("Org1MSP").evaluate_transaction("sacc", "set_private", ["k"], peer=peer)

@@ -1,0 +1,167 @@
+"""Tests for the synthetic corpus generator and the study aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CorpusError
+from repro.core.analyzer.scanner import analyze_project
+from repro.core.analyzer.source import FilesystemProject
+from repro.core.corpus import (
+    PAPER_SPEC,
+    CorpusSpec,
+    build_project,
+    generate_corpus,
+    plan_corpus,
+    small_spec,
+)
+from repro.core.study import run_study
+
+
+class TestSpecValidation:
+    def test_paper_spec_valid(self):
+        PAPER_SPEC.validate()
+
+    def test_paper_spec_derived_counts(self):
+        assert PAPER_SPEC.explicit_only == 221
+        assert PAPER_SPEC.implicit_only == 4
+        assert PAPER_SPEC.pdc_union == 256
+        assert PAPER_SPEC.chaincode_level_projects == 218
+
+    def test_year_totals_must_sum(self):
+        with pytest.raises(CorpusError):
+            CorpusSpec(total_projects=100, projects_by_year={2020: 99}).validate()
+
+    def test_write_leaks_subset_of_read_leaks(self):
+        with pytest.raises(CorpusError):
+            CorpusSpec(read_leak_projects=10, write_leak_projects=11).validate()
+
+    def test_configtx_bounded_by_chaincode_level(self):
+        with pytest.raises(CorpusError):
+            CorpusSpec(collection_policy_projects=250, configtx_projects=120).validate()
+
+
+class TestPlanning:
+    def test_plan_counts_exact(self):
+        spec = small_spec()
+        descriptors = plan_corpus(spec)
+        assert len(descriptors) == spec.total_projects
+        assert sum(d.explicit for d in descriptors) == spec.explicit_projects
+        assert sum(d.implicit for d in descriptors) == spec.implicit_projects
+        assert sum(d.explicit and d.implicit for d in descriptors) == spec.both_projects
+        assert sum(d.collection_policy for d in descriptors) == spec.collection_policy_projects
+        assert sum(d.has_configtx for d in descriptors) == spec.configtx_projects
+        assert sum(d.read_leak for d in descriptors) == spec.read_leak_projects
+        assert sum(d.write_leak for d in descriptors) == spec.write_leak_projects
+
+    def test_plan_deterministic(self):
+        spec = small_spec()
+        first = plan_corpus(spec)
+        second = plan_corpus(spec)
+        assert [(d.name, d.explicit, d.read_leak, d.language) for d in first] == [
+            (d.name, d.explicit, d.read_leak, d.language) for d in second
+        ]
+
+    def test_different_seed_different_assignment(self):
+        base = small_spec()
+        import dataclasses
+
+        other = dataclasses.replace(base, seed=99)
+        first = plan_corpus(base)
+        second = plan_corpus(other)
+        assert [(d.explicit, d.read_leak) for d in first] != [
+            (d.explicit, d.read_leak) for d in second
+        ]
+
+    def test_flags_only_on_explicit(self):
+        for descriptor in plan_corpus(small_spec()):
+            if descriptor.collection_policy or descriptor.read_leak or descriptor.has_configtx:
+                assert descriptor.explicit
+
+    def test_write_leak_implies_read_leak(self):
+        for descriptor in plan_corpus(small_spec()):
+            if descriptor.write_leak:
+                assert descriptor.read_leak
+
+    def test_no_pdc_before_2018(self):
+        for descriptor in plan_corpus(small_spec()):
+            if descriptor.year < 2018:
+                assert not descriptor.explicit and not descriptor.implicit
+
+
+class TestBuildProject:
+    def test_ground_truth_recovered_by_analyzer(self):
+        """The analyzer must recover each descriptor's attributes from the
+        generated files alone — for every attribute combination."""
+        spec = small_spec()
+        for descriptor in plan_corpus(spec):
+            analysis = analyze_project(build_project(descriptor))
+            assert analysis.is_explicit_pdc == descriptor.explicit, descriptor
+            assert analysis.is_implicit_pdc == descriptor.implicit, descriptor
+            assert analysis.has_collection_level_policy == descriptor.collection_policy
+            assert bool(analysis.configtx) == descriptor.has_configtx
+            assert analysis.has_read_leak == descriptor.read_leak, descriptor
+            assert analysis.has_write_leak == descriptor.write_leak, descriptor
+
+    def test_every_language_used(self):
+        languages = {d.language for d in plan_corpus(small_spec())}
+        assert languages == {"go", "js", "java"}
+
+    def test_materialized_scan_matches(self, tmp_path):
+        spec = small_spec(scale=8)
+        corpus = generate_corpus(spec)
+        corpus.materialize(tmp_path, limit=10)
+        for project in corpus.projects[:10]:
+            from_disk = analyze_project(FilesystemProject(tmp_path / project.name))
+            in_memory = analyze_project(project)
+            assert from_disk.is_explicit_pdc == in_memory.is_explicit_pdc
+            assert from_disk.has_leak == in_memory.has_leak
+            assert from_disk.year == in_memory.year
+
+
+class TestStudySmallScale:
+    def test_small_spec_study_matches_spec(self):
+        spec = small_spec()
+        results = run_study(generate_corpus(spec).projects)
+        assert results.total_projects == spec.total_projects
+        assert results.explicit_count == spec.explicit_projects
+        assert results.implicit_count == spec.implicit_projects
+        assert results.both_count == spec.both_projects
+        assert results.collection_policy_count == spec.collection_policy_projects
+        assert results.configtx_found == spec.configtx_projects
+        assert results.configtx_majority == spec.configtx_majority
+        assert results.read_leak_count == spec.read_leak_projects
+        assert results.write_leak_count == spec.write_leak_projects
+
+    def test_render_helpers(self):
+        results = run_study(generate_corpus(small_spec(scale=8)).projects)
+        text = results.render_all()
+        for fragment in ("Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10"):
+            assert fragment in text
+
+
+@pytest.mark.slow
+class TestStudyPaperScale:
+    def test_paper_numbers_reproduced(self):
+        """The headline §V-C2 numbers, bit-for-bit."""
+        results = run_study(generate_corpus(PAPER_SPEC).projects)
+        assert results.total_projects == 6392
+        assert results.explicit_count == 252
+        assert results.implicit_count == 35
+        assert results.both_count == 31
+        assert results.chaincode_level_count == 218
+        assert results.collection_policy_count == 34
+        assert results.configtx_found == 120
+        assert results.configtx_majority == 116
+        assert results.read_leak_count == 231
+        assert results.write_leak_count == 20
+        assert results.leak_any_count == 231
+        assert results.injection_vulnerable_pct == pytest.approx(86.51, abs=0.01)
+        assert results.leakage_pct == pytest.approx(91.67, abs=0.01)
+        assert results.explicit_only_pct == pytest.approx(86.33, abs=0.01)
+        assert results.both_pct == pytest.approx(12.11, abs=0.01)
+        assert results.implicit_only_pct == pytest.approx(1.56, abs=0.01)
+        assert results.projects_by_year == {
+            2016: 52, 2017: 403, 2018: 914, 2019: 2281, 2020: 2742
+        }
+        assert results.pdc_by_year == {2018: 21, 2019: 87, 2020: 148}

@@ -1,0 +1,84 @@
+"""Tests for the PDC leakage attacks and New Feature 2 (Section IV-B/IV-C2)."""
+
+from __future__ import annotations
+
+from repro.common.hashing import sha256
+from repro.core.attacks import harvest_payloads, run_pdc_read_leakage, run_pdc_write_leakage
+from repro.core.defense.features import FrameworkFeatures
+
+
+class TestReadLeakage:
+    def test_leaks_under_original_framework(self):
+        report = run_pdc_read_leakage()
+        assert report.succeeded
+        assert b"confidential-perf-report" in report.details["harvested_payloads"]
+
+    def test_nonmember_needs_no_protocol_violation(self):
+        """The 'attack' is a plain scan of the local blockchain."""
+        report = run_pdc_read_leakage(secret=b"top-secret")
+        assert report.succeeded
+        # The client still got its plaintext through the normal path.
+        assert report.details["client_payload"] == b"top-secret"
+
+    def test_blocked_by_feature2(self):
+        report = run_pdc_read_leakage(FrameworkFeatures.feature2_only())
+        assert not report.succeeded
+        # Only the hash is on chain.
+        assert sha256(b"confidential-perf-report") in report.details["harvested_payloads"]
+        assert b"confidential-perf-report" not in report.details["harvested_payloads"]
+
+    def test_feature2_client_still_receives_plaintext(self):
+        """Fig. 4: the client must keep getting the original value."""
+        report = run_pdc_read_leakage(FrameworkFeatures.feature2_only(), secret=b"xyzzy")
+        assert report.details["client_payload"] == b"xyzzy"
+
+
+class TestWriteLeakage:
+    def test_leaks_under_original_framework(self):
+        report = run_pdc_write_leakage()
+        assert report.succeeded
+        assert b"trade-volume-42000" in report.details["harvested_payloads"]
+
+    def test_blocked_by_feature2(self):
+        report = run_pdc_write_leakage(FrameworkFeatures.feature2_only())
+        assert not report.succeeded
+
+    def test_args_leak_channel_remains(self):
+        """Listing 2 also passes the value as a proposal arg; Feature 2
+        hashes only the payload — the args channel is a chaincode-design
+        problem no framework change can fix."""
+        report = run_pdc_write_leakage(FrameworkFeatures.feature2_only(), secret="s3cret")
+        flattened = [arg for args in report.details["args_on_chain"] for arg in args]
+        assert "s3cret" in flattened
+
+
+class TestHarvestPayloads:
+    def test_only_valid_collection_txs_harvested(self, network):
+        from repro.chaincode.contracts import AssetContract
+
+        network.channel.deploy_chaincode("assetcc")
+        network.install_chaincode("assetcc", AssetContract())
+        client = network.client("Org1MSP")
+        endorsers = network.default_endorsers()[:2]
+        client.submit_transaction(
+            "assetcc", "create_asset", ["pub", "1"], endorsing_peers=endorsers
+        ).raise_for_status()
+        client.submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"v"}, endorsing_peers=endorsers,
+        ).raise_for_status()
+        nonmember = network.peers_of("Org3MSP")[0]
+        records = harvest_payloads(nonmember, "pdccc", "PDC1")
+        assert len(records) == 1
+        assert records[0].collections == ("PDC1",)
+
+    def test_invalid_txs_not_harvested(self, network):
+        client = network.client("Org1MSP")
+        result = client.submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"v"},
+            endorsing_peers=[network.peers_of("Org1MSP")[0]],  # fails MAJORITY
+        )
+        assert not result.committed
+        nonmember = network.peers_of("Org3MSP")[0]
+        assert harvest_payloads(nonmember, "pdccc", "PDC1") == []

@@ -1,0 +1,200 @@
+"""Tests for versions, world state, private stores and the transient store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaincode.rwset import KVWrite, PrivateCollectionWrites
+from repro.common.hashing import hash_key, hash_value
+from repro.ledger.private_state import PrivateDataStore, PrivateHashStore
+from repro.ledger.transient_store import TransientStore
+from repro.ledger.version import Version
+from repro.ledger.world_state import WorldState
+
+
+class TestVersion:
+    def test_ordering(self):
+        assert Version(0, 1) < Version(1, 0)
+        assert Version(1, 0) < Version(1, 1)
+        assert Version(2, 0) > Version(1, 9)
+
+    def test_equality(self):
+        assert Version(3, 4) == Version(3, 4)
+        assert Version(3, 4) != Version(3, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Version(-1, 0)
+        with pytest.raises(ValueError):
+            Version(0, -1)
+
+    def test_wire_roundtrip(self):
+        version = Version(7, 3)
+        assert Version.from_wire(version.to_wire()) == version
+
+    def test_str(self):
+        assert str(Version(2, 5)) == "2.5"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.tuples(st.integers(0, 100), st.integers(0, 100)),
+        b=st.tuples(st.integers(0, 100), st.integers(0, 100)),
+    )
+    def test_total_order_matches_tuples(self, a, b):
+        assert (Version(*a) < Version(*b)) == (a < b)
+
+
+class TestWorldState:
+    def test_get_absent_returns_none(self):
+        state = WorldState()
+        assert state.get("ns", "missing") is None
+        assert state.get_version("ns", "missing") is None
+
+    def test_put_and_get(self):
+        state = WorldState()
+        state.put("ns", "k", b"v", Version(0, 0))
+        entry = state.get("ns", "k")
+        assert entry.value == b"v" and entry.version == Version(0, 0)
+
+    def test_namespaces_isolated(self):
+        state = WorldState()
+        state.put("ns1", "k", b"a", Version(0, 0))
+        state.put("ns2", "k", b"b", Version(0, 0))
+        assert state.get("ns1", "k").value == b"a"
+        assert state.get("ns2", "k").value == b"b"
+
+    def test_version_monotonic(self):
+        state = WorldState()
+        state.put("ns", "k", b"v1", Version(1, 0))
+        with pytest.raises(ValueError):
+            state.put("ns", "k", b"v0", Version(0, 5))
+
+    def test_overwrite_same_version_allowed(self):
+        """Re-applying the same committed write must be idempotent."""
+        state = WorldState()
+        state.put("ns", "k", b"v", Version(1, 0))
+        state.put("ns", "k", b"v", Version(1, 0))
+        assert state.get("ns", "k").value == b"v"
+
+    def test_delete(self):
+        state = WorldState()
+        state.put("ns", "k", b"v", Version(0, 0))
+        state.delete("ns", "k")
+        assert state.get("ns", "k") is None
+
+    def test_delete_absent_is_noop(self):
+        WorldState().delete("ns", "nothing")
+
+    def test_keys_sorted(self):
+        state = WorldState()
+        state.put("ns", "b", b"", Version(0, 0))
+        state.put("ns", "a", b"", Version(0, 1))
+        assert state.keys("ns") == ["a", "b"]
+
+    def test_len(self):
+        state = WorldState()
+        state.put("ns", "a", b"", Version(0, 0))
+        state.put("ns2", "a", b"", Version(0, 0))
+        assert len(state) == 2
+
+    def test_items_filters_namespace(self):
+        state = WorldState()
+        state.put("ns", "a", b"1", Version(0, 0))
+        state.put("other", "b", b"2", Version(0, 0))
+        assert [k for k, _ in state.items("ns")] == ["a"]
+
+
+class TestPrivateDataStore:
+    def test_put_get_delete(self):
+        store = PrivateDataStore()
+        store.put("ns", "col", "k", b"secret", Version(0, 0))
+        assert store.get("ns", "col", "k").value == b"secret"
+        store.delete("ns", "col", "k")
+        assert store.get("ns", "col", "k") is None
+
+    def test_collections_isolated(self):
+        store = PrivateDataStore()
+        store.put("ns", "col1", "k", b"a", Version(0, 0))
+        assert store.get("ns", "col2", "k") is None
+
+    def test_keys_listing(self):
+        store = PrivateDataStore()
+        store.put("ns", "col", "b", b"", Version(0, 0))
+        store.put("ns", "col", "a", b"", Version(0, 0))
+        assert store.keys("ns", "col") == ["a", "b"]
+
+
+class TestPrivateHashStore:
+    def test_put_plain_and_lookup_by_key(self):
+        store = PrivateHashStore()
+        store.put_plain("ns", "col", "k", b"secret", Version(1, 2))
+        entry = store.get_by_key("ns", "col", "k")
+        assert entry.value_hash == hash_value(b"secret")
+        assert entry.version == Version(1, 2)
+
+    def test_lookup_by_hash(self):
+        store = PrivateHashStore()
+        store.put_plain("ns", "col", "k", b"secret", Version(0, 0))
+        assert store.get("ns", "col", hash_key("k")) is not None
+
+    def test_version_matches_between_stores(self):
+        """The invariant the endorsement-forgery attack relies on:
+        GetPrivateDataHash yields the same version as GetPrivateData."""
+        hashes = PrivateHashStore()
+        originals = PrivateDataStore()
+        version = Version(4, 2)
+        originals.put("ns", "col", "k", b"v", version)
+        hashes.put_plain("ns", "col", "k", b"v", version)
+        assert hashes.get_by_key("ns", "col", "k").version == originals.get(
+            "ns", "col", "k"
+        ).version
+
+    def test_delete(self):
+        store = PrivateHashStore()
+        store.put_plain("ns", "col", "k", b"v", Version(0, 0))
+        store.delete("ns", "col", hash_key("k"))
+        assert store.get_by_key("ns", "col", "k") is None
+
+    def test_key_hashes_listing(self):
+        store = PrivateHashStore()
+        store.put_plain("ns", "col", "k1", b"a", Version(0, 0))
+        store.put_plain("ns", "col", "k2", b"b", Version(0, 0))
+        assert len(store.key_hashes("ns", "col")) == 2
+
+
+def _writes(key="k", value=b"v"):
+    return PrivateCollectionWrites(
+        namespace="ns", collection="col", writes=(KVWrite(key=key, value=value),)
+    )
+
+
+class TestTransientStore:
+    def test_put_get(self):
+        store = TransientStore()
+        store.put("tx1", _writes(), height=0)
+        assert store.get("tx1", "ns", "col").writes[0].key == "k"
+
+    def test_get_missing(self):
+        assert TransientStore().get("tx", "ns", "col") is None
+
+    def test_remove_transaction(self):
+        store = TransientStore()
+        store.put("tx1", _writes(), height=0)
+        store.remove_transaction("tx1")
+        assert not store.has("tx1", "ns", "col")
+
+    def test_purge_below_retention(self):
+        store = TransientStore(retention_blocks=10)
+        store.put("old", _writes(), height=0)
+        store.put("new", _writes(), height=95)
+        purged = store.purge_below(height=100)
+        assert purged == 1
+        assert not store.has("old", "ns", "col")
+        assert store.has("new", "ns", "col")
+
+    def test_len(self):
+        store = TransientStore()
+        store.put("tx1", _writes(), height=0)
+        assert len(store) == 1

@@ -1,0 +1,108 @@
+"""Forged private data over gossip: members must verify before committing.
+
+Section III-A2's last safeguard: "the PDC member peers verify if the
+original read/write set matches the hash in the transaction" before
+updating their stores.  A malicious peer that pushes a *different*
+plaintext than what was endorsed must not corrupt member state — and the
+gap must be repairable from an honest member afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.contracts import PrivateAssetContract
+from repro.chaincode.rwset import KVWrite, PrivateCollectionWrites
+from repro.protocol.transaction import ValidationCode
+
+
+def _forged_writes(key="k", value=b"FORGED"):
+    return PrivateCollectionWrites(
+        namespace="pdccc", collection="PDC1", writes=(KVWrite(key=key, value=value),)
+    )
+
+
+class TestForgedGossip:
+    def test_forged_transient_data_never_committed(self, network):
+        """org2 receives a forged plaintext for the tx before the block
+        arrives; the hash check rejects it, a gap is recorded, and the
+        reconciler repairs from org1."""
+        client = network.client("Org1MSP")
+        p1 = network.peers_of("Org1MSP")[0]
+        p2 = network.peers_of("Org2MSP")[0]
+
+        # Endorse at org1 only (org1 stages + gossips genuine data), then
+        # OVERWRITE org2's transient entry with forged plaintext, as a
+        # malicious gossip peer would.
+        proposal = client._proposal("pdccc", "set_private", ["PDC1", "k"], {"value": b"REAL"})
+        responses = [network.request_endorsement(p1, proposal).response]
+        # second endorsement from org2 itself (needed for MAJORITY):
+        responses.append(network.request_endorsement(p2, proposal).response)
+        p2.ledger.transient_store.put(proposal.tx_id, _forged_writes(), height=0)
+
+        envelope = client.assemble(proposal, responses)
+        result = network.submit_envelope(envelope)
+        assert result.status is ValidationCode.VALID  # the tx itself is fine
+
+        # org2 rejected the forged plaintext: nothing wrong committed...
+        assert p2.query_private("pdccc", "PDC1", "k") != b"FORGED"
+        # ...and the hash store is authoritative and genuine everywhere.
+        from repro.common.hashing import hash_value
+
+        for peer in network.peers():
+            assert peer.query_private_hash("pdccc", "PDC1", "k") == hash_value(b"REAL")
+
+        # The gap is recorded and reconcilable from the honest member.
+        if p2.query_private("pdccc", "PDC1", "k") is None:
+            assert p2.ledger.missing_private
+            assert network.reconcile_private_data() >= 1
+        assert p2.query_private("pdccc", "PDC1", "k") == b"REAL"
+        assert not p2.ledger.missing_private
+
+    def test_forged_data_during_reconciliation_rejected(self, network):
+        """A malicious member serving forged plaintext to a reconciling
+        peer is ignored (hashes re-checked on pull)."""
+        client = network.client("Org1MSP")
+        p1 = network.peers_of("Org1MSP")[0]
+        p2 = network.peers_of("Org2MSP")[0]
+        extra = network.add_peer("Org2MSP", "peer1")
+        network.install_chaincode("pdccc", PrivateAssetContract(), peers=[extra])
+
+        # Stop gossip from reaching `extra` so it must reconcile.
+        original_receive = extra.receive_private_data
+        extra.receive_private_data = lambda tx_id, writes: None
+        result = client.submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"REAL"}, endorsing_peers=[p1, p2],
+        )
+        result.raise_for_status()
+        extra.receive_private_data = original_receive
+        assert extra.query_private("pdccc", "PDC1", "k") is None
+        assert extra.ledger.missing_private
+
+        # Poison ONE member's archive; the reconciler must skip it and
+        # accept the honest copy from the other member.
+        p1.ledger.committed_private_rwsets[(result.tx_id, "pdccc", "PDC1")] = _forged_writes()
+        repaired = network.reconcile_private_data()
+        assert repaired == 1
+        assert extra.query_private("pdccc", "PDC1", "k") == b"REAL"
+
+    def test_all_sources_forged_leaves_gap_open(self, network):
+        client = network.client("Org1MSP")
+        p1 = network.peers_of("Org1MSP")[0]
+        p2 = network.peers_of("Org2MSP")[0]
+        extra = network.add_peer("Org1MSP", "peer1")
+        network.install_chaincode("pdccc", PrivateAssetContract(), peers=[extra])
+        extra.receive_private_data = lambda tx_id, writes: None
+        result = client.submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"REAL"}, endorsing_peers=[p1, p2],
+        )
+        result.raise_for_status()
+        for member in (p1, p2):
+            member.ledger.committed_private_rwsets[
+                (result.tx_id, "pdccc", "PDC1")
+            ] = _forged_writes()
+        assert network.reconcile_private_data() == 0
+        assert extra.query_private("pdccc", "PDC1", "k") is None
+        assert extra.ledger.missing_private  # gap stays visible, not papered over

@@ -1,0 +1,95 @@
+"""Tests for multi-channel isolation (Fig. 1 of the paper).
+
+Org2 participates in two channels (like P2 in Fig. 1): each channel has
+its own ledger, its own chaincode deployment and its own PDC membership.
+Nothing crosses channels — the coarser isolation layer PDC refines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.contracts import AssetContract, PrivateAssetContract
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+
+
+@pytest.fixture
+def two_channels():
+    """C1 = {org1, org2, org4}; C2 = {org2, org3}; org2 is in both."""
+    org1, org2, org3, org4 = (Organization(f"Org{i}MSP") for i in (1, 2, 3, 4))
+
+    c1 = ChannelConfig(channel_id="C1", organizations=[org1, org2, org4])
+    c1.deploy_chaincode(
+        "s1",
+        collections=[
+            CollectionConfig(
+                name="PDC1",
+                policy="OR('Org1MSP.member', 'Org4MSP.member')",
+                required_peer_count=0,
+            )
+        ],
+    )
+    net1 = FabricNetwork(channel=c1)
+    for org in (org1, org2, org4):
+        net1.add_peer(org.msp_id)
+    net1.install_chaincode("s1", PrivateAssetContract())
+
+    c2 = ChannelConfig(channel_id="C2", organizations=[org2, org3])
+    c2.deploy_chaincode("s2", endorsement_policy="OR('Org2MSP.peer', 'Org3MSP.peer')")
+    net2 = FabricNetwork(channel=c2)
+    for org in (org2, org3):
+        net2.add_peer(org.msp_id)
+    net2.install_chaincode("s2", AssetContract())
+    return net1, net2
+
+
+class TestChannelIsolation:
+    def test_separate_ledgers(self, two_channels):
+        net1, net2 = two_channels
+        net2.client("Org2MSP").submit_transaction(
+            "s2", "create_asset", ["only-in-c2", "1"],
+            endorsing_peers=[net2.default_peer_for("Org2MSP")],
+        ).raise_for_status()
+        # org2's C1 peer knows nothing about it.
+        assert net1.default_peer_for("Org2MSP").query_public("s2", "asset:only-in-c2") is None
+        assert net1.default_peer_for("Org2MSP").ledger.height == 0
+        assert net2.default_peer_for("Org2MSP").ledger.height == 1
+
+    def test_same_org_distinct_peer_instances(self, two_channels):
+        net1, net2 = two_channels
+        p_c1 = net1.default_peer_for("Org2MSP")
+        p_c2 = net2.default_peer_for("Org2MSP")
+        assert p_c1 is not p_c2
+        assert p_c1.msp_id == p_c2.msp_id == "Org2MSP"
+
+    def test_outsider_org_cannot_transact(self, two_channels):
+        """org3 is not in C1: its certificates chain to no C1 trust root."""
+        net1, _ = two_channels
+        assert not net1.channel.msp_registry.is_known("Org3MSP")
+
+    def test_pdc_membership_is_per_channel(self, two_channels):
+        """PDC1 in C1 is shared by org1+org4; org2 (in the channel) holds
+        only hashes — the Fig. 1 P2 situation exactly."""
+        net1, _ = two_channels
+        members = [net1.default_peer_for("Org1MSP"), net1.default_peer_for("Org4MSP")]
+        net1.client("Org1MSP").submit_transaction(
+            "s1", "set_private", ["PDC1", "k"],
+            transient={"value": b"p"}, endorsing_peers=members,
+        ).raise_for_status()
+        assert net1.default_peer_for("Org1MSP").query_private("s1", "PDC1", "k") == b"p"
+        assert net1.default_peer_for("Org4MSP").query_private("s1", "PDC1", "k") == b"p"
+        org2_peer = net1.default_peer_for("Org2MSP")
+        assert org2_peer.query_private("s1", "PDC1", "k") is None
+        assert org2_peer.query_private_hash("s1", "PDC1", "k") is not None
+
+    def test_chaincode_not_deployed_cross_channel(self, two_channels):
+        from repro.common.errors import ConfigError
+
+        net1, net2 = two_channels
+        with pytest.raises(ConfigError):
+            net1.channel.chaincode("s2")
+        with pytest.raises(ConfigError):
+            net2.channel.chaincode("s1")

@@ -1,0 +1,95 @@
+"""Property tests: policy evaluation vs a brute-force reference model."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.identity.msp import MSPRegistry
+from repro.identity.organization import Organization
+from repro.identity.roles import Role
+from repro.policy.ast import NOutOf, PolicyNode, Principal
+from repro.policy.evaluator import PolicyEvaluator
+
+ORG_COUNT = 4
+_ORGS = [Organization(f"P{i}MSP") for i in range(ORG_COUNT)]
+_REGISTRY = MSPRegistry()
+for _org in _ORGS:
+    _REGISTRY.register(_org.ca)
+_EVALUATOR = PolicyEvaluator(
+    _REGISTRY,
+    {org.msp_id: Principal(org.msp_id, Role.PEER) for org in _ORGS},
+)
+_PEER_CERTS = [org.enroll_peer().certificate for org in _ORGS]
+_CLIENT_CERTS = [org.enroll_client().certificate for org in _ORGS]
+
+
+def _random_policy(rng: random.Random, depth: int = 0) -> PolicyNode:
+    if depth >= 2 or rng.random() < 0.4:
+        return Principal(
+            msp_id=f"P{rng.randrange(ORG_COUNT)}MSP",
+            role=rng.choice([Role.PEER, Role.MEMBER, Role.CLIENT]),
+        )
+    arity = rng.randint(1, 3)
+    children = tuple(_random_policy(rng, depth + 1) for _ in range(arity))
+    return NOutOf(n=rng.randint(0, arity), children=children)
+
+
+def _model_evaluate(node: PolicyNode, signer_set: set) -> bool:
+    """Reference semantics: recursive counting over (msp, role) pairs."""
+    if isinstance(node, Principal):
+        return any(
+            msp == node.msp_id and node.role.matches(role) for msp, role in signer_set
+        )
+    assert isinstance(node, NOutOf)
+    satisfied = sum(1 for child in node.children if _model_evaluate(child, signer_set))
+    return satisfied >= node.n
+
+
+class TestEvaluatorAgainstModel:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        peer_mask=st.integers(min_value=0, max_value=2**ORG_COUNT - 1),
+        client_mask=st.integers(min_value=0, max_value=2**ORG_COUNT - 1),
+    )
+    def test_random_policies_match_reference(self, seed, peer_mask, client_mask):
+        rng = random.Random(seed)
+        policy = _random_policy(rng)
+        signers = []
+        signer_set = set()
+        for i in range(ORG_COUNT):
+            if peer_mask >> i & 1:
+                signers.append(_PEER_CERTS[i])
+                signer_set.add((f"P{i}MSP", Role.PEER))
+            if client_mask >> i & 1:
+                signers.append(_CLIENT_CERTS[i])
+                signer_set.add((f"P{i}MSP", Role.CLIENT))
+        assert _EVALUATOR.evaluate(policy, signers) == _model_evaluate(policy, signer_set)
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_monotone_in_signers(self, seed):
+        """Adding signers never turns a satisfied policy unsatisfied."""
+        rng = random.Random(seed)
+        policy = _random_policy(rng)
+        subset = _PEER_CERTS[:2]
+        superset = _PEER_CERTS + _CLIENT_CERTS
+        if _EVALUATOR.evaluate(policy, subset):
+            assert _EVALUATOR.evaluate(policy, superset)
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_forged_certificates_never_help(self, seed):
+        """Signers whose certificates chain to no registered CA contribute
+        nothing, whatever the policy shape."""
+        rng = random.Random(seed)
+        policy = _random_policy(rng)
+        outsiders = [
+            Organization(f"P{i}MSP", name="imposter").enroll_peer().certificate
+            for i in range(ORG_COUNT)
+        ]
+        # Same msp_id strings, but issued by unregistered CAs.
+        assert _EVALUATOR.evaluate(policy, outsiders) == _model_evaluate(policy, set())

@@ -1,0 +1,107 @@
+"""Property-based Raft tests: safety under randomized fault schedules.
+
+Hypothesis drives random interleavings of proposals, ticks, crashes,
+restarts and partitions, then checks the two core Raft safety properties:
+
+* **Election safety** — at most one leader per term, ever.
+* **Log matching / committed-prefix agreement** — the committed prefixes
+  of any two nodes never conflict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orderer.raft import RaftCluster, RaftState
+
+CLUSTER_SIZE = 5
+
+# One schedule step: (op, arg)
+step = st.one_of(
+    st.tuples(st.just("tick"), st.integers(min_value=1, max_value=30)),
+    st.tuples(st.just("propose"), st.integers(min_value=0, max_value=999)),
+    st.tuples(st.just("stop"), st.integers(min_value=0, max_value=CLUSTER_SIZE - 1)),
+    st.tuples(st.just("restart"), st.integers(min_value=0, max_value=CLUSTER_SIZE - 1)),
+    st.tuples(st.just("partition"), st.integers(min_value=0, max_value=CLUSTER_SIZE - 1)),
+    st.tuples(st.just("heal"), st.just(0)),
+)
+
+
+def _run_schedule(schedule):
+    cluster = RaftCluster(size=CLUSTER_SIZE)
+    leaders_by_term: dict[int, set[int]] = {}
+
+    def observe():
+        for node in cluster.nodes:
+            if node.alive and node.state is RaftState.LEADER:
+                leaders_by_term.setdefault(node.current_term, set()).add(node.node_id)
+
+    for op, arg in schedule:
+        if op == "tick":
+            for _ in range(arg):
+                cluster.tick()
+                observe()
+        elif op == "propose":
+            leader = cluster.leader()
+            if leader is not None:
+                from repro.orderer.raft import LogEntry
+
+                leader.log.append(LogEntry(term=leader.current_term, payload=arg))
+        elif op == "stop":
+            alive = [n for n in cluster.nodes if n.alive]
+            if len(alive) > 1:  # never kill the whole cluster
+                cluster.stop(arg)
+        elif op == "restart":
+            cluster.restart(arg)
+        elif op == "partition":
+            cluster.partition({arg})
+        elif op == "heal":
+            cluster.heal_partition()
+        observe()
+    # Let the system settle and heal so liveness-ish checks make sense.
+    cluster.heal_partition()
+    for node_id in range(CLUSTER_SIZE):
+        cluster.restart(node_id)
+    for _ in range(120):
+        cluster.tick()
+        observe()
+    return cluster, leaders_by_term
+
+
+class TestRaftSafetyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=st.lists(step, min_size=5, max_size=40))
+    def test_election_safety(self, schedule):
+        """At most one leader per term, under any fault schedule."""
+        _cluster, leaders_by_term = _run_schedule(schedule)
+        for term, leaders in leaders_by_term.items():
+            assert len(leaders) <= 1, f"two leaders in term {term}: {leaders}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=st.lists(step, min_size=5, max_size=40))
+    def test_committed_prefix_agreement(self, schedule):
+        """Committed prefixes never conflict across nodes."""
+        cluster, _ = _run_schedule(schedule)
+        prefixes = [
+            [entry.payload for entry in node.log[: node.commit_index]]
+            for node in cluster.nodes
+        ]
+        for i in range(len(prefixes)):
+            for j in range(i + 1, len(prefixes)):
+                shorter = min(len(prefixes[i]), len(prefixes[j]))
+                assert prefixes[i][:shorter] == prefixes[j][:shorter]
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=st.lists(step, min_size=5, max_size=30))
+    def test_commit_index_monotonic_while_up(self, schedule):
+        """After healing, every node's committed prefix is a prefix of the
+        leader's full log (Leader Completeness, observable form)."""
+        cluster, _ = _run_schedule(schedule)
+        leader = cluster.leader()
+        if leader is None:
+            return
+        leader_log = [entry.payload for entry in leader.log]
+        for node in cluster.nodes:
+            committed = [entry.payload for entry in node.log[: node.commit_index]]
+            assert committed == leader_log[: len(committed)]

@@ -1,0 +1,148 @@
+"""Tests for the rich-query engine and its (deliberate) phantom-unsafety."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaincode.contracts import JsonAssetContract
+from repro.ledger.rich_query import SelectorError, matches_selector
+from repro.protocol.transaction import ValidationCode
+
+
+class TestSelectorMatching:
+    DOC = {"docType": "asset", "owner": "alice", "size": 5, "meta": {"region": "eu"}}
+
+    def test_equality(self):
+        assert matches_selector(self.DOC, {"owner": "alice"})
+        assert not matches_selector(self.DOC, {"owner": "bob"})
+
+    def test_multiple_fields_conjunction(self):
+        assert matches_selector(self.DOC, {"owner": "alice", "size": 5})
+        assert not matches_selector(self.DOC, {"owner": "alice", "size": 6})
+
+    def test_nested_dotted_path(self):
+        assert matches_selector(self.DOC, {"meta.region": "eu"})
+        assert not matches_selector(self.DOC, {"meta.region": "us"})
+        assert not matches_selector(self.DOC, {"meta.missing": "x"})
+
+    @pytest.mark.parametrize(
+        "condition,expected",
+        [
+            ({"$eq": 5}, True),
+            ({"$ne": 5}, False),
+            ({"$gt": 4}, True),
+            ({"$gt": 5}, False),
+            ({"$gte": 5}, True),
+            ({"$lt": 6}, True),
+            ({"$lte": 4}, False),
+            ({"$in": [1, 5, 9]}, True),
+            ({"$nin": [1, 5, 9]}, False),
+        ],
+    )
+    def test_comparison_operators(self, condition, expected):
+        assert matches_selector(self.DOC, {"size": condition}) is expected
+
+    def test_exists(self):
+        assert matches_selector(self.DOC, {"owner": {"$exists": True}})
+        assert matches_selector(self.DOC, {"ghost": {"$exists": False}})
+        assert not matches_selector(self.DOC, {"ghost": {"$exists": True}})
+
+    def test_and_or_not(self):
+        assert matches_selector(
+            self.DOC, {"$and": [{"owner": "alice"}, {"size": {"$gte": 5}}]}
+        )
+        assert matches_selector(self.DOC, {"$or": [{"owner": "bob"}, {"size": 5}]})
+        assert matches_selector(self.DOC, {"$not": {"owner": "bob"}})
+        assert not matches_selector(self.DOC, {"$not": {"owner": "alice"}})
+
+    def test_cross_type_comparison_never_matches(self):
+        assert not matches_selector(self.DOC, {"owner": {"$gt": 3}})
+
+    def test_missing_field_fails_comparisons(self):
+        assert not matches_selector(self.DOC, {"ghost": {"$gt": 1}})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SelectorError):
+            matches_selector(self.DOC, {"size": {"$regex": ".*"}})
+        with pytest.raises(SelectorError):
+            matches_selector(self.DOC, {"$xor": []})
+        with pytest.raises(SelectorError):
+            matches_selector(self.DOC, "not-a-dict")  # type: ignore[arg-type]
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.integers(-100, 100), bound=st.integers(-100, 100))
+    def test_gt_matches_python_semantics(self, size, bound):
+        document = {"size": size}
+        assert matches_selector(document, {"size": {"$gt": bound}}) == (size > bound)
+
+
+@pytest.fixture
+def json_net(channel):
+    from repro.network.network import FabricNetwork
+
+    channel.deploy_chaincode("jsoncc")
+    net = FabricNetwork(channel=channel)
+    for msp in ("Org1MSP", "Org2MSP", "Org3MSP"):
+        net.add_peer(msp)
+    net.install_chaincode("jsoncc", JsonAssetContract())
+    client = net.client("Org1MSP")
+    endorsers = net.default_endorsers()[:2]
+    for asset_id, owner, color, size in (
+        ("m1", "alice", "red", "5"),
+        ("m2", "alice", "blue", "9"),
+        ("m3", "bob", "red", "2"),
+    ):
+        client.submit_transaction(
+            "jsoncc", "create_json_asset", [asset_id, owner, color, size],
+            endorsing_peers=endorsers,
+        ).raise_for_status()
+    return net, client, endorsers
+
+
+class TestRichQueriesThroughChaincode:
+    def test_query_by_owner(self, json_net):
+        _net, client, _ = json_net
+        assert client.evaluate_transaction("jsoncc", "query_by_owner", ["alice"]) == b"m1,m2"
+        assert client.evaluate_transaction("jsoncc", "query_by_owner", ["bob"]) == b"m3"
+
+    def test_raw_selector(self, json_net):
+        _net, client, _ = json_net
+        selector = json.dumps({"color": "red", "size": {"$gt": 1}})
+        assert client.evaluate_transaction("jsoncc", "query_selector", [selector]) == b"m1,m3"
+
+    def test_malformed_selector_fails_endorsement(self, json_net):
+        from repro.common.errors import EndorsementError
+
+        _net, client, _ = json_net
+        with pytest.raises(EndorsementError, match="malformed selector"):
+            client.evaluate_transaction("jsoncc", "query_selector", ["{not json"])
+
+    def test_transfer_updates_queries(self, json_net):
+        _net, client, endorsers = json_net
+        client.submit_transaction(
+            "jsoncc", "transfer_json_asset", ["m3", "alice"], endorsing_peers=endorsers
+        ).raise_for_status()
+        assert client.evaluate_transaction("jsoncc", "query_by_owner", ["alice"]) == b"m1,m2,m3"
+
+    def test_rich_queries_are_not_phantom_protected(self, json_net):
+        """Reproduces Fabric's documented caveat: a submitted transaction
+        whose results came from a rich query is NOT invalidated when the
+        query's result set changes before commit — unlike a range scan."""
+        net, client, endorsers = json_net
+        # Endorse a tx that queried alice's assets (query makes no reads).
+        proposal = client._proposal("jsoncc", "query_by_owner", ["alice"])
+        responses = [net.request_endorsement(p, proposal).response for p in endorsers]
+        parked = client.assemble(proposal, responses)
+        # Change the result set before the parked tx commits.
+        client.submit_transaction(
+            "jsoncc", "create_json_asset", ["m4", "alice", "green", "7"],
+            endorsing_peers=endorsers,
+        ).raise_for_status()
+        result = net.submit_envelope(parked)
+        assert result.status is ValidationCode.VALID  # stale, but committed
+        # Compare: the payload embedded on-chain reflects the OLD world.
+        assert parked.payload.response.payload == b"m1,m2"

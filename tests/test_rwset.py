@@ -1,0 +1,188 @@
+"""Tests for read/write set semantics — including Table I of the paper."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaincode.rwset import (
+    HashedCollectionRWSet,
+    KVWrite,
+    KVWriteHash,
+    PrivateCollectionWrites,
+    RWSetBuilder,
+)
+from repro.common.hashing import hash_key, hash_value
+from repro.ledger.version import Version
+
+
+class TestTableI:
+    """Table I: read/write sets of the four transaction types on (k1, val1)."""
+
+    def test_read_only(self):
+        builder = RWSetBuilder()
+        builder.add_read("cc", "k1", Version(0, 0))
+        rwset = builder.build().rwset
+        ns = rwset.namespace("cc")
+        assert [(r.key, r.version) for r in ns.reads] == [("k1", Version(0, 0))]
+        assert ns.writes == ()  # write set NULL
+        assert rwset.is_read_only
+
+    def test_write_only(self):
+        builder = RWSetBuilder()
+        builder.add_write("cc", "k1", b"val1")
+        rwset = builder.build().rwset
+        ns = rwset.namespace("cc")
+        assert ns.reads == ()  # read set NULL — the Use Case 1 lever
+        assert [(w.key, w.value, w.is_delete) for w in ns.writes] == [("k1", b"val1", False)]
+        assert not rwset.is_read_only
+
+    def test_read_write(self):
+        builder = RWSetBuilder()
+        builder.add_read("cc", "k1", Version(0, 0))
+        builder.add_write("cc", "k1", b"val1")
+        ns = builder.build().rwset.namespace("cc")
+        assert [(r.key, r.version) for r in ns.reads] == [("k1", Version(0, 0))]
+        assert [(w.key, w.value, w.is_delete) for w in ns.writes] == [("k1", b"val1", False)]
+
+    def test_delete_only(self):
+        builder = RWSetBuilder()
+        builder.add_delete("cc", "k1")
+        ns = builder.build().rwset.namespace("cc")
+        assert ns.reads == ()  # read set NULL
+        assert [(w.key, w.value, w.is_delete) for w in ns.writes] == [("k1", None, True)]
+
+
+class TestBuilderSemantics:
+    def test_first_read_version_wins(self):
+        builder = RWSetBuilder()
+        builder.add_read("cc", "k", Version(1, 0))
+        builder.add_read("cc", "k", Version(2, 0))
+        ns = builder.build().rwset.namespace("cc")
+        assert ns.reads[0].version == Version(1, 0)
+
+    def test_last_write_wins(self):
+        builder = RWSetBuilder()
+        builder.add_write("cc", "k", b"first")
+        builder.add_write("cc", "k", b"second")
+        ns = builder.build().rwset.namespace("cc")
+        assert ns.writes == (KVWrite(key="k", value=b"second", is_delete=False),)
+
+    def test_delete_overrides_write(self):
+        builder = RWSetBuilder()
+        builder.add_write("cc", "k", b"v")
+        builder.add_delete("cc", "k")
+        ns = builder.build().rwset.namespace("cc")
+        assert ns.writes[0].is_delete
+
+    def test_private_write_produces_hashes(self):
+        builder = RWSetBuilder()
+        builder.add_private_write("cc", "col", "k", b"secret")
+        result = builder.build()
+        col = result.rwset.namespace("cc").collection("col")
+        assert col.hashed_writes == (
+            KVWriteHash(key_hash=hash_key("k"), value_hash=hash_value(b"secret")),
+        )
+        assert result.private_writes == (
+            PrivateCollectionWrites(
+                namespace="cc", collection="col", writes=(KVWrite(key="k", value=b"secret"),)
+            ),
+        )
+
+    def test_private_delete_has_null_value_hash(self):
+        builder = RWSetBuilder()
+        builder.add_private_delete("cc", "col", "k")
+        col = builder.build().rwset.namespace("cc").collection("col")
+        assert col.hashed_writes[0].value_hash is None
+        assert col.hashed_writes[0].is_delete
+
+    def test_private_read_only_no_private_writes(self):
+        builder = RWSetBuilder()
+        builder.add_private_read("cc", "col", hash_key("k"), Version(0, 0))
+        result = builder.build()
+        assert result.private_writes == ()
+        assert result.rwset.is_read_only
+
+    def test_hashed_write_makes_not_read_only(self):
+        builder = RWSetBuilder()
+        builder.add_private_write("cc", "col", "k", b"v")
+        assert not builder.build().rwset.is_read_only
+
+    def test_collections_touched(self):
+        builder = RWSetBuilder()
+        builder.add_private_read("cc", "colA", hash_key("k"), None)
+        builder.add_private_write("cc", "colB", "k", b"v")
+        touched = builder.build().rwset.collections_touched()
+        assert touched == {("cc", "colA"), ("cc", "colB")}
+
+    def test_multiple_namespaces(self):
+        builder = RWSetBuilder()
+        builder.add_write("cc1", "k", b"a")
+        builder.add_write("cc2", "k", b"b")
+        rwset = builder.build().rwset
+        assert {ns.namespace for ns in rwset.namespaces} == {"cc1", "cc2"}
+
+    def test_empty_builder(self):
+        result = RWSetBuilder().build()
+        assert result.rwset.namespaces == ()
+        assert result.rwset.is_read_only  # vacuously
+
+
+class TestMatchesHashes:
+    def _pair(self, value=b"secret"):
+        builder = RWSetBuilder()
+        builder.add_private_write("cc", "col", "k", value)
+        result = builder.build()
+        return result.private_writes[0], result.rwset.namespace("cc").collection("col")
+
+    def test_genuine_match(self):
+        plain, hashed = self._pair()
+        assert plain.matches_hashes(hashed)
+
+    def test_value_mismatch_detected(self):
+        _, hashed = self._pair(b"secret")
+        forged = PrivateCollectionWrites(
+            namespace="cc", collection="col", writes=(KVWrite(key="k", value=b"FORGED"),)
+        )
+        assert not forged.matches_hashes(hashed)
+
+    def test_key_mismatch_detected(self):
+        _, hashed = self._pair()
+        forged = PrivateCollectionWrites(
+            namespace="cc", collection="col", writes=(KVWrite(key="other", value=b"secret"),)
+        )
+        assert not forged.matches_hashes(hashed)
+
+    def test_count_mismatch_detected(self):
+        plain, hashed = self._pair()
+        extra = PrivateCollectionWrites(
+            namespace="cc",
+            collection="col",
+            writes=plain.writes + (KVWrite(key="k2", value=b"x"),),
+        )
+        assert not extra.matches_hashes(hashed)
+
+    def test_delete_flag_mismatch_detected(self):
+        plain, _ = self._pair()
+        hashed = HashedCollectionRWSet(
+            collection="col",
+            hashed_writes=(KVWriteHash(key_hash=hash_key("k"), value_hash=None, is_delete=True),),
+        )
+        assert not plain.matches_hashes(hashed)
+
+    def test_delete_matches(self):
+        builder = RWSetBuilder()
+        builder.add_private_delete("cc", "col", "k")
+        result = builder.build()
+        assert result.private_writes[0].matches_hashes(
+            result.rwset.namespace("cc").collection("col")
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.binary(max_size=64), forged=st.binary(max_size=64))
+    def test_only_exact_value_matches(self, value, forged):
+        plain, hashed = self._pair(value)
+        candidate = PrivateCollectionWrites(
+            namespace="cc", collection="col", writes=(KVWrite(key="k", value=forged),)
+        )
+        assert candidate.matches_hashes(hashed) == (forged == value)

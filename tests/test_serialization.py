@@ -1,0 +1,80 @@
+"""Tests for canonical serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.serialization import canonical_bytes, from_canonical_bytes
+
+
+class TestCanonicalBytes:
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_bytes_roundtrip(self):
+        payload = {"data": b"\x00\xff binary \x01"}
+        assert from_canonical_bytes(canonical_bytes(payload)) == payload
+
+    def test_nested_structures(self):
+        doc = {"outer": [{"inner": b"x"}, [1, 2, 3], "text", None, True]}
+        restored = from_canonical_bytes(canonical_bytes(doc))
+        assert restored == {"outer": [{"inner": b"x"}, [1, 2, 3], "text", None, True]}
+
+    def test_tuple_serializes_like_list(self):
+        assert canonical_bytes({"v": (1, 2)}) == canonical_bytes({"v": [1, 2]})
+
+    def test_deterministic(self):
+        doc = {"k": [b"ab", {"z": 1, "a": 2}]}
+        assert canonical_bytes(doc) == canonical_bytes(doc)
+
+    def test_distinct_values_distinct_bytes(self):
+        assert canonical_bytes({"v": b"a"}) != canonical_bytes({"v": b"b"})
+
+    def test_bytes_and_string_distinct(self):
+        assert canonical_bytes({"v": b"abc"}) != canonical_bytes({"v": "abc"})
+
+    def test_to_wire_objects_supported(self):
+        class Wired:
+            def to_wire(self):
+                return {"x": 1}
+
+        assert canonical_bytes(Wired()) == canonical_bytes({"x": 1})
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_non_string_keys_coerced(self):
+        assert canonical_bytes({1: "a"}) == canonical_bytes({"1": "a"})
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(value=json_values)
+    def test_roundtrip(self, value):
+        restored = from_canonical_bytes(canonical_bytes(value))
+        assert canonical_bytes(restored) == canonical_bytes(value)
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=json_values)
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)

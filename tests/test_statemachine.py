@@ -1,0 +1,125 @@
+"""Stateful property test: the network against a reference model.
+
+Hypothesis drives random sequences of honest PDC operations through the
+full pipeline and checks, after every step, the invariants the paper's
+design section states:
+
+* every PDC member peer's private store equals the reference model;
+* every peer's hash store equals ``hash(model)``;
+* non-members never hold original private data;
+* all peers' blockchains stay identical and hash-verified.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.chaincode.contracts import PrivateAssetContract
+from repro.common.errors import ReproError
+from repro.common.hashing import hash_value
+from repro.network.presets import three_org_network
+
+KEYS = ["alpha", "beta", "gamma"]
+
+
+class PdcNetworkMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.net = three_org_network()
+        self.net.network.install_chaincode(self.net.chaincode_id, PrivateAssetContract())
+        self.client = self.net.client_of(1)
+        self.endorsers = [self.net.peer_of(1), self.net.peer_of(2)]
+        self.model: dict[str, bytes] = {}
+
+    def _submit(self, function, args, transient=None):
+        return self.client.submit_transaction(
+            self.net.chaincode_id, function, args,
+            transient=transient, endorsing_peers=self.endorsers,
+        )
+
+    @rule(key=st.sampled_from(KEYS), value=st.integers(min_value=0, max_value=10**6))
+    def write(self, key, value):
+        raw = str(value).encode()
+        result = self._submit("set_private", [self.net.collection, key], {"value": raw})
+        assert result.committed
+        self.model[key] = raw
+
+    @rule(key=st.sampled_from(KEYS), delta=st.integers(min_value=-50, max_value=50))
+    def add(self, key, delta):
+        try:
+            result = self._submit("add_private", [self.net.collection, key, str(delta)])
+        except ReproError:
+            assert key not in self.model  # add on a missing key must fail
+            return
+        assert result.committed
+        self.model[key] = str(int(self.model[key]) + delta).encode()
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        result = self._submit("del_private", [self.net.collection, key])
+        assert result.committed
+        self.model.pop(key, None)
+
+    @rule(key=st.sampled_from(KEYS))
+    def read(self, key):
+        try:
+            value = self.client.evaluate_transaction(
+                self.net.chaincode_id, "get_private", [self.net.collection, key],
+                peer=self.net.peer_of(1),
+            )
+        except ReproError:
+            assert key not in self.model
+            return
+        assert value == self.model[key]
+
+    @invariant()
+    def members_match_model(self):
+        if not hasattr(self, "net"):
+            return
+        for org_num in (1, 2):
+            peer = self.net.peer_of(org_num)
+            for key in KEYS:
+                stored = peer.query_private(self.net.chaincode_id, self.net.collection, key)
+                assert stored == self.model.get(key), (org_num, key)
+
+    @invariant()
+    def hash_stores_match_model_everywhere(self):
+        if not hasattr(self, "net"):
+            return
+        for org_num in (1, 2, 3):
+            peer = self.net.peer_of(org_num)
+            for key in KEYS:
+                digest = peer.query_private_hash(
+                    self.net.chaincode_id, self.net.collection, key
+                )
+                expected = hash_value(self.model[key]) if key in self.model else None
+                assert digest == expected, (org_num, key)
+
+    @invariant()
+    def nonmember_never_holds_originals(self):
+        if not hasattr(self, "net"):
+            return
+        peer = self.net.peer_of(3)
+        for key in KEYS:
+            assert peer.query_private(self.net.chaincode_id, self.net.collection, key) is None
+
+    @invariant()
+    def chains_identical_and_verified(self):
+        if not hasattr(self, "net"):
+            return
+        hashes = set()
+        for org_num in (1, 2, 3):
+            chain = self.net.peer_of(org_num).ledger.blockchain
+            assert chain.verify_chain()
+            hashes.add(chain.last_hash())
+        assert len(hashes) == 1
+
+
+PdcNetworkMachine.TestCase.settings = settings(
+    max_examples=6, stateful_step_count=12, deadline=None
+)
+TestPdcNetworkStateMachine = PdcNetworkMachine.TestCase
+TestPdcNetworkStateMachine.__doc__ = "Hypothesis stateful run of the PDC pipeline."

@@ -1,0 +1,199 @@
+"""Tests for the chaincode shim semantics (Use Case 1 behaviours)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError, KeyNotFoundError
+from repro.common.hashing import hash_key, hash_value
+from repro.ledger.ledger import PeerLedger
+from repro.ledger.version import Version
+from repro.protocol.proposal import new_proposal
+
+
+@pytest.fixture
+def member_stub(channel):
+    """A stub running at a PDC member peer (Org1MSP)."""
+    return _stub(channel, "Org1MSP")
+
+
+@pytest.fixture
+def nonmember_stub(channel):
+    """A stub running at a PDC non-member peer (Org3MSP)."""
+    return _stub(channel, "Org3MSP")
+
+
+def _stub(channel, msp_id, seed_private=True):
+    ledger = PeerLedger()
+    ledger.world_state.put("pdccc", "pub", b"public-value", Version(0, 0))
+    is_member = msp_id in ("Org1MSP", "Org2MSP")
+    if seed_private:
+        # Hashes live at every peer; originals only at members.
+        ledger.private_hashes.put_plain("pdccc", "PDC1", "k1", b"P1", Version(1, 0))
+        if is_member:
+            ledger.private_data.put("pdccc", "PDC1", "k1", b"P1", Version(1, 0))
+    client = channel.organization(msp_id).enroll_client()
+    proposal = new_proposal(
+        "testchannel", "pdccc", "fn", [], client.certificate, transient={"value": b"tv"}
+    )
+    return ChaincodeStub(proposal=proposal, ledger=ledger, channel=channel, local_msp_id=msp_id)
+
+
+class TestPublicState:
+    def test_get_state_records_read(self, member_stub):
+        assert member_stub.get_state("pub") == b"public-value"
+        ns = member_stub.build_result().rwset.namespace("pdccc")
+        assert ns.reads[0].key == "pub" and ns.reads[0].version == Version(0, 0)
+
+    def test_get_absent_records_nil_version(self, member_stub):
+        assert member_stub.get_state("nope") is None
+        ns = member_stub.build_result().rwset.namespace("pdccc")
+        assert ns.reads[0].version is None
+
+    def test_put_state_no_read(self, member_stub):
+        member_stub.put_state("new", b"v")
+        ns = member_stub.build_result().rwset.namespace("pdccc")
+        assert ns.reads == () and ns.writes[0].key == "new"
+
+    def test_read_your_own_write(self, member_stub):
+        member_stub.put_state("k", b"pending")
+        assert member_stub.get_state("k") == b"pending"
+        # And the read-own-write does NOT add a read-set entry.
+        ns = member_stub.build_result().rwset.namespace("pdccc")
+        assert ns.reads == ()
+
+    def test_read_your_own_delete(self, member_stub):
+        member_stub.del_state("pub")
+        assert member_stub.get_state("pub") is None
+
+    def test_empty_key_rejected(self, member_stub):
+        with pytest.raises(ChaincodeError):
+            member_stub.put_state("", b"v")
+        with pytest.raises(ChaincodeError):
+            member_stub.del_state("")
+
+
+class TestPrivateDataAtMember:
+    def test_get_private_data(self, member_stub):
+        assert member_stub.get_private_data("PDC1", "k1") == b"P1"
+        col = member_stub.build_result().rwset.namespace("pdccc").collection("PDC1")
+        assert col.hashed_reads[0].key_hash == hash_key("k1")
+        assert col.hashed_reads[0].version == Version(1, 0)
+
+    def test_put_private_data(self, member_stub):
+        member_stub.put_private_data("PDC1", "k2", b"new-secret")
+        result = member_stub.build_result()
+        col = result.rwset.namespace("pdccc").collection("PDC1")
+        assert col.hashed_writes[0].value_hash == hash_value(b"new-secret")
+        assert result.private_writes[0].writes[0].value == b"new-secret"
+
+    def test_get_missing_private_key(self, member_stub):
+        with pytest.raises(KeyNotFoundError):
+            member_stub.get_private_data("PDC1", "missing")
+
+    def test_read_own_private_write(self, member_stub):
+        member_stub.put_private_data("PDC1", "k9", b"x")
+        assert member_stub.get_private_data("PDC1", "k9") == b"x"
+
+    def test_read_own_private_delete_raises(self, member_stub):
+        member_stub.del_private_data("PDC1", "k1")
+        with pytest.raises(KeyNotFoundError):
+            member_stub.get_private_data("PDC1", "k1")
+
+    def test_unknown_collection_rejected(self, member_stub):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            member_stub.get_private_data("NOPE", "k1")
+
+
+class TestPrivateDataAtNonMember:
+    def test_read_fails_key_not_found(self, nonmember_stub):
+        """Use Case 1: the non-member cannot complete a read endorsement."""
+        with pytest.raises(KeyNotFoundError):
+            nonmember_stub.get_private_data("PDC1", "k1")
+
+    def test_write_succeeds(self, nonmember_stub):
+        """Use Case 1: write-only proposals endorse fine at non-members."""
+        nonmember_stub.put_private_data("PDC1", "k1", b"anything")
+        result = nonmember_stub.build_result()
+        assert result.private_writes[0].writes[0].value == b"anything"
+
+    def test_delete_succeeds(self, nonmember_stub):
+        nonmember_stub.del_private_data("PDC1", "k1")
+        col = nonmember_stub.build_result().rwset.namespace("pdccc").collection("PDC1")
+        assert col.hashed_writes[0].is_delete
+
+    def test_hash_api_works_and_matches_member_version(self, channel):
+        """The endorsement-forgery lever: GetPrivateDataHash at a
+        non-member yields the same (hash(key), version) read-set entry a
+        member's GetPrivateData would produce."""
+        member = _stub(channel, "Org1MSP")
+        nonmember = _stub(channel, "Org3MSP")
+        member.get_private_data("PDC1", "k1")
+        digest = nonmember.get_private_data_hash("PDC1", "k1")
+        assert digest == hash_value(b"P1")
+        member_col = member.build_result().rwset.namespace("pdccc").collection("PDC1")
+        nonmember_col = nonmember.build_result().rwset.namespace("pdccc").collection("PDC1")
+        assert member_col.hashed_reads == nonmember_col.hashed_reads
+
+    def test_hash_api_absent_key(self, nonmember_stub):
+        assert nonmember_stub.get_private_data_hash("PDC1", "missing") is None
+
+
+class TestMemberOnlyFlags:
+    @pytest.fixture
+    def gated_channel(self, three_orgs):
+        from repro.network.channel import ChannelConfig
+        from repro.network.collection import CollectionConfig
+
+        config = ChannelConfig(channel_id="testchannel", organizations=three_orgs)
+        config.deploy_chaincode(
+            "pdccc",
+            endorsement_policy="MAJORITY Endorsement",
+            collections=[
+                CollectionConfig(
+                    name="PDC1",
+                    policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                    member_only_read=True,
+                    member_only_write=True,
+                )
+            ],
+        )
+        return config
+
+    def test_member_only_read_blocks_nonmember(self, gated_channel):
+        stub = _stub(gated_channel, "Org3MSP")
+        with pytest.raises(ChaincodeError, match="memberOnlyRead"):
+            stub.get_private_data("PDC1", "k1")
+
+    def test_member_only_write_blocks_nonmember(self, gated_channel):
+        stub = _stub(gated_channel, "Org3MSP")
+        with pytest.raises(ChaincodeError, match="memberOnlyWrite"):
+            stub.put_private_data("PDC1", "k1", b"v")
+        with pytest.raises(ChaincodeError, match="memberOnlyWrite"):
+            stub.del_private_data("PDC1", "k1")
+
+    def test_hash_api_not_gated(self, gated_channel):
+        """Hashes are stored at every peer; memberOnlyRead never gates them."""
+        stub = _stub(gated_channel, "Org3MSP")
+        assert stub.get_private_data_hash("PDC1", "k1") == hash_value(b"P1")
+
+    def test_member_unaffected(self, gated_channel):
+        stub = _stub(gated_channel, "Org1MSP")
+        assert stub.get_private_data("PDC1", "k1") == b"P1"
+        stub.put_private_data("PDC1", "k2", b"v")
+
+
+class TestProposalContext:
+    def test_transient_accessible(self, member_stub):
+        assert member_stub.get_transient("value") == b"tv"
+        assert member_stub.get_transient("absent") is None
+
+    def test_creator_exposed(self, member_stub):
+        assert member_stub.get_creator().role.value == "client"
+
+    def test_channel_and_msp(self, member_stub):
+        assert member_stub.channel_id == "testchannel"
+        assert member_stub.local_msp_id == "Org1MSP"

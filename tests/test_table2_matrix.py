@@ -1,0 +1,61 @@
+"""The headline integration test: the measured Table II equals the paper's."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attacks import (
+    PAPER_INJECTION_MATRIX,
+    PAPER_LEAKAGE_MATRIX,
+    run_attack_matrix,
+    run_injection_cell,
+    run_leakage_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_attack_matrix()
+
+
+class TestTableII:
+    def test_full_matrix_matches_paper(self, matrix):
+        assert matrix.matches_paper(), matrix.mismatches()
+
+    @pytest.mark.parametrize("row,column", sorted(PAPER_INJECTION_MATRIX))
+    def test_injection_cell(self, matrix, row, column):
+        assert matrix.mark(row, column) == PAPER_INJECTION_MATRIX[(row, column)]
+
+    @pytest.mark.parametrize("row,column", sorted(PAPER_LEAKAGE_MATRIX))
+    def test_leakage_cell(self, matrix, row, column):
+        assert matrix.mark(row, column) == PAPER_LEAKAGE_MATRIX[(row, column)]
+
+    def test_render_contains_all_rows(self, matrix):
+        rendered = matrix.render()
+        for row in ("read-only", "write-only", "read-write", "delete-related",
+                    "pdc-read", "pdc-write"):
+            assert row in rendered
+
+    def test_unknown_cell_is_na(self, matrix):
+        assert matrix.mark("read-only", "nonexistent-column") == "N/A"
+
+
+class TestCellRunners:
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ValueError):
+            run_injection_cell("read-only", "bogus")
+
+    def test_unknown_leakage_row_rejected(self):
+        with pytest.raises(ValueError):
+            run_leakage_cell("bogus", "original")
+
+
+class TestSupplementalFilterColumn:
+    """Beyond Table II: all four injections fail under the §V-D filter."""
+
+    @pytest.mark.parametrize(
+        "row", ["read-only", "write-only", "read-write", "delete-related"]
+    )
+    def test_filter_stops_injection(self, row):
+        report = run_injection_cell(row, "nonmember-filter")
+        assert not report.succeeded, report.summary

@@ -1,0 +1,108 @@
+"""Tests that the traced pipeline reproduces the Fig. 2 sequence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaincode.contracts import AssetContract, PrivateAssetContract
+from repro.common.tracing import Tracer
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+
+
+@pytest.fixture
+def traced_network():
+    orgs = [Organization(f"Org{i}MSP") for i in (1, 2, 3)]
+    channel = ChannelConfig(channel_id="traced", organizations=orgs)
+    channel.deploy_chaincode("assetcc")
+    channel.deploy_chaincode(
+        "pdccc",
+        collections=[
+            CollectionConfig(
+                name="PDC1",
+                policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                required_peer_count=0,
+            )
+        ],
+    )
+    tracer = Tracer()
+    net = FabricNetwork(channel=channel, tracer=tracer)
+    for org in orgs:
+        net.add_peer(org.msp_id)
+    net.install_chaincode("assetcc", AssetContract())
+    net.install_chaincode("pdccc", PrivateAssetContract())
+    return net, tracer
+
+
+class TestFig2Sequence:
+    def test_public_transaction_sequence(self, traced_network):
+        """Fig. 2 workflow (I): steps 1-6 and 10-21, no gossip."""
+        net, tracer = traced_network
+        endorsers = net.default_endorsers()[:2]
+        result = net.client("Org1MSP").submit_transaction(
+            "assetcc", "create_asset", ["a", "1"], endorsing_peers=endorsers
+        )
+        result.raise_for_status()
+        actions = [e.action for e in tracer.for_tx(result.tx_id)]
+        assert actions == [
+            "send-proposal", "simulate+endorse",       # endorser 1
+            "send-proposal", "simulate+endorse",       # endorser 2
+            "assemble+submit",                          # client -> orderer
+            "validate+commit", "validate+commit", "validate+commit",  # 3 peers
+        ]
+        assert "gossip-private-rwset" not in actions
+
+    def test_private_transaction_sequence_includes_gossip(self, traced_network):
+        """Fig. 2 workflow (II): the dissemination steps 7-9 appear."""
+        net, tracer = traced_network
+        endorsers = net.default_endorsers()[:2]
+        result = net.client("Org1MSP").submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"v"}, endorsing_peers=endorsers,
+        )
+        result.raise_for_status()
+        actions = [e.action for e in tracer.for_tx(result.tx_id)]
+        assert actions == [
+            "send-proposal", "simulate+endorse", "gossip-private-rwset",
+            "send-proposal", "simulate+endorse", "gossip-private-rwset",
+            "assemble+submit",
+            "validate+commit", "validate+commit", "validate+commit",
+        ]
+
+    def test_gossip_precedes_ordering(self, traced_network):
+        """Dissemination happens in the execution phase, before ordering
+        (steps 7-9 come before step 10 in Fig. 2)."""
+        net, tracer = traced_network
+        result = net.client("Org1MSP").submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k2"],
+            transient={"value": b"v"}, endorsing_peers=net.default_endorsers()[:2],
+        )
+        actions = [e.action for e in tracer.for_tx(result.tx_id)]
+        assert actions.index("gossip-private-rwset") < actions.index("assemble+submit")
+
+    def test_validation_flags_recorded(self, traced_network):
+        net, tracer = traced_network
+        result = net.client("Org1MSP").submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"v"},
+            endorsing_peers=[net.default_peer_for("Org1MSP")],  # fails MAJORITY
+        )
+        commits = [e for e in tracer.for_tx(result.tx_id) if e.action == "validate+commit"]
+        assert len(commits) == 3
+        assert all(e.detail["flag"] == "ENDORSEMENT_POLICY_FAILURE" for e in commits)
+
+    def test_render_and_clear(self, traced_network):
+        net, tracer = traced_network
+        net.client("Org1MSP").submit_transaction(
+            "assetcc", "create_asset", ["a", "1"],
+            endorsing_peers=net.default_endorsers()[:2],
+        )
+        rendered = tracer.render()
+        assert "send-proposal" in rendered and "assemble+submit" in rendered
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_untraced_network_records_nothing(self, network):
+        assert network.tracer is None  # default fixture runs untraced

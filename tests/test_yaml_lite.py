@@ -1,0 +1,112 @@
+"""Tests for the YAML-subset reader used on configtx.yaml."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analyzer.yaml_lite import (
+    YamlLiteError,
+    extract_endorsement_rule,
+    find_key_paths,
+    parse_yaml_lite,
+)
+from repro.core.corpus.templates import configtx_yaml
+
+
+class TestScalars:
+    def test_basic_mapping(self):
+        assert parse_yaml_lite("a: 1\nb: text\n") == {"a": 1, "b": "text"}
+
+    def test_quoted_strings(self):
+        assert parse_yaml_lite('a: "hello world"\nb: \'single\'') == {
+            "a": "hello world",
+            "b": "single",
+        }
+
+    def test_booleans_and_null(self):
+        doc = parse_yaml_lite("t: true\nf: false\ny: yes\nn: no\nz: null\n")
+        assert doc == {"t": True, "f": False, "y": True, "n": False, "z": None}
+
+    def test_numbers(self):
+        assert parse_yaml_lite("i: 42\nf: 2.5\n") == {"i": 42, "f": 2.5}
+
+    def test_comments_stripped(self):
+        assert parse_yaml_lite("a: 1  # trailing\n# full line\nb: 2") == {"a": 1, "b": 2}
+
+    def test_hash_inside_quotes_kept(self):
+        assert parse_yaml_lite('a: "value # not comment"') == {"a": "value # not comment"}
+
+    def test_document_markers_skipped(self):
+        assert parse_yaml_lite("---\na: 1\n") == {"a": 1}
+
+    def test_empty_document(self):
+        assert parse_yaml_lite("") == {}
+        assert parse_yaml_lite("# only comments\n") == {}
+
+
+class TestNesting:
+    def test_nested_mapping(self):
+        doc = parse_yaml_lite("outer:\n  inner:\n    key: v\n")
+        assert doc == {"outer": {"inner": {"key": "v"}}}
+
+    def test_empty_value_is_none(self):
+        assert parse_yaml_lite("key:\nother: 1") == {"key": None, "other": 1}
+
+    def test_list_of_scalars(self):
+        assert parse_yaml_lite("items:\n  - a\n  - b\n") == {"items": ["a", "b"]}
+
+    def test_list_of_mappings(self):
+        doc = parse_yaml_lite("orgs:\n  - Name: A\n    ID: a\n  - Name: B\n    ID: b\n")
+        assert doc == {"orgs": [{"Name": "A", "ID": "a"}, {"Name": "B", "ID": "b"}]}
+
+    def test_anchor_on_mapping_value(self):
+        doc = parse_yaml_lite("App: &Defaults\n  key: v\n")
+        assert doc == {"App": {"key": "v"}}
+
+    def test_anchor_only_list_item(self):
+        doc = parse_yaml_lite("orgs:\n  - &Org1\n    Name: A\n")
+        assert doc == {"orgs": [{"Name": "A"}]}
+
+    def test_alias_value_kept_opaque(self):
+        doc = parse_yaml_lite("a: *SomeAnchor\n")
+        assert doc == {"a": "*SomeAnchor"}
+
+    def test_tabs_rejected(self):
+        with pytest.raises(YamlLiteError):
+            parse_yaml_lite("a:\n\tb: 1\n")
+
+    def test_non_mapping_line_rejected(self):
+        with pytest.raises(YamlLiteError):
+            parse_yaml_lite("just some text without colon structure (\n")
+
+
+class TestFindKeyPaths:
+    def test_recursive_search(self):
+        doc = {"a": {"target": 1}, "b": [{"target": 2}], "target": 3}
+        assert sorted(find_key_paths(doc, "target")) == [1, 2, 3]
+
+    def test_no_match(self):
+        assert find_key_paths({"a": 1}, "missing") == []
+
+
+class TestExtractEndorsementRule:
+    def test_majority_template(self):
+        assert (
+            extract_endorsement_rule(configtx_yaml("MAJORITY Endorsement"))
+            == "MAJORITY Endorsement"
+        )
+
+    def test_any_template(self):
+        assert extract_endorsement_rule(configtx_yaml("ANY Endorsement")) == "ANY Endorsement"
+
+    def test_prefers_implicitmeta_over_org_signature_policies(self):
+        """Per-org 'Endorsement' signature policies must not shadow the
+        channel default."""
+        rule = extract_endorsement_rule(configtx_yaml("MAJORITY Endorsement"))
+        assert rule.startswith("MAJORITY")
+
+    def test_missing_policy_returns_none(self):
+        assert extract_endorsement_rule("Orderer:\n  BatchTimeout: 2s\n") is None
+
+    def test_unparseable_returns_none(self):
+        assert extract_endorsement_rule("{ %% not yaml at all\n\t") is None

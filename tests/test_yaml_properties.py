@@ -1,0 +1,94 @@
+"""Property tests: yaml_lite parses what a simple emitter renders."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer.yaml_lite import parse_yaml_lite
+
+# Values and keys restricted to the configtx-ish subset yaml_lite targets.
+scalar_keys = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+scalar_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.from_regex(r"[A-Za-z0-9_ .:/-]{1,20}", fullmatch=True).map(str.strip).filter(
+        lambda s: s
+        and s.lower() not in ("true", "false", "yes", "no", "null")
+        and not _parses_as_number(s)
+    ),
+)
+
+
+def _parses_as_number(text: str) -> bool:
+    for cast in (int, float):
+        try:
+            cast(text)
+            return True
+        except ValueError:
+            pass
+    return False
+
+
+yaml_docs = st.recursive(
+    st.dictionaries(scalar_keys, scalar_values, min_size=1, max_size=4),
+    lambda children: st.dictionaries(scalar_keys, children, min_size=1, max_size=3),
+    max_leaves=12,
+)
+
+
+def _emit(document: dict, indent: int = 0) -> str:
+    """A minimal YAML emitter for the subset under test."""
+    lines = []
+    pad = " " * indent
+    for key, value in document.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(_emit(value, indent + 2))
+        elif isinstance(value, bool):
+            lines.append(f"{pad}{key}: {'true' if value else 'false'}")
+        elif isinstance(value, str):
+            lines.append(f'{pad}{key}: "{value}"')
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)
+
+
+class TestYamlRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(document=yaml_docs)
+    def test_emit_parse_roundtrip(self, document):
+        assert parse_yaml_lite(_emit(document)) == document
+
+    @settings(max_examples=100, deadline=None)
+    @given(document=yaml_docs)
+    def test_roundtrip_with_comments_interleaved(self, document):
+        text = _emit(document)
+        noisy = "\n".join(
+            line + "   # trailing comment" if ":" in line and not line.endswith(":") else line
+            for line in text.splitlines()
+        )
+        noisy = "# leading comment\n---\n" + noisy
+        assert parse_yaml_lite(noisy) == document
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        document=yaml_docs,
+        rule=st.sampled_from(["MAJORITY Endorsement", "ANY Endorsement", "ALL Endorsement"]),
+    )
+    def test_endorsement_rule_survives_arbitrary_surroundings(self, document, rule):
+        """The configtx extractor finds the Application Endorsement rule no
+        matter what other keys the file contains."""
+        from repro.core.analyzer.yaml_lite import extract_endorsement_rule
+
+        text = (
+            _emit(document)
+            + "\nApplication:\n  Policies:\n    Endorsement:\n"
+            + "      Type: ImplicitMeta\n"
+            + f'      Rule: "{rule}"\n'
+        )
+        # Guard against the random document accidentally defining its own
+        # Application/Endorsement mapping that shadows ours.
+        if "Application" in document or "Endorsement" in document:
+            return
+        assert extract_endorsement_rule(text) == rule
