@@ -1,0 +1,55 @@
+"""Pipelined throughput — committed tx/sec vs batch size and depth.
+
+Exercises the event-driven runtime end to end: transactions are put in
+flight through ``submit_async`` and the orderer batches them for real,
+so the block counts in the archived table demonstrate batch cutting
+(blocks ≈ txs / batch_size) rather than one block per transaction.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TX`` — transactions per cell (default 50).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import measure_throughput_matrix, render_throughput
+
+from _bench_utils import record
+
+CELLS = ((1, 50), (10, 50), (25, 50), (25, 1), (25, 10))
+
+
+def _tx_count(default: int = 50) -> int:
+    return int(os.environ.get("REPRO_BENCH_TX", default))
+
+
+def test_throughput_pipeline(results_dir):
+    transactions = _tx_count()
+    results = measure_throughput_matrix(CELLS, transactions=transactions, seed=0)
+    record(results_dir, "throughput_pipeline", render_throughput(results))
+
+    by_cell = {(cell.batch_size, cell.depth): cell for cell in results}
+
+    # Every cell commits its full load.
+    for cell in results:
+        assert cell.committed == transactions, (
+            f"batch={cell.batch_size} depth={cell.depth}: "
+            f"{cell.committed}/{transactions} committed"
+        )
+
+    # Block counts reflect real batching, not one block per transaction.
+    import math
+
+    assert by_cell[(1, 50)].blocks == transactions
+    for batch_size in (10, 25):
+        cell = by_cell[(batch_size, 50)]
+        assert cell.blocks == math.ceil(transactions / batch_size), (
+            f"batch={batch_size}: expected "
+            f"{math.ceil(transactions / batch_size)} blocks, got {cell.blocks}"
+        )
+
+    # Depth 1 serializes: each transaction waits out the batch timer, so
+    # blocks equal transactions even with a large batch size.
+    assert by_cell[(25, 1)].blocks == transactions

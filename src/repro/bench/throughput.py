@@ -1,0 +1,123 @@
+"""Pipelined throughput measurement: committed tx/sec under the runtime.
+
+The seed simulator committed one transaction per block because nothing
+was ever in flight; with the event runtime the orderer genuinely batches,
+so this bench answers the scaling question the synchronous path could
+not: how does end-to-end throughput move with the block *batch size* and
+with the client's *in-flight depth* (how many submissions are enqueued
+before the event loop drains)?
+
+Each cell builds a fresh three-org network, attaches a seeded runtime,
+pumps ``transactions`` private writes through ``submit_async`` with at
+most ``depth`` in flight, and reports wall-clock committed tx/sec plus
+the block count (which shows the cutter actually batching: blocks ≈
+transactions / batch_size, not one block per transaction).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chaincode.contracts import PrivateAssetContract
+from repro.network.presets import TestNetwork, three_org_network
+
+#: (batch_size, depth) cells swept by default: the batch-size sweep at a
+#: fixed depth, then the depth sweep at a fixed batch size.
+DEFAULT_CELLS = ((1, 50), (10, 50), (25, 50), (25, 1), (25, 10))
+DEFAULT_TRANSACTIONS = 50
+
+
+@dataclass
+class ThroughputCell:
+    """One (batch_size, depth) measurement."""
+
+    batch_size: int
+    depth: int
+    transactions: int
+    committed: int
+    blocks: int
+    wall_seconds: float
+    sim_time: float
+
+    @property
+    def tx_per_sec(self) -> float:
+        return self.committed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def _build_network(batch_size: int) -> TestNetwork:
+    net = three_org_network(batch_size=batch_size)
+    net.network.install_chaincode(net.chaincode_id, PrivateAssetContract())
+    return net
+
+
+def measure_throughput(
+    batch_size: int,
+    depth: int,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    seed: int = 0,
+) -> ThroughputCell:
+    """Measure one cell: ``transactions`` writes, ≤ ``depth`` in flight."""
+    if depth < 1:
+        raise ValueError("in-flight depth must be at least 1")
+    net = _build_network(batch_size)
+    runtime = net.network.attach_runtime(seed=seed)
+    client = net.client_of(1)
+    endorsers = [net.peer_of(1), net.peer_of(2)]
+
+    pendings = []
+    start = time.perf_counter()
+    for i in range(transactions):
+        pendings.append(
+            client.submit_async(
+                net.chaincode_id,
+                "set_private",
+                [net.collection, f"bench-{i:05d}"],
+                transient={"value": b"v"},
+                endorsing_peers=endorsers,
+            )
+        )
+        if runtime.in_flight() >= depth:
+            runtime.run()
+    runtime.run()
+    wall = time.perf_counter() - start
+
+    committed = sum(1 for p in pendings if p.done and p.result().committed)
+    return ThroughputCell(
+        batch_size=batch_size,
+        depth=depth,
+        transactions=transactions,
+        committed=committed,
+        blocks=net.network.orderer.blocks_delivered,
+        wall_seconds=wall,
+        sim_time=runtime.now,
+    )
+
+
+def measure_throughput_matrix(
+    cells: Sequence[tuple[int, int]] = DEFAULT_CELLS,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    seed: int = 0,
+) -> list[ThroughputCell]:
+    """Sweep the (batch_size, depth) cells; one fresh network per cell."""
+    return [
+        measure_throughput(batch_size, depth, transactions=transactions, seed=seed)
+        for batch_size, depth in cells
+    ]
+
+
+def render_throughput(results: Sequence[ThroughputCell], title: Optional[str] = None) -> str:
+    lines = [
+        title
+        or "Pipelined throughput — committed tx/sec vs batch size and in-flight depth",
+        f"{'batch':>6} {'depth':>6} {'txs':>6} {'committed':>10} "
+        f"{'blocks':>7} {'wall s':>8} {'tx/sec':>9}",
+    ]
+    for cell in results:
+        lines.append(
+            f"{cell.batch_size:>6} {cell.depth:>6} {cell.transactions:>6} "
+            f"{cell.committed:>10} {cell.blocks:>7} "
+            f"{cell.wall_seconds:>8.3f} {cell.tx_per_sec:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ from repro.protocol.transaction import TransactionEnvelope, ValidationCode
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import FabricNetwork
     from repro.peer.node import PeerNode
+    from repro.runtime.runtime import PendingTransaction
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,43 @@ class Gateway:
         *favourable* endorsers is exactly the degree of freedom the
         paper's malicious clients exploit.
         """
+        envelope, payload = self._endorse_and_assemble(
+            chaincode_id, function, args, transient, endorsing_peers
+        )
+        return self._network.submit_envelope(envelope, client_payload=payload)
+
+    def submit_async(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str] = (),
+        transient: Optional[Mapping[str, bytes]] = None,
+        endorsing_peers: Optional[Sequence["PeerNode"]] = None,
+    ) -> "PendingTransaction":
+        """Pipelined submit: endorse + assemble now, order + commit later.
+
+        Endorsement stays a synchronous request/response round (as in
+        Fabric's gateway), but the assembled envelope is only *enqueued*
+        on the event runtime — nothing is ordered until the scheduler
+        runs, so hundreds of transactions can be put in flight first.
+        Returns a :class:`~repro.runtime.runtime.PendingTransaction`
+        resolved by the commit events; requires
+        ``network.attach_runtime()``.
+        """
+        envelope, payload = self._endorse_and_assemble(
+            chaincode_id, function, args, transient, endorsing_peers
+        )
+        return self._network.submit_envelope_async(envelope, client_payload=payload)
+
+    def _endorse_and_assemble(
+        self,
+        chaincode_id: str,
+        function: str,
+        args: Sequence[str],
+        transient: Optional[Mapping[str, bytes]],
+        endorsing_peers: Optional[Sequence["PeerNode"]],
+    ) -> tuple[TransactionEnvelope, bytes]:
+        """Steps 1-7 of Fig. 2: endorse everywhere, check, assemble, sign."""
         peers = list(endorsing_peers or self._network.default_endorsers())
         if not peers:
             raise EndorsementError("no endorsing peers supplied")
@@ -113,7 +151,7 @@ class Gateway:
 
         self._check_consistency(proposal, responses)
         envelope = self.assemble(proposal, responses)
-        return self._network.submit_envelope(envelope, client_payload=responses[0].client_response.payload)
+        return envelope, responses[0].client_response.payload
 
     def submit_with_retry(
         self,

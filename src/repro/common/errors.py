@@ -78,6 +78,16 @@ class OrderingError(ReproError):
     """The ordering service rejected or failed to order an envelope."""
 
 
+class SchedulerError(ReproError):
+    """The simulated-time runtime could not make progress.
+
+    Raised when an event-loop run exhausts its event budget, or when a
+    caller waits on a condition (e.g. a transaction commit) that the
+    remaining scheduled events can never satisfy — typically because a
+    fault model dropped the messages that would have produced it.
+    """
+
+
 class ValidationError(ReproError):
     """A block or transaction failed structural validation."""
 

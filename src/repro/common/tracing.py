@@ -9,6 +9,7 @@ Useful for debugging, teaching, and asserting pipeline behaviour in tests.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -33,7 +34,7 @@ class TraceEvent:
 class Tracer:
     """An append-only event log."""
 
-    events: list = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
     _counter: int = 0
 
     def record(self, actor: str, action: str, tx_id: str = "", **detail: Any) -> None:
@@ -44,7 +45,7 @@ class Tracer:
             )
         )
 
-    def actions(self, tx_id: Optional[str] = None) -> list:
+    def actions(self, tx_id: Optional[str] = None) -> list[str]:
         """The action names, optionally filtered to one transaction."""
         return [
             event.action
@@ -52,8 +53,18 @@ class Tracer:
             if tx_id is None or event.tx_id == tx_id or not event.tx_id
         ]
 
-    def for_tx(self, tx_id: str) -> list:
+    def for_tx(self, tx_id: str) -> list[TraceEvent]:
         return [e for e in self.events if e.tx_id == tx_id]
+
+    def summary(self) -> dict[str, int]:
+        """Per-action event counts, e.g. ``{"validate+commit": 300, ...}``.
+
+        With the event runtime interleaving hundreds of transactions, the
+        raw log is too long to eyeball; the summary aggregates it into a
+        quick pipeline-shape check (every tx endorsed twice, one
+        ``enqueue-envelope`` each, blocks ≪ transactions, ...).
+        """
+        return dict(Counter(event.action for event in self.events))
 
     def render(self) -> str:
         return "\n".join(str(event) for event in self.events)

@@ -19,7 +19,7 @@ paper's fake-write injection commit at victim members.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.common.errors import GossipError
@@ -27,6 +27,12 @@ from repro.common.errors import GossipError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.channel import ChannelConfig
     from repro.peer.node import PeerNode
+
+#: Pluggable push transport: (source peer, target peer, tx_id, writes).
+#: ``None`` means direct synchronous delivery; the event runtime installs
+#: a transport that schedules the push as a bus message instead, making
+#: gossip-vs-block-delivery races observable.
+GossipTransport = Callable[["PeerNode", "PeerNode", str, PrivateCollectionWrites], None]
 
 
 class GossipNetwork:
@@ -36,6 +42,7 @@ class GossipNetwork:
         self._channel = channel
         self._peers: list["PeerNode"] = []
         self.pushes = 0  # dissemination counter (observability / benches)
+        self.transport: Optional[GossipTransport] = None
 
     def register_peer(self, peer: "PeerNode") -> None:
         self._peers.append(peer)
@@ -74,7 +81,10 @@ class GossipNetwork:
                     f"member peers are reachable"
                 )
             for target in eligible[: config.max_peer_count]:
-                target.receive_private_data(tx_id, writes)
+                if self.transport is not None:
+                    self.transport(endorsing_peer, target, tx_id, writes)
+                else:
+                    target.receive_private_data(tx_id, writes)
                 pushed += 1
                 self.pushes += 1
         return pushed

@@ -23,6 +23,19 @@ from repro.identity.roles import Role
 _CA_INSTANCE_COUNTER = itertools.count(1)
 
 
+def reset_ca_instance_counter() -> None:
+    """Restart CA instance numbering, as if in a fresh process.
+
+    Certificates (and therefore transaction ids) embed keys derived from
+    the instance number; reproducibility tests that rebuild the same
+    network twice in one process reset it so both builds mint identical
+    identities.  Never call this in code that relies on look-alike CAs
+    being distinguishable.
+    """
+    global _CA_INSTANCE_COUNTER
+    _CA_INSTANCE_COUNTER = itertools.count(1)
+
+
 class CertificateAuthority:
     """Issues and validates certificates for one organization (MSP)."""
 

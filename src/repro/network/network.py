@@ -9,7 +9,7 @@ envelopes into blocks every peer validates independently.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.chaincode.api import Chaincode
 from repro.client.gateway import Gateway, SubmitResult
@@ -24,6 +24,11 @@ from repro.peer.endorser import EndorsementOutput
 from repro.peer.node import PeerNode
 from repro.protocol.proposal import Proposal
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ledger.block import Block
+    from repro.runtime.faults import FaultInjector, LatencyModel
+    from repro.runtime.runtime import PendingTransaction, TransactionRuntime
 
 
 class FabricNetwork:
@@ -46,8 +51,10 @@ class FabricNetwork:
             cluster_size=orderer_cluster_size, batch_size=batch_size
         )
         self._peers: dict[str, PeerNode] = {}
+        self._peer_delivery: dict[str, Callable[["Block"], object]] = {}
         self._disseminate = disseminate_on_endorsement
         self.tracer = tracer
+        self.runtime: "TransactionRuntime | None" = None
 
     # -- topology ------------------------------------------------------------
     def add_peer(
@@ -66,22 +73,69 @@ class FabricNetwork:
             raise ConfigError(f"peer {peer.name!r} already exists")
         self._peers[peer.name] = peer
         self.gossip.register_peer(peer)
-        if self.tracer is None:
-            self.orderer.register_delivery(peer.deliver_block)
+        handler = self._build_delivery_handler(peer)
+        self._peer_delivery[peer.name] = handler
+        if self.runtime is not None:
+            self.runtime.register_peer(peer, handler)
         else:
-            def traced_delivery(block, _peer=peer):
-                self.tracer.record(
-                    "orderer", "deliver-block", block=block.header.number, to=_peer.name
-                )
-                validated = _peer.deliver_block(block)
-                for tx, flag in zip(block.transactions, validated.flags):
-                    self.tracer.record(
-                        _peer.name, "validate+commit", tx.tx_id, flag=flag.value
-                    )
-                return validated
-
-            self.orderer.register_delivery(traced_delivery)
+            self.orderer.register_delivery(handler)
         return peer
+
+    def _build_delivery_handler(self, peer: PeerNode) -> Callable[["Block"], object]:
+        """The (optionally traced) block-delivery callable for one peer."""
+        if self.tracer is None:
+            return peer.deliver_block
+
+        def traced_delivery(block, _peer=peer):
+            self.tracer.record(
+                "orderer", "deliver-block", block=block.header.number, to=_peer.name
+            )
+            validated = _peer.deliver_block(block)
+            for tx, flag in zip(block.transactions, validated.flags):
+                self.tracer.record(
+                    _peer.name, "validate+commit", tx.tx_id, flag=flag.value
+                )
+            return validated
+
+        return traced_delivery
+
+    def delivery_handler_for(self, peer: PeerNode) -> Callable[["Block"], object]:
+        try:
+            return self._peer_delivery[peer.name]
+        except KeyError:
+            raise ConfigError(f"peer {peer.name!r} is not part of this network") from None
+
+    # -- the event-driven runtime ---------------------------------------------
+    def attach_runtime(
+        self,
+        seed: int = 0,
+        latency: "LatencyModel | None" = None,
+        faults: "FaultInjector | None" = None,
+        batch_timeout: float | None = None,
+    ) -> "TransactionRuntime":
+        """Switch this network onto the event-driven transaction runtime.
+
+        Afterwards gossip pushes and block deliveries travel as scheduled
+        messages, ``submit_async`` pipelines transactions, and the
+        synchronous ``submit_transaction`` becomes a thin wrapper that
+        runs the event loop until its own commit.  Attach the runtime
+        *after* adding peers but before submitting traffic.
+        """
+        if self.runtime is not None:
+            raise ConfigError("a runtime is already attached to this network")
+        from repro.runtime.runtime import DEFAULT_BATCH_TIMEOUT, TransactionRuntime
+
+        runtime = TransactionRuntime(
+            self,
+            seed=seed,
+            latency=latency,
+            faults=faults,
+            batch_timeout=(
+                DEFAULT_BATCH_TIMEOUT if batch_timeout is None else batch_timeout
+            ),
+        )
+        self.runtime = runtime
+        return runtime
 
     def peer(self, name: str) -> PeerNode:
         try:
@@ -162,15 +216,23 @@ class FabricNetwork:
         The returned status is the flag computed by the peers — honest
         peers always agree because validation is deterministic over the
         same block and (converged) state.
+
+        With a runtime attached this is the synchronous compatibility
+        wrapper: the envelope is enqueued like any async submission and
+        the event loop runs until its commit resolves (so it pays the
+        batch timeout instead of force-flushing a one-transaction block).
         """
         if self.tracer:
             self.tracer.record(
                 "client", "assemble+submit", envelope.tx_id,
                 endorsements=len(envelope.endorsements),
             )
+        if self.runtime is not None:
+            pending = self.runtime.submit(envelope, client_payload)
+            return self.runtime.run_until_committed(pending)
         self.orderer.submit(envelope)
         self.orderer.flush()
-        status = self._status_of(envelope.tx_id)
+        status = self.status_of(envelope.tx_id)
         return SubmitResult(
             tx_id=envelope.tx_id,
             status=status,
@@ -178,17 +240,42 @@ class FabricNetwork:
             envelope=envelope,
         )
 
-    def _status_of(self, tx_id: str) -> ValidationCode:
-        statuses = {
-            peer.transaction_status(tx_id)
-            for peer in self._peers.values()
-            if peer.transaction_status(tx_id) is not None
-        }
+    def submit_envelope_async(
+        self, envelope: TransactionEnvelope, client_payload: bytes = b""
+    ) -> "PendingTransaction":
+        """Enqueue an assembled envelope on the runtime; returns a future.
+
+        The pipelined counterpart of :meth:`submit_envelope` — requires an
+        attached runtime and does *not* advance the event loop, so many
+        transactions can be put in flight before any block is cut.
+        """
+        if self.runtime is None:
+            raise ConfigError(
+                "submit_envelope_async needs an event runtime — "
+                "call network.attach_runtime() first"
+            )
+        if self.tracer:
+            self.tracer.record(
+                "client", "assemble+submit", envelope.tx_id,
+                endorsements=len(envelope.endorsements),
+            )
+        return self.runtime.submit(envelope, client_payload)
+
+    def status_of(self, tx_id: str) -> ValidationCode:
+        """The validation flag peers agree on for a committed transaction."""
+        statuses = set()
+        for peer in self._peers.values():
+            status = peer.transaction_status(tx_id)
+            if status is not None:
+                statuses.add(status)
         if not statuses:
             raise EndorsementError(f"transaction {tx_id} was never committed to any peer")
         if len(statuses) > 1:  # pragma: no cover - would indicate a simulator bug
             raise EndorsementError(f"peers disagree on tx {tx_id}: {statuses}")
         return statuses.pop()
+
+    # Backwards-compatible alias (pre-runtime name).
+    _status_of = status_of
 
     # -- maintenance --------------------------------------------------------------
     def reconcile_private_data(self) -> int:

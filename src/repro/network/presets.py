@@ -59,6 +59,7 @@ def _build(
     features: FrameworkFeatures,
     required_peer_count: int = 1,
     max_peer_count: int = 3,
+    batch_size: int = 1,
 ) -> TestNetwork:
     organizations = [Organization(f"Org{i}MSP") for i in range(1, org_count + 1)]
     channel = ChannelConfig(channel_id=CHANNEL, organizations=organizations)
@@ -76,7 +77,7 @@ def _build(
             )
         ],
     )
-    network = FabricNetwork(channel=channel, features=features)
+    network = FabricNetwork(channel=channel, features=features, batch_size=batch_size)
     peers = {}
     clients = {}
     for org in organizations:
@@ -89,14 +90,21 @@ def _build(
 def three_org_network(
     collection_policy: Optional[str] = None,
     features: FrameworkFeatures | None = None,
+    batch_size: int = 1,
 ) -> TestNetwork:
-    """The §V-A prototype: 3 orgs, PDC1 = {org1, org2}, MAJORITY policy."""
+    """The §V-A prototype: 3 orgs, PDC1 = {org1, org2}, MAJORITY policy.
+
+    ``batch_size`` feeds the orderer's block cutter; it only matters once
+    an event runtime pipelines submissions (the synchronous path flushes
+    per transaction regardless).
+    """
     return _build(
         org_count=3,
         member_org_nums=(1, 2),
         chaincode_policy="MAJORITY Endorsement",
         collection_policy=collection_policy,
         features=features or FrameworkFeatures.original(),
+        batch_size=batch_size,
     )
 
 

@@ -25,11 +25,17 @@ class BlockCutter:
     _ticks_waiting: int = 0
 
     def add(self, envelope: TransactionEnvelope) -> list[tuple[TransactionEnvelope, ...]]:
-        """Add an envelope; returns zero or more cut batches."""
+        """Add an envelope; returns zero or more cut batches.
+
+        Normally at most one batch is cut per add, but if ``batch_size``
+        was lowered while envelopes were pending (dynamic reconfiguration)
+        the backlog is drained as multiple full batches.
+        """
         self._pending.append(envelope)
-        if len(self._pending) >= self.batch_size:
-            return [self._cut()]
-        return []
+        batches: list[tuple[TransactionEnvelope, ...]] = []
+        while len(self._pending) >= self.batch_size:
+            batches.append(self._cut(self.batch_size))
+        return batches
 
     def tick(self) -> list[tuple[TransactionEnvelope, ...]]:
         """Advance the batch timer; cut on expiry."""
@@ -47,12 +53,20 @@ class BlockCutter:
             return []
         return [self._cut()]
 
-    def _cut(self) -> tuple[TransactionEnvelope, ...]:
-        batch = tuple(self._pending)
-        self._pending = []
+    def _cut(self, count: int | None = None) -> tuple[TransactionEnvelope, ...]:
+        if count is None or count >= len(self._pending):
+            batch = tuple(self._pending)
+            self._pending = []
+        else:
+            batch = tuple(self._pending[:count])
+            self._pending = self._pending[count:]
         self._ticks_waiting = 0
         return batch
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def peek_pending(self) -> tuple[TransactionEnvelope, ...]:
+        """The accumulated-but-uncut envelopes (observability only)."""
+        return tuple(self._pending)

@@ -16,6 +16,7 @@ supported for tests (``stop``/``restart``/``partition``).
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -79,9 +80,13 @@ class _Inbox:
 class RaftNode:
     """One Raft participant.  Log indices are 1-based, per the paper."""
 
-    def __init__(self, node_id: int, cluster_size: int) -> None:
+    def __init__(
+        self, node_id: int, cluster_size: int, rng: Optional[random.Random] = None
+    ) -> None:
         self.node_id = node_id
         self.cluster_size = cluster_size
+        self._rng = rng
+        self._timeout = self._sample_timeout()
         self.state = RaftState.FOLLOWER
         self.current_term = 0
         self.voted_for: Optional[int] = None
@@ -106,8 +111,23 @@ class RaftNode:
             return 0
         return self.log[index - 1].term
 
+    def _sample_timeout(self) -> int:
+        """Per-node election timeout.
+
+        Without an RNG, timeouts are staggered by node index so the same
+        cluster always elects the same leader (the fully deterministic
+        default).  With a seeded RNG — Raft-paper-style randomized
+        timeouts — the draw itself is seeded, so runs remain reproducible
+        while elections are no longer index-biased.
+        """
+        base = ELECTION_TIMEOUT_BASE + self.node_id * ELECTION_TIMEOUT_STAGGER
+        if self._rng is None:
+            return base
+        span = ELECTION_TIMEOUT_STAGGER * max(self.cluster_size, 2)
+        return ELECTION_TIMEOUT_BASE + self._rng.randrange(span)
+
     def election_timeout(self) -> int:
-        return ELECTION_TIMEOUT_BASE + self.node_id * ELECTION_TIMEOUT_STAGGER
+        return self._timeout
 
     # -- state transitions ------------------------------------------------------
     def become_follower(self, term: int) -> None:
@@ -116,6 +136,7 @@ class RaftNode:
         self.voted_for = None
         self.votes_received = set()
         self.ticks_since_heartbeat = 0
+        self._timeout = self._sample_timeout()
 
     def become_candidate(self) -> RequestVote:
         self.state = RaftState.CANDIDATE
@@ -123,6 +144,9 @@ class RaftNode:
         self.voted_for = self.node_id
         self.votes_received = {self.node_id}
         self.ticks_since_heartbeat = 0
+        # Re-draw so split votes break differently on the retry (no-op in
+        # the deterministic staggered mode).
+        self._timeout = self._sample_timeout()
         return RequestVote(
             term=self.current_term,
             candidate_id=self.node_id,
@@ -149,10 +173,15 @@ class RaftCluster:
     service turns an agreed entry into a delivered block.
     """
 
-    def __init__(self, size: int, on_commit: Optional[Callable[[Any], None]] = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        on_commit: Optional[Callable[[Any], None]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if size < 1:
             raise OrderingError("a Raft cluster needs at least one node")
-        self.nodes = [RaftNode(i, size) for i in range(size)]
+        self.nodes = [RaftNode(i, size, rng=rng) for i in range(size)]
         self._inboxes = [_Inbox() for _ in range(size)]
         self._on_commit = on_commit
         self._partitioned: set[int] = set()

@@ -10,7 +10,8 @@ delivers it to every registered peer.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import random
+from typing import Any, Callable, Optional
 
 from repro.common.errors import OrderingError
 from repro.ledger.block import GENESIS_PREV_HASH, Block
@@ -29,9 +30,12 @@ class OrderingService:
         cluster_size: int = 3,
         batch_size: int = 10,
         batch_timeout_ticks: int = 2,
+        raft_rng: Optional[random.Random] = None,
     ) -> None:
         self._cutter = BlockCutter(batch_size=batch_size, batch_timeout_ticks=batch_timeout_ticks)
-        self._cluster = RaftCluster(size=cluster_size, on_commit=self._on_raft_commit)
+        self._cluster = RaftCluster(
+            size=cluster_size, on_commit=self._on_raft_commit, rng=raft_rng
+        )
         self._delivery_handlers: list[BlockDeliveryHandler] = []
         self._next_block_number = 0
         self._prev_hash = GENESIS_PREV_HASH
@@ -45,16 +49,33 @@ class OrderingService:
         """The underlying cluster (exposed for fault-injection tests)."""
         return self._cluster
 
-    def register_delivery(self, handler: BlockDeliveryHandler) -> None:
+    @property
+    def pending_count(self) -> int:
+        """Envelopes accumulated but not yet cut into a block."""
+        return self._cutter.pending_count
+
+    @property
+    def delivered_blocks(self) -> tuple[Block, ...]:
+        """Every block delivered so far, in order (the channel backlog)."""
+        return tuple(self._delivered_blocks)
+
+    def register_delivery(self, handler: BlockDeliveryHandler, replay: bool = True) -> None:
         """Subscribe a peer's ``deliver_block`` to new blocks.
 
-        Blocks already ordered are replayed first, so a peer joining the
-        channel late catches up from block 0 — Fabric's deliver service
-        behaves the same way.
+        With ``replay`` (the default) blocks already ordered are replayed
+        first, so a peer joining the channel late catches up from block 0
+        — Fabric's deliver service behaves the same way.  The event
+        runtime's dispatcher registers with ``replay=False``: the peers it
+        fans out to already received the backlog directly.
         """
-        for block in self._delivered_blocks:
-            handler(block)
+        if replay:
+            for block in self._delivered_blocks:
+                handler(block)
         self._delivery_handlers.append(handler)
+
+    def clear_delivery_handlers(self) -> None:
+        """Drop every subscriber (used when a runtime takes over delivery)."""
+        self._delivery_handlers.clear()
 
     # -- ordering phase -----------------------------------------------------
     def submit(self, envelope: TransactionEnvelope) -> None:

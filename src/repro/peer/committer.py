@@ -33,15 +33,23 @@ class Committer:
     def __init__(self, channel: "ChannelConfig", local_msp_id: str) -> None:
         self._channel = channel
         self._local_msp_id = local_msp_id
+        # Observability counters (throughput benches, runtime assertions).
+        self.blocks_committed = 0
+        self.valid_tx_count = 0
+        self.invalid_tx_count = 0
 
     def commit_block(
         self, block: Block, flags: list[ValidationCode], ledger: PeerLedger
     ) -> ValidatedBlock:
         """Apply all valid transactions and append the block to the chain."""
         validated = ValidatedBlock(block=block, flags=list(flags))
+        self.blocks_committed += 1
         for tx_num, (tx, flag) in enumerate(zip(block.transactions, flags)):
             if flag is ValidationCode.VALID:
+                self.valid_tx_count += 1
                 self._apply_transaction(tx, Version(block.header.number, tx_num), ledger)
+            else:
+                self.invalid_tx_count += 1
             ledger.transient_store.remove_transaction(tx.tx_id)
         ledger.blockchain.append(validated)
         ledger.transient_store.purge_below(ledger.height)

@@ -137,5 +137,18 @@ class PeerNode:
         found = self.ledger.blockchain.find_transaction(tx_id)
         return found[1] if found else None
 
+    # -- commit observability (throughput benches, runtime assertions) --------
+    @property
+    def blocks_committed(self) -> int:
+        return self._committer.blocks_committed
+
+    @property
+    def valid_tx_count(self) -> int:
+        return self._committer.valid_tx_count
+
+    @property
+    def invalid_tx_count(self) -> int:
+        return self._committer.invalid_tx_count
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PeerNode({self.name!r}, features={self.features.describe()!r})"

@@ -25,6 +25,17 @@ def next_nonce() -> bytes:
     return f"nonce-{next(_NONCE_COUNTER)}".encode("ascii")
 
 
+def reset_nonce_counter() -> None:
+    """Restart nonce issuance from 1, as if in a fresh process.
+
+    Reproducibility tests replay a whole scenario twice in one process
+    and compare transaction ids; ids embed the nonce, so the counter must
+    restart for the replays to be bit-identical.
+    """
+    global _NONCE_COUNTER
+    _NONCE_COUNTER = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class Proposal:
     """A transaction proposal (execution-phase request)."""

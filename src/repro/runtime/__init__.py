@@ -1,0 +1,44 @@
+"""The event-driven transaction runtime.
+
+A deterministic, seedable discrete-event scheduler
+(:class:`EventScheduler`), a message bus with per-link queues
+(:class:`MessageBus`), pluggable latency/fault models
+(:class:`LatencyModel`, :class:`FaultInjector`), and the
+:class:`TransactionRuntime` that rewires a
+:class:`~repro.network.network.FabricNetwork` onto them so hundreds of
+transactions can race through endorsement → ordering → delivery
+concurrently.  Attach one with ``network.attach_runtime(seed=...)``.
+"""
+
+from repro.runtime.bus import Endpoint, Message, MessageBus
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.faults import (
+    FaultInjector,
+    LatencyModel,
+    lossy_faults,
+    no_latency,
+    wan_latency,
+)
+from repro.runtime.runtime import (
+    DEFAULT_BATCH_TIMEOUT,
+    PendingTransaction,
+    TransactionRuntime,
+)
+from repro.runtime.scheduler import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "DEFAULT_BATCH_TIMEOUT",
+    "Endpoint",
+    "EventScheduler",
+    "FaultInjector",
+    "LatencyModel",
+    "Message",
+    "MessageBus",
+    "PendingTransaction",
+    "ScheduledEvent",
+    "SimulatedClock",
+    "TransactionRuntime",
+    "lossy_faults",
+    "no_latency",
+    "wan_latency",
+]

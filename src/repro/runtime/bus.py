@@ -1,0 +1,148 @@
+"""The message bus: named endpoints, per-link queues, scheduled delivery.
+
+Every component of the event-driven pipeline (the orderer, each peer)
+registers an :class:`Endpoint` — an inbox plus a handler.  Senders call
+:meth:`MessageBus.send`; the bus consults the latency model and fault
+injector, then schedules the delivery as an event.  Delivery appends the
+message to the destination inbox and drains it, so a handler observes
+messages one at a time in arrival order.
+
+Two ordering guarantees matter for fidelity:
+
+* **per-link FIFO** (default on): messages on the same ``(src, dst)``
+  link never overtake each other, even under jitter — matching TCP
+  streams between Fabric nodes.  Messages on *different* links race
+  freely, which is exactly the race the gossip experiments observe.
+* **global determinism**: same seed, same sends → same delivery order,
+  because delivery times come from the seeded RNG and ties break by
+  send sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.runtime.faults import FaultInjector, LatencyModel
+from repro.runtime.scheduler import EventScheduler
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight on the bus."""
+
+    src: str
+    dst: str
+    topic: str
+    payload: Any
+    seq: int  # bus-wide send sequence number
+    sent_at: float
+    deliver_at: float
+
+
+MessageHandler = Callable[[Message], None]
+
+
+class Endpoint:
+    """A named inbox with a handler, owned by one component."""
+
+    def __init__(self, name: str, handler: MessageHandler) -> None:
+        self.name = name
+        self.handler = handler
+        self.inbox: deque = deque()
+        self.delivered = 0
+        self._draining = False
+
+    def enqueue(self, message: Message) -> None:
+        self.inbox.append(message)
+        self.drain()
+
+    def drain(self) -> None:
+        # A handler may itself trigger sends that deliver at the same
+        # instant; re-entrant drains would reorder the inbox.
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self.inbox:
+                message = self.inbox.popleft()
+                self.delivered += 1
+                self.handler(message)
+        finally:
+            self._draining = False
+
+
+class MessageBus:
+    """Scheduled message delivery between named endpoints."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultInjector] = None,
+        fifo_links: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.latency = latency or LatencyModel()
+        self.faults = faults
+        self.fifo_links = fifo_links
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.topic_counts: dict[str, int] = {}
+        self._endpoints: dict[str, Endpoint] = {}
+        self._link_clock: dict[tuple[str, str], float] = {}
+        self._seq = 0
+
+    # -- topology ------------------------------------------------------------
+    def register(self, name: str, handler: MessageHandler) -> Endpoint:
+        if name in self._endpoints:
+            raise ConfigError(f"bus endpoint {name!r} already registered")
+        endpoint = Endpoint(name, handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise ConfigError(f"no bus endpoint named {name!r}") from None
+
+    def endpoints(self) -> list[str]:
+        return list(self._endpoints)
+
+    # -- sending -------------------------------------------------------------
+    def send(self, src: str, dst: str, topic: str, payload: Any) -> Optional[Message]:
+        """Schedule one message; returns None if a fault dropped it.
+
+        ``src`` is free-form (clients need no endpoint); ``dst`` must be
+        a registered endpoint.
+        """
+        endpoint = self.endpoint(dst)
+        now = self.scheduler.now
+        if self.faults is not None and self.faults.should_drop(
+            self.scheduler.random, src, dst, topic
+        ):
+            self.messages_dropped += 1
+            return None
+        delay = self.latency.sample(self.scheduler.random, src, dst, topic)
+        deliver_at = now + delay
+        if self.fifo_links:
+            link = (src, dst)
+            deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+            self._link_clock[link] = deliver_at
+        message = Message(
+            src=src,
+            dst=dst,
+            topic=topic,
+            payload=payload,
+            seq=self._seq,
+            sent_at=now,
+            deliver_at=deliver_at,
+        )
+        self._seq += 1
+        self.messages_sent += 1
+        self.topic_counts[topic] = self.topic_counts.get(topic, 0) + 1
+        self.scheduler.call_at(deliver_at, lambda: endpoint.enqueue(message))
+        return message

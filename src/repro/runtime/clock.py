@@ -1,0 +1,33 @@
+"""The simulated clock: logical time for the event-driven runtime.
+
+Time in the runtime is *simulated*, not wall-clock: it advances only when
+the scheduler pops an event, jumping straight to that event's timestamp.
+A run that models minutes of network traffic therefore executes in
+milliseconds, and — crucially for reproducibility — two runs with the
+same seed observe exactly the same timestamps.
+
+Units are abstract "time units"; the latency models in
+:mod:`repro.runtime.faults` decide what one unit means (the defaults
+treat one unit as roughly one network hop).
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Monotonic simulated time, advanced only by the scheduler."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump forward to ``timestamp`` (never backwards)."""
+        if timestamp > self._now:
+            self._now = timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedClock(now={self._now:.3f})"

@@ -1,0 +1,111 @@
+"""Pluggable latency and fault models for the message bus.
+
+These are the knobs that turn the deterministic runtime into an
+adversarial one: per-link/per-topic latency with seeded jitter makes
+gossip-vs-delivery races observable, and the fault injector drops or
+delays exactly the messages an attacker (or an unreliable WAN) would.
+All randomness is drawn from the scheduler's seeded RNG, so a faulty run
+is as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class LatencyModel:
+    """Samples a delivery delay for each message.
+
+    ``base`` is the default one-hop latency; ``jitter`` (if non-zero)
+    spreads each sample uniformly over ``[base - jitter, base + jitter]``
+    using the *scheduler's* RNG, keeping runs seed-reproducible.
+    ``link_base`` and ``topic_base`` override the base per ``(src, dst)``
+    link or per topic (link wins over topic) — e.g. make
+    ``gossip-push`` slower than ``deliver-block`` to force the
+    reconciliation path.
+    """
+
+    base: float = 1.0
+    jitter: float = 0.0
+    link_base: dict = field(default_factory=dict)  # (src, dst) -> latency
+    topic_base: dict = field(default_factory=dict)  # topic -> latency
+
+    def sample(self, rng: random.Random, src: str, dst: str, topic: str) -> float:
+        base = self.link_base.get(
+            (src, dst), self.topic_base.get(topic, self.base)
+        )
+        if self.jitter:
+            base += rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, base)
+
+
+@dataclass
+class FaultInjector:
+    """Message-level fault injection: drops, dead links, dead topics.
+
+    * ``drop_rate`` — iid drop probability per message (seeded RNG);
+    * :meth:`cut_link` / :meth:`restore_link` — take one directed link
+      down entirely (a partition is a set of cut links);
+    * :meth:`drop_topic` / :meth:`allow_topic` — suppress one message
+      class, e.g. every ``gossip-push``, leaving delivery intact.
+
+    Counters record what was injected so tests can assert the fault
+    actually fired rather than silently not triggering.
+    """
+
+    drop_rate: float = 0.0
+    dropped: int = 0
+    _dead_links: set = field(default_factory=set)
+    _dead_topics: set = field(default_factory=set)
+
+    # -- configuration ------------------------------------------------------
+    def cut_link(self, src: str, dst: str) -> None:
+        self._dead_links.add((src, dst))
+
+    def restore_link(self, src: str, dst: str) -> None:
+        self._dead_links.discard((src, dst))
+
+    def drop_topic(self, topic: str) -> None:
+        self._dead_topics.add(topic)
+
+    def allow_topic(self, topic: str) -> None:
+        self._dead_topics.discard(topic)
+
+    def heal(self) -> None:
+        """Restore every link and topic (random drops keep applying)."""
+        self._dead_links.clear()
+        self._dead_topics.clear()
+
+    # -- the per-message decision -------------------------------------------
+    def should_drop(self, rng: random.Random, src: str, dst: str, topic: str) -> bool:
+        if (src, dst) in self._dead_links or topic in self._dead_topics:
+            self.dropped += 1
+            return True
+        if self.drop_rate > 0.0 and rng.random() < self.drop_rate:
+            self.dropped += 1
+            return True
+        return False
+
+
+def no_latency() -> LatencyModel:
+    """Zero-latency model: every message delivers at the current instant
+    (still in deterministic scheduling order)."""
+    return LatencyModel(base=0.0)
+
+
+def wan_latency(seed_jitter: float = 0.5) -> LatencyModel:
+    """A WAN-ish profile: slow inter-node hops with jitter, gossip slower
+    than block delivery so dissemination races become visible."""
+    return LatencyModel(
+        base=5.0,
+        jitter=seed_jitter,
+        topic_base={"gossip-push": 8.0, "deliver-block": 5.0, "submit": 3.0},
+    )
+
+
+def lossy_faults(drop_rate: float = 0.05) -> FaultInjector:
+    """A lossy network: each message independently dropped with ``drop_rate``."""
+    return FaultInjector(drop_rate=drop_rate)

@@ -1,0 +1,286 @@
+"""The event-driven transaction runtime: pipelined submit/order/deliver.
+
+The seed simulator ran Fig. 2 as one synchronous call chain — submit an
+envelope, flush the orderer, read the flag — so exactly one transaction
+was ever in flight and ``batch_size`` never mattered.
+:class:`TransactionRuntime` decouples the three phases onto the message
+bus:
+
+* **submit** — :meth:`Gateway.submit_async` endorses and assembles as
+  before (endorsement is a synchronous client RPC round in Fabric too),
+  then posts the envelope on the ``client → orderer`` link and returns a
+  :class:`PendingTransaction` future;
+* **order** — the orderer consumes envelopes from its inbox, cutting
+  blocks by batch *size* immediately and by batch *timeout* via a
+  scheduler timer armed when the first envelope of a batch arrives;
+* **deliver** — each cut block is replicated through Raft and then sent
+  to every peer's inbox on its own ``orderer → peer`` link; a peer
+  validates + commits when the message arrives, and once every peer has
+  committed a block the runtime resolves the futures of its
+  transactions;
+* **gossip** — private-data dissemination rides the bus as
+  ``gossip-push`` messages, so whether plaintext beats the block to a
+  member peer is a genuine race governed by the latency model.
+
+Hundreds of transactions can be in flight at once; MVCC conflicts, block
+packing, and gossip/delivery races all emerge from the schedule.  With a
+fixed seed the schedule — and therefore every block and every validation
+flag — is exactly reproducible.
+
+The synchronous API stays available: with a runtime attached,
+``submit_transaction`` becomes ``submit_async`` + ``run_until_committed``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.chaincode.rwset import PrivateCollectionWrites
+from repro.client.gateway import SubmitResult
+from repro.common.errors import ConfigError, SchedulerError
+from repro.ledger.block import Block
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+from repro.runtime.bus import Message, MessageBus
+from repro.runtime.faults import FaultInjector, LatencyModel
+from repro.runtime.scheduler import DEFAULT_MAX_EVENTS, EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import FabricNetwork
+    from repro.peer.node import PeerNode
+
+#: Simulated time the orderer waits before cutting an under-filled batch.
+DEFAULT_BATCH_TIMEOUT = 10.0
+
+TOPIC_SUBMIT = "submit"
+TOPIC_DELIVER = "deliver-block"
+TOPIC_GOSSIP = "gossip-push"
+
+ORDERER_ENDPOINT = "orderer"
+CLIENT_SOURCE = "client"
+
+
+class PendingTransaction:
+    """A future resolved when every peer has committed the transaction."""
+
+    def __init__(self, envelope: TransactionEnvelope, client_payload: bytes = b"") -> None:
+        self.envelope = envelope
+        self.client_payload = client_payload
+        self.submitted_at: float = 0.0
+        self.committed_at: Optional[float] = None
+        self._result: Optional[SubmitResult] = None
+        self._callbacks: list[Callable[["PendingTransaction"], None]] = []
+
+    @property
+    def tx_id(self) -> str:
+        return self.envelope.tx_id
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> SubmitResult:
+        if self._result is None:
+            raise SchedulerError(
+                f"transaction {self.tx_id} has not committed yet — "
+                "run the scheduler (runtime.run / run_until_committed) first"
+            )
+        return self._result
+
+    def add_done_callback(self, callback: Callable[["PendingTransaction"], None]) -> None:
+        if self._result is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, status: ValidationCode, at: float) -> None:
+        self._result = SubmitResult(
+            tx_id=self.tx_id,
+            status=status,
+            payload=self.client_payload,
+            envelope=self.envelope,
+        )
+        self.committed_at = at
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class _BlockProgress:
+    """Delivery bookkeeping for one dispatched block."""
+
+    __slots__ = ("expected", "committed")
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.committed = 0
+
+
+class TransactionRuntime:
+    """Owns the scheduler + bus and rewires a network onto them."""
+
+    def __init__(
+        self,
+        network: "FabricNetwork",
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultInjector] = None,
+        batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+    ) -> None:
+        self.network = network
+        self.scheduler = EventScheduler(seed=seed)
+        self.bus = MessageBus(self.scheduler, latency=latency, faults=faults)
+        self.batch_timeout = batch_timeout
+        self.transactions_submitted = 0
+        self.transactions_resolved = 0
+        self._pending: dict[str, PendingTransaction] = {}
+        self._peers: dict[str, "PeerNode"] = {}
+        self._deliver: dict[str, Callable[[Block], object]] = {}
+        self._blocks: dict[int, _BlockProgress] = {}
+        self._batch_timer = None
+
+        self.bus.register(ORDERER_ENDPOINT, self._on_orderer_message)
+        # Take over block delivery: the dispatcher fans each cut block out
+        # onto per-peer links instead of calling peers inline.  No replay —
+        # already-delivered blocks reached the peers synchronously.
+        network.orderer.clear_delivery_handlers()
+        network.orderer.register_delivery(self._dispatch_block, replay=False)
+        for peer in network.peers():
+            self.register_peer(peer, network.delivery_handler_for(peer))
+        network.gossip.transport = self._send_gossip
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def in_flight(self) -> int:
+        """Transactions submitted but not yet resolved."""
+        return len(self._pending)
+
+    # -- topology ------------------------------------------------------------
+    def register_peer(self, peer: "PeerNode", deliver: Callable[[Block], object]) -> None:
+        """Give ``peer`` an inbox; late joiners catch up synchronously."""
+        for block in self.network.orderer.delivered_blocks:
+            deliver(block)
+        self._peers[peer.name] = peer
+        self._deliver[peer.name] = deliver
+        self.bus.register(peer.name, self._peer_handler(peer))
+
+    # -- the submit phase ----------------------------------------------------
+    def submit(
+        self, envelope: TransactionEnvelope, client_payload: bytes = b""
+    ) -> PendingTransaction:
+        """Enqueue an assembled envelope for ordering; returns a future."""
+        if envelope.tx_id in self._pending:
+            raise ConfigError(f"transaction {envelope.tx_id} is already in flight")
+        pending = PendingTransaction(envelope, client_payload)
+        pending.submitted_at = self.now
+        self._pending[envelope.tx_id] = pending
+        self.transactions_submitted += 1
+        self.bus.send(CLIENT_SOURCE, ORDERER_ENDPOINT, TOPIC_SUBMIT, envelope)
+        return pending
+
+    # -- the ordering phase --------------------------------------------------
+    def _on_orderer_message(self, message: Message) -> None:
+        envelope: TransactionEnvelope = message.payload
+        tracer = self.network.tracer
+        if tracer:
+            tracer.record(
+                ORDERER_ENDPOINT, "enqueue-envelope", envelope.tx_id,
+                pending=self.network.orderer.pending_count + 1,
+            )
+        self.network.orderer.submit(envelope)
+        self._update_batch_timer()
+
+    def _update_batch_timer(self) -> None:
+        """Arm the batch-timeout timer iff a partial batch is pending."""
+        if self.network.orderer.pending_count == 0:
+            if self._batch_timer is not None:
+                self._batch_timer.cancel()
+                self._batch_timer = None
+        elif self._batch_timer is None:
+            self._batch_timer = self.scheduler.call_later(
+                self.batch_timeout, self._batch_timeout_fired
+            )
+
+    def _batch_timeout_fired(self) -> None:
+        self._batch_timer = None
+        orderer = self.network.orderer
+        if orderer.pending_count:
+            tracer = self.network.tracer
+            if tracer:
+                tracer.record(
+                    ORDERER_ENDPOINT, "batch-timeout", pending=orderer.pending_count
+                )
+            orderer.flush()
+        self._update_batch_timer()
+
+    # -- the delivery phase --------------------------------------------------
+    def _dispatch_block(self, block: Block) -> None:
+        """Orderer delivery handler: fan the block out per peer link."""
+        self._blocks[block.header.number] = _BlockProgress(expected=len(self._peers))
+        for name in self._peers:
+            self.bus.send(ORDERER_ENDPOINT, name, TOPIC_DELIVER, block)
+        # The cut consumed the pending batch; re-arm for any remainder.
+        self._update_batch_timer()
+
+    def _peer_handler(self, peer: "PeerNode") -> Callable[[Message], None]:
+        def handle(message: Message) -> None:
+            if message.topic == TOPIC_DELIVER:
+                self._commit_at_peer(peer, message.payload)
+            elif message.topic == TOPIC_GOSSIP:
+                tx_id, writes = message.payload
+                peer.receive_private_data(tx_id, writes)
+            else:  # pragma: no cover - future topics
+                raise ConfigError(f"peer {peer.name!r} got unknown topic {message.topic!r}")
+
+        return handle
+
+    def _commit_at_peer(self, peer: "PeerNode", block: Block) -> None:
+        self._deliver[peer.name](block)
+        progress = self._blocks.get(block.header.number)
+        if progress is None:  # pragma: no cover - defensive
+            return
+        progress.committed += 1
+        if progress.committed < progress.expected:
+            return
+        del self._blocks[block.header.number]
+        for tx in block.transactions:
+            pending = self._pending.pop(tx.tx_id, None)
+            if pending is not None:
+                status = self.network.status_of(tx.tx_id)
+                pending._resolve(status, at=self.now)
+                self.transactions_resolved += 1
+
+    # -- the gossip plane ----------------------------------------------------
+    def _send_gossip(
+        self,
+        source: "PeerNode",
+        target: "PeerNode",
+        tx_id: str,
+        writes: PrivateCollectionWrites,
+    ) -> None:
+        self.bus.send(source.name, target.name, TOPIC_GOSSIP, (tx_id, writes))
+
+    # -- driving the loop ----------------------------------------------------
+    def run(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:
+        """Drain every scheduled event (delivers all resolvable futures)."""
+        return self.scheduler.run(max_events=max_events)
+
+    def run_for(self, duration: float, max_events: int = DEFAULT_MAX_EVENTS) -> int:
+        return self.scheduler.run_for(duration, max_events=max_events)
+
+    def run_until_committed(
+        self, pending: PendingTransaction, max_events: int = DEFAULT_MAX_EVENTS
+    ) -> SubmitResult:
+        """Run the loop until ``pending`` resolves; error if it cannot."""
+        if not self.scheduler.run_until(lambda: pending.done, max_events=max_events):
+            raise SchedulerError(
+                f"transaction {pending.tx_id} cannot commit: the event queue "
+                "drained first (a fault model may have dropped its messages)"
+            )
+        return pending.result()
+
+    def run_until_idle(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:
+        """Alias of :meth:`run` — the queue holds no perpetual timers."""
+        return self.run(max_events=max_events)

@@ -106,3 +106,19 @@ class TestFig2Sequence:
 
     def test_untraced_network_records_nothing(self, network):
         assert network.tracer is None  # default fixture runs untraced
+
+    def test_summary_aggregates_action_counts(self, traced_network):
+        net, tracer = traced_network
+        endorsers = net.default_endorsers()[:2]
+        for i in range(3):
+            net.client("Org1MSP").submit_transaction(
+                "assetcc", "create_asset", [f"s{i}", "1"], endorsing_peers=endorsers
+            ).raise_for_status()
+        summary = tracer.summary()
+        assert summary["send-proposal"] == 6       # 3 txs x 2 endorsers
+        assert summary["simulate+endorse"] == 6
+        assert summary["assemble+submit"] == 3
+        assert summary["validate+commit"] == 9     # 3 txs x 3 peers
+        assert sum(summary.values()) == len(tracer.events)
+        tracer.clear()
+        assert tracer.summary() == {}
