@@ -67,6 +67,24 @@ class PrivateAssetContract(Chaincode):
         stub.put_private_data(collection, key, str(total).encode("utf-8"))
         return b""
 
+    def move_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        """``move_private(src_collection, dst_collection, key)`` — transfer.
+
+        Cross-collection move: read the plaintext from the source
+        collection, delete it there, and rewrite it into the destination.
+        Endorsers must be members of the *source* collection (the read
+        needs plaintext), and validation consults the endorsement policies
+        of both collections — the multi-collection path of §III-B.
+        """
+        require_args(args, 3, "a source collection, a destination collection and a key")
+        src_collection, dst_collection, key = args
+        if src_collection == dst_collection:
+            raise ChaincodeError("source and destination collections must differ")
+        value = stub.get_private_data(src_collection, key)
+        stub.del_private_data(src_collection, key)
+        stub.put_private_data(dst_collection, key, value)
+        return b""
+
     def del_private(self, stub: ChaincodeStub, args: list) -> bytes:
         """``del_private(collection, key)`` — delete-only (null read set)."""
         require_args(args, 2, "a collection and a key")

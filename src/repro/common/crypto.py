@@ -15,6 +15,7 @@ verifiability — both of which Schnorr over a safe-prime group provides.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import hmac
 from dataclasses import dataclass
@@ -62,17 +63,35 @@ class PublicKey:
         Accepts and rejects rather than raising so policy evaluation can
         simply skip invalid endorsements, the way Fabric's VSCC does.
         """
+        key = (self.y, hashlib.sha256(message).digest(), signature)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is None:
+            cached = self._verify_uncached(message, signature)
+            if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+                _VERIFY_CACHE.clear()
+            _VERIFY_CACHE[key] = cached
+        return cached
+
+    def _verify_uncached(self, message: bytes, signature: bytes) -> bool:
         try:
             s, e = _decode_signature(signature)
         except SignatureError:
             return False
         if not (0 <= s < Q and 0 < e):
             return False
-        # r' = g^s * y^{-e} = g^s * y^(q-e mod q) ... use modular inverse.
-        y_e = pow(self.y, e, P)
-        r_prime = (pow(G, s, P) * pow(y_e, P - 2, P)) % P
+        # r' = g^s * y^{-e}.  By Fermat, y^{-e} = y^((p-1) - e mod (p-1)),
+        # which costs one modexp instead of the two a modular inverse needs.
+        r_prime = (pow(G, s, P) * pow(self.y, (-e) % (P - 1), P)) % P
         e_prime = _hash_to_int(_int_bytes(r_prime), self.to_bytes(), message) % Q
         return e_prime == e
+
+
+# Every peer re-verifies the same (creator, endorser) signatures during block
+# validation, so a network of N peers repeats each 1536-bit verification N
+# times.  Signatures are deterministic, so caching by (key, message digest,
+# signature) is sound; the cache is cleared wholesale if it ever fills.
+_VERIFY_CACHE: dict = {}
+_VERIFY_CACHE_MAX = 50_000
 
 
 def _int_bytes(value: int) -> bytes:
@@ -105,7 +124,7 @@ class PrivateKey:
         return cls(x or 1)
 
     def public_key(self) -> PublicKey:
-        return PublicKey(pow(G, self.x, P))
+        return _derive_public_key(self.x)
 
     def sign(self, message: bytes) -> bytes:
         """Produce a deterministic Schnorr signature over ``message``."""
@@ -117,6 +136,13 @@ class PrivateKey:
         s = (k + self.x * e) % Q
         width = (P.bit_length() + 7) // 8
         return s.to_bytes(width, "big") + e.to_bytes(width, "big")
+
+
+@functools.lru_cache(maxsize=4096)
+def _derive_public_key(x: int) -> PublicKey:
+    # Signing re-derives the public key for the challenge hash; identities
+    # sign thousands of messages per run, so memoise the fixed-base modexp.
+    return PublicKey(pow(G, x, P))
 
 
 def generate_keypair(seed: bytes) -> tuple[PrivateKey, PublicKey]:

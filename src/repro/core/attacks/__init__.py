@@ -7,6 +7,12 @@ from repro.core.attacks.collusion import (
     minimum_satisfying_orgs,
 )
 from repro.core.attacks.fake_read import run_fake_read_injection
+from repro.core.attacks.ops import (
+    ColludingPrivateAssetContract,
+    expected_policy_ok,
+    favourable_endorsers,
+    nonsatisfying_endorsers,
+)
 from repro.core.attacks.fake_write import (
     run_fake_delete_injection,
     run_fake_read_write_injection,
@@ -34,6 +40,10 @@ __all__ = [
     "minimum_satisfying_orgs",
     "install_constrained_contracts",
     "seed_private_value",
+    "ColludingPrivateAssetContract",
+    "expected_policy_ok",
+    "favourable_endorsers",
+    "nonsatisfying_endorsers",
     "run_fake_read_injection",
     "run_fake_delete_injection",
     "run_fake_read_write_injection",

@@ -1,0 +1,210 @@
+"""Reusable attack-operation building blocks for adversarial workloads.
+
+The scripted drivers (``fake_read``/``fake_write``/``scenarios``) replay
+the paper's §V experiments one at a time on a fixed preset.  The
+deterministic simulation subsystem (:mod:`repro.simulation`) instead
+interleaves *attack operations* with honest traffic on arbitrarily shaped
+networks.  That needs three reusable pieces:
+
+* :func:`expected_policy_ok` — a **spec-level oracle** for the
+  policy-selection rules of ``validator_keylevel.go`` (Section II-B3 and
+  Use Case 2): given which parts of the state a transaction touches and
+  which certificates endorsed it, decide whether validation *should*
+  accept it.  The simulator uses this both to label generated operations
+  with their expected outcome and, independently, inside the invariant
+  checkers — so a validator bug shows up as a disagreement.
+* :func:`favourable_endorsers` — the §IV-A degree of freedom: a client
+  picks an endorser set that satisfies the *chaincode-level* policy while
+  excluding a victim organization (possibly using PDC non-members, who
+  happily endorse write-only PDC transactions — Use Case 1).
+* :func:`nonsatisfying_endorsers` — an endorser set that fails the
+  applicable policy, for probing that validation actually rejects it.
+
+Key-level ("state-based") endorsement policies are intentionally outside
+this oracle: the simulated workloads never commit validation parameters,
+so the applicable policies are fully determined by the chaincode and
+collection definitions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.chaincode.api import require_args
+from repro.chaincode.contracts.pdc_contract import PrivateAssetContract
+from repro.chaincode.stub import ChaincodeStub
+from repro.common.errors import ChaincodeError
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.identity import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.channel import ChannelConfig
+    from repro.peer.node import PeerNode
+
+
+class ColludingPrivateAssetContract(PrivateAssetContract):
+    """The honest PDC contract with the §IV-A1 forged read grafted in.
+
+    Unlike :class:`~repro.chaincode.contracts.malicious.ForgedReadContract`
+    (which *only* forges reads), this keeps every honest function intact —
+    the realistic colluder: it behaves correctly for all traffic except
+    ``get_private``, where it fetches the genuine ``(hash, version)`` via
+    ``get_private_data_hash`` (works at non-members too) and returns the
+    colluders' agreed fake value.
+    """
+
+    def __init__(self, fake_value: bytes) -> None:
+        self._fake_value = fake_value
+
+    def get_private(self, stub: ChaincodeStub, args: list) -> bytes:
+        require_args(args, 2, "a collection and a key")
+        collection, key = args
+        digest = stub.get_private_data_hash(collection, key)
+        if digest is None:
+            raise ChaincodeError(f"no private data hash for key {key!r}")
+        return self._fake_value
+
+
+def expected_policy_ok(
+    channel: "ChannelConfig",
+    features: FrameworkFeatures,
+    chaincode_id: str,
+    certs: Sequence[Certificate],
+    *,
+    read_only: bool,
+    has_public_writes: bool,
+    collections_written: Iterable[str] = (),
+    collections_touched: Iterable[str] = (),
+) -> bool:
+    """Spec-level answer to "does this endorser set satisfy validation?".
+
+    Mirrors the policy-*selection* rules (not the implementation) of the
+    validator: read-only transactions consult only the chaincode-level
+    policy (plus, under New Feature 1, the collection-level policies of
+    collections read); writes consult the collection-level policy per
+    written collection when one is defined, falling back to the
+    chaincode-level policy; the supplemental defense first discards
+    endorsements from organizations that are not members of every touched
+    collection.
+    """
+    evaluator = channel.evaluator()
+    definition = channel.chaincode(chaincode_id)
+    touched = sorted(set(collections_touched) | set(collections_written))
+    signers = list(certs)
+
+    if touched and features.filter_nonmember_endorsements:
+        member_orgs: Optional[set] = None
+        for name in touched:
+            orgs = channel.collection(chaincode_id, name).member_orgs()
+            member_orgs = orgs if member_orgs is None else member_orgs & orgs
+        signers = [c for c in signers if c.msp_id in (member_orgs or set())]
+
+    chaincode_policy_needed = False
+    extra_policies: list[str] = []
+
+    if read_only:
+        chaincode_policy_needed = True
+        if features.collection_policy_on_reads:
+            for name in touched:
+                config = channel.collection(chaincode_id, name)
+                if config.endorsement_policy is not None:
+                    extra_policies.append(config.endorsement_policy)
+    else:
+        if has_public_writes:
+            chaincode_policy_needed = True
+        for name in sorted(set(collections_written)):
+            config = channel.collection(chaincode_id, name)
+            if config.endorsement_policy is not None:
+                extra_policies.append(config.endorsement_policy)
+            else:
+                chaincode_policy_needed = True
+
+    if chaincode_policy_needed and not evaluator.evaluate(
+        definition.endorsement_policy, signers
+    ):
+        return False
+    for policy_text in extra_policies:
+        if not evaluator.evaluate(policy_text, signers):
+            return False
+    return True
+
+
+def _certificates(peers: Sequence["PeerNode"]) -> list[Certificate]:
+    return [p.certificate for p in peers]
+
+
+def _policy_ok_for(
+    channel: "ChannelConfig",
+    features: FrameworkFeatures,
+    chaincode_id: str,
+    peers: Sequence["PeerNode"],
+    collections_written: Iterable[str],
+) -> bool:
+    return expected_policy_ok(
+        channel,
+        features,
+        chaincode_id,
+        _certificates(peers),
+        read_only=False,
+        has_public_writes=False,
+        collections_written=tuple(collections_written),
+        collections_touched=tuple(collections_written),
+    )
+
+
+def favourable_endorsers(
+    channel: "ChannelConfig",
+    features: FrameworkFeatures,
+    chaincode_id: str,
+    collection: str,
+    peers: Sequence["PeerNode"],
+    rng: random.Random,
+    avoid_org: str,
+) -> Optional[list["PeerNode"]]:
+    """A minimal-ish endorser set for a PDC write that excludes the victim.
+
+    Grows a randomly ordered set of peers — one per organization, never
+    from ``avoid_org`` — until the applicable write policy is satisfied.
+    Returns ``None`` when no subset excluding the victim can satisfy it
+    (e.g. a collection-level ``AND`` naming the victim), which is exactly
+    when the §IV-A attack is *not* available to the adversary.
+    """
+    by_org: dict[str, "PeerNode"] = {}
+    for peer in peers:
+        if peer.msp_id != avoid_org:
+            by_org.setdefault(peer.msp_id, peer)
+    candidates = [by_org[msp] for msp in sorted(by_org)]
+    rng.shuffle(candidates)
+    chosen: list["PeerNode"] = []
+    for peer in candidates:
+        chosen.append(peer)
+        if _policy_ok_for(channel, features, chaincode_id, chosen, [collection]):
+            return chosen
+    return None
+
+
+def nonsatisfying_endorsers(
+    channel: "ChannelConfig",
+    features: FrameworkFeatures,
+    chaincode_id: str,
+    collection: str,
+    peers: Sequence["PeerNode"],
+    rng: random.Random,
+    attempts: int = 8,
+) -> Optional[list["PeerNode"]]:
+    """A non-empty endorser set that *fails* the applicable write policy.
+
+    Tries random single peers, then random pairs.  Returns ``None`` when
+    every probed subset satisfies the policy (e.g. a permissive ``OR``),
+    in which case the caller should skip the probe operation.
+    """
+    pool = list(peers)
+    for size in (1, 2):
+        if len(pool) < size:
+            continue
+        for _ in range(attempts):
+            chosen = rng.sample(pool, size)
+            if not _policy_ok_for(channel, features, chaincode_id, chosen, [collection]):
+                return chosen
+    return None

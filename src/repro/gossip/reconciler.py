@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.common.hashing import hash_key
 from repro.ledger.version import Version
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,11 +63,21 @@ class Reconciler:
             block_num, tx_num = self._locate(peer, missing.tx_id)
             version = Version(block_num, tx_num)
             for write in plaintext.writes:
+                # Staleness check (as in Fabric's reconciler): only apply a
+                # pulled write while the committed *hash* store still points
+                # at this transaction's version.  A later transaction may
+                # have overwritten or deleted the key since the gap was
+                # recorded — applying the old write then would resurrect
+                # deleted data or roll the plaintext back behind the hashes.
+                current = peer.ledger.private_hashes.get_version(
+                    missing.namespace, missing.collection, hash_key(write.key)
+                )
                 if write.is_delete:
-                    peer.ledger.private_data.delete(
-                        missing.namespace, missing.collection, write.key
-                    )
-                else:
+                    if current is None:
+                        peer.ledger.private_data.delete(
+                            missing.namespace, missing.collection, write.key
+                        )
+                elif current == version:
                     peer.ledger.private_data.put(
                         missing.namespace, missing.collection, write.key,
                         write.value or b"", version,

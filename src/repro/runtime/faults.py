@@ -22,10 +22,14 @@ class LatencyModel:
     ``base`` is the default one-hop latency; ``jitter`` (if non-zero)
     spreads each sample uniformly over ``[base - jitter, base + jitter]``
     using the *scheduler's* RNG, keeping runs seed-reproducible.
-    ``link_base`` and ``topic_base`` override the base per ``(src, dst)``
-    link or per topic (link wins over topic) — e.g. make
-    ``gossip-push`` slower than ``deliver-block`` to force the
-    reconciliation path.
+
+    Resolution precedence is **link over topic over base**: a
+    ``link_base`` entry for the exact ``(src, dst)`` pair wins outright
+    (even when a ``topic_base`` entry also matches), a ``topic_base``
+    entry wins over ``base``, and jitter is applied *after* resolution —
+    so e.g. ``gossip-push`` can be made slower than ``deliver-block``
+    globally while one specific link stays fast.  Samples are clamped at
+    ``0.0``; jitter can never produce a negative delay.
     """
 
     base: float = 1.0
@@ -34,9 +38,9 @@ class LatencyModel:
     topic_base: dict = field(default_factory=dict)  # topic -> latency
 
     def sample(self, rng: random.Random, src: str, dst: str, topic: str) -> float:
-        base = self.link_base.get(
-            (src, dst), self.topic_base.get(topic, self.base)
-        )
+        base = self.link_base.get((src, dst))
+        if base is None:
+            base = self.topic_base.get(topic, self.base)
         if self.jitter:
             base += rng.uniform(-self.jitter, self.jitter)
         return max(0.0, base)
@@ -47,17 +51,24 @@ class FaultInjector:
     """Message-level fault injection: drops, dead links, dead topics.
 
     * ``drop_rate`` — iid drop probability per message (seeded RNG);
+    * ``topic_drop_rates`` — per-topic iid drop probability; the
+      effective rate for a message is ``max(drop_rate, topic rate)``;
     * :meth:`cut_link` / :meth:`restore_link` — take one directed link
       down entirely (a partition is a set of cut links);
     * :meth:`drop_topic` / :meth:`allow_topic` — suppress one message
       class, e.g. every ``gossip-push``, leaving delivery intact.
 
     Counters record what was injected so tests can assert the fault
-    actually fired rather than silently not triggering.
+    actually fired rather than silently not triggering; ``dropped_by_topic``
+    breaks the total down per message class, which lets an invariant
+    checker account for every unresolved transaction (a submit that never
+    commits must be explained by a ``submit``-topic drop).
     """
 
     drop_rate: float = 0.0
+    topic_drop_rates: dict = field(default_factory=dict)  # topic -> rate
     dropped: int = 0
+    dropped_by_topic: dict = field(default_factory=dict)  # topic -> count
     _dead_links: set = field(default_factory=set)
     _dead_topics: set = field(default_factory=set)
 
@@ -82,12 +93,16 @@ class FaultInjector:
     # -- the per-message decision -------------------------------------------
     def should_drop(self, rng: random.Random, src: str, dst: str, topic: str) -> bool:
         if (src, dst) in self._dead_links or topic in self._dead_topics:
-            self.dropped += 1
-            return True
-        if self.drop_rate > 0.0 and rng.random() < self.drop_rate:
-            self.dropped += 1
-            return True
+            return self._record_drop(topic)
+        rate = max(self.drop_rate, self.topic_drop_rates.get(topic, 0.0))
+        if rate > 0.0 and rng.random() < rate:
+            return self._record_drop(topic)
         return False
+
+    def _record_drop(self, topic: str) -> bool:
+        self.dropped += 1
+        self.dropped_by_topic[topic] = self.dropped_by_topic.get(topic, 0) + 1
+        return True
 
 
 def no_latency() -> LatencyModel:

@@ -136,6 +136,7 @@ class TransactionRuntime:
         self._peers: dict[str, "PeerNode"] = {}
         self._deliver: dict[str, Callable[[Block], object]] = {}
         self._blocks: dict[int, _BlockProgress] = {}
+        self._inbound: dict[str, dict[int, Block]] = {}
         self._batch_timer = None
 
         self.bus.register(ORDERER_ENDPOINT, self._on_orderer_message)
@@ -237,7 +238,29 @@ class TransactionRuntime:
         return handle
 
     def _commit_at_peer(self, peer: "PeerNode", block: Block) -> None:
-        self._deliver[peer.name](block)
+        """Buffer the block and commit every in-order block now available.
+
+        Fault models can drop or reorder ``deliver-block`` messages, so a
+        peer may see block *n+1* before *n*.  Fabric's deliver client keeps
+        a resume cursor; we model that with a per-peer out-of-order buffer —
+        a block commits only when it is exactly the peer's next block, and a
+        buffered successor commits right after the gap fills.
+        """
+        buffer = self._inbound.setdefault(peer.name, {})
+        number = block.header.number
+        if number < peer.ledger.blockchain.height or number in buffer:
+            return  # duplicate delivery (e.g. catch-up raced a late message)
+        buffer[number] = block
+        self._drain_inbound(peer)
+
+    def _drain_inbound(self, peer: "PeerNode") -> None:
+        buffer = self._inbound.setdefault(peer.name, {})
+        while peer.ledger.blockchain.height in buffer:
+            block = buffer.pop(peer.ledger.blockchain.height)
+            self._deliver[peer.name](block)
+            self._note_committed(block)
+
+    def _note_committed(self, block: Block) -> None:
         progress = self._blocks.get(block.header.number)
         if progress is None:  # pragma: no cover - defensive
             return
@@ -251,6 +274,29 @@ class TransactionRuntime:
                 status = self.network.status_of(tx.tx_id)
                 pending._resolve(status, at=self.now)
                 self.transactions_resolved += 1
+
+    def catch_up(self) -> int:
+        """Re-deliver blocks that faults dropped; returns blocks committed.
+
+        Models the deliver client reconnecting after a partition heals: each
+        peer asks the orderer for everything past its current height, fills
+        the out-of-order buffer, and commits the backlog in order.  Futures
+        for the caught-up blocks resolve through the normal bookkeeping.
+        Call after :meth:`run` when a fault schedule may have cut
+        ``orderer → peer`` links.
+        """
+        committed = 0
+        backlog = self.network.orderer.delivered_blocks
+        for name, peer in self._peers.items():
+            buffer = self._inbound.setdefault(name, {})
+            before = peer.ledger.blockchain.height
+            for block in backlog[before:]:
+                number = block.header.number
+                if number >= before and number not in buffer:
+                    buffer[number] = block
+            self._drain_inbound(peer)
+            committed += peer.ledger.blockchain.height - before
+        return committed
 
     # -- the gossip plane ----------------------------------------------------
     def _send_gossip(

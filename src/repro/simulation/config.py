@@ -1,0 +1,148 @@
+"""Randomly shaped — but seed-deterministic — simulation configurations.
+
+One :class:`SimulationConfig` captures everything about a simulated
+deployment *as plain data*: the network shape, collection memberships and
+policies, defense features, orderer batching, latency/fault intensity and
+workload mix.  ``SimulationConfig.generate(seed, ops)`` expands a seed
+into a config; the same seed always yields the same config, and a config
+round-trips through JSON (``to_wire``/``from_wire``) so a failing trace
+can be replayed from a file by a process that never saw the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to rebuild one simulated deployment."""
+
+    seed: int
+    ops: int
+    org_count: int = 3
+    peers_per_org: int = 1
+    pdc1_members: tuple = ("Org1MSP", "Org2MSP")
+    pdc2_members: tuple = ()  # empty = no second collection
+    pdc1_policy: Optional[str] = None  # collection-level endorsement policy
+    pdc2_policy: Optional[str] = None
+    chaincode_policy: str = "MAJORITY Endorsement"
+    features: str = "original"  # "original" | "feature1"
+    batch_size: int = 5
+    batch_timeout: float = 5.0
+    base_latency: float = 1.0
+    jitter: float = 0.0
+    gossip_latency: float = 1.5
+    required_peer_count: int = 0
+    max_peer_count: int = 2
+    attack_weight: float = 0.1
+    fault_windows: int = 1
+    mean_gap: float = 1.0
+    colluding_orgs: tuple = ()  # orgs running the forged-read contract
+    extra: dict = field(default_factory=dict)  # forward-compat escape hatch
+
+    # -- derived helpers -----------------------------------------------------
+    def org_ids(self) -> list[str]:
+        return [f"Org{i}MSP" for i in range(1, self.org_count + 1)]
+
+    def collections(self) -> list[tuple]:
+        """``(name, members, policy)`` for each configured collection."""
+        cols = [("PDC1", self.pdc1_members, self.pdc1_policy)]
+        if self.pdc2_members:
+            cols.append(("PDC2", self.pdc2_members, self.pdc2_policy))
+        return cols
+
+    def horizon(self) -> float:
+        """Approximate simulated time span of the workload."""
+        return max(10.0, self.ops * self.mean_gap)
+
+    # -- generation ----------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, ops: int) -> "SimulationConfig":
+        """Expand ``seed`` into a randomly shaped deployment."""
+        rng = random.Random(f"simconfig-{seed}")
+        org_count = rng.randint(3, 5)
+        org_ids = [f"Org{i}MSP" for i in range(1, org_count + 1)]
+        peers_per_org = 1 if rng.random() < 0.7 else 2
+
+        pdc1_members = tuple(sorted(rng.sample(org_ids, rng.randint(2, org_count - 1))))
+        pdc2_members: tuple = ()
+        if rng.random() < 0.5:
+            pdc2_members = tuple(sorted(rng.sample(org_ids, rng.randint(2, org_count - 1))))
+
+        pdc1_policy = cls._maybe_collection_policy(rng, pdc1_members)
+        pdc2_policy = cls._maybe_collection_policy(rng, pdc2_members) if pdc2_members else None
+
+        if rng.random() < 0.75:
+            chaincode_policy = "MAJORITY Endorsement"
+        else:
+            principals = ", ".join(f"'{msp}.peer'" for msp in org_ids)
+            chaincode_policy = f"OutOf(2, {principals})"
+
+        # New Feature 1 only changes behaviour when a collection-level
+        # policy exists, so force one when the defended framework is drawn.
+        features = "original"
+        if rng.random() < 0.25:
+            features = "feature1"
+            if pdc1_policy is None:
+                members = ", ".join(f"'{msp}.peer'" for msp in pdc1_members)
+                pdc1_policy = f"OR({members})"
+
+        colluding: tuple = ()
+        if rng.random() < 0.35:
+            outsiders = [o for o in org_ids if o not in pdc1_members]
+            pool = outsiders or org_ids
+            colluding = tuple(sorted(rng.sample(pool, 1)))
+
+        return cls(
+            seed=seed,
+            ops=ops,
+            org_count=org_count,
+            peers_per_org=peers_per_org,
+            pdc1_members=pdc1_members,
+            pdc2_members=pdc2_members,
+            pdc1_policy=pdc1_policy,
+            pdc2_policy=pdc2_policy,
+            chaincode_policy=chaincode_policy,
+            features=features,
+            batch_size=rng.randint(1, 15),
+            batch_timeout=rng.choice([0.5, 2.0, 5.0, 10.0]),
+            base_latency=round(rng.uniform(0.2, 3.0), 3),
+            jitter=round(rng.uniform(0.0, 1.2), 3),
+            gossip_latency=round(rng.uniform(0.2, 6.0), 3),
+            required_peer_count=0 if rng.random() < 0.8 else 1,
+            max_peer_count=rng.randint(1, 3),
+            attack_weight=round(rng.uniform(0.0, 0.25), 3),
+            fault_windows=rng.randint(0, 3),
+            mean_gap=round(rng.uniform(0.3, 1.5), 3),
+            colluding_orgs=colluding,
+        )
+
+    @staticmethod
+    def _maybe_collection_policy(rng: random.Random, members: tuple) -> Optional[str]:
+        roll = rng.random()
+        if roll < 0.55 or not members:
+            # The common (and vulnerable) deployment: no collection-level
+            # policy — 86.51% of the projects in the paper's GitHub study.
+            return None
+        principals = [f"'{msp}.peer'" for msp in members]
+        if roll < 0.8 or len(members) < 2:
+            return f"OR({', '.join(principals)})"
+        both = rng.sample(list(principals), 2)
+        return f"AND({both[0]}, {both[1]})"
+
+    # -- wire format ---------------------------------------------------------
+    def to_wire(self) -> dict:
+        data = asdict(self)
+        for key in ("pdc1_members", "pdc2_members", "colluding_orgs"):
+            data[key] = list(data[key])
+        return data
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SimulationConfig":
+        data = dict(data)
+        for key in ("pdc1_members", "pdc2_members", "colluding_orgs"):
+            data[key] = tuple(data.get(key, ()))
+        return cls(**data)

@@ -1,0 +1,331 @@
+"""Build, execute and check one simulated run.
+
+The harness is the only module that touches the live objects; everything
+upstream (config, workload, fault plan) is pure data and everything
+downstream (invariants, shrinking) consumes the :class:`SimulationReport`
+it produces.  ``execute(config, ops, faults)`` is the replay function:
+called twice with the same inputs it produces the same history, which is
+what seed replay and trace shrinking rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.chaincode.contracts.asset_contract import AssetContract
+from repro.chaincode.contracts.pdc_contract import PrivateAssetContract
+from repro.common.errors import ReproError
+from repro.core.attacks.ops import ColludingPrivateAssetContract
+from repro.core.defense.features import FrameworkFeatures
+from repro.identity.ca import reset_ca_instance_counter
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+from repro.protocol.proposal import reset_nonce_counter
+from repro.protocol.transaction import ValidationCode
+from repro.runtime.faults import FaultInjector, LatencyModel
+from repro.runtime.runtime import TOPIC_GOSSIP
+from repro.simulation.config import SimulationConfig
+from repro.simulation.faultplan import generate_fault_schedule
+from repro.simulation.invariants import BlockBoundaryMonitor, run_quiescence_checks
+from repro.simulation.workload import (
+    PDC_CHAINCODE,
+    PUBLIC_CHAINCODE,
+    OpSpec,
+    WorkloadGenerator,
+)
+
+SIM_CHANNEL = "simchannel"
+COLLUDER_FAKE_VALUE = b"1"  # the colluders' agreed forged answer
+
+# How the ``--weaken`` switch sabotages the system under test.  Used by the
+# acceptance test: a weakened validator MUST make seeds fail, proving the
+# invariants actually bite.
+WEAKENERS: dict = {
+    "skip-endorsement-policy": lambda sim: _skip_endorsement_policy(sim),
+}
+
+
+def _skip_endorsement_policy(sim: "SimNetwork") -> None:
+    for peer in sim.all_peers():
+        peer._validator._check_endorsement_policies = (  # noqa: SLF001
+            lambda tx, ledger: True
+        )
+
+
+@dataclass
+class SimNetwork:
+    """A built simulated deployment plus handles the generator needs."""
+
+    config: SimulationConfig
+    network: FabricNetwork
+    peers: dict  # name -> PeerNode
+    clients: dict  # msp_id -> Gateway
+
+    def peers_of(self, msp_id: str) -> list:
+        return [p for p in self.peers.values() if p.msp_id == msp_id]
+
+    def all_peers(self) -> list:
+        return list(self.peers.values())
+
+
+@dataclass
+class OpOutcome:
+    """What actually happened to one generated op."""
+
+    spec: OpSpec
+    tx_id: Optional[str] = None
+    status: Optional[ValidationCode] = None  # None = never resolved
+    error: Optional[str] = None  # client-side failure before ordering
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulated run produced."""
+
+    config: SimulationConfig
+    ops: list
+    fault_actions: list
+    outcomes: list
+    violations: list
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        s = self.stats
+        verdict = "ok" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"seed={self.config.seed} ops={len(self.ops)} "
+            f"faults={len(self.fault_actions)} blocks={s.get('blocks', 0)} "
+            f"valid={s.get('valid', 0)} invalid={s.get('invalid', 0)} "
+            f"client_errors={s.get('client_errors', 0)} "
+            f"dropped={s.get('dropped', 0)} reconciled={s.get('reconciled', 0)} "
+            f"-> {verdict}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Network construction
+# ---------------------------------------------------------------------------
+
+def build_network(config: SimulationConfig) -> SimNetwork:
+    """Materialize the deployment a config describes.
+
+    Identity counters are reset first so certificates, nonces and
+    therefore tx-ids are identical across rebuilds of the same config —
+    the foundation of seed replay.
+    """
+    reset_ca_instance_counter()
+    reset_nonce_counter()
+
+    organizations = [Organization(msp_id) for msp_id in config.org_ids()]
+    channel = ChannelConfig(channel_id=SIM_CHANNEL, organizations=organizations)
+    collections = []
+    for name, members, policy in config.collections():
+        principals = ", ".join(f"'{msp}.member'" for msp in members)
+        collections.append(CollectionConfig(
+            name=name,
+            policy=f"OR({principals})",
+            required_peer_count=config.required_peer_count,
+            max_peer_count=config.max_peer_count,
+            endorsement_policy=policy,
+        ))
+    channel.deploy_chaincode(
+        PDC_CHAINCODE,
+        endorsement_policy=config.chaincode_policy,
+        collections=collections,
+    )
+    channel.deploy_chaincode(
+        PUBLIC_CHAINCODE, endorsement_policy=config.chaincode_policy
+    )
+
+    features = (
+        FrameworkFeatures.feature1_only()
+        if config.features == "feature1"
+        else FrameworkFeatures.original()
+    )
+    network = FabricNetwork(
+        channel=channel, features=features, batch_size=config.batch_size
+    )
+
+    peers: dict = {}
+    clients: dict = {}
+    colluding = set(config.colluding_orgs)
+    for org in organizations:
+        for num in range(config.peers_per_org):
+            peer = network.add_peer(org.msp_id, f"peer{num}")
+            peers[peer.name] = peer
+        clients[org.msp_id] = network.client(org.msp_id, "client0")
+
+    network.install_chaincode(PUBLIC_CHAINCODE, AssetContract())
+    honest = [p for p in peers.values() if p.msp_id not in colluding]
+    network.install_chaincode(PDC_CHAINCODE, PrivateAssetContract(), peers=honest)
+    dishonest = [p for p in peers.values() if p.msp_id in colluding]
+    if dishonest:
+        network.install_chaincode(
+            PDC_CHAINCODE,
+            ColludingPrivateAssetContract(COLLUDER_FAKE_VALUE),
+            peers=dishonest,
+        )
+
+    latency = LatencyModel(
+        base=config.base_latency,
+        jitter=config.jitter,
+        topic_base={TOPIC_GOSSIP: config.gossip_latency},
+    )
+    network.attach_runtime(
+        seed=config.seed,
+        latency=latency,
+        faults=FaultInjector(),
+        batch_timeout=config.batch_timeout,
+    )
+    return SimNetwork(config=config, network=network, peers=peers, clients=clients)
+
+
+# ---------------------------------------------------------------------------
+# Generation (ops + fault schedule for a config)
+# ---------------------------------------------------------------------------
+
+def generate(config: SimulationConfig) -> tuple:
+    """``(ops, fault_actions)`` for a config — both pure data.
+
+    Builds a throwaway network (the generator needs real peer handles and
+    certificates to resolve endorser sets); ``execute`` rebuilds an
+    identical one from scratch.
+    """
+    sim = build_network(config)
+    ops = WorkloadGenerator(config, sim).generate()
+    fault_actions = generate_fault_schedule(
+        config, sorted(sim.peers), config.horizon()
+    )
+    return ops, fault_actions
+
+
+# ---------------------------------------------------------------------------
+# Execution (the replay function)
+# ---------------------------------------------------------------------------
+
+def execute(
+    config: SimulationConfig,
+    ops: list,
+    fault_actions: list,
+    weaken: Optional[str] = None,
+) -> SimulationReport:
+    """Run one (config, ops, faults) triple and check every invariant."""
+    sim = build_network(config)
+    runtime = sim.network.runtime
+    assert runtime is not None
+    if weaken is not None:
+        WEAKENERS[weaken](sim)
+
+    monitor = BlockBoundaryMonitor()
+    monitor.attach(sim.all_peers())
+
+    outcomes = [OpOutcome(spec=spec) for spec in ops]
+    for outcome in outcomes:
+        runtime.scheduler.call_at(outcome.spec.at, _submitter(sim, outcome))
+    for action in fault_actions:
+        runtime.scheduler.call_at(
+            action.at, (lambda a=action: a.apply(runtime)), priority=-1
+        )
+
+    runtime.run()
+
+    # Drive to quiescence: heal everything, repair missed deliveries, then
+    # reconcile private data to a fixpoint.
+    faults = runtime.bus.faults
+    faults.heal()
+    faults.drop_rate = 0.0
+    faults.topic_drop_rates.clear()
+    runtime.bus.latency.jitter = config.jitter
+    caught_up = runtime.catch_up()
+    runtime.run()
+    reconciled = 0
+    for _ in range(10):
+        repaired = sim.network.reconcile_private_data()
+        reconciled += repaired
+        if repaired == 0:
+            break
+
+    violations = list(monitor.violations)
+    violations.extend(run_quiescence_checks(sim, outcomes))
+
+    reference = sim.all_peers()[0]
+    stats = {
+        "blocks": len(sim.network.orderer.delivered_blocks),
+        "submitted": runtime.transactions_submitted,
+        "valid": reference.valid_tx_count,
+        "invalid": reference.invalid_tx_count,
+        "client_errors": sum(1 for o in outcomes if o.error is not None),
+        "unresolved": sum(
+            1 for o in outcomes if o.tx_id is not None and o.status is None
+        ),
+        "dropped": faults.dropped,
+        "caught_up": caught_up,
+        "reconciled": reconciled,
+        "attacks": sum(1 for o in outcomes if o.spec.is_attack),
+    }
+    return SimulationReport(
+        config=config,
+        ops=list(ops),
+        fault_actions=list(fault_actions),
+        outcomes=outcomes,
+        violations=violations,
+        stats=stats,
+    )
+
+
+def _submitter(sim: SimNetwork, outcome: OpOutcome) -> Callable[[], None]:
+    """Closure that submits one op when its scheduled instant arrives."""
+
+    def submit() -> None:
+        spec = outcome.spec
+        endorsing = [
+            sim.peers[name] for name in spec.endorsers if name in sim.peers
+        ]
+        if not endorsing:
+            # Never fall through to the gateway: an empty sequence would
+            # silently endorse at the network's default peers.
+            outcome.error = "no endorsing peers resolved"
+            return
+        client = sim.clients[spec.client_org]
+        transient = (
+            {"value": spec.transient_value}
+            if spec.transient_value is not None
+            else None
+        )
+        try:
+            pending = client.submit_async(
+                spec.chaincode_id,
+                spec.function,
+                list(spec.args),
+                transient=transient,
+                endorsing_peers=endorsing,
+            )
+        except ReproError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            return
+        outcome.tx_id = pending.tx_id
+        pending.add_done_callback(
+            lambda p: setattr(outcome, "status", p.result().status)
+        )
+
+    return submit
+
+
+# ---------------------------------------------------------------------------
+# The one-call entry point
+# ---------------------------------------------------------------------------
+
+def run_seed(
+    seed: int, ops: int, weaken: Optional[str] = None
+) -> SimulationReport:
+    """Expand ``seed`` into (config, workload, faults) and execute it."""
+    config = SimulationConfig.generate(seed, ops)
+    workload, fault_actions = generate(config)
+    return execute(config, workload, fault_actions, weaken=weaken)

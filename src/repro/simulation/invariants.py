@@ -1,0 +1,592 @@
+"""Global safety invariants checked over a completed simulation.
+
+The catalogue (names are the ``invariant`` field of each violation):
+
+* ``hash-chain``       — every peer's blockchain passes the hash-chain
+  and numbering integrity check.
+* ``block-agreement``  — all peers committed the *same* block sequence
+  with the same validation flags (checked incrementally at every block
+  boundary by :class:`BlockBoundaryMonitor`, and structurally against the
+  orderer's delivered sequence at quiescence).
+* ``reference-validation`` — an independent re-validation of the whole
+  committed history by :class:`ReferenceValidator`, a from-spec
+  reimplementation of the proof-of-policy rules (endorsement-policy
+  selection, MVCC version checks = serializability of the committed
+  history, phantom re-scans, duplicate/signature/status checks) against
+  its own model state.  Any flag the peers computed differently, and any
+  divergence between the model's final state and a peer's committed
+  state, is a violation.  This is the check that catches a weakened or
+  buggy validator.
+* ``policy-expectation`` — generation-time endorsement-policy soundness:
+  an op endorsed by a set the spec-level oracle rejects must be flagged
+  ``ENDORSEMENT_POLICY_FAILURE``; one it accepts must never be.
+* ``pdc-privacy``      — no peer of a non-member org stores plaintext
+  private data it did not itself endorse; hashes only.
+* ``gossip-convergence`` — after reconciliation reaches a fixpoint,
+  member peers agree on plaintext private data (and plaintext always
+  matches the committed hash); a member still lacking a key must have an
+  unresolved missing-data record for a transaction that wrote it (which
+  only happens when no member peer ever held the plaintext — e.g. a
+  favourable-endorser attack routed around every member).
+* ``liveness-accounting`` — every submitted transaction either resolved
+  or its envelope was provably lost: the number of unresolved futures
+  equals the number of ``submit``-topic drops, and no unresolved
+  transaction appears in any committed block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.hashing import hash_value
+from repro.ledger.version import Version
+from repro.protocol.transaction import ValidationCode
+from repro.runtime.runtime import TOPIC_SUBMIT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ledger.block import Block, ValidatedBlock
+    from repro.network.channel import ChannelConfig
+    from repro.peer.node import PeerNode
+    from repro.simulation.harness import SimNetwork
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation — the unit the shrinker minimizes against."""
+
+    invariant: str
+    detail: str
+    peer: str = ""
+    tx_id: str = ""
+
+    def __str__(self) -> str:
+        where = f" at {self.peer}" if self.peer else ""
+        tx = f" (tx {self.tx_id})" if self.tx_id else ""
+        return f"[{self.invariant}]{where}{tx}: {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Block-boundary monitoring
+# ---------------------------------------------------------------------------
+
+class BlockBoundaryMonitor:
+    """Cross-peer agreement checked *as blocks commit*, not only at the end.
+
+    Registered via ``peer.on_commit``; the first peer to commit block *n*
+    pins its ``(block hash, flags)``, every later committer is compared
+    against the pin.  Catching divergence at the first diverging block
+    keeps the failure close to its cause.
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self._pinned: dict[int, tuple[bytes, tuple]] = {}
+
+    def attach(self, peers: list) -> None:
+        for peer in peers:
+            peer.on_commit(self._on_commit)
+
+    def _on_commit(self, peer: "PeerNode", validated: "ValidatedBlock") -> None:
+        number = validated.number
+        block_hash = validated.block.header.block_hash()
+        flags = tuple(validated.flags)
+        pinned = self._pinned.get(number)
+        if pinned is None:
+            self._pinned[number] = (block_hash, flags)
+            return
+        if pinned[0] != block_hash:
+            self.violations.append(Violation(
+                "block-agreement", f"block {number} hash differs from first committer",
+                peer=peer.name,
+            ))
+        if pinned[1] != flags:
+            self.violations.append(Violation(
+                "block-agreement",
+                f"block {number} flags {', '.join(f.value for f in flags)} differ "
+                f"from first committer {', '.join(f.value for f in pinned[1])}",
+                peer=peer.name,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# The reference validator (independent re-validation oracle)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ModelState:
+    """The reference model's committed state."""
+
+    public: dict = field(default_factory=dict)   # (ns, key) -> (value, Version)
+    meta: dict = field(default_factory=dict)     # (ns, key) -> {name: bytes}
+    private: dict = field(default_factory=dict)  # (ns, col, key_hash) -> (value_hash, Version)
+    seen_tx: set = field(default_factory=set)
+
+
+class ReferenceValidator:
+    """From-spec re-validation of a committed chain against a model state.
+
+    Deliberately shares no code with :class:`repro.peer.validator.Validator`
+    beyond the policy evaluator: rules are re-derived from the paper's
+    Section II-B3 / III-B description, so an implementation bug in the
+    production validator (or a deliberately weakened one) disagrees with
+    this oracle and surfaces as a ``reference-validation`` violation.
+    """
+
+    def __init__(self, channel: "ChannelConfig", features) -> None:
+        self._channel = channel
+        self._features = features
+        self._evaluator = channel.evaluator()
+        self.state = _ModelState()
+
+    # -- block-level ----------------------------------------------------------
+    def expected_flags(self, block: "Block") -> list:
+        flags = []
+        block_writes: set = set()
+        block_private: set = set()
+        block_tx_ids: set = set()
+        for tx in block.transactions:
+            flag = self._expect(tx, block_writes, block_private, block_tx_ids)
+            flags.append(flag)
+            block_tx_ids.add(tx.tx_id)
+            if flag is ValidationCode.VALID:
+                for ns in tx.payload.results.namespaces:
+                    for write in ns.writes:
+                        block_writes.add((ns.namespace, write.key))
+                    for col in ns.collections:
+                        for hw in col.hashed_writes:
+                            block_private.add((ns.namespace, col.collection, hw.key_hash))
+        # Apply the block to the model only after all flags are decided.
+        for tx_num, (tx, flag) in enumerate(zip(block.transactions, flags)):
+            self.state.seen_tx.add(tx.tx_id)
+            if flag is ValidationCode.VALID:
+                self._apply(tx, Version(block.header.number, tx_num))
+        return flags
+
+    # -- per-transaction rules --------------------------------------------------
+    def _expect(self, tx, block_writes, block_private, block_tx_ids) -> ValidationCode:
+        if tx.tx_id in block_tx_ids or tx.tx_id in self.state.seen_tx:
+            return ValidationCode.DUPLICATE_TXID
+        if tx.channel_id != self._channel.channel_id:
+            return ValidationCode.INVALID_OTHER
+        if tx.chaincode_id not in self._channel.chaincodes:
+            return ValidationCode.INVALID_OTHER
+        if not self._channel.msp_registry.validate_certificate(tx.creator):
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.verify_creator_signature():
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.payload.response.ok:
+            return ValidationCode.BAD_RESPONSE_STATUS
+        if not self._policies_ok(tx):
+            return ValidationCode.ENDORSEMENT_POLICY_FAILURE
+        if not self._versions_ok(tx, block_writes, block_private):
+            return ValidationCode.MVCC_READ_CONFLICT
+        if not self._ranges_ok(tx, block_writes):
+            return ValidationCode.PHANTOM_READ_CONFLICT
+        return ValidationCode.VALID
+
+    def _signers(self, tx) -> list:
+        payload_bytes = tx.payload.bytes()
+        certs = []
+        for endorsement in tx.endorsements:
+            if not self._channel.msp_registry.validate_certificate(endorsement.endorser):
+                continue
+            if endorsement.verify(payload_bytes):
+                certs.append(endorsement.endorser)
+        return certs
+
+    def _policies_ok(self, tx) -> bool:
+        definition = self._channel.chaincode(tx.chaincode_id)
+        results = tx.payload.results
+        signers = self._signers(tx)
+        touched = results.collections_touched()
+
+        if touched and self._features.filter_nonmember_endorsements:
+            member_orgs: Optional[set] = None
+            for namespace, name in touched:
+                orgs = self._channel.collection(namespace, name).member_orgs()
+                member_orgs = orgs if member_orgs is None else member_orgs & orgs
+            signers = [c for c in signers if c.msp_id in (member_orgs or set())]
+
+        need_chaincode = False
+        extra: list = []
+        if results.is_read_only:
+            need_chaincode = True
+            if self._features.collection_policy_on_reads:
+                for namespace, name in sorted(touched):
+                    config = self._channel.collection(namespace, name)
+                    if config.endorsement_policy is not None:
+                        extra.append(config.endorsement_policy)
+        else:
+            for ns in results.namespaces:
+                for write in ns.writes:
+                    key_policy = self._key_policy(ns.namespace, write.key)
+                    if key_policy is not None:
+                        extra.append(key_policy)
+                    else:
+                        need_chaincode = True
+                for meta in ns.metadata_writes:
+                    key_policy = self._key_policy(ns.namespace, meta.key)
+                    if key_policy is not None:
+                        extra.append(key_policy)
+                    else:
+                        need_chaincode = True
+                for col in ns.collections:
+                    if not col.hashed_writes:
+                        continue
+                    config = self._channel.collection(ns.namespace, col.collection)
+                    if config.endorsement_policy is not None:
+                        extra.append(config.endorsement_policy)
+                    else:
+                        need_chaincode = True
+
+        if need_chaincode and not self._evaluator.evaluate(
+            definition.endorsement_policy, signers
+        ):
+            return False
+        return all(self._evaluator.evaluate(text, signers) for text in extra)
+
+    def _key_policy(self, namespace: str, key: str) -> Optional[str]:
+        meta = self.state.meta.get((namespace, key), {})
+        value = meta.get("VALIDATION_PARAMETER")
+        return value.decode("utf-8") if value is not None else None
+
+    def _versions_ok(self, tx, block_writes, block_private) -> bool:
+        for ns in tx.payload.results.namespaces:
+            for read in ns.reads:
+                if (ns.namespace, read.key) in block_writes:
+                    return False
+                entry = self.state.public.get((ns.namespace, read.key))
+                committed = entry[1] if entry else None
+                if committed != read.version:
+                    return False
+            for col in ns.collections:
+                for hashed_read in col.hashed_reads:
+                    full = (ns.namespace, col.collection, hashed_read.key_hash)
+                    if full in block_private:
+                        return False
+                    entry = self.state.private.get(full)
+                    committed = entry[1] if entry else None
+                    if committed != hashed_read.version:
+                        return False
+        return True
+
+    def _ranges_ok(self, tx, block_writes) -> bool:
+        for ns in tx.payload.results.namespaces:
+            for query in ns.range_queries:
+                current = []
+                for (model_ns, key), (_value, version) in sorted(self.state.public.items()):
+                    if model_ns != ns.namespace:
+                        continue
+                    if key < query.start_key or (query.end_key and key >= query.end_key):
+                        continue
+                    current.append((key, version))
+                recorded = [(r.key, r.version) for r in query.reads]
+                if current != recorded:
+                    return False
+                for write_ns, key in block_writes:
+                    if write_ns != ns.namespace:
+                        continue
+                    if key >= query.start_key and (not query.end_key or key < query.end_key):
+                        return False
+        return True
+
+    def _apply(self, tx, version: Version) -> None:
+        for ns in tx.payload.results.namespaces:
+            for write in ns.writes:
+                if write.is_delete:
+                    self.state.public.pop((ns.namespace, write.key), None)
+                    self.state.meta.pop((ns.namespace, write.key), None)
+                else:
+                    self.state.public[(ns.namespace, write.key)] = (write.value or b"", version)
+            for meta in ns.metadata_writes:
+                self.state.meta.setdefault((ns.namespace, meta.key), {})[meta.name] = meta.value
+            for col in ns.collections:
+                for hw in col.hashed_writes:
+                    full = (ns.namespace, col.collection, hw.key_hash)
+                    if hw.is_delete:
+                        self.state.private.pop(full, None)
+                    else:
+                        self.state.private[full] = (hw.value_hash or b"", version)
+
+
+# ---------------------------------------------------------------------------
+# Quiescence checkers
+# ---------------------------------------------------------------------------
+
+def check_hash_chains(sim: "SimNetwork") -> list:
+    violations = []
+    for peer in sim.all_peers():
+        try:
+            ok = peer.ledger.blockchain.verify_chain()
+        except Exception as exc:  # pragma: no cover - verify_chain returns bool
+            ok, detail = False, str(exc)
+        else:
+            detail = "hash chain verification failed"
+        if not ok:
+            violations.append(Violation("hash-chain", detail, peer=peer.name))
+    return violations
+
+
+def check_block_agreement(sim: "SimNetwork") -> list:
+    """Structural agreement at quiescence (heights + orderer sequence)."""
+    violations = []
+    peers = sim.all_peers()
+    delivered = sim.network.orderer.delivered_blocks
+    for peer in peers:
+        height = peer.ledger.blockchain.height
+        if height != len(delivered):
+            violations.append(Violation(
+                "block-agreement",
+                f"height {height} != orderer's {len(delivered)} delivered blocks",
+                peer=peer.name,
+            ))
+            continue
+        for validated in peer.ledger.blockchain.blocks():
+            ordered = delivered[validated.number]
+            if validated.block.header.block_hash() != ordered.header.block_hash():
+                violations.append(Violation(
+                    "block-agreement",
+                    f"block {validated.number} differs from the ordered block",
+                    peer=peer.name,
+                ))
+    return violations
+
+
+def check_reference_validation(sim: "SimNetwork") -> list:
+    """Re-validate the committed history and compare flags and final state."""
+    violations = []
+    peers = sim.all_peers()
+    if not peers:
+        return violations
+    reference = ReferenceValidator(sim.network.channel, sim.network.features)
+    chain_peer = peers[0]
+    expected_by_number = {}
+    for validated in chain_peer.ledger.blockchain.blocks():
+        expected = reference.expected_flags(validated.block)
+        expected_by_number[validated.number] = expected
+
+    for peer in peers:
+        for validated in peer.ledger.blockchain.blocks():
+            expected = expected_by_number.get(validated.number)
+            if expected is None:
+                continue  # height mismatch already reported by block-agreement
+            for tx, got, want in zip(validated.block.transactions, validated.flags, expected):
+                if got is not want:
+                    violations.append(Violation(
+                        "reference-validation",
+                        f"block {validated.number}: peer flagged {got.value}, "
+                        f"reference says {want.value}",
+                        peer=peer.name, tx_id=tx.tx_id,
+                    ))
+
+    violations.extend(_check_state_matches_model(sim, reference))
+    return violations
+
+
+def _check_state_matches_model(sim: "SimNetwork", reference: ReferenceValidator) -> list:
+    violations = []
+    model = reference.state
+    namespaces = sorted(sim.network.channel.chaincodes)
+    for peer in sim.all_peers():
+        actual = {}
+        for ns in namespaces:
+            for key, entry in peer.ledger.world_state.items(ns):
+                actual[(ns, key)] = (entry.value, entry.version)
+        if actual != model.public:
+            extra = sorted(set(actual) - set(model.public))
+            missing = sorted(set(model.public) - set(actual))
+            differing = sorted(
+                k for k in set(actual) & set(model.public) if actual[k] != model.public[k]
+            )
+            violations.append(Violation(
+                "reference-validation",
+                f"world state diverges from model (extra={extra[:3]}, "
+                f"missing={missing[:3]}, differing={differing[:3]})",
+                peer=peer.name,
+            ))
+        actual_private = {}
+        for chaincode_id, definition in sorted(sim.network.channel.chaincodes.items()):
+            for collection in definition.collections:
+                for key_hash in peer.ledger.private_hashes.key_hashes(
+                    chaincode_id, collection.name
+                ):
+                    entry = peer.ledger.private_hashes.get(
+                        chaincode_id, collection.name, key_hash
+                    )
+                    actual_private[(chaincode_id, collection.name, key_hash)] = (
+                        entry.value_hash, entry.version
+                    )
+        if actual_private != model.private:
+            violations.append(Violation(
+                "reference-validation",
+                f"private hash store diverges from model "
+                f"({len(actual_private)} entries vs {len(model.private)})",
+                peer=peer.name,
+            ))
+    return violations
+
+
+def check_policy_expectations(sim: "SimNetwork", outcomes: list) -> list:
+    """Committed flags must match the generation-time policy oracle."""
+    violations = []
+    for outcome in outcomes:
+        if outcome.status is None:
+            continue
+        expected_failure = not outcome.spec.expect_policy_ok
+        flagged_failure = outcome.status is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+        if expected_failure and not flagged_failure:
+            violations.append(Violation(
+                "policy-expectation",
+                f"op {outcome.spec.index} ({outcome.spec.kind}) endorsed by a "
+                f"non-satisfying set committed as {outcome.status.value}",
+                tx_id=outcome.tx_id or "",
+            ))
+        elif not expected_failure and flagged_failure:
+            violations.append(Violation(
+                "policy-expectation",
+                f"op {outcome.spec.index} ({outcome.spec.kind}) endorsed by a "
+                "satisfying set was flagged ENDORSEMENT_POLICY_FAILURE",
+                tx_id=outcome.tx_id or "",
+            ))
+    return violations
+
+
+def check_pdc_privacy(sim: "SimNetwork", outcomes: list) -> list:
+    """Non-member peers must never hold plaintext they did not endorse.
+
+    Every peer stores the *hashes*; plaintext at a peer whose org is not a
+    collection member is only legitimate when that very peer endorsed the
+    writing transaction (the plaintext then came from its own transient
+    store — the simulator models Fabric's endorser-side staging).
+    """
+    violations = []
+    allowed: dict = {}  # (peer_name, collection) -> {keys}
+    for outcome in outcomes:
+        for collection, keys in outcome.spec.private_write_keys().items():
+            for name in outcome.spec.endorsers:
+                allowed.setdefault((name, collection), set()).update(keys)
+
+    for chaincode_id, definition in sorted(sim.network.channel.chaincodes.items()):
+        for collection in definition.collections:
+            members = collection.member_orgs()
+            for peer in sim.all_peers():
+                if peer.msp_id in members:
+                    continue
+                stored = peer.ledger.private_data.keys(chaincode_id, collection.name)
+                extra = [
+                    key for key in stored
+                    if key not in allowed.get((peer.name, collection.name), set())
+                ]
+                if extra:
+                    violations.append(Violation(
+                        "pdc-privacy",
+                        f"non-member peer stores plaintext for {collection.name} "
+                        f"keys {extra[:5]} it never endorsed",
+                        peer=peer.name,
+                    ))
+    return violations
+
+
+def check_gossip_convergence(sim: "SimNetwork", outcomes: list) -> list:
+    """Member plaintext agrees with the hashes after reconciliation.
+
+    For every key any workload op privately wrote: at each member peer,
+    either (plaintext present and ``hash(value)`` equals the committed
+    value hash) or (no committed hash for the key) or (an unresolved
+    missing-data record explains the gap — possible only when no member
+    ever held the plaintext, e.g. the §IV-A favourable-endorser attack).
+    Stale plaintext without a committed hash is always a violation.
+    """
+    violations = []
+    written_keys: dict = {}  # collection -> {keys}
+    keys_by_tx: dict = {}    # tx_id -> {collection: {keys}}
+    for outcome in outcomes:
+        per_col = outcome.spec.private_write_keys()
+        for collection, keys in per_col.items():
+            written_keys.setdefault(collection, set()).update(keys)
+        if outcome.tx_id:
+            keys_by_tx[outcome.tx_id] = per_col
+
+    for chaincode_id, definition in sorted(sim.network.channel.chaincodes.items()):
+        for collection in definition.collections:
+            members = collection.member_orgs()
+            keys = sorted(written_keys.get(collection.name, ()))
+            for peer in sim.all_peers():
+                if peer.msp_id not in members:
+                    continue
+                unresolved_keys: set = set()
+                for missing in peer.ledger.missing_private:
+                    if missing.collection != collection.name:
+                        continue
+                    per_col = keys_by_tx.get(missing.tx_id, {})
+                    unresolved_keys.update(per_col.get(collection.name, set()))
+                for key in keys:
+                    if key in unresolved_keys:
+                        # An unresolved missing-data record legitimately
+                        # leaves this key stale at this peer (no member
+                        # ever held the plaintext to reconcile from).
+                        continue
+                    value = peer.query_private(chaincode_id, collection.name, key)
+                    digest = peer.query_private_hash(chaincode_id, collection.name, key)
+                    if digest is None:
+                        if value is not None:
+                            violations.append(Violation(
+                                "gossip-convergence",
+                                f"stale plaintext for {collection.name}/{key} with no "
+                                "committed hash",
+                                peer=peer.name,
+                            ))
+                    elif value is None:
+                        violations.append(Violation(
+                            "gossip-convergence",
+                            f"member lacks plaintext for {collection.name}/{key} "
+                            "with no unresolved missing-data record",
+                            peer=peer.name,
+                        ))
+                    elif hash_value(value) != digest:
+                        violations.append(Violation(
+                            "gossip-convergence",
+                            f"plaintext for {collection.name}/{key} does not match "
+                            "the committed hash",
+                            peer=peer.name,
+                        ))
+    return violations
+
+
+def check_liveness_accounting(sim: "SimNetwork", outcomes: list) -> list:
+    """Unresolved futures are exactly the envelopes the fault model ate."""
+    violations = []
+    runtime = sim.network.runtime
+    faults = runtime.bus.faults
+    submit_drops = faults.dropped_by_topic.get(TOPIC_SUBMIT, 0)
+    unresolved = [o for o in outcomes if o.tx_id and o.status is None]
+    if len(unresolved) != submit_drops:
+        violations.append(Violation(
+            "liveness-accounting",
+            f"{len(unresolved)} unresolved transactions but {submit_drops} "
+            "submit-topic drops",
+        ))
+    for outcome in unresolved:
+        for peer in sim.all_peers():
+            if peer.transaction_status(outcome.tx_id) is not None:
+                violations.append(Violation(
+                    "liveness-accounting",
+                    f"unresolved transaction is committed at {peer.name}",
+                    tx_id=outcome.tx_id,
+                ))
+                break
+    return violations
+
+
+def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
+    """Run the full catalogue; returns all violations, worst first."""
+    violations = []
+    violations.extend(check_hash_chains(sim))
+    violations.extend(check_block_agreement(sim))
+    violations.extend(check_reference_validation(sim))
+    violations.extend(check_policy_expectations(sim, outcomes))
+    violations.extend(check_pdc_privacy(sim, outcomes))
+    violations.extend(check_gossip_convergence(sim, outcomes))
+    violations.extend(check_liveness_accounting(sim, outcomes))
+    return violations

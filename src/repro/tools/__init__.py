@@ -7,4 +7,7 @@
 * ``python -m repro.tools.overhead`` — regenerate Fig. 11.
 * ``python -m repro.tools.collusion`` — analyse collusion thresholds for
   the §V preset networks.
+* ``python -m repro.tools.simulate`` — deterministic simulation sweep:
+  randomized workloads + fault schedules with global invariant checks,
+  seed replay and trace shrinking.
 """

@@ -1,0 +1,120 @@
+"""Deterministic simulation sweep: ``python -m repro.tools.simulate``.
+
+Runs ``--seeds`` randomized simulations of ``--ops`` operations each and
+checks every global invariant at block boundaries and quiescence.  On a
+failure the trace is greedily shrunk (ddmin) to a minimal still-failing
+trace, written as a JSON trace plus a standalone repro script.
+
+Examples::
+
+    python -m repro.tools.simulate --seeds 25 --ops 500
+    python -m repro.tools.simulate --seeds 5 --ops 100 \\
+        --weaken skip-endorsement-policy --trace-dir /tmp/traces
+    python -m repro.tools.simulate --replay /tmp/traces/trace-seed3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.harness import WEAKENERS, execute, generate
+from repro.simulation.shrink import (
+    load_trace,
+    render_repro_script,
+    shrink_failing_run,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.simulate",
+        description="randomized workload + fault simulation with invariant checks",
+    )
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of seeds to sweep (default 10)")
+    parser.add_argument("--ops", type=int, default=200,
+                        help="operations per seed (default 200)")
+    parser.add_argument("--seed-base", type=int, default=1,
+                        help="first seed of the sweep (default 1)")
+    parser.add_argument("--weaken", choices=sorted(WEAKENERS), default=None,
+                        help="deliberately sabotage the system under test "
+                             "(the invariants must then fail)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    parser.add_argument("--shrink-budget", type=int, default=120,
+                        help="max replays the shrinker may spend per failure")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="where to write failing traces/repro scripts "
+                             "(default: current directory)")
+    parser.add_argument("--replay", type=Path, default=None,
+                        help="replay a saved JSON trace instead of sweeping")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        return _replay(args.replay, args.weaken)
+
+    failures = 0
+    started = time.time()
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        seed_started = time.time()
+        config = SimulationConfig.generate(seed, args.ops)
+        ops, fault_actions = generate(config)
+        report = execute(config, ops, fault_actions, weaken=args.weaken)
+        print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
+        if report.ok:
+            continue
+        failures += 1
+        for violation in report.violations[:8]:
+            print(f"    {violation}")
+        if len(report.violations) > 8:
+            print(f"    ... and {len(report.violations) - 8} more")
+        if not args.no_shrink:
+            _shrink_and_dump(config, ops, fault_actions, args)
+
+    elapsed = time.time() - started
+    print(f"{args.seeds} seeds, {failures} failing ({elapsed:.1f}s total)")
+    return 1 if failures else 0
+
+
+def _shrink_and_dump(config, ops, fault_actions, args) -> None:
+    print(f"    shrinking seed {config.seed} "
+          f"({len(ops)} ops, {len(fault_actions)} fault actions)...")
+    result = shrink_failing_run(
+        config, ops, fault_actions,
+        weaken=args.weaken, max_executions=args.shrink_budget,
+    )
+    print(f"    minimized to {len(result.ops)} ops + "
+          f"{len(result.fault_actions)} fault actions "
+          f"in {result.executions} replays:")
+    for op in result.ops:
+        print(f"      op {op.index} @{op.at}: {op.kind} "
+              f"{op.function}{op.args} via {op.endorsers}")
+    for action in result.fault_actions:
+        target = action.topic or f"{action.src}->{action.dst}"
+        print(f"      fault @{action.at}: {action.kind} {target}")
+
+    out_dir = args.trace_dir or Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / f"trace-seed{config.seed}.json"
+    trace_path.write_text(json.dumps(result.to_trace(), indent=1))
+    script_path = out_dir / f"repro-seed{config.seed}.py"
+    script_path.write_text(render_repro_script(result, weaken=args.weaken))
+    print(f"    trace: {trace_path}  repro script: {script_path}")
+
+
+def _replay(path: Path, weaken: str | None) -> int:
+    config, ops, fault_actions = load_trace(json.loads(path.read_text()))
+    report = execute(config, ops, fault_actions, weaken=weaken)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"    {violation}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

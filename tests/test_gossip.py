@@ -148,3 +148,107 @@ class TestReconciliation:
         )
         net.reconcile_private_data()
         assert extra.serve_private_data(result.tx_id, "pdccc", "PDC1") is not None
+
+
+class TestReconciliationUnderFaults:
+    """Reconciliation repairing gossip lost to injected faults.
+
+    These drive the event runtime: gossip pushes travel as scheduled
+    messages, a fault injector eats them, and the reconciler must repair
+    exactly the gaps the faults created — without rolling committed
+    state backwards (the staleness rule).
+    """
+
+    def _runtime_network(self, member_orgs=("Org1MSP", "Org2MSP", "Org3MSP")):
+        from repro.identity.ca import reset_ca_instance_counter
+        from repro.protocol.proposal import reset_nonce_counter
+        from repro.runtime import FaultInjector, LatencyModel
+
+        reset_nonce_counter()
+        reset_ca_instance_counter()
+        net = _network(member_orgs=member_orgs, org_count=3)
+        runtime = net.attach_runtime(
+            seed=5, latency=LatencyModel(base=1.0), faults=FaultInjector()
+        )
+        return net, runtime
+
+    def test_gossip_blackout_then_heal_reconciles_exact_count(self):
+        net, runtime = self._runtime_network()
+        # Two endorsing member orgs satisfy MAJORITY-of-3; org3 is a member
+        # that depends entirely on the gossip pushes we are dropping.
+        endorsers = [net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]]
+        client = net.client("Org1MSP")
+
+        runtime.bus.faults.drop_topic("gossip-push")
+        for i in range(4):
+            client.submit_async(
+                "pdccc", "set_private", ["PDC1", f"k{i}"],
+                transient={"value": f"v{i}".encode()},
+                endorsing_peers=endorsers,
+            )
+        runtime.run()
+
+        org3 = net.peers_of("Org3MSP")[0]
+        assert len(org3.ledger.missing_private) == 4
+        assert org3.query_private("pdccc", "PDC1", "k0") is None
+
+        runtime.bus.faults.heal()
+        repaired = net.reconcile_private_data()
+        assert repaired == 4  # exactly the gaps the blackout created
+        assert not org3.ledger.missing_private
+        for i in range(4):
+            assert org3.query_private("pdccc", "PDC1", f"k{i}") == f"v{i}".encode()
+        # A second sweep finds nothing left to do.
+        assert net.reconcile_private_data() == 0
+
+    def test_reconcile_does_not_roll_back_newer_writes(self):
+        """Regression: a reconciled old write must not clobber a newer one.
+
+        org2 misses the gossip for the first write of a key but receives
+        the second; reconciling the first transaction later must leave
+        the newer value in place (the committed hashes have moved on).
+        """
+        net, runtime = self._runtime_network(member_orgs=("Org1MSP", "Org2MSP"))
+        # org3 is a non-member whose write-only endorsement satisfies
+        # MAJORITY without ever pushing plaintext toward org2.
+        endorsers = [net.peers_of("Org1MSP")[0], net.peers_of("Org3MSP")[0]]
+        org2 = net.peers_of("Org2MSP")[0]
+        client = net.client("Org1MSP")
+
+        runtime.bus.faults.drop_topic("gossip-push")
+        client.submit_async("pdccc", "set_private", ["PDC1", "k"],
+                            transient={"value": b"old"}, endorsing_peers=endorsers)
+        runtime.run()
+        runtime.bus.faults.heal()
+        client.submit_async("pdccc", "set_private", ["PDC1", "k"],
+                            transient={"value": b"new"}, endorsing_peers=endorsers)
+        runtime.run()
+
+        assert org2.query_private("pdccc", "PDC1", "k") == b"new"
+        assert org2.ledger.missing_private  # the first tx is still a gap
+        net.reconcile_private_data()
+        assert not org2.ledger.missing_private
+        assert org2.query_private("pdccc", "PDC1", "k") == b"new"
+
+    def test_reconcile_does_not_resurrect_deleted_keys(self):
+        """Regression: reconciling a missed write of a since-deleted key
+        must not bring the plaintext back from the dead."""
+        net, runtime = self._runtime_network(member_orgs=("Org1MSP", "Org2MSP"))
+        endorsers = [net.peers_of("Org1MSP")[0], net.peers_of("Org3MSP")[0]]
+        org2 = net.peers_of("Org2MSP")[0]
+        client = net.client("Org1MSP")
+
+        runtime.bus.faults.drop_topic("gossip-push")
+        client.submit_async("pdccc", "set_private", ["PDC1", "k"],
+                            transient={"value": b"S"}, endorsing_peers=endorsers)
+        runtime.run()
+        runtime.bus.faults.heal()
+        client.submit_async("pdccc", "del_private", ["PDC1", "k"],
+                            endorsing_peers=endorsers)
+        runtime.run()
+
+        assert org2.query_private("pdccc", "PDC1", "k") is None
+        assert org2.query_private_hash("pdccc", "PDC1", "k") is None
+        net.reconcile_private_data()
+        assert org2.query_private("pdccc", "PDC1", "k") is None
+        assert not org2.ledger.missing_private

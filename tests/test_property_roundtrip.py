@@ -1,0 +1,247 @@
+"""Property-style round-trip tests driven by seeded ``random``.
+
+Two protocol foundations get randomized coverage here:
+
+* ``repro.common.serialization`` — canonical bytes must round-trip every
+  value in the supported data model, and logically equal values must
+  serialize identically regardless of construction order (signatures and
+  block hashes depend on this);
+* ``repro.chaincode.rwset`` — the hashed collection writes must match
+  their plaintext counterparts exactly, and any mutation of an rwset
+  must change its canonical hash (the commit-time integrity lever).
+
+No external property-testing framework: each test loops over a pinned
+seed range and derives all randomness from ``random.Random(seed)``, so a
+failure is reproducible from the printed seed alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.chaincode.rwset import RWSetBuilder
+from repro.common.hashing import hash_key, hash_value
+from repro.common.serialization import canonical_bytes, from_canonical_bytes
+from repro.ledger.version import Version
+
+SEEDS = range(1, 21)
+
+
+# ---------------------------------------------------------------------------
+# random value / rwset generators
+# ---------------------------------------------------------------------------
+def _random_scalar(rng: random.Random):
+    kind = rng.randrange(6)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return rng.choice([True, False])
+    if kind == 2:
+        return rng.randint(-(2 ** 40), 2 ** 40)
+    if kind == 3:
+        return "".join(rng.choice("abcxyz01_ é世") for _ in range(rng.randrange(8)))
+    if kind == 4:
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(12)))
+    return rng.choice(["", "__b64__", "key"])  # tag-collision-adjacent strings
+
+
+def _random_value(rng: random.Random, depth: int = 0):
+    if depth >= 3 or rng.random() < 0.5:
+        return _random_scalar(rng)
+    if rng.random() < 0.5:
+        return [_random_value(rng, depth + 1) for _ in range(rng.randrange(4))]
+    return {
+        "".join(rng.choice("klmnop") for _ in range(rng.randrange(1, 6))):
+            _random_value(rng, depth + 1)
+        for _ in range(rng.randrange(4))
+    }
+
+
+def _normalize(value):
+    """Tuples decode as lists; everything else must survive unchanged."""
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+def _random_builder(rng: random.Random) -> RWSetBuilder:
+    builder = RWSetBuilder()
+    namespaces = ["assetcc", "pdccc"]
+    for _ in range(rng.randrange(1, 10)):
+        ns = rng.choice(namespaces)
+        key = f"k{rng.randrange(6)}"
+        action = rng.randrange(6)
+        if action == 0:
+            version = None if rng.random() < 0.3 else Version(
+                rng.randrange(5), rng.randrange(4)
+            )
+            builder.add_read(ns, key, version)
+        elif action == 1:
+            builder.add_write(ns, key, bytes([rng.randrange(256)]) * 3)
+        elif action == 2:
+            builder.add_delete(ns, key)
+        elif action == 3:
+            col = rng.choice(["PDC1", "PDC2"])
+            builder.add_private_write(ns, col, key, f"v{rng.randrange(9)}".encode())
+        elif action == 4:
+            col = rng.choice(["PDC1", "PDC2"])
+            builder.add_private_delete(ns, col, key)
+        else:
+            builder.add_private_read(
+                ns, "PDC1", hash_key(key),
+                Version(rng.randrange(5), 0) if rng.random() < 0.7 else None,
+            )
+    return builder
+
+
+def _rwset_hash(rwset) -> bytes:
+    return hashlib.sha256(canonical_bytes(rwset.to_wire())).digest()
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trips
+# ---------------------------------------------------------------------------
+class TestCanonicalSerializationProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_roundtrip_preserves_random_structures(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            value = _random_value(rng)
+            decoded = from_canonical_bytes(canonical_bytes(value))
+            assert decoded == _normalize(value), f"seed={seed} value={value!r}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dict_insertion_order_is_irrelevant(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            items = [
+                (f"key{i}", _random_value(rng)) for i in range(rng.randrange(1, 8))
+            ]
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            assert canonical_bytes(dict(items)) == canonical_bytes(dict(shuffled))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tuples_and_lists_serialize_identically(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            values = [_random_scalar(rng) for _ in range(rng.randrange(5))]
+            assert canonical_bytes(tuple(values)) == canonical_bytes(list(values))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bytes_never_collide_with_strings(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            raw = bytes(rng.randrange(32, 127) for _ in range(rng.randrange(1, 10)))
+            as_bytes = canonical_bytes({"v": raw})
+            as_text = canonical_bytes({"v": raw.decode("ascii")})
+            assert as_bytes != as_text
+            assert from_canonical_bytes(as_bytes) == {"v": raw}
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_distinct_values_serialize_distinctly(self, seed):
+        """Canonical bytes are injective over the sampled value space."""
+        rng = random.Random(seed)
+        seen: dict[bytes, object] = {}
+        for _ in range(40):
+            value = _random_value(rng)
+            encoded = canonical_bytes(value)
+            if encoded in seen:
+                assert _normalize(seen[encoded]) == _normalize(value)
+            seen[encoded] = value
+
+
+# ---------------------------------------------------------------------------
+# rwset hashing properties
+# ---------------------------------------------------------------------------
+class TestRWSetHashingProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_builder_output_is_deterministic(self, seed):
+        """The same logical operations always hash to the same rwset."""
+        first = _random_builder(random.Random(seed)).build()
+        second = _random_builder(random.Random(seed)).build()
+        assert _rwset_hash(first.rwset) == _rwset_hash(second.rwset)
+        assert canonical_bytes(
+            [w.to_wire() for w in first.private_writes]
+        ) == canonical_bytes([w.to_wire() for w in second.private_writes])
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_private_writes_always_match_their_hashes(self, seed):
+        result = _random_builder(random.Random(seed)).build()
+        for plain in result.private_writes:
+            hashed = result.rwset.namespace(plain.namespace).collection(
+                plain.collection
+            )
+            assert plain.matches_hashes(hashed), f"seed={seed}"
+            for write, hashed_write in zip(plain.writes, hashed.hashed_writes):
+                assert hash_key(write.key) == hashed_write.key_hash
+                if not write.is_delete:
+                    assert hash_value(write.value) == hashed_write.value_hash
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_any_plaintext_mutation_breaks_the_hash_match(self, seed):
+        rng = random.Random(seed)
+        builder = RWSetBuilder()
+        keys = [f"k{i}" for i in range(rng.randrange(1, 5))]
+        for key in keys:
+            builder.add_private_write("pdccc", "PDC1", key, f"v-{key}".encode())
+        result = builder.build()
+        plain = result.private_writes[0]
+        hashed = result.rwset.namespace("pdccc").collection("PDC1")
+        assert plain.matches_hashes(hashed)
+
+        victim = rng.randrange(len(plain.writes))
+        original = plain.writes[victim]
+        mutations = [
+            original.__class__(key=original.key + "x", value=original.value),
+            original.__class__(key=original.key, value=(original.value or b"") + b"!"),
+            original.__class__(key=original.key, value=None, is_delete=True),
+        ]
+        for mutant in mutations:
+            writes = list(plain.writes)
+            writes[victim] = mutant
+            tampered = plain.__class__(
+                namespace=plain.namespace,
+                collection=plain.collection,
+                writes=tuple(writes),
+            )
+            assert not tampered.matches_hashes(hashed), f"seed={seed} {mutant}"
+        # Dropping a write changes the cardinality check too.
+        truncated = plain.__class__(
+            namespace=plain.namespace,
+            collection=plain.collection,
+            writes=plain.writes[:-1],
+        )
+        assert not truncated.matches_hashes(hashed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_any_rwset_field_change_changes_the_canonical_hash(self, seed):
+        rng = random.Random(seed)
+        baseline = _random_builder(rng).build().rwset
+        base_hash = _rwset_hash(baseline)
+
+        mutator = _random_builder(random.Random(seed))
+        choice = rng.randrange(4)
+        if choice == 0:
+            mutator.add_write("assetcc", "mutant", b"payload")
+        elif choice == 1:
+            mutator.add_read("assetcc", "mutant", Version(9, 9))
+        elif choice == 2:
+            mutator.add_private_write("pdccc", "PDC1", "mutant", b"secret")
+        else:
+            mutator.add_private_delete("pdccc", "PDC2", "mutant")
+        mutated = mutator.build().rwset
+        assert _rwset_hash(mutated) != base_hash, f"seed={seed} choice={choice}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_wire_form_roundtrips_through_canonical_bytes(self, seed):
+        """to_wire() stays within the canonical data model end to end."""
+        rwset = _random_builder(random.Random(seed)).build().rwset
+        wire = rwset.to_wire()
+        decoded = from_canonical_bytes(canonical_bytes(wire))
+        assert decoded == _normalize(wire)

@@ -487,3 +487,95 @@ class TestRuntimeAdjacent:
             peer.transaction_status = counted
         assert network.status_of(result.tx_id) is ValidationCode.VALID
         assert calls["n"] == len(network.peers())
+
+
+# ---------------------------------------------------------------------------
+# latency model resolution rules
+# ---------------------------------------------------------------------------
+class TestLatencyModelPrecedence:
+    """Pins the documented link-over-topic-over-base resolution order."""
+
+    def _sample(self, model, src="a", dst="b", topic="t", seed=0):
+        import random
+
+        return model.sample(random.Random(seed), src, dst, topic)
+
+    def test_base_used_when_nothing_matches(self):
+        assert self._sample(LatencyModel(base=1.5)) == 1.5
+
+    def test_topic_overrides_base(self):
+        model = LatencyModel(base=1.0, topic_base={"t": 4.0})
+        assert self._sample(model, topic="t") == 4.0
+        assert self._sample(model, topic="other") == 1.0
+
+    def test_link_overrides_topic_and_base(self):
+        model = LatencyModel(
+            base=1.0,
+            topic_base={"t": 4.0},
+            link_base={("a", "b"): 0.25},
+        )
+        # The exact link wins even though the topic also matches.
+        assert self._sample(model, src="a", dst="b", topic="t") == 0.25
+        # Any other link falls back to the topic override.
+        assert self._sample(model, src="a", dst="c", topic="t") == 4.0
+
+    def test_link_direction_matters(self):
+        model = LatencyModel(base=1.0, link_base={("a", "b"): 0.25})
+        assert self._sample(model, src="b", dst="a") == 1.0
+
+    def test_jitter_applies_after_resolution(self):
+        import random
+
+        model = LatencyModel(
+            base=1.0, jitter=0.5, link_base={("a", "b"): 10.0}
+        )
+        rng = random.Random(7)
+        sample = model.sample(rng, "a", "b", "t")
+        assert 9.5 <= sample <= 10.5
+
+    def test_negative_jitter_clamped_at_zero(self):
+        import random
+
+        model = LatencyModel(base=0.1, jitter=5.0)
+        rng = random.Random(3)
+        samples = [model.sample(rng, "a", "b", "t") for _ in range(200)]
+        assert all(s >= 0.0 for s in samples)
+        assert any(s == 0.0 for s in samples)  # clamping actually kicked in
+
+
+# ---------------------------------------------------------------------------
+# regression: same-key write races are conflict-serialized on every seed
+# ---------------------------------------------------------------------------
+class TestSameKeyRaceSeedSweep:
+    """Two in-flight writers of one key: exactly one VALID, one
+    MVCC_READ_CONFLICT — independent of batching and message timing."""
+
+    def _race(self, seed: int, batch_size: int) -> list[str]:
+        reset_nonce_counter()
+        reset_ca_instance_counter()
+        net = _public_network(batch_size=batch_size)
+        runtime = net.attach_runtime(
+            seed=seed, latency=LatencyModel(base=1.0, jitter=0.8)
+        )
+        client = net.client("Org1MSP")
+        endorsers = [net.peers()[0]]
+        client.submit_async("assetcc", "create_asset", ["race", "10"],
+                            endorsing_peers=endorsers)
+        runtime.run()
+        first = client.submit_async("assetcc", "add_to_asset", ["race", "1"],
+                                    endorsing_peers=endorsers)
+        second = client.submit_async("assetcc", "add_to_asset", ["race", "5"],
+                                     endorsing_peers=endorsers)
+        runtime.run()
+        return sorted(
+            [first.result().status.value, second.result().status.value]
+        )
+
+    @pytest.mark.parametrize("seed", range(1, 11))
+    def test_exactly_one_winner_across_seeds(self, seed):
+        # Odd seeds cut per-transaction blocks, even seeds batch both
+        # writers into one block; the outcome must not depend on it.
+        batch_size = 1 if seed % 2 else 10
+        assert self._race(seed, batch_size) == [
+            "MVCC_READ_CONFLICT", "VALID"
+        ]

@@ -1,0 +1,273 @@
+"""Tests for the deterministic simulation subsystem (repro.simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    SimulationConfig,
+    Violation,
+    generate_fault_schedule,
+    run_seed,
+)
+from repro.simulation.harness import build_network, execute, generate
+from repro.simulation.invariants import (
+    check_gossip_convergence,
+    check_pdc_privacy,
+)
+from repro.simulation.shrink import (
+    ddmin,
+    load_trace,
+    render_repro_script,
+    shrink_failing_run,
+)
+from repro.simulation.workload import OpSpec
+
+SWEEP_SEEDS = range(1, 9)  # the pinned seed block the suite keeps green
+SWEEP_OPS = 40
+
+
+# ---------------------------------------------------------------------------
+# generation determinism
+# ---------------------------------------------------------------------------
+class TestConfigGeneration:
+    def test_same_seed_same_config(self):
+        assert SimulationConfig.generate(7, 50) == SimulationConfig.generate(7, 50)
+
+    def test_different_seeds_vary_the_shape(self):
+        configs = [SimulationConfig.generate(s, 50) for s in range(1, 30)]
+        assert len({c.org_count for c in configs}) > 1
+        assert len({c.batch_size for c in configs}) > 1
+        assert any(c.colluding_orgs for c in configs)
+        assert any(c.features == "feature1" for c in configs)
+
+    def test_wire_roundtrip(self):
+        config = SimulationConfig.generate(13, 25)
+        assert SimulationConfig.from_wire(config.to_wire()) == config
+
+    def test_feature1_configs_carry_a_collection_policy(self):
+        for seed in range(1, 60):
+            config = SimulationConfig.generate(seed, 10)
+            if config.features == "feature1":
+                assert config.pdc1_policy is not None
+
+    def test_members_are_a_strict_subset_of_orgs(self):
+        for seed in range(1, 30):
+            config = SimulationConfig.generate(seed, 10)
+            orgs = set(config.org_ids())
+            assert set(config.pdc1_members) < orgs
+            assert set(config.pdc2_members) <= orgs
+
+
+class TestWorkloadGeneration:
+    def test_same_config_same_ops_and_faults(self):
+        config = SimulationConfig.generate(5, 30)
+        ops_a, faults_a = generate(config)
+        ops_b, faults_b = generate(config)
+        assert [o.to_wire() for o in ops_a] == [o.to_wire() for o in ops_b]
+        assert [f.to_wire() for f in faults_a] == [f.to_wire() for f in faults_b]
+
+    def test_ops_are_time_ordered_and_complete(self):
+        config = SimulationConfig.generate(2, 50)
+        ops, _ = generate(config)
+        assert len(ops) == 50
+        assert all(a.at <= b.at for a, b in zip(ops, ops[1:]))
+        assert all(op.endorsers for op in ops)
+
+    def test_op_wire_roundtrip(self):
+        config = SimulationConfig.generate(3, 30)
+        ops, _ = generate(config)
+        for op in ops:
+            assert OpSpec.from_wire(op.to_wire()) == op
+
+    def test_fault_windows_are_paired(self):
+        """Every cut/drop/burst is undone later in the schedule."""
+        for seed in range(1, 15):
+            config = SimulationConfig.generate(seed, 30)
+            sim = build_network(config)
+            actions = generate_fault_schedule(
+                config, sorted(sim.peers), config.horizon()
+            )
+            open_links: set = set()
+            dead_topics: set = set()
+            rates: dict = {}
+            for action in actions:
+                if action.kind == "cut_link":
+                    open_links.add((action.src, action.dst))
+                elif action.kind == "restore_link":
+                    open_links.discard((action.src, action.dst))
+                elif action.kind == "drop_topic":
+                    dead_topics.add(action.topic)
+                elif action.kind == "allow_topic":
+                    dead_topics.discard(action.topic)
+                elif action.kind in ("topic_rate", "drop_rate"):
+                    rates[action.kind + action.topic] = action.rate
+            assert not open_links
+            assert not dead_topics
+            assert all(rate == 0.0 for rate in rates.values())
+
+
+# ---------------------------------------------------------------------------
+# the sweep: every pinned seed must hold every invariant
+# ---------------------------------------------------------------------------
+class TestSeedSweep:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_invariants_hold(self, seed):
+        report = run_seed(seed, SWEEP_OPS)
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+    def test_sweep_exercises_the_interesting_paths(self):
+        """The pinned block isn't vacuous: attacks, faults, invalid txs."""
+        reports = [run_seed(seed, SWEEP_OPS) for seed in SWEEP_SEEDS]
+        assert sum(r.stats["attacks"] for r in reports) > 0
+        assert sum(r.stats["invalid"] for r in reports) > 0
+        assert sum(r.stats["dropped"] for r in reports) > 0
+        assert sum(len(r.fault_actions) for r in reports) > 0
+
+
+class TestSeedReplay:
+    def test_same_seed_identical_history(self):
+        first = run_seed(4, 30)
+        second = run_seed(4, 30)
+        assert first.stats == second.stats
+        assert [o.tx_id for o in first.outcomes] == [o.tx_id for o in second.outcomes]
+        assert [o.status for o in first.outcomes] == [o.status for o in second.outcomes]
+
+    def test_execute_replays_from_wire_data(self):
+        """A trace that went through JSON replays to the same history."""
+        config = SimulationConfig.generate(6, 25)
+        ops, faults = generate(config)
+        direct = execute(config, ops, faults)
+        import json
+
+        wire = json.loads(json.dumps({
+            "config": config.to_wire(),
+            "ops": [o.to_wire() for o in ops],
+            "faults": [f.to_wire() for f in faults],
+            "violations": [],
+        }))
+        config2, ops2, faults2 = load_trace(wire)
+        replayed = execute(config2, ops2, faults2)
+        assert replayed.stats == direct.stats
+        assert [str(v) for v in replayed.violations] == [
+            str(v) for v in direct.violations
+        ]
+
+
+# ---------------------------------------------------------------------------
+# teeth: a sabotaged validator must be caught and shrunk small
+# ---------------------------------------------------------------------------
+class TestWeakenedValidator:
+    def test_skipping_policy_check_fails_seeds(self):
+        failing = [
+            seed for seed in range(1, 6)
+            if not run_seed(seed, SWEEP_OPS, weaken="skip-endorsement-policy").ok
+        ]
+        assert failing, "weakened validator went undetected"
+
+    def test_failure_shrinks_to_a_tiny_trace(self):
+        config = SimulationConfig.generate(1, SWEEP_OPS)
+        ops, faults = generate(config)
+        report = execute(config, ops, faults, weaken="skip-endorsement-policy")
+        assert not report.ok
+        result = shrink_failing_run(
+            config, ops, faults, weaken="skip-endorsement-policy",
+            max_executions=80,
+        )
+        assert len(result.ops) <= 10
+        assert not result.report.ok
+        # The minimized trace renders as a self-contained repro script.
+        script = render_repro_script(result, weaken="skip-endorsement-policy")
+        assert f"seed {config.seed}" in script
+        assert "execute(config, ops, faults" in script
+
+
+class TestDdmin:
+    def test_minimizes_to_the_failure_core(self):
+        items = list(range(20))
+        failing = lambda subset: 3 in subset and 11 in subset  # noqa: E731
+        assert sorted(ddmin(items, failing)) == [3, 11]
+
+    def test_single_culprit(self):
+        assert ddmin(list(range(16)), lambda s: 9 in s) == [9]
+
+    def test_respects_budget(self):
+        calls = []
+
+        def failing(subset):
+            calls.append(1)
+            return 5 in subset
+
+        budget = [3]
+        ddmin(list(range(64)), failing, budget=budget)
+        assert len(calls) <= 3
+
+    def test_empty_result_when_failure_is_unconditional(self):
+        assert ddmin([1, 2, 3], lambda s: True) == []
+
+
+# ---------------------------------------------------------------------------
+# invariant checkers (unit level)
+# ---------------------------------------------------------------------------
+class TestInvariantCheckers:
+    def _tiny_run(self):
+        config = SimulationConfig(seed=99, ops=0, org_count=3,
+                                  pdc1_members=("Org1MSP", "Org2MSP"))
+        ops = [OpSpec(
+            index=0, at=1.0, kind="pdc_set", chaincode_id="pdccc",
+            function="set_private", args=("PDC1", "k1"),
+            client_org="Org1MSP",
+            endorsers=("peer0.Org1MSP", "peer0.Org2MSP"),
+            expect_policy_ok=True, transient_value=b"41",
+        )]
+        return config, ops
+
+    def test_clean_run_has_no_violations(self):
+        config, ops = self._tiny_run()
+        report = execute(config, ops, [])
+        assert report.ok
+        assert report.stats["valid"] == 1
+
+    def test_planted_plaintext_at_nonmember_is_flagged(self):
+        config, ops = self._tiny_run()
+        sim = build_network(config)
+        outsider = sim.peers["peer0.Org3MSP"]
+        from repro.ledger.version import Version
+
+        outsider.ledger.private_data.put("pdccc", "PDC1", "k1", b"41", Version(0, 0))
+        violations = check_pdc_privacy(sim, _outcomes_for(ops))
+        assert any(v.invariant == "pdc-privacy" for v in violations)
+        assert any(v.peer == "peer0.Org3MSP" for v in violations)
+
+    def test_endorser_transient_plaintext_is_allowed(self):
+        """A non-member endorser may retain what it endorsed itself."""
+        config, ops = self._tiny_run()
+        ops = [OpSpec(**{**ops[0].__dict__,
+                         "endorsers": ("peer0.Org3MSP",)})]
+        sim = build_network(config)
+        outsider = sim.peers["peer0.Org3MSP"]
+        from repro.ledger.version import Version
+
+        outsider.ledger.private_data.put("pdccc", "PDC1", "k1", b"41", Version(0, 0))
+        assert check_pdc_privacy(sim, _outcomes_for(ops)) == []
+
+    def test_stale_member_plaintext_is_flagged(self):
+        config, ops = self._tiny_run()
+        sim = build_network(config)
+        member = sim.peers["peer0.Org1MSP"]
+        from repro.ledger.version import Version
+
+        # Plaintext with no committed hash behind it: convergence failure.
+        member.ledger.private_data.put("pdccc", "PDC1", "k1", b"9", Version(0, 0))
+        violations = check_gossip_convergence(sim, _outcomes_for(ops))
+        assert any(v.invariant == "gossip-convergence" for v in violations)
+
+    def test_violation_string_names_the_invariant(self):
+        v = Violation("pdc-privacy", "detail", peer="p", tx_id="t")
+        assert "pdc-privacy" in str(v) and "p" in str(v) and "t" in str(v)
+
+
+def _outcomes_for(ops):
+    from repro.simulation.harness import OpOutcome
+
+    return [OpOutcome(spec=spec) for spec in ops]
