@@ -82,8 +82,13 @@ class Reconciler:
                         missing.namespace, missing.collection, write.key,
                         write.value or b"", version,
                     )
+                    config = peer.channel.collection(missing.namespace, missing.collection)
                     peer.ledger.note_private_commit(
-                        missing.namespace, missing.collection, write.key, block_num
+                        missing.namespace,
+                        missing.collection,
+                        write.key,
+                        block_num,
+                        btl=config.block_to_live,
                     )
             peer.ledger.committed_private_rwsets[
                 (missing.tx_id, missing.namespace, missing.collection)

@@ -2,7 +2,7 @@
 
 from repro.ledger.block import GENESIS_PREV_HASH, Block, BlockHeader, ValidatedBlock
 from repro.ledger.blockchain import Blockchain
-from repro.ledger.ledger import MissingPrivateData, PeerLedger
+from repro.ledger.ledger import MissingPrivateData, PeerLedger, PrivateRwsetArchive
 from repro.ledger.private_state import HashedEntry, PrivateDataStore, PrivateHashStore
 from repro.ledger.transient_store import TransientStore
 from repro.ledger.version import Version
@@ -16,6 +16,7 @@ __all__ = [
     "Blockchain",
     "MissingPrivateData",
     "PeerLedger",
+    "PrivateRwsetArchive",
     "HashedEntry",
     "PrivateDataStore",
     "PrivateHashStore",

@@ -4,6 +4,12 @@ Any peer can iterate its own copy of the chain — which is precisely what
 the paper's PDC-leakage "attack" does: a non-member peer needs no protocol
 violation at all, it simply parses the transactions it already stores
 (Section IV-B).
+
+Blocks persist in the ``blocks`` backend namespace (zero-padded decimal
+block numbers, so lexicographic order is commit order) and are mirrored
+in an in-memory list rebuilt on open — reads never hit the codec.  The
+integrity checks in :meth:`append` run *before* anything is staged, so a
+bad block can never contaminate an atomic batch.
 """
 
 from __future__ import annotations
@@ -13,14 +19,31 @@ from typing import Iterator, Optional
 from repro.common.errors import LedgerError
 from repro.ledger.block import GENESIS_PREV_HASH, ValidatedBlock
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+from repro.storage import KVBackend, MemoryBackend, WriteBatch, write_op
+from repro.storage.codec import pack_obj, unpack_obj
+
+NS_BLOCKS = "blocks"
+
+
+def _block_key(number: int) -> str:
+    return f"{number:016d}"
 
 
 class Blockchain:
     """Append-only store of validated blocks with hash-chain checking."""
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[KVBackend] = None) -> None:
+        self._backend = backend if backend is not None else MemoryBackend()
         self._blocks: list[ValidatedBlock] = []
         self._tx_index: dict[str, tuple[int, int]] = {}
+        for _, raw in self._backend.range(NS_BLOCKS):
+            self._cache(unpack_obj(raw))
+
+    def _cache(self, validated: ValidatedBlock) -> None:
+        block = validated.block
+        for tx_num, tx in enumerate(block.transactions):
+            self._tx_index.setdefault(tx.tx_id, (block.header.number, tx_num))
+        self._blocks.append(validated)
 
     @property
     def height(self) -> int:
@@ -31,7 +54,7 @@ class Blockchain:
             return GENESIS_PREV_HASH
         return self._blocks[-1].block.header.block_hash()
 
-    def append(self, validated: ValidatedBlock) -> None:
+    def append(self, validated: ValidatedBlock, batch: Optional[WriteBatch] = None) -> None:
         """Append a block, enforcing numbering and hash-chain continuity."""
         block = validated.block
         if block.header.number != self.height:
@@ -44,9 +67,14 @@ class Blockchain:
             raise LedgerError(f"block {block.header.number} has a corrupted data hash")
         if len(validated.flags) != len(block.transactions):
             raise LedgerError("validated block must carry one flag per transaction")
-        for tx_num, tx in enumerate(block.transactions):
-            self._tx_index.setdefault(tx.tx_id, (block.header.number, tx_num))
-        self._blocks.append(validated)
+        write_op(
+            self._backend,
+            batch,
+            NS_BLOCKS,
+            _block_key(block.header.number),
+            pack_obj(validated),
+            on_commit=lambda: self._cache(validated),
+        )
 
     def block(self, number: int) -> ValidatedBlock:
         try:

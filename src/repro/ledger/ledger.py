@@ -1,23 +1,39 @@
 """The per-peer ledger: world state + private stores + blockchain.
 
-One :class:`PeerLedger` instance backs one peer on one channel.  It also
-tracks two pieces of PDC bookkeeping the committer needs:
+One :class:`PeerLedger` instance backs one peer on one channel.  All five
+stores share one :class:`repro.storage.KVBackend` (memory or WAL,
+selected via ``REPRO_STATE_BACKEND``), so a block's public writes, hash
+writes, plaintext writes, transient-store cleanup and the block itself
+commit as **one atomic batch** — and ``crash()``/``reopen()`` model a
+peer process dying and recovering from its durable state.
+
+The ledger also tracks two pieces of PDC bookkeeping the committer needs:
 
 * which ``(tx, namespace, collection)`` private payloads were *missing*
   at commit time (the block still commits; reconciliation may fill the
   gap later — Fabric behaves the same way), and
-* the commit height of each private key, so ``BlockToLive`` expiry can
-  purge old private data.
+* the commit height and BlockToLive expiry of each private key.  Expiry
+  heights are bucketed in memory (rebuilt from the backend on open), so
+  the per-block purge touches only the keys that actually expire instead
+  of scanning every private key ever committed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, MutableMapping, Optional
 
 from repro.ledger.blockchain import Blockchain
 from repro.ledger.private_state import PrivateDataStore, PrivateHashStore
 from repro.ledger.transient_store import TransientStore
 from repro.ledger.world_state import WorldState
+from repro.storage import KVBackend, WriteBatch, compose_key, open_backend, read_through, split_key, write_op
+from repro.storage.codec import pack_obj, pack_u64_pair, unpack_obj, unpack_u64_pair
+
+NS_MISSING = "missing"
+NS_PRIVATE_META = "private.meta"
+NS_PRIVATE_RWSETS = "private.rwsets"
 
 
 @dataclass(frozen=True)
@@ -30,51 +46,213 @@ class MissingPrivateData:
     collection: str
 
 
-@dataclass
+class PrivateRwsetArchive(MutableMapping):
+    """Committed plaintext private rwsets, indexed by ``(tx, ns, col)``.
+
+    What reconciliation serves to member peers that missed the gossip
+    push.  A mapping view over the backend's ``private.rwsets`` namespace
+    so direct ``archive[key] = writes`` call sites keep working; the
+    committer stages through :meth:`stage` to ride the block batch.
+    """
+
+    def __init__(self, backend: KVBackend) -> None:
+        self._backend = backend
+
+    def stage(
+        self,
+        tx_id: str,
+        namespace: str,
+        collection: str,
+        writes,
+        batch: Optional[WriteBatch],
+    ) -> None:
+        write_op(
+            self._backend,
+            batch,
+            NS_PRIVATE_RWSETS,
+            compose_key(tx_id, namespace, collection),
+            pack_obj(writes),
+        )
+
+    def __getitem__(self, key: tuple[str, str, str]):
+        raw = self._backend.get(NS_PRIVATE_RWSETS, compose_key(*key))
+        if raw is None:
+            raise KeyError(key)
+        return unpack_obj(raw)
+
+    def __setitem__(self, key: tuple[str, str, str], writes) -> None:
+        self.stage(*key, writes, None)
+
+    def __delitem__(self, key: tuple[str, str, str]) -> None:
+        if self._backend.get(NS_PRIVATE_RWSETS, compose_key(*key)) is None:
+            raise KeyError(key)
+        self._backend.delete(NS_PRIVATE_RWSETS, compose_key(*key))
+
+    def __iter__(self) -> Iterator[tuple[str, str, str]]:
+        for composite, _ in self._backend.range(NS_PRIVATE_RWSETS):
+            yield tuple(split_key(composite))
+
+    def __len__(self) -> int:
+        return self._backend.count(NS_PRIVATE_RWSETS)
+
+
 class PeerLedger:
     """Everything one peer stores for one channel."""
 
-    world_state: WorldState = field(default_factory=WorldState)
-    private_data: PrivateDataStore = field(default_factory=PrivateDataStore)
-    private_hashes: PrivateHashStore = field(default_factory=PrivateHashStore)
-    blockchain: Blockchain = field(default_factory=Blockchain)
-    transient_store: TransientStore = field(default_factory=TransientStore)
-    missing_private: list[MissingPrivateData] = field(default_factory=list)
-    # Archive of committed plaintext private rwsets, indexed by
-    # (tx_id, namespace, collection) — what reconciliation serves to
-    # member peers that missed the gossip push.
-    committed_private_rwsets: dict = field(default_factory=dict)
-    _private_commit_heights: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    def __init__(self, backend: Optional[KVBackend] = None) -> None:
+        self.backend = backend if backend is not None else open_backend()
+        self._open_stores()
+
+    def _open_stores(self) -> None:
+        """(Re)build every store and derived index over ``self.backend``."""
+        backend = self.backend
+        self.world_state = WorldState(backend)
+        self.private_data = PrivateDataStore(backend)
+        self.private_hashes = PrivateHashStore(backend)
+        self.blockchain = Blockchain(backend)
+        self.transient_store = TransientStore(backend=backend)
+        self.committed_private_rwsets = PrivateRwsetArchive(backend)
+        self.missing_private = [
+            unpack_obj(raw) for _, raw in backend.range(NS_MISSING)
+        ]
+        # BlockToLive expiry index: expiry height -> private keys due then.
+        self._expiry_buckets: dict[int, set[tuple[str, str, str]]] = {}
+        self._expiry_heap: list[int] = []
+        for composite, raw in backend.range(NS_PRIVATE_META):
+            _, expiry = unpack_u64_pair(raw)
+            if expiry:
+                self._bucket(tuple(split_key(composite)), expiry)
+
+    # -- batches / lifecycle -------------------------------------------------
+    def new_batch(self) -> WriteBatch:
+        return WriteBatch()
+
+    def commit_batch(self, batch: WriteBatch) -> None:
+        self.backend.commit(batch)
+
+    def crash(self) -> None:
+        """Simulate the peer process dying mid-flight."""
+        self.backend.crash()
+
+    def reopen(self) -> None:
+        """Recover from the durable medium after a crash."""
+        self.backend = self.backend.reopen()
+        self._open_stores()
 
     @property
     def height(self) -> int:
         return self.blockchain.height
 
-    def record_missing(self, missing: MissingPrivateData) -> None:
-        self.missing_private.append(missing)
+    # -- missing-private bookkeeping ----------------------------------------
+    def record_missing(
+        self, missing: MissingPrivateData, batch: Optional[WriteBatch] = None
+    ) -> None:
+        write_op(
+            self.backend,
+            batch,
+            NS_MISSING,
+            compose_key(missing.tx_id, missing.namespace, missing.collection),
+            pack_obj(missing),
+            on_commit=lambda: self.missing_private.append(missing),
+        )
 
-    def resolve_missing(self, tx_id: str, namespace: str, collection: str) -> None:
-        self.missing_private = [
-            m
-            for m in self.missing_private
-            if not (m.tx_id == tx_id and m.namespace == namespace and m.collection == collection)
-        ]
+    def resolve_missing(
+        self,
+        tx_id: str,
+        namespace: str,
+        collection: str,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        def drop() -> None:
+            self.missing_private = [
+                m
+                for m in self.missing_private
+                if not (
+                    m.tx_id == tx_id
+                    and m.namespace == namespace
+                    and m.collection == collection
+                )
+            ]
 
-    def note_private_commit(self, namespace: str, collection: str, key: str, block_num: int) -> None:
-        self._private_commit_heights[(namespace, collection, key)] = block_num
+        write_op(
+            self.backend,
+            batch,
+            NS_MISSING,
+            compose_key(tx_id, namespace, collection),
+            None,
+            on_commit=drop,
+        )
 
-    def purge_expired_private(self, block_to_live: dict[tuple[str, str], int], height: int) -> int:
+    # -- BlockToLive expiry --------------------------------------------------
+    def _bucket(self, key: tuple[str, str, str], expiry: int) -> None:
+        bucket = self._expiry_buckets.get(expiry)
+        if bucket is None:
+            self._expiry_buckets[expiry] = bucket = set()
+            heapq.heappush(self._expiry_heap, expiry)
+        bucket.add(key)
+
+    def _unbucket(self, key: tuple[str, str, str], expiry: int) -> None:
+        bucket = self._expiry_buckets.get(expiry)
+        if bucket is not None:
+            bucket.discard(key)
+
+    def note_private_commit(
+        self,
+        namespace: str,
+        collection: str,
+        key: str,
+        block_num: int,
+        btl: int = 0,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        """Record a private key's commit height and schedule its expiry.
+
+        ``btl`` is the collection's BlockToLive (0 = never expire).  The
+        key lives through ``btl`` more blocks and is purged while
+        committing block ``block_num + btl + 1`` — the expiring block
+        Fabric's purge manager computes (``ComputeExpiringBlock``).
+        """
+        composite = compose_key(namespace, collection, key)
+        expiry = block_num + btl + 1 if btl else 0
+        existing = read_through(self.backend, batch, NS_PRIVATE_META, composite)
+
+        def reindex() -> None:
+            if existing is not None:
+                _, old_expiry = unpack_u64_pair(existing)
+                if old_expiry:
+                    self._unbucket((namespace, collection, key), old_expiry)
+            if expiry:
+                self._bucket((namespace, collection, key), expiry)
+
+        write_op(
+            self.backend,
+            batch,
+            NS_PRIVATE_META,
+            composite,
+            pack_u64_pair(block_num, expiry),
+            on_commit=reindex,
+        )
+
+    def purge_expired_private(self, height: int, batch: Optional[WriteBatch] = None) -> int:
         """Purge original private data past its collection's BlockToLive.
 
-        ``block_to_live`` maps ``(namespace, collection)`` to the BTL value
-        (0 = never purge).  Only the original data is purged; the hashes
-        stay on every peer forever, as in Fabric.  Returns purge count.
+        Walks only the expiry buckets due strictly below ``height`` —
+        O(number of expired keys), not O(all private keys).  Only the
+        original data is purged; the hashes stay on every peer forever,
+        as in Fabric.  Returns the purge count.
         """
         purged = 0
-        for (ns, col, key), committed_at in list(self._private_commit_heights.items()):
-            btl = block_to_live.get((ns, col), 0)
-            if btl and height > committed_at + btl:
-                self.private_data.delete(ns, col, key)
-                del self._private_commit_heights[(ns, col, key)]
+        while self._expiry_heap and self._expiry_heap[0] < height:
+            expiry = heapq.heappop(self._expiry_heap)
+            for namespace, collection, key in self._expiry_buckets.pop(expiry, ()):
+                composite = compose_key(namespace, collection, key)
+                # Read through the batch: a key re-committed earlier in the
+                # same block batch carries a fresh expiry (its bucket update
+                # runs on commit) and must survive this purge.
+                raw = read_through(self.backend, batch, NS_PRIVATE_META, composite)
+                if raw is None or unpack_u64_pair(raw)[1] != expiry:
+                    continue
+                self.private_data.delete(namespace, collection, key, batch=batch)
+                write_op(self.backend, batch, NS_PRIVATE_META, composite, None)
                 purged += 1
         return purged

@@ -11,7 +11,10 @@ Private data lives in *two* stores:
   it is what ``GetPrivateDataHash`` reads — the API the paper's
   endorsement-forgery attack abuses to learn genuine versions.
 
-Both stores are namespaced by ``(chaincode, collection)``.
+Both stores are namespaced by ``(chaincode, collection)``.  On the
+backend, plaintext lives in the ``private`` namespace and hashes in
+``private.hash``; hash keys are hex-encoded (fixed-width hex sorts
+exactly like the underlying bytes, so range scans stay ordered).
 """
 
 from __future__ import annotations
@@ -22,33 +25,62 @@ from typing import Iterator, Optional
 from repro.common.hashing import hash_key, hash_value
 from repro.ledger.version import Version
 from repro.ledger.world_state import StateEntry
+from repro.storage import KVBackend, MemoryBackend, WriteBatch, compose_key, write_op
+from repro.storage.codec import pack_versioned, unpack_versioned
+
+NS_PRIVATE = "private"
+NS_PRIVATE_HASH = "private.hash"
 
 
 class PrivateDataStore:
     """Original private data, keyed by ``(namespace, collection, key)``."""
 
-    def __init__(self) -> None:
-        self._data: dict[tuple[str, str, str], StateEntry] = {}
+    def __init__(self, backend: Optional[KVBackend] = None) -> None:
+        self._backend = backend if backend is not None else MemoryBackend()
 
     def get(self, namespace: str, collection: str, key: str) -> Optional[StateEntry]:
-        return self._data.get((namespace, collection, key))
+        raw = self._backend.get(NS_PRIVATE, compose_key(namespace, collection, key))
+        if raw is None:
+            return None
+        value, version = unpack_versioned(raw)
+        return StateEntry(value=value, version=version)
 
-    def put(self, namespace: str, collection: str, key: str, value: bytes, version: Version) -> None:
-        self._data[(namespace, collection, key)] = StateEntry(value=value, version=version)
+    def put(
+        self,
+        namespace: str,
+        collection: str,
+        key: str,
+        value: bytes,
+        version: Version,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        composite = compose_key(namespace, collection, key)
+        write_op(self._backend, batch, NS_PRIVATE, composite, pack_versioned(value, version))
 
-    def delete(self, namespace: str, collection: str, key: str) -> None:
-        self._data.pop((namespace, collection, key), None)
+    def delete(
+        self,
+        namespace: str,
+        collection: str,
+        key: str,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        write_op(self._backend, batch, NS_PRIVATE, compose_key(namespace, collection, key), None)
 
     def keys(self, namespace: str, collection: str) -> list[str]:
-        return sorted(k for ns, col, k in self._data if ns == namespace and col == collection)
+        prefix_len = len(namespace) + len(collection) + 2
+        return [
+            key[prefix_len:]
+            for key, _ in self._backend.prefix(NS_PRIVATE, namespace, collection)
+        ]
 
     def items(self, namespace: str, collection: str) -> Iterator[tuple[str, StateEntry]]:
-        for (ns, col, key), entry in sorted(self._data.items()):
-            if ns == namespace and col == collection:
-                yield key, entry
+        prefix_len = len(namespace) + len(collection) + 2
+        for key, raw in self._backend.prefix(NS_PRIVATE, namespace, collection):
+            value, version = unpack_versioned(raw)
+            yield key[prefix_len:], StateEntry(value=value, version=version)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._backend.count(NS_PRIVATE)
 
 
 @dataclass(frozen=True)
@@ -67,18 +99,24 @@ class PrivateHashStore:
     compute the hash on lookup.
     """
 
-    def __init__(self) -> None:
-        self._data: dict[tuple[str, str, bytes], HashedEntry] = {}
+    def __init__(self, backend: Optional[KVBackend] = None) -> None:
+        self._backend = backend if backend is not None else MemoryBackend()
 
     def get_by_key(self, namespace: str, collection: str, key: str) -> Optional[HashedEntry]:
         """Convenience lookup for callers that hold the plaintext key."""
         return self.get(namespace, collection, hash_key(key))
 
     def get(self, namespace: str, collection: str, key_hash: bytes) -> Optional[HashedEntry]:
-        return self._data.get((namespace, collection, key_hash))
+        raw = self._backend.get(
+            NS_PRIVATE_HASH, compose_key(namespace, collection, key_hash.hex())
+        )
+        if raw is None:
+            return None
+        value_hash, version = unpack_versioned(raw)
+        return HashedEntry(value_hash=value_hash, version=version)
 
     def get_version(self, namespace: str, collection: str, key_hash: bytes) -> Optional[Version]:
-        entry = self._data.get((namespace, collection, key_hash))
+        entry = self.get(namespace, collection, key_hash)
         return entry.version if entry else None
 
     def put(
@@ -88,22 +126,41 @@ class PrivateHashStore:
         key_hash: bytes,
         value_hash: bytes,
         version: Version,
+        batch: Optional[WriteBatch] = None,
     ) -> None:
-        self._data[(namespace, collection, key_hash)] = HashedEntry(
-            value_hash=value_hash, version=version
+        composite = compose_key(namespace, collection, key_hash.hex())
+        write_op(
+            self._backend, batch, NS_PRIVATE_HASH, composite, pack_versioned(value_hash, version)
         )
 
     def put_plain(
-        self, namespace: str, collection: str, key: str, value: bytes, version: Version
+        self,
+        namespace: str,
+        collection: str,
+        key: str,
+        value: bytes,
+        version: Version,
+        batch: Optional[WriteBatch] = None,
     ) -> None:
         """Hash-and-store helper used when committing from plaintext writes."""
-        self.put(namespace, collection, hash_key(key), hash_value(value), version)
+        self.put(namespace, collection, hash_key(key), hash_value(value), version, batch=batch)
 
-    def delete(self, namespace: str, collection: str, key_hash: bytes) -> None:
-        self._data.pop((namespace, collection, key_hash), None)
+    def delete(
+        self,
+        namespace: str,
+        collection: str,
+        key_hash: bytes,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        composite = compose_key(namespace, collection, key_hash.hex())
+        write_op(self._backend, batch, NS_PRIVATE_HASH, composite, None)
 
     def key_hashes(self, namespace: str, collection: str) -> list[bytes]:
-        return sorted(kh for ns, col, kh in self._data if ns == namespace and col == collection)
+        prefix_len = len(namespace) + len(collection) + 2
+        return [
+            bytes.fromhex(key[prefix_len:])
+            for key, _ in self._backend.prefix(NS_PRIVATE_HASH, namespace, collection)
+        ]
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._backend.count(NS_PRIVATE_HASH)

@@ -3,6 +3,11 @@
 Public data is stored as ``(key, value, version)`` at every peer in the
 channel.  Namespaces isolate chaincodes from one another, exactly as
 Fabric's state database prefixes keys with the chaincode name.
+
+The store sits on a pluggable :class:`repro.storage.KVBackend`: entries
+live in the ``public`` namespace as version-framed bytes, key metadata in
+``public.meta``.  Every mutator takes an optional ``batch`` so the
+committer can stage a whole block atomically.
 """
 
 from __future__ import annotations
@@ -11,6 +16,11 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.ledger.version import Version
+from repro.storage import KVBackend, MemoryBackend, WriteBatch, compose_key, read_through, write_op
+from repro.storage.codec import pack_obj, pack_versioned, unpack_obj, unpack_versioned
+
+NS_PUBLIC = "public"
+NS_PUBLIC_META = "public.meta"
 
 
 @dataclass(frozen=True)
@@ -35,53 +45,84 @@ class WorldState:
 
     VALIDATION_PARAMETER = "VALIDATION_PARAMETER"
 
-    def __init__(self) -> None:
-        self._data: dict[tuple[str, str], StateEntry] = {}
-        self._metadata: dict[tuple[str, str], dict[str, bytes]] = {}
+    def __init__(self, backend: Optional[KVBackend] = None) -> None:
+        self._backend = backend if backend is not None else MemoryBackend()
 
     def get(self, namespace: str, key: str) -> Optional[StateEntry]:
         """The committed entry for ``key``, or ``None`` when absent."""
-        return self._data.get((namespace, key))
+        raw = self._backend.get(NS_PUBLIC, compose_key(namespace, key))
+        if raw is None:
+            return None
+        value, version = unpack_versioned(raw)
+        return StateEntry(value=value, version=version)
 
     def get_version(self, namespace: str, key: str) -> Optional[Version]:
-        entry = self._data.get((namespace, key))
+        entry = self.get(namespace, key)
         return entry.version if entry else None
 
-    def put(self, namespace: str, key: str, value: bytes, version: Version) -> None:
-        """Commit a write.  Versions must never move backwards."""
-        existing = self._data.get((namespace, key))
-        if existing is not None and version < existing.version:
-            raise ValueError(
-                f"version regression on {namespace}/{key}: {existing.version} -> {version}"
-            )
-        self._data[(namespace, key)] = StateEntry(value=value, version=version)
+    def put(
+        self,
+        namespace: str,
+        key: str,
+        value: bytes,
+        version: Version,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        """Commit (or stage) a write.  Versions must never move backwards."""
+        composite = compose_key(namespace, key)
+        existing = read_through(self._backend, batch, NS_PUBLIC, composite)
+        if existing is not None:
+            _, current = unpack_versioned(existing)
+            if version < current:
+                raise ValueError(
+                    f"version regression on {namespace}/{key}: {current} -> {version}"
+                )
+        write_op(self._backend, batch, NS_PUBLIC, composite, pack_versioned(value, version))
 
-    def delete(self, namespace: str, key: str) -> None:
+    def delete(self, namespace: str, key: str, batch: Optional[WriteBatch] = None) -> None:
         """Commit a delete; deleting an absent key is a no-op (as in Fabric).
 
         Deleting a key also clears its metadata (incl. any key-level
         endorsement policy)."""
-        self._data.pop((namespace, key), None)
-        self._metadata.pop((namespace, key), None)
+        composite = compose_key(namespace, key)
+        write_op(self._backend, batch, NS_PUBLIC, composite, None)
+        write_op(self._backend, batch, NS_PUBLIC_META, composite, None)
 
     # -- key metadata (key-level endorsement policies) ---------------------
-    def set_metadata(self, namespace: str, key: str, name: str, value: bytes) -> None:
-        self._metadata.setdefault((namespace, key), {})[name] = value
+    def set_metadata(
+        self,
+        namespace: str,
+        key: str,
+        name: str,
+        value: bytes,
+        batch: Optional[WriteBatch] = None,
+    ) -> None:
+        composite = compose_key(namespace, key)
+        raw = read_through(self._backend, batch, NS_PUBLIC_META, composite)
+        metadata = unpack_obj(raw) if raw is not None else {}
+        metadata[name] = value
+        write_op(self._backend, batch, NS_PUBLIC_META, composite, pack_obj(metadata))
 
     def get_metadata(self, namespace: str, key: str, name: str) -> Optional[bytes]:
-        return self._metadata.get((namespace, key), {}).get(name)
+        raw = self._backend.get(NS_PUBLIC_META, compose_key(namespace, key))
+        if raw is None:
+            return None
+        return unpack_obj(raw).get(name)
 
     def get_validation_parameter(self, namespace: str, key: str) -> Optional[bytes]:
         """The key-level endorsement policy bytes, if one was ever set."""
         return self.get_metadata(namespace, key, self.VALIDATION_PARAMETER)
 
     def keys(self, namespace: str) -> list[str]:
-        return sorted(key for ns, key in self._data if ns == namespace)
+        return [
+            key[len(namespace) + 1 :]
+            for key, _ in self._backend.prefix(NS_PUBLIC, namespace)
+        ]
 
     def items(self, namespace: str) -> Iterator[tuple[str, StateEntry]]:
-        for (ns, key), entry in sorted(self._data.items()):
-            if ns == namespace:
-                yield key, entry
+        for key, raw in self._backend.prefix(NS_PUBLIC, namespace):
+            value, version = unpack_versioned(raw)
+            yield key[len(namespace) + 1 :], StateEntry(value=value, version=version)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._backend.count(NS_PUBLIC)

@@ -24,6 +24,7 @@ from repro.peer.endorser import EndorsementOutput
 from repro.peer.node import PeerNode
 from repro.protocol.proposal import Proposal
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+from repro.storage import open_backend, resolve_backend_kind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ledger.block import Block
@@ -42,9 +43,17 @@ class FabricNetwork:
         batch_size: int = 1,
         disseminate_on_endorsement: bool = True,
         tracer: "Tracer | None" = None,
+        state_backend: str | None = None,
+        state_dir: str | None = None,
     ) -> None:
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
+        # Storage engine for every peer ledger in this network (resolved
+        # from REPRO_STATE_BACKEND when not given).  ``state_dir`` roots
+        # the per-peer WAL directories; by default each peer gets a fresh
+        # scratch directory.
+        self.state_backend = resolve_backend_kind(state_backend)
+        self._state_dir = state_dir
         self.gossip = GossipNetwork(channel)
         self.reconciler = Reconciler(self.gossip)
         self.orderer = OrderingService(
@@ -66,8 +75,14 @@ class FabricNetwork:
         """Create a peer for ``msp_id`` and wire it into gossip + delivery."""
         org = self.channel.organization(msp_id)
         identity = org.enroll_peer(name)
+        backend = open_backend(
+            self.state_backend, directory=self._state_dir, name=identity.enrollment_id
+        )
         peer = PeerNode(
-            identity=identity, channel=self.channel, features=features or self.features
+            identity=identity,
+            channel=self.channel,
+            features=features or self.features,
+            backend=backend,
         )
         if peer.name in self._peers:
             raise ConfigError(f"peer {peer.name!r} already exists")

@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.api import Chaincode
 from repro.chaincode.rwset import PrivateCollectionWrites
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, EndorsementError
 from repro.core.defense.features import FrameworkFeatures
 from repro.identity.identity import Certificate, SigningIdentity
 from repro.ledger.block import Block, ValidatedBlock
@@ -22,6 +22,7 @@ from repro.peer.endorser import EndorsementOutput, Endorser
 from repro.peer.validator import Validator
 from repro.protocol.proposal import Proposal
 from repro.protocol.transaction import ValidationCode
+from repro.storage import KVBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.channel import ChannelConfig
@@ -37,11 +38,13 @@ class PeerNode:
         identity: SigningIdentity,
         channel: "ChannelConfig",
         features: FrameworkFeatures | None = None,
+        backend: Optional[KVBackend] = None,
     ) -> None:
         self.identity = identity
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
-        self.ledger = PeerLedger()
+        self.ledger = PeerLedger(backend)
+        self.crashed = False
         self._chaincodes: dict[str, Chaincode] = {}
         self._endorser = Endorser(
             identity=identity,
@@ -85,9 +88,24 @@ class PeerNode:
     def installed_chaincodes(self) -> list[str]:
         return sorted(self._chaincodes)
 
+    # -- crash / recovery -----------------------------------------------------
+    def crash(self) -> None:
+        """Simulate the peer process dying: drop its storage handles."""
+        if not self.crashed:
+            self.crashed = True
+            self.ledger.crash()
+
+    def restart(self) -> None:
+        """Recover the ledger from its durable medium and rejoin."""
+        if self.crashed:
+            self.ledger.reopen()
+            self.crashed = False
+
     # -- execution phase ------------------------------------------------------
     def endorse(self, proposal: Proposal) -> EndorsementOutput:
         """Simulate + sign a proposal (raises EndorsementError on failure)."""
+        if self.crashed:
+            raise EndorsementError(f"peer {self.name} is down")
         return self._endorser.process_proposal(proposal)
 
     def stage_private_writes(

@@ -138,6 +138,13 @@ class TransactionRuntime:
         self._blocks: dict[int, _BlockProgress] = {}
         self._inbound: dict[str, dict[int, Block]] = {}
         self._batch_timer = None
+        self._crashed: set[str] = set()
+        #: Messages dropped because their destination peer was down.  Kept
+        #: separate from the fault injector's drop count: a crash is a node
+        #: fault, not a link fault, and liveness accounting treats it so.
+        self.crash_drops = 0
+        self._crash_listeners: list[Callable[["PeerNode"], None]] = []
+        self._restart_listeners: list[Callable[["PeerNode"], None]] = []
 
         self.bus.register(ORDERER_ENDPOINT, self._on_orderer_message)
         # Take over block delivery: the dispatcher fans each cut block out
@@ -227,6 +234,9 @@ class TransactionRuntime:
 
     def _peer_handler(self, peer: "PeerNode") -> Callable[[Message], None]:
         def handle(message: Message) -> None:
+            if peer.name in self._crashed:
+                self.crash_drops += 1
+                return
             if message.topic == TOPIC_DELIVER:
                 self._commit_at_peer(peer, message.payload)
             elif message.topic == TOPIC_GOSSIP:
@@ -275,6 +285,66 @@ class TransactionRuntime:
                 pending._resolve(status, at=self.now)
                 self.transactions_resolved += 1
 
+    # -- crash / recovery -----------------------------------------------------
+    def on_crash(self, listener: Callable[["PeerNode"], None]) -> None:
+        self._crash_listeners.append(listener)
+
+    def on_restart(self, listener: Callable[["PeerNode"], None]) -> None:
+        """Listeners fire after recovery but *before* the peer catches up —
+        they observe exactly the state the storage engine recovered."""
+        self._restart_listeners.append(listener)
+
+    def crash_peer(self, name: str) -> None:
+        """Kill a peer process: in-flight messages to it drop on arrival,
+        its storage handles close abruptly, and it stops endorsing."""
+        peer = self._peers.get(name)
+        if peer is None:
+            raise ConfigError(f"no peer {name!r} registered with the runtime")
+        if name in self._crashed:
+            return  # overlapping fault windows: already down
+        tracer = self.network.tracer
+        if tracer:
+            tracer.record(name, "peer-crash", height=peer.ledger.height)
+        # Listeners snapshot the peer's committed state before the process
+        # dies (the durability check compares recovery against it).
+        for listener in self._crash_listeners:
+            listener(peer)
+        self._crashed.add(name)
+        self._inbound.pop(name, None)  # buffered blocks die with the process
+        peer.crash()
+
+    def restart_peer(self, name: str) -> None:
+        """Recover a crashed peer from its durable state and rejoin.
+
+        Restart listeners run at the exact recovery height (the durability
+        invariant compares recovered state against the reference model
+        there); only then does the peer refill its deliver cursor from the
+        orderer backlog and commit what it missed.
+        """
+        peer = self._peers.get(name)
+        if peer is None:
+            raise ConfigError(f"no peer {name!r} registered with the runtime")
+        if name not in self._crashed:
+            return  # overlapping fault windows: never went down
+        peer.restart()
+        self._crashed.discard(name)
+        tracer = self.network.tracer
+        if tracer:
+            tracer.record(name, "peer-restart", height=peer.ledger.height)
+        for listener in self._restart_listeners:
+            listener(peer)
+        # Rejoin: pull everything past the recovered height, as the deliver
+        # client does when it reconnects.
+        buffer = self._inbound.setdefault(name, {})
+        height = peer.ledger.blockchain.height
+        for block in self.network.orderer.delivered_blocks[height:]:
+            if block.header.number >= height:
+                buffer.setdefault(block.header.number, block)
+        self._drain_inbound(peer)
+
+    def crashed_peers(self) -> set[str]:
+        return set(self._crashed)
+
     def catch_up(self) -> int:
         """Re-deliver blocks that faults dropped; returns blocks committed.
 
@@ -288,6 +358,8 @@ class TransactionRuntime:
         committed = 0
         backlog = self.network.orderer.delivered_blocks
         for name, peer in self._peers.items():
+            if name in self._crashed:
+                continue  # a down peer cannot reconnect; restart it first
             buffer = self._inbound.setdefault(name, {})
             before = peer.ledger.blockchain.height
             for block in backlog[before:]:

@@ -35,7 +35,7 @@ from repro.simulation.harness import (
     generate,
     run_seed,
 )
-from repro.simulation.invariants import Violation
+from repro.simulation.invariants import RecoveryMonitor, Violation
 from repro.simulation.shrink import ShrinkResult, render_repro_script, shrink_failing_run
 from repro.simulation.workload import OpSpec, WorkloadGenerator
 
@@ -46,6 +46,7 @@ __all__ = [
     "OpSpec",
     "WorkloadGenerator",
     "Violation",
+    "RecoveryMonitor",
     "SimulationReport",
     "build_network",
     "execute",

@@ -15,6 +15,8 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.storage import resolve_backend_kind
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -41,6 +43,7 @@ class SimulationConfig:
     fault_windows: int = 1
     mean_gap: float = 1.0
     colluding_orgs: tuple = ()  # orgs running the forged-read contract
+    state_backend: str = "memory"  # peer-ledger storage engine: memory | wal
     extra: dict = field(default_factory=dict)  # forward-compat escape hatch
 
     # -- derived helpers -----------------------------------------------------
@@ -118,6 +121,10 @@ class SimulationConfig:
             fault_windows=rng.randint(0, 3),
             mean_gap=round(rng.uniform(0.3, 1.5), 3),
             colluding_orgs=colluding,
+            # Not drawn from the rng: the engine changes durability, never
+            # behaviour, so it is an environment decision (REPRO_STATE_BACKEND
+            # or --backend), not part of the seed's randomness.
+            state_backend=resolve_backend_kind(),
         )
 
     @staticmethod

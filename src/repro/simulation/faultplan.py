@@ -20,7 +20,12 @@ Window shapes:
 * **lossy burst** — a global iid drop rate;
 * **jitter burst** — crank the latency jitter (reordering pressure);
 * **batch stress** — drop block delivery entirely for a while so the
-  orderer keeps cutting while every peer lags (timeout-path stress).
+  orderer keeps cutting while every peer lags (timeout-path stress);
+* **crash/restart** — kill peer processes outright for the window: their
+  storage handles close abruptly, in-flight messages to them drop, and on
+  restart each recovers from its storage engine (WAL replay under the
+  ``wal`` backend) and rejoins via the deliver cursor.  The durability
+  invariant checks the recovered state at the restart instant.
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ class FaultAction:
     """One scheduled mutation of the fault/latency models."""
 
     at: float
-    kind: str  # cut_link | restore_link | drop_topic | allow_topic | topic_rate | drop_rate | jitter
+    kind: str  # cut_link | restore_link | drop_topic | allow_topic | topic_rate | drop_rate | jitter | crash_peer | restart_peer
     src: str = ""
     dst: str = ""
     topic: str = ""
@@ -66,6 +71,10 @@ class FaultAction:
             faults.drop_rate = self.rate
         elif self.kind == "jitter":
             runtime.bus.latency.jitter = self.rate
+        elif self.kind == "crash_peer":
+            runtime.crash_peer(self.dst)
+        elif self.kind == "restart_peer":
+            runtime.restart_peer(self.dst)
         else:  # pragma: no cover - guarded by generation
             raise ValueError(f"unknown fault action kind {self.kind!r}")
 
@@ -93,6 +102,7 @@ def generate_fault_schedule(
     shapes = [
         "delivery_partition", "gossip_blackout", "gossip_links",
         "submit_loss", "lossy_burst", "jitter_burst", "batch_stress",
+        "crash_restart",
     ]
     for _ in range(config.fault_windows):
         start = round(rng.uniform(0.0, horizon * 0.8), 6)
@@ -133,6 +143,11 @@ def generate_fault_schedule(
         elif shape == "batch_stress":
             actions.append(FaultAction(at=start, kind="drop_topic", topic=TOPIC_DELIVER))
             actions.append(FaultAction(at=end, kind="allow_topic", topic=TOPIC_DELIVER))
+        elif shape == "crash_restart":
+            count = rng.randint(1, max(1, len(peer_names) // 3))
+            for name in rng.sample(sorted(peer_names), count):
+                actions.append(FaultAction(at=start, kind="crash_peer", dst=name))
+                actions.append(FaultAction(at=end, kind="restart_peer", dst=name))
 
     actions.sort(key=lambda a: (a.at, a.kind, a.src, a.dst, a.topic))
     return actions

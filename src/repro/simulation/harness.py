@@ -29,7 +29,11 @@ from repro.runtime.faults import FaultInjector, LatencyModel
 from repro.runtime.runtime import TOPIC_GOSSIP
 from repro.simulation.config import SimulationConfig
 from repro.simulation.faultplan import generate_fault_schedule
-from repro.simulation.invariants import BlockBoundaryMonitor, run_quiescence_checks
+from repro.simulation.invariants import (
+    BlockBoundaryMonitor,
+    RecoveryMonitor,
+    run_quiescence_checks,
+)
 from repro.simulation.workload import (
     PDC_CHAINCODE,
     PUBLIC_CHAINCODE,
@@ -105,6 +109,8 @@ class SimulationReport:
             f"valid={s.get('valid', 0)} invalid={s.get('invalid', 0)} "
             f"client_errors={s.get('client_errors', 0)} "
             f"dropped={s.get('dropped', 0)} reconciled={s.get('reconciled', 0)} "
+            f"recoveries={s.get('recoveries', 0)} "
+            f"backend={s.get('state_backend', 'memory')} "
             f"-> {verdict}"
         )
 
@@ -150,7 +156,10 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         else FrameworkFeatures.original()
     )
     network = FabricNetwork(
-        channel=channel, features=features, batch_size=config.batch_size
+        channel=channel,
+        features=features,
+        batch_size=config.batch_size,
+        state_backend=config.state_backend,
     )
 
     peers: dict = {}
@@ -225,6 +234,8 @@ def execute(
 
     monitor = BlockBoundaryMonitor()
     monitor.attach(sim.all_peers())
+    recovery = RecoveryMonitor(sim.network.channel, sim.network.features)
+    recovery.attach(runtime)
 
     outcomes = [OpOutcome(spec=spec) for spec in ops]
     for outcome in outcomes:
@@ -253,6 +264,7 @@ def execute(
             break
 
     violations = list(monitor.violations)
+    violations.extend(recovery.violations)
     violations.extend(run_quiescence_checks(sim, outcomes))
 
     reference = sim.all_peers()[0]
@@ -269,6 +281,9 @@ def execute(
         "caught_up": caught_up,
         "reconciled": reconciled,
         "attacks": sum(1 for o in outcomes if o.spec.is_attack),
+        "recoveries": recovery.recoveries,
+        "crash_drops": runtime.crash_drops,
+        "state_backend": config.state_backend,
     }
     return SimulationReport(
         config=config,

@@ -32,6 +32,15 @@ The catalogue (names are the ``invariant`` field of each violation):
   or its envelope was provably lost: the number of unresolved futures
   equals the number of ``submit``-topic drops, and no unresolved
   transaction appears in any committed block.
+* ``durability``        — checked by :class:`RecoveryMonitor` at every
+  peer restart, at the exact recovery height (before the peer catches
+  up): the recovered chain height equals the crash height (no committed
+  block may be lost), the recovered world state and private hash store
+  are byte-identical to the reference model replayed over the recovered
+  chain, and the recovered private *plaintext* equals the crash-time
+  plaintext exactly — recovery can neither lose committed plaintext at a
+  member nor materialize plaintext a peer never legitimately held, so
+  PDC privacy survives crashes (non-members recover hashes only).
 """
 
 from __future__ import annotations
@@ -105,6 +114,98 @@ class BlockBoundaryMonitor:
                 "block-agreement",
                 f"block {number} flags {', '.join(f.value for f in flags)} differ "
                 f"from first committer {', '.join(f.value for f in pinned[1])}",
+                peer=peer.name,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Crash/recovery monitoring (the ``durability`` invariant)
+# ---------------------------------------------------------------------------
+
+class RecoveryMonitor:
+    """Checks every peer recovery against the storage durability contract.
+
+    Attached to the runtime's crash/restart hooks.  At crash time it
+    snapshots what the dying peer *committed* (chain height and private
+    plaintext).  The restart hook fires after the storage engine recovered
+    but before the peer catches up from the orderer, so the monitor
+    observes exactly what recovery produced:
+
+    1. the recovered height must equal the crash height — every committed
+       block was durably applied (a torn WAL tail may only lose work that
+       never committed);
+    2. the recovered world state and private hash store must be
+       byte-identical to the :class:`ReferenceValidator` model replayed
+       over the recovered chain;
+    3. the recovered private plaintext must equal the crash-time plaintext
+       exactly — no committed plaintext lost at a member, and no plaintext
+       materialized that the peer never held, so a non-member still stores
+       hashes only after recovery (PDC privacy survives the crash).
+    """
+
+    def __init__(self, channel: "ChannelConfig", features) -> None:
+        self._channel = channel
+        self._features = features
+        self.violations: list[Violation] = []
+        self.recoveries = 0
+        self._snapshots: dict[str, tuple[int, dict]] = {}
+
+    def attach(self, runtime) -> None:
+        runtime.on_crash(self._on_crash)
+        runtime.on_restart(self._on_restart)
+
+    def _plaintext(self, peer: "PeerNode") -> dict:
+        snapshot = {}
+        for chaincode_id, definition in sorted(self._channel.chaincodes.items()):
+            for collection in definition.collections:
+                for key, entry in peer.ledger.private_data.items(
+                    chaincode_id, collection.name
+                ):
+                    snapshot[(chaincode_id, collection.name, key)] = entry.value
+        return snapshot
+
+    def _on_crash(self, peer: "PeerNode") -> None:
+        self._snapshots[peer.name] = (peer.ledger.height, self._plaintext(peer))
+
+    def _on_restart(self, peer: "PeerNode") -> None:
+        snapshot = self._snapshots.pop(peer.name, None)
+        if snapshot is None:  # pragma: no cover - restart without crash
+            return
+        self.recoveries += 1
+        crash_height, crash_plaintext = snapshot
+
+        recovered_height = peer.ledger.height
+        if recovered_height != crash_height:
+            self.violations.append(Violation(
+                "durability",
+                f"recovered at height {recovered_height}, crashed at {crash_height}",
+                peer=peer.name,
+            ))
+
+        # Replay the recovered chain through the reference model and demand
+        # byte-identical state at the recovery height.
+        reference = ReferenceValidator(self._channel, self._features)
+        for validated in peer.ledger.blockchain.blocks():
+            reference.expected_flags(validated.block)
+        self.violations.extend(
+            peer_state_violations(
+                self._channel, peer, reference.state, invariant="durability"
+            )
+        )
+
+        recovered_plaintext = self._plaintext(peer)
+        if recovered_plaintext != crash_plaintext:
+            gained = sorted(set(recovered_plaintext) - set(crash_plaintext))
+            lost = sorted(set(crash_plaintext) - set(recovered_plaintext))
+            changed = sorted(
+                k
+                for k in set(recovered_plaintext) & set(crash_plaintext)
+                if recovered_plaintext[k] != crash_plaintext[k]
+            )
+            self.violations.append(Violation(
+                "durability",
+                f"recovered private plaintext differs from crash time "
+                f"(gained={gained[:3]}, lost={lost[:3]}, changed={changed[:3]})",
                 peer=peer.name,
             ))
 
@@ -386,44 +487,60 @@ def check_reference_validation(sim: "SimNetwork") -> list:
 
 def _check_state_matches_model(sim: "SimNetwork", reference: ReferenceValidator) -> list:
     violations = []
-    model = reference.state
-    namespaces = sorted(sim.network.channel.chaincodes)
     for peer in sim.all_peers():
-        actual = {}
-        for ns in namespaces:
-            for key, entry in peer.ledger.world_state.items(ns):
-                actual[(ns, key)] = (entry.value, entry.version)
-        if actual != model.public:
-            extra = sorted(set(actual) - set(model.public))
-            missing = sorted(set(model.public) - set(actual))
-            differing = sorted(
-                k for k in set(actual) & set(model.public) if actual[k] != model.public[k]
-            )
-            violations.append(Violation(
-                "reference-validation",
-                f"world state diverges from model (extra={extra[:3]}, "
-                f"missing={missing[:3]}, differing={differing[:3]})",
-                peer=peer.name,
-            ))
-        actual_private = {}
-        for chaincode_id, definition in sorted(sim.network.channel.chaincodes.items()):
-            for collection in definition.collections:
-                for key_hash in peer.ledger.private_hashes.key_hashes(
-                    chaincode_id, collection.name
-                ):
-                    entry = peer.ledger.private_hashes.get(
-                        chaincode_id, collection.name, key_hash
-                    )
-                    actual_private[(chaincode_id, collection.name, key_hash)] = (
-                        entry.value_hash, entry.version
-                    )
-        if actual_private != model.private:
-            violations.append(Violation(
-                "reference-validation",
-                f"private hash store diverges from model "
-                f"({len(actual_private)} entries vs {len(model.private)})",
-                peer=peer.name,
-            ))
+        violations.extend(
+            peer_state_violations(sim.network.channel, peer, reference.state)
+        )
+    return violations
+
+
+def peer_state_violations(
+    channel: "ChannelConfig",
+    peer: "PeerNode",
+    model: _ModelState,
+    invariant: str = "reference-validation",
+) -> list:
+    """Compare one peer's committed state byte-for-byte against a model.
+
+    Shared between the end-of-run reference validation and the
+    ``durability`` check at peer-restart instants.
+    """
+    violations = []
+    actual = {}
+    for ns in sorted(channel.chaincodes):
+        for key, entry in peer.ledger.world_state.items(ns):
+            actual[(ns, key)] = (entry.value, entry.version)
+    if actual != model.public:
+        extra = sorted(set(actual) - set(model.public))
+        missing = sorted(set(model.public) - set(actual))
+        differing = sorted(
+            k for k in set(actual) & set(model.public) if actual[k] != model.public[k]
+        )
+        violations.append(Violation(
+            invariant,
+            f"world state diverges from model (extra={extra[:3]}, "
+            f"missing={missing[:3]}, differing={differing[:3]})",
+            peer=peer.name,
+        ))
+    actual_private = {}
+    for chaincode_id, definition in sorted(channel.chaincodes.items()):
+        for collection in definition.collections:
+            for key_hash in peer.ledger.private_hashes.key_hashes(
+                chaincode_id, collection.name
+            ):
+                entry = peer.ledger.private_hashes.get(
+                    chaincode_id, collection.name, key_hash
+                )
+                actual_private[(chaincode_id, collection.name, key_hash)] = (
+                    entry.value_hash, entry.version
+                )
+    if actual_private != model.private:
+        violations.append(Violation(
+            invariant,
+            f"private hash store diverges from model "
+            f"({len(actual_private)} entries vs {len(model.private)})",
+            peer=peer.name,
+        ))
     return violations
 
 

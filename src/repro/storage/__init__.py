@@ -1,0 +1,49 @@
+"""Pluggable storage engines for the ledger layer.
+
+See :mod:`repro.storage.backend` for the interface contract,
+:mod:`repro.storage.memory` and :mod:`repro.storage.wal` for the two
+engines, and :mod:`repro.storage.factory` for selection
+(``REPRO_STATE_BACKEND=memory|wal``).
+"""
+
+from repro.storage.backend import (
+    MISSING,
+    SEP,
+    KVBackend,
+    SortedTables,
+    StorageError,
+    WriteBatch,
+    compose_key,
+    prefix_bounds,
+    read_through,
+    split_key,
+    write_op,
+)
+from repro.storage.factory import (
+    BACKEND_KINDS,
+    ENV_VAR,
+    open_backend,
+    resolve_backend_kind,
+)
+from repro.storage.memory import MemoryBackend
+from repro.storage.wal import WalBackend
+
+__all__ = [
+    "KVBackend",
+    "MemoryBackend",
+    "WalBackend",
+    "WriteBatch",
+    "SortedTables",
+    "StorageError",
+    "SEP",
+    "MISSING",
+    "compose_key",
+    "split_key",
+    "prefix_bounds",
+    "read_through",
+    "write_op",
+    "open_backend",
+    "resolve_backend_kind",
+    "BACKEND_KINDS",
+    "ENV_VAR",
+]

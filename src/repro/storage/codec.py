@@ -1,0 +1,52 @@
+"""Codecs between ledger store entries and backend byte values.
+
+The backends store opaque ``bytes``; these helpers own the framing.
+Versioned entries use a fixed 16-byte header (two little-endian u64s for
+``(block_num, tx_num)``) followed by the raw value — decoding is a slice,
+not a parse.  Structured records (blocks, transient rwsets, metadata
+maps) go through stdlib ``pickle``; the bytes are peer-local (never
+signed, never compared across peers), so canonical encoding is not
+required — only exact round-tripping, which the durability invariant
+checks byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+from repro.ledger.version import Version
+
+_VERSION = struct.Struct("<QQ")
+_PAIR = struct.Struct("<QQ")
+
+
+def pack_versioned(value: bytes, version: Version) -> bytes:
+    return _VERSION.pack(version.block_num, version.tx_num) + value
+
+
+def unpack_versioned(raw: bytes) -> tuple[bytes, Version]:
+    block_num, tx_num = _VERSION.unpack_from(raw)
+    return raw[_VERSION.size :], Version(block_num, tx_num)
+
+
+def unpack_version(raw: bytes) -> Version:
+    block_num, tx_num = _VERSION.unpack_from(raw)
+    return Version(block_num, tx_num)
+
+
+def pack_u64_pair(first: int, second: int) -> bytes:
+    return _PAIR.pack(first, second)
+
+
+def unpack_u64_pair(raw: bytes) -> tuple[int, int]:
+    return _PAIR.unpack(raw)
+
+
+def pack_obj(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_obj(raw: bytes) -> Any:
+    return pickle.loads(raw)

@@ -1,0 +1,68 @@
+"""Backend selection: explicit kind > ``REPRO_STATE_BACKEND`` > memory.
+
+WAL backends opened without an explicit directory live under one
+process-wide temp root removed at interpreter exit, so test suites and
+simulations can churn through wal-backed networks without littering.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.storage.backend import KVBackend, StorageError
+from repro.storage.memory import MemoryBackend
+from repro.storage.wal import WalBackend
+
+ENV_VAR = "REPRO_STATE_BACKEND"
+BACKEND_KINDS = ("memory", "wal")
+
+_temp_root: Optional[Path] = None
+
+
+def resolve_backend_kind(kind: Optional[str] = None) -> str:
+    """Resolve a backend kind: argument, else env override, else memory."""
+    resolved = kind or os.environ.get(ENV_VAR) or "memory"
+    if resolved not in BACKEND_KINDS:
+        raise StorageError(
+            f"unknown state backend {resolved!r} (choose from {BACKEND_KINDS}; "
+            f"check the {ENV_VAR} environment variable)"
+        )
+    return resolved
+
+
+def storage_root() -> Path:
+    """Process-wide scratch root for unnamed WAL backends."""
+    global _temp_root
+    if _temp_root is None:
+        _temp_root = Path(tempfile.mkdtemp(prefix="repro-state-"))
+        atexit.register(shutil.rmtree, _temp_root, True)
+    return _temp_root
+
+
+def open_backend(
+    kind: Optional[str] = None,
+    directory: Optional[str | Path] = None,
+    name: Optional[str] = None,
+) -> KVBackend:
+    """Open a backend of ``kind`` (resolved via :func:`resolve_backend_kind`).
+
+    For ``wal``, ``directory`` selects (or creates) the engine directory;
+    ``name`` appends a subdirectory (one ledger per peer under a shared
+    network directory).  Without a directory a fresh scratch directory is
+    allocated under :func:`storage_root`.
+    """
+    resolved = resolve_backend_kind(kind)
+    if resolved == "memory":
+        return MemoryBackend()
+    if directory is None:
+        directory = Path(tempfile.mkdtemp(prefix=f"{name or 'ledger'}-", dir=storage_root()))
+    else:
+        directory = Path(directory)
+        if name:
+            directory = directory / name
+    return WalBackend(directory)

@@ -1,0 +1,43 @@
+"""The in-process storage engine (the seed's behaviour, now indexed)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.storage.backend import KVBackend, SortedTables, WriteBatch
+
+
+class MemoryBackend(KVBackend):
+    """Per-namespace hash tables with sorted-key indexes.
+
+    Batches are trivially atomic: ops are plain dict mutations that cannot
+    fail midway (all validation happens in the stores before staging).
+    ``reopen`` returns the same instance — the tables *are* the durable
+    medium, so a simulated peer restart recovers everything that was
+    committed; what a crash loses is the in-flight work that never reached
+    a committed batch, plus every store's derived in-memory index (rebuilt
+    from the tables on reopen).
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._tables = SortedTables()
+
+    def get(self, namespace: str, key: str) -> Optional[bytes]:
+        return self._tables.get(namespace, key)
+
+    def range(
+        self, namespace: str, start: str = "", end: Optional[str] = None
+    ) -> Iterator[tuple[str, bytes]]:
+        return self._tables.scan(namespace, start, end)
+
+    def count(self, namespace: str) -> int:
+        return self._tables.count(namespace)
+
+    def commit(self, batch: WriteBatch) -> None:
+        self._tables.apply(batch.ops)
+        batch.run_callbacks()
+
+    def reopen(self) -> "MemoryBackend":
+        return self

@@ -16,12 +16,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
 from pathlib import Path
 
 from repro.simulation.config import SimulationConfig
+from repro.storage import BACKEND_KINDS
 from repro.simulation.harness import WEAKENERS, execute, generate
 from repro.simulation.shrink import (
     load_trace,
@@ -53,16 +55,21 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: current directory)")
     parser.add_argument("--replay", type=Path, default=None,
                         help="replay a saved JSON trace instead of sweeping")
+    parser.add_argument("--backend", choices=list(BACKEND_KINDS), default=None,
+                        help="peer-ledger storage engine (default: the "
+                             "REPRO_STATE_BACKEND env var, else memory)")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
-        return _replay(args.replay, args.weaken)
+        return _replay(args.replay, args.weaken, args.backend)
 
     failures = 0
     started = time.time()
     for seed in range(args.seed_base, args.seed_base + args.seeds):
         seed_started = time.time()
         config = SimulationConfig.generate(seed, args.ops)
+        if args.backend is not None:
+            config = dataclasses.replace(config, state_backend=args.backend)
         ops, fault_actions = generate(config)
         report = execute(config, ops, fault_actions, weaken=args.weaken)
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
@@ -107,8 +114,10 @@ def _shrink_and_dump(config, ops, fault_actions, args) -> None:
     print(f"    trace: {trace_path}  repro script: {script_path}")
 
 
-def _replay(path: Path, weaken: str | None) -> int:
+def _replay(path: Path, weaken: str | None, backend: str | None = None) -> int:
     config, ops, fault_actions = load_trace(json.loads(path.read_text()))
+    if backend is not None:
+        config = dataclasses.replace(config, state_backend=backend)
     report = execute(config, ops, fault_actions, weaken=weaken)
     print(report.summary())
     for violation in report.violations:
