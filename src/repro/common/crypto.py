@@ -8,9 +8,21 @@ signatures over the RFC 3526 1536-bit MODP group using nothing but the
 standard library, with deterministic (RFC 6979-style) nonces so every run
 of the simulator is reproducible.
 
+A signature is the pair ``(s, r)`` with ``r = g**k`` and ``s = k + x*e``
+where ``e = H(r, y, message)`` — the classic commitment-carrying Schnorr
+form.  Verification checks ``g**s == r * y**e``.  Carrying ``r`` (rather
+than the challenge ``e``) is what makes **batch verification** possible:
+all endorsements of a block are checked in a single randomized linear
+combination, ``g**sum(c_i*s_i) == prod(r_i**c_i) * prod(y**sum(c_i*e_i))``,
+with the 128-bit coefficients ``c_i`` drawn from a deterministic stream
+bound to the batch content (so runs stay reproducible while a forger
+cannot predict its coefficient).  A failing batch falls back to bisection
+so an individual forgery is still pinpointed and rejected.
+
 The substitution is documented in DESIGN.md: the attacks and defenses in
 the paper do not depend on the curve, only on unforgeability and public
-verifiability — both of which Schnorr over a safe-prime group provides.
+verifiability — both of which Schnorr over a safe-prime group provides,
+in either single or batched verification.
 """
 
 from __future__ import annotations
@@ -18,7 +30,13 @@ from __future__ import annotations
 import functools
 import hashlib
 import hmac
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.multiexp import FixedBaseTable, WindowTableLRU, multiexp
+from repro.common.tracing import PERF
 
 # RFC 3526, group 5 (1536-bit MODP).  p is a safe prime: p = 2q + 1.
 _P_HEX = (
@@ -34,6 +52,12 @@ Q = (P - 1) // 2
 # 4 = 2**2 is a quadratic residue mod p, hence generates the order-q subgroup.
 G = 4
 
+#: Bit width of the randomized batch-verification coefficients.  A batch
+#: that verifies can hide a forgery only with probability ~2**-128 per
+#: unpredictable coefficient — and a failing batch bisects down to
+#: individual verification anyway.
+BATCH_COEFF_BITS = 128
+
 
 class SignatureError(Exception):
     """A signature failed to verify or could not be decoded."""
@@ -43,6 +67,112 @@ def _hash_to_int(*parts: bytes) -> int:
     digest = hashlib.sha256(b"||".join(parts)).digest()
     return int.from_bytes(digest, "big")
 
+
+# ---------------------------------------------------------------------------
+# Fast-path switches and precomputation
+# ---------------------------------------------------------------------------
+
+# REPRO_CRYPTO_FAST=0 routes every exponentiation through plain pow()
+# (the naive baseline the ablation bench measures against).
+_FAST_PATH = os.environ.get("REPRO_CRYPTO_FAST", "1") != "0"
+# REPRO_VERIFY_CACHE=0 disables (verification-result) memoization.
+_CACHE_ENABLED = os.environ.get("REPRO_VERIFY_CACHE", "1") != "0"
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Toggle the windowed/multi-exp kernels (bench ablation hook)."""
+    global _FAST_PATH
+    _FAST_PATH = bool(enabled)
+
+
+def fast_path_enabled() -> bool:
+    return _FAST_PATH
+
+
+def set_verify_cache(enabled: bool) -> None:
+    """Toggle verification-result memoization (bench ablation hook)."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    if not enabled:
+        _VERIFY_CACHE.clear()
+
+
+def verify_cache_enabled() -> bool:
+    return _CACHE_ENABLED
+
+
+_G_TABLE: Optional[FixedBaseTable] = None
+
+#: Per-public-key window tables behind a real LRU (built only once a key
+#: has verified enough signatures to amortize the precomputation).
+_KEY_TABLES = WindowTableLRU(maxsize=96, build_after=6)
+
+
+def _g_table() -> FixedBaseTable:
+    """The generator's fixed-base table, built lazily once per process."""
+    global _G_TABLE
+    if _G_TABLE is None:
+        _G_TABLE = FixedBaseTable(G, P, Q.bit_length())
+    return _G_TABLE
+
+
+def _g_pow(exponent: int) -> int:
+    if _FAST_PATH:
+        return _g_table().pow(exponent)
+    PERF.modexp_full += 1
+    return pow(G, exponent, P)
+
+
+def _y_pow(y: int, exponent: int) -> int:
+    if _FAST_PATH:
+        return _KEY_TABLES.powmod(y, exponent, P, Q.bit_length())
+    PERF.modexp_full += 1
+    return pow(y, exponent, P)
+
+
+def clear_caches() -> None:
+    """Drop every process-wide crypto cache (bench/test isolation hook)."""
+    _VERIFY_CACHE.clear()
+    _KEY_TABLES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Verification-result memoization
+# ---------------------------------------------------------------------------
+
+# Every peer re-verifies the same (creator, endorser) signatures during
+# block validation, so a network of N peers repeats each 1536-bit
+# verification N times.  Signatures are deterministic, so caching by
+# (key, message, signature) is sound.  The cache is a bounded LRU — a
+# full cache evicts the least recently used entry instead of clearing
+# wholesale — and is keyed by the message bytes themselves, so the hot
+# hit path never re-hashes the message.
+_VERIFY_CACHE: OrderedDict = OrderedDict()
+_VERIFY_CACHE_MAX = 50_000
+
+
+def _cache_get(key) -> Optional[bool]:
+    if not _CACHE_ENABLED:
+        return None
+    cached = _VERIFY_CACHE.get(key)
+    if cached is not None:
+        _VERIFY_CACHE.move_to_end(key)
+        PERF.verify_cache_hits += 1
+    return cached
+
+
+def _cache_put(key, value: bool) -> None:
+    if not _CACHE_ENABLED:
+        return
+    _VERIFY_CACHE[key] = value
+    _VERIFY_CACHE.move_to_end(key)
+    if len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+        _VERIFY_CACHE.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# Keys and signatures
+# ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class PublicKey:
@@ -63,35 +193,24 @@ class PublicKey:
         Accepts and rejects rather than raising so policy evaluation can
         simply skip invalid endorsements, the way Fabric's VSCC does.
         """
-        key = (self.y, hashlib.sha256(message).digest(), signature)
-        cached = _VERIFY_CACHE.get(key)
-        if cached is None:
-            cached = self._verify_uncached(message, signature)
-            if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
-                _VERIFY_CACHE.clear()
-            _VERIFY_CACHE[key] = cached
-        return cached
+        key = (self.y, message, signature)
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
+        result = self._verify_uncached(message, signature)
+        _cache_put(key, result)
+        return result
 
     def _verify_uncached(self, message: bytes, signature: bytes) -> bool:
+        PERF.verify_individual += 1
         try:
-            s, e = _decode_signature(signature)
+            s, r = _decode_signature(signature)
         except SignatureError:
             return False
-        if not (0 <= s < Q and 0 < e):
+        if not (0 <= s < Q and 0 < r < P):
             return False
-        # r' = g^s * y^{-e}.  By Fermat, y^{-e} = y^((p-1) - e mod (p-1)),
-        # which costs one modexp instead of the two a modular inverse needs.
-        r_prime = (pow(G, s, P) * pow(self.y, (-e) % (P - 1), P)) % P
-        e_prime = _hash_to_int(_int_bytes(r_prime), self.to_bytes(), message) % Q
-        return e_prime == e
-
-
-# Every peer re-verifies the same (creator, endorser) signatures during block
-# validation, so a network of N peers repeats each 1536-bit verification N
-# times.  Signatures are deterministic, so caching by (key, message digest,
-# signature) is sound; the cache is cleared wholesale if it ever fills.
-_VERIFY_CACHE: dict = {}
-_VERIFY_CACHE_MAX = 50_000
+        e = _hash_to_int(_int_bytes(r), self.to_bytes(), message) % Q
+        return _g_pow(s) == r * _y_pow(self.y, e) % P
 
 
 def _int_bytes(value: int) -> bytes:
@@ -103,8 +222,8 @@ def _decode_signature(signature: bytes) -> tuple[int, int]:
     if len(signature) != 2 * width:
         raise SignatureError(f"signature must be {2 * width} bytes, got {len(signature)}")
     s = int.from_bytes(signature[:width], "big")
-    e = int.from_bytes(signature[width:], "big")
-    return s, e
+    r = int.from_bytes(signature[width:], "big")
+    return s, r
 
 
 @dataclass(frozen=True)
@@ -131,21 +250,153 @@ class PrivateKey:
         k_seed = hmac.new(_int_bytes(self.x), message, hashlib.sha256).digest()
         k = int.from_bytes(k_seed, "big") % Q
         k = k or 1
-        r = pow(G, k, P)
+        r = _g_pow(k)
         e = _hash_to_int(_int_bytes(r), self.public_key().to_bytes(), message) % Q
         s = (k + self.x * e) % Q
         width = (P.bit_length() + 7) // 8
-        return s.to_bytes(width, "big") + e.to_bytes(width, "big")
+        return s.to_bytes(width, "big") + r.to_bytes(width, "big")
 
 
 @functools.lru_cache(maxsize=4096)
 def _derive_public_key(x: int) -> PublicKey:
     # Signing re-derives the public key for the challenge hash; identities
     # sign thousands of messages per run, so memoise the fixed-base modexp.
-    return PublicKey(pow(G, x, P))
+    return PublicKey(_g_pow(x))
 
 
 def generate_keypair(seed: bytes) -> tuple[PrivateKey, PublicKey]:
     """Deterministically derive a keypair from ``seed``."""
     private = PrivateKey.from_seed(seed)
     return private, private.public_key()
+
+
+# ---------------------------------------------------------------------------
+# Batch verification
+# ---------------------------------------------------------------------------
+
+def _batch_coefficients(decoded: dict, indices: Sequence[int], seed: bytes) -> dict:
+    """Deterministic 128-bit coefficients bound to the batch transcript.
+
+    The stream is seeded with a digest over every (key, message digest,
+    signature) in the batch, Fiat–Shamir style: a forger fixing its
+    signature before the batch is assembled cannot predict the
+    coefficient multiplying it, yet two runs over the same block derive
+    identical coefficients, keeping the simulator reproducible.
+    """
+    transcript = hashlib.sha256(b"repro-batch-transcript" + seed)
+    for i in indices:
+        y_bytes, msg_digest, signature, _s, _r = decoded[i]
+        transcript.update(y_bytes)
+        transcript.update(msg_digest)
+        transcript.update(signature)
+    root = transcript.digest()
+    coefficients = {}
+    for n, i in enumerate(indices):
+        stream = hashlib.sha256(root + n.to_bytes(8, "big")).digest()
+        c = int.from_bytes(stream[: BATCH_COEFF_BITS // 8], "big")
+        # Odd coefficients: the ambient group has order 2q, and an odd
+        # c < q cannot be a multiple of any non-trivial element order
+        # (2, q or 2q), closing the order-2 escape a safe-prime group
+        # would otherwise leave open.
+        coefficients[i] = c | 1
+    return coefficients
+
+
+def _batch_holds(decoded: dict, challenges: dict, indices: Sequence[int], seed: bytes) -> bool:
+    """Evaluate one randomized-linear-combination batch equation."""
+    PERF.batch_calls += 1
+    coefficients = _batch_coefficients(decoded, indices, seed)
+    s_combined = 0
+    r_pairs = []
+    e_by_key: dict[int, int] = {}
+    for i in indices:
+        _y_bytes, _digest, _sig, s, r = decoded[i]
+        c = coefficients[i]
+        s_combined = (s_combined + c * s) % Q
+        r_pairs.append((r, c))
+        y = challenges[i][0]
+        e_by_key[y] = (e_by_key.get(y, 0) + c * challenges[i][1]) % Q
+    lhs = _g_pow(s_combined)
+    if _FAST_PATH:
+        rhs = multiexp(r_pairs, P)
+    else:
+        rhs = 1
+        for r, c in r_pairs:
+            PERF.modexp_full += 1
+            rhs = rhs * pow(r, c, P) % P
+    for y, e_sum in e_by_key.items():
+        rhs = rhs * _y_pow(y, e_sum) % P
+    return lhs == rhs
+
+
+def verify_batch(
+    items: Sequence[tuple[PublicKey, bytes, bytes]], seed: bytes = b""
+) -> list[bool]:
+    """Verify many ``(public_key, message, signature)`` triples at once.
+
+    Returns one boolean per item, and always agrees with calling
+    :meth:`PublicKey.verify` item by item: an all-valid batch is settled
+    by a single multi-exponentiation; a failing batch is bisected until
+    every forged signature is isolated by an individual verification.
+    Results (including per-item results from bisection) land in the
+    shared verification cache, so subsequent individual ``verify`` calls
+    on the same triples are O(1) lookups.
+    """
+    results: list[Optional[bool]] = [None] * len(items)
+    decoded: dict = {}     # index -> (y_bytes, msg_digest, signature, s, r)
+    challenges: dict = {}  # index -> (y, e)
+    pending: list[int] = []
+    for i, (public_key, message, signature) in enumerate(items):
+        key = (public_key.y, message, signature)
+        cached = _cache_get(key)
+        if cached is not None:
+            results[i] = cached
+            continue
+        try:
+            s, r = _decode_signature(signature)
+        except SignatureError:
+            results[i] = False
+            _cache_put(key, False)
+            continue
+        if not (0 <= s < Q and 0 < r < P):
+            results[i] = False
+            _cache_put(key, False)
+            continue
+        y_bytes = public_key.to_bytes()
+        e = _hash_to_int(_int_bytes(r), y_bytes, message) % Q
+        decoded[i] = (y_bytes, hashlib.sha256(message).digest(), signature, s, r)
+        challenges[i] = (public_key.y, e)
+        pending.append(i)
+
+    def settle(indices: list[int]) -> None:
+        if len(indices) == 1:
+            # Bisection leaf: decide the signature by the exact
+            # individual equation, not a randomized one, so the result
+            # is identical to what PublicKey.verify would return.
+            i = indices[0]
+            _y_bytes, _digest, _sig, s, r = decoded[i]
+            y, e = challenges[i]
+            PERF.verify_individual += 1
+            result = _g_pow(s) == r * _y_pow(y, e) % P
+            results[i] = result
+            public_key, message, signature = items[i]
+            _cache_put((public_key.y, message, signature), result)
+            return
+        if _batch_holds(decoded, challenges, indices, seed):
+            _settle_valid(indices)
+            return
+        PERF.batch_bisections += 1
+        mid = len(indices) // 2
+        settle(indices[:mid])
+        settle(indices[mid:])
+
+    def _settle_valid(indices: list[int]) -> None:
+        PERF.verify_batched += len(indices)
+        for i in indices:
+            results[i] = True
+            public_key, message, signature = items[i]
+            _cache_put((public_key.y, message, signature), True)
+
+    if pending:
+        settle(pending)
+    return [bool(flag) for flag in results]

@@ -5,6 +5,11 @@ and every transaction's journey is recorded step by step — proposal,
 simulation, endorsement, gossip dissemination, ordering, delivery,
 validation, commit — in the same order as the paper's sequence diagram.
 Useful for debugging, teaching, and asserting pipeline behaviour in tests.
+
+The module also hosts the process-wide :data:`PERF` counters fed by the
+validation fast path (crypto kernel, batch verifier, shared VSCC memo,
+per-phase wall clocks).  They are plain counters — reading or resetting
+them never influences simulation behaviour, so determinism is preserved.
 """
 
 from __future__ import annotations
@@ -12,6 +17,79 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+
+@dataclass
+class PerfCounters:
+    """Crypto / validation perf counters (process-wide, see :data:`PERF`).
+
+    ``modexp_full`` counts plain ``pow()`` calls on full-width exponents;
+    ``modexp_windowed`` counts table-accelerated fixed-base evaluations;
+    ``multiexp_calls`` counts Straus simultaneous multi-exponentiations.
+    ``verify_*`` splits signature checks by how they were satisfied, and
+    ``vscc_memo_*`` tracks the shared block-validation memo.  Wall time
+    spent inside each peer phase accumulates in ``phase_seconds``.
+    """
+
+    verify_individual: int = 0   # signatures verified one at a time
+    verify_batched: int = 0      # signatures settled by a batch equation
+    verify_cache_hits: int = 0   # signatures answered from the LRU cache
+    batch_calls: int = 0         # batch equations evaluated
+    batch_bisections: int = 0    # failed batches split to isolate forgeries
+    modexp_full: int = 0
+    modexp_windowed: int = 0
+    multiexp_calls: int = 0
+    table_builds: int = 0        # fixed-base window tables built
+    vscc_memo_hits: int = 0
+    vscc_memo_misses: int = 0
+    phase_seconds: dict = field(default_factory=dict)  # phase -> seconds
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @property
+    def verifications(self) -> int:
+        """Total signature checks answered, however they were satisfied."""
+        return self.verify_individual + self.verify_batched + self.verify_cache_hits
+
+    @property
+    def modexps(self) -> int:
+        return self.modexp_full + self.modexp_windowed
+
+    def reset(self) -> None:
+        for name in (
+            "verify_individual", "verify_batched", "verify_cache_hits",
+            "batch_calls", "batch_bisections", "modexp_full",
+            "modexp_windowed", "multiexp_calls", "table_builds",
+            "vscc_memo_hits", "vscc_memo_misses",
+        ):
+            setattr(self, name, 0)
+        self.phase_seconds = {}
+
+    def as_dict(self, prefix: str = "perf:") -> dict:
+        """Flat snapshot, e.g. ``{"perf:modexp_full": 12, ...}``."""
+        snapshot: dict = {
+            f"{prefix}verifications": self.verifications,
+            f"{prefix}verify_individual": self.verify_individual,
+            f"{prefix}verify_batched": self.verify_batched,
+            f"{prefix}verify_cache_hits": self.verify_cache_hits,
+            f"{prefix}batch_calls": self.batch_calls,
+            f"{prefix}batch_bisections": self.batch_bisections,
+            f"{prefix}modexp_count": self.modexps,
+            f"{prefix}modexp_full": self.modexp_full,
+            f"{prefix}modexp_windowed": self.modexp_windowed,
+            f"{prefix}multiexp_calls": self.multiexp_calls,
+            f"{prefix}table_builds": self.table_builds,
+            f"{prefix}vscc_memo_hits": self.vscc_memo_hits,
+            f"{prefix}vscc_memo_misses": self.vscc_memo_misses,
+        }
+        for phase, seconds in sorted(self.phase_seconds.items()):
+            snapshot[f"{prefix}{phase}_ms"] = round(seconds * 1000, 3)
+        return snapshot
+
+
+#: The process-wide counter instance every fast-path layer feeds.
+PERF = PerfCounters()
 
 
 @dataclass(frozen=True)
@@ -56,15 +134,24 @@ class Tracer:
     def for_tx(self, tx_id: str) -> list[TraceEvent]:
         return [e for e in self.events if e.tx_id == tx_id]
 
-    def summary(self) -> dict[str, int]:
+    def summary(self, perf: bool = False) -> dict[str, int]:
         """Per-action event counts, e.g. ``{"validate+commit": 300, ...}``.
 
         With the event runtime interleaving hundreds of transactions, the
         raw log is too long to eyeball; the summary aggregates it into a
         quick pipeline-shape check (every tx endorsed twice, one
         ``enqueue-envelope`` each, blocks ≪ transactions, ...).
+
+        With ``perf=True`` the snapshot additionally surfaces the
+        process-wide :data:`PERF` counters as ``perf:*`` entries
+        (verifications performed / batched / memo-hit, modexp count,
+        per-phase wall time) so one call shows both the pipeline shape
+        and what the validation fast path did for it.
         """
-        return dict(Counter(event.action for event in self.events))
+        counts: dict = dict(Counter(event.action for event in self.events))
+        if perf:
+            counts.update(PERF.as_dict())
+        return counts
 
     def render(self) -> str:
         return "\n".join(str(event) for event in self.events)

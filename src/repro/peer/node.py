@@ -8,11 +8,13 @@ enabled.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.api import Chaincode
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.common.errors import ConfigError, EndorsementError
+from repro.common.tracing import PERF
 from repro.core.defense.features import FrameworkFeatures
 from repro.identity.identity import Certificate, SigningIdentity
 from repro.ledger.block import Block, ValidatedBlock
@@ -122,8 +124,12 @@ class PeerNode:
     # -- validation phase ------------------------------------------------------
     def deliver_block(self, block: Block) -> ValidatedBlock:
         """Validate and commit an ordered block (steps 13-20 of Fig. 2)."""
+        started = time.perf_counter()
         flags = self._validator.validate_block(block, self.ledger)
+        validated_at = time.perf_counter()
         validated = self._committer.commit_block(block, flags, self.ledger)
+        PERF.add_phase_time("validate", validated_at - started)
+        PERF.add_phase_time("commit", time.perf_counter() - validated_at)
         for listener in self._commit_listeners:
             listener(self, validated)
         return validated

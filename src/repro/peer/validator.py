@@ -25,8 +25,11 @@ before evaluating any policy of a PDC transaction.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import os
+from typing import TYPE_CHECKING, Optional
 
+from repro.common import crypto
+from repro.common.tracing import PERF
 from repro.core.defense.features import FrameworkFeatures
 from repro.identity.identity import Certificate
 from repro.ledger.block import Block
@@ -38,13 +41,60 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.network.channel import ChannelConfig
 
 
+def shared_vscc_enabled() -> bool:
+    """The ``REPRO_SHARED_VSCC=0`` escape hatch (read per block)."""
+    return os.environ.get("REPRO_SHARED_VSCC", "1") != "0"
+
+
+def batch_verify_enabled() -> bool:
+    """``REPRO_BATCH_VERIFY=0`` disables the batched signature pre-pass."""
+    return os.environ.get("REPRO_BATCH_VERIFY", "1") != "0"
+
+
+# The shared VSCC memo: per channel object, {(block hash, features) ->
+# flag tuple}.  Validation is a deterministic function of (block bytes,
+# channel policies, feature flags, pre-block ledger state); the block
+# hash pins the whole chain prefix — and therefore the pre-block state —
+# while the channel object pins the policies and MSP roots, so the
+# 2nd..Nth peer validating the same delivered block reuses the first
+# peer's flags without re-running any crypto.  Stashing the memo on the
+# channel *instance* (every peer of a network shares one ChannelConfig)
+# means distinct networks never share entries even when their blocks are
+# byte-identical (seed replays rebuild the channel from scratch), and the
+# memo's lifetime is exactly the channel's.
+_SHARED_VSCC_MAX_BLOCKS = 65_536
+
+
+def _shared_memo_for(channel: "ChannelConfig") -> dict:
+    memo = getattr(channel, "_vscc_memo", None)
+    if memo is None:
+        memo = {}
+        channel._vscc_memo = memo  # type: ignore[attr-defined]
+    return memo
+
+
 class Validator:
     """VSCC + MVCC validation for one peer on one channel."""
 
-    def __init__(self, channel: "ChannelConfig", features: FrameworkFeatures) -> None:
+    def __init__(
+        self,
+        channel: "ChannelConfig",
+        features: FrameworkFeatures,
+        use_shared_memo: Optional[bool] = None,
+    ) -> None:
         self._channel = channel
         self._features = features
         self._evaluator = channel.evaluator()
+        # None -> consult REPRO_SHARED_VSCC per block; True/False -> pin.
+        self._use_shared_memo = use_shared_memo
+        # Per-channel certificate-validation memo: the MSP registry
+        # already caches CA checks, but it keys by a 5-field tuple built
+        # per call; this memo keys by the certificate object and so costs
+        # one dict probe on the (very) hot validation path.
+        self._cert_memo: dict[Certificate, bool] = {}
+        # Per-block context: payload bytes computed once per envelope
+        # per block-validation pass (see _prewarm_signatures).
+        self._payload_bytes: Optional[dict[str, bytes]] = None
 
     # -- block-level entry point ------------------------------------------
     def validate_block(self, block: Block, ledger: PeerLedger) -> list[ValidationCode]:
@@ -53,7 +103,89 @@ class Validator:
         Later transactions in the same block see the keys written by
         earlier *valid* transactions as conflicting (standard Fabric MVCC
         within a block).
+
+        Fast path: if the *shared VSCC memo* holds the flag vector another
+        peer already computed for this exact block (same channel, same
+        feature flags — the block hash pins the chain prefix and hence the
+        pre-block state), it is returned without re-running any checks.
+        Otherwise all of the block's signature checks are collected into
+        one batched Schnorr verification before the per-transaction rules
+        run.
         """
+        memo: Optional[dict] = None
+        memo_key = None
+        use_memo = (
+            shared_vscc_enabled()
+            if self._use_shared_memo is None
+            else self._use_shared_memo
+        )
+        if use_memo:
+            memo = _shared_memo_for(self._channel)
+            memo_key = (block.header.block_hash(), self._features)
+            hit = memo.get(memo_key)
+            if hit is not None:
+                PERF.vscc_memo_hits += 1
+                return list(hit)
+        flags = self._validate_block_fresh(block, ledger)
+        if memo is not None:
+            PERF.vscc_memo_misses += 1
+            if len(memo) >= _SHARED_VSCC_MAX_BLOCKS:  # pragma: no cover - backstop
+                memo.clear()
+            memo[memo_key] = tuple(flags)
+        return flags
+
+    def _validate_block_fresh(
+        self, block: Block, ledger: PeerLedger
+    ) -> list[ValidationCode]:
+        self._payload_bytes = {}
+        try:
+            if batch_verify_enabled():
+                self._prewarm_signatures(block, ledger)
+            return self._validate_block_inner(block, ledger)
+        finally:
+            self._payload_bytes = None
+
+    def _prewarm_signatures(self, block: Block, ledger: PeerLedger) -> None:
+        """Collect the block's signature checks into one batched call.
+
+        Only transactions that survive the cheap structural pre-checks
+        (duplicate tx-id, channel, chaincode, certificate validity,
+        response status) contribute — anything else short-circuits before
+        its signatures are ever consulted.  The batch call settles every
+        signature in the shared verification cache, so the per-transaction
+        pipeline below finds each `verify` already answered; validation
+        *decisions* are taken by exactly the same rules in the same order
+        as the unbatched path.
+        """
+        items: list[tuple] = []
+        seen: set[str] = set()
+        for tx in block.transactions:
+            eligible = (
+                tx.tx_id not in seen
+                and not ledger.blockchain.has_transaction(tx.tx_id)
+                and tx.channel_id == self._channel.channel_id
+                and bool(self._channel.chaincodes.get(tx.chaincode_id))
+                and self._certificate_valid(tx.creator)
+            )
+            seen.add(tx.tx_id)
+            if not eligible:
+                continue
+            items.append((tx.creator.public_key, tx.signed_bytes(), tx.signature))
+            if not tx.payload.response.ok:
+                continue
+            payload_bytes = tx.payload.bytes()
+            self._payload_bytes[tx.tx_id] = payload_bytes
+            for endorsement in tx.endorsements:
+                if self._certificate_valid(endorsement.endorser):
+                    items.append(
+                        (endorsement.endorser.public_key, payload_bytes, endorsement.signature)
+                    )
+        if len(items) > 1:
+            crypto.verify_batch(items, seed=block.header.prev_hash)
+
+    def _validate_block_inner(
+        self, block: Block, ledger: PeerLedger
+    ) -> list[ValidationCode]:
         flags: list[ValidationCode] = []
         block_writes: set[tuple[str, str]] = set()
         block_private_writes: set[tuple[str, str, bytes]] = set()
@@ -76,6 +208,13 @@ class Validator:
                             )
         return flags
 
+    def _certificate_valid(self, certificate: Certificate) -> bool:
+        cached = self._cert_memo.get(certificate)
+        if cached is None:
+            cached = self._channel.msp_registry.validate_certificate(certificate)
+            self._cert_memo[certificate] = cached
+        return cached
+
     # -- per-transaction pipeline ------------------------------------------
     def _validate_transaction(
         self,
@@ -91,7 +230,7 @@ class Validator:
             return ValidationCode.INVALID_OTHER
         if not self._channel.chaincodes.get(tx.chaincode_id):
             return ValidationCode.INVALID_OTHER
-        if not self._channel.msp_registry.validate_certificate(tx.creator):
+        if not self._certificate_valid(tx.creator):
             return ValidationCode.BAD_CREATOR_SIGNATURE
         if not tx.verify_creator_signature():
             return ValidationCode.BAD_CREATOR_SIGNATURE
@@ -112,10 +251,14 @@ class Validator:
         Invalid signatures are dropped rather than failing the transaction
         — they simply do not count towards any policy, as in Fabric.
         """
-        payload_bytes = tx.payload.bytes()
+        cached_bytes = self._payload_bytes
+        if cached_bytes is not None and tx.tx_id in cached_bytes:
+            payload_bytes = cached_bytes[tx.tx_id]
+        else:
+            payload_bytes = tx.payload.bytes()
         signers = []
         for endorsement in tx.endorsements:
-            if not self._channel.msp_registry.validate_certificate(endorsement.endorser):
+            if not self._certificate_valid(endorsement.endorser):
                 continue
             if endorsement.verify(payload_bytes):
                 signers.append(endorsement.endorser)

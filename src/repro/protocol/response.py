@@ -88,7 +88,17 @@ class ProposalResponsePayload:
         }
 
     def bytes(self) -> bytes:
-        return canonical_bytes(self.to_wire())
+        # Canonical serialization is the single hottest allocation of
+        # block validation: every endorsement check of every peer hashes
+        # these bytes.  The payload is deeply frozen, so the serialized
+        # form is computed once and stashed on the instance — the 2nd..Nth
+        # check (and the 2nd..Nth *peer*, which sees the same object in
+        # this in-process simulator) reuses it.
+        cached = getattr(self, "_serialized", None)
+        if cached is None:
+            cached = canonical_bytes(self.to_wire())
+            object.__setattr__(self, "_serialized", cached)
+        return cached
 
     def with_hashed_payload(self) -> "ProposalResponsePayload":
         """New Feature 2, generalized: hash every plaintext channel —

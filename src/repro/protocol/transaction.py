@@ -51,19 +51,28 @@ class TransactionEnvelope:
     args: tuple[str, ...] = ()
 
     def signed_bytes(self) -> bytes:
-        """The content covered by the creator's signature."""
-        return canonical_bytes(
-            {
-                "tx_id": self.tx_id,
-                "channel_id": self.channel_id,
-                "chaincode_id": self.chaincode_id,
-                "creator": self.creator.to_wire(),
-                "payload": self.payload.to_wire(),
-                "endorsements": [e.to_wire() for e in self.endorsements],
-                "function": self.function,
-                "args": list(self.args),
-            }
-        )
+        """The content covered by the creator's signature.
+
+        Memoized on the (frozen) envelope: every peer re-serializes the
+        same envelope to check the creator signature, so the canonical
+        bytes are computed once per envelope per process.
+        """
+        cached = getattr(self, "_serialized", None)
+        if cached is None:
+            cached = canonical_bytes(
+                {
+                    "tx_id": self.tx_id,
+                    "channel_id": self.channel_id,
+                    "chaincode_id": self.chaincode_id,
+                    "creator": self.creator.to_wire(),
+                    "payload": self.payload.to_wire(),
+                    "endorsements": [e.to_wire() for e in self.endorsements],
+                    "function": self.function,
+                    "args": list(self.args),
+                }
+            )
+            object.__setattr__(self, "_serialized", cached)
+        return cached
 
     def to_wire(self) -> dict:
         return {

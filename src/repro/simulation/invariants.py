@@ -671,6 +671,52 @@ def check_gossip_convergence(sim: "SimNetwork", outcomes: list) -> list:
     return violations
 
 
+def check_vscc_memo_agreement(sim: "SimNetwork") -> list:
+    """The shared VSCC memo never changes a validation flag.
+
+    The fast path lets the 2nd..Nth peer reuse the flag vector the first
+    peer computed for an identical block (``validator.py``'s shared
+    memo).  This check replays the committed chain through a *fresh*
+    validator with the memo disabled — so every signature check and
+    policy evaluation actually runs — and demands the flags match what
+    the peers committed.  Any divergence means the memo (or the batched
+    signature pre-pass feeding it) changed an outcome.
+    """
+    from repro.ledger.ledger import PeerLedger
+    from repro.peer.committer import Committer
+    from repro.peer.validator import Validator
+
+    violations = []
+    peers = sim.all_peers()
+    if not peers:
+        return violations
+    source = peers[0]
+    channel = sim.network.channel
+    fresh_ledger = PeerLedger()
+    fresh_validator = Validator(
+        channel=channel, features=source.features, use_shared_memo=False
+    )
+    committer = Committer(channel=channel, local_msp_id=source.msp_id)
+    for validated in source.ledger.blockchain.blocks():
+        fresh_flags = fresh_validator.validate_block(validated.block, fresh_ledger)
+        committed = list(validated.flags)
+        if fresh_flags != committed:
+            for tx, got, want in zip(
+                validated.block.transactions, committed, fresh_flags
+            ):
+                if got is not want:
+                    violations.append(Violation(
+                        "vscc-memo",
+                        f"block {validated.number}: committed flag {got.value} "
+                        f"but memo-free re-validation says {want.value}",
+                        peer=source.name, tx_id=tx.tx_id,
+                    ))
+        # Advance the fresh ledger with the *committed* flags so one
+        # divergence does not cascade into spurious MVCC mismatches.
+        committer.commit_block(validated.block, committed, fresh_ledger)
+    return violations
+
+
 def check_liveness_accounting(sim: "SimNetwork", outcomes: list) -> list:
     """Unresolved futures are exactly the envelopes the fault model ate."""
     violations = []
@@ -702,6 +748,7 @@ def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     violations.extend(check_hash_chains(sim))
     violations.extend(check_block_agreement(sim))
     violations.extend(check_reference_validation(sim))
+    violations.extend(check_vscc_memo_agreement(sim))
     violations.extend(check_policy_expectations(sim, outcomes))
     violations.extend(check_pdc_privacy(sim, outcomes))
     violations.extend(check_gossip_convergence(sim, outcomes))

@@ -1,0 +1,130 @@
+"""Unit and property tests for the modular-exponentiation kernels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.crypto import G, P, Q
+from repro.common.multiexp import FixedBaseTable, WindowTableLRU, multiexp
+
+SMALL_PRIME = 1009
+
+
+class TestFixedBaseTable:
+    def test_matches_builtin_pow(self):
+        table = FixedBaseTable(G, P, Q.bit_length())
+        for exponent in (0, 1, 2, 15, 16, 17, 255, Q - 1, Q // 3):
+            assert table.pow(exponent) == pow(G, exponent, P)
+
+    def test_small_modulus(self):
+        table = FixedBaseTable(7, SMALL_PRIME, 32)
+        for exponent in range(0, 300, 7):
+            assert table.pow(exponent) == pow(7, exponent, SMALL_PRIME)
+
+    def test_exponent_zero_and_one(self):
+        table = FixedBaseTable(5, SMALL_PRIME, 16)
+        assert table.pow(0) == 1
+        assert table.pow(1) == 5
+
+    def test_covers_reflects_table_range(self):
+        table = FixedBaseTable(3, SMALL_PRIME, 16)
+        assert table.covers(0)
+        assert table.covers((1 << 16) - 1)
+        assert not table.covers(1 << 20)
+        assert not table.covers(-1)
+
+    def test_fallback_past_table_range(self):
+        table = FixedBaseTable(3, SMALL_PRIME, 8)
+        exponent = 1 << 40
+        assert table.pow(exponent) == pow(3, exponent, SMALL_PRIME)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        base=st.integers(min_value=2, max_value=SMALL_PRIME - 1),
+        exponent=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_property_agrees_with_pow(self, base, exponent):
+        table = FixedBaseTable(base, SMALL_PRIME, 32)
+        assert table.pow(exponent) == pow(base, exponent, SMALL_PRIME)
+
+
+class TestWindowTableLRU:
+    def test_builds_table_only_after_threshold(self):
+        lru = WindowTableLRU(maxsize=4, build_after=3)
+        for use in range(1, 3):
+            assert lru.powmod(G, use, P, 16) == pow(G, use, P)
+            assert not lru.has_table(G)
+        assert lru.powmod(G, 3, P, 16) == pow(G, 3, P)
+        assert lru.has_table(G)
+
+    def test_lru_eviction_order(self):
+        lru = WindowTableLRU(maxsize=2, build_after=1)
+        lru.powmod(3, 5, SMALL_PRIME, 16)
+        lru.powmod(5, 5, SMALL_PRIME, 16)
+        lru.powmod(3, 6, SMALL_PRIME, 16)  # refresh 3
+        lru.powmod(7, 5, SMALL_PRIME, 16)  # evicts 5, the least recent
+        assert lru.has_table(3)
+        assert lru.has_table(7)
+        assert not lru.has_table(5)
+        assert len(lru) == 2
+
+    def test_results_correct_before_and_after_build(self):
+        lru = WindowTableLRU(maxsize=8, build_after=2)
+        for exponent in (9, 10, 11, 12):
+            assert lru.powmod(11, exponent, SMALL_PRIME, 16) == pow(11, exponent, SMALL_PRIME)
+
+    def test_rejects_zero_maxsize(self):
+        with pytest.raises(ValueError):
+            WindowTableLRU(maxsize=0)
+
+    def test_clear(self):
+        lru = WindowTableLRU(maxsize=4, build_after=1)
+        lru.powmod(3, 5, SMALL_PRIME, 16)
+        lru.clear()
+        assert len(lru) == 0
+
+
+class TestMultiexp:
+    def test_matches_product_of_pows(self):
+        pairs = [(3, 17), (5, 123456), (7, 1), (11, (1 << 128) - 3)]
+        expected = 1
+        for base, exponent in pairs:
+            expected = expected * pow(base, exponent, SMALL_PRIME) % SMALL_PRIME
+        assert multiexp(pairs, SMALL_PRIME) == expected
+
+    def test_empty_input(self):
+        assert multiexp([], SMALL_PRIME) == 1
+        assert multiexp([], 1) == 0  # 1 % 1
+
+    def test_zero_exponents_are_skipped(self):
+        assert multiexp([(3, 0), (5, 0)], SMALL_PRIME) == 1
+        assert multiexp([(3, 0), (5, 2)], SMALL_PRIME) == 25
+
+    def test_single_pair(self):
+        assert multiexp([(G, Q - 1)], P) == pow(G, Q - 1, P)
+
+    def test_large_group_batch(self):
+        pairs = [(pow(G, i + 2, P), (1 << 127) + i) for i in range(8)]
+        expected = 1
+        for base, exponent in pairs:
+            expected = expected * pow(base, exponent, P) % P
+        assert multiexp(pairs, P) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=SMALL_PRIME - 1),
+                st.integers(min_value=0, max_value=(1 << 64) - 1),
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_property_agrees_with_pow(self, pairs):
+        expected = 1
+        for base, exponent in pairs:
+            expected = expected * pow(base, exponent, SMALL_PRIME) % SMALL_PRIME
+        assert multiexp(pairs, SMALL_PRIME) == expected
