@@ -16,8 +16,11 @@ all endorsements of a block are checked in a single randomized linear
 combination, ``g**sum(c_i*s_i) == prod(r_i**c_i) * prod(y**sum(c_i*e_i))``,
 with the 128-bit coefficients ``c_i`` drawn from a deterministic stream
 bound to the batch content (so runs stay reproducible while a forger
-cannot predict its coefficient).  A failing batch falls back to bisection
-so an individual forgery is still pinpointed and rejected.
+cannot predict its coefficient).  Commitments are required to lie in the
+order-q subgroup (a Jacobi-symbol pre-check, no modexp needed), so the
+linear combination ranges over a prime-order group and the standard
+small-exponent soundness bound applies.  A failing batch falls back to
+bisection so an individual forgery is still pinpointed and rejected.
 
 The substitution is documented in DESIGN.md: the attacks and defenses in
 the paper do not depend on the curve, only on unforgeability and public
@@ -66,6 +69,38 @@ class SignatureError(Exception):
 def _hash_to_int(*parts: bytes) -> int:
     digest = hashlib.sha256(b"||".join(parts)).digest()
     return int.from_bytes(digest, "big")
+
+
+def _jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd n > 0 — O(len²) bit ops, no modexp."""
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def _in_subgroup(r: int) -> bool:
+    """Membership in the order-q subgroup of Z_p* (p = 2q+1 safe prime).
+
+    The subgroup of order q is exactly the quadratic residues, so a
+    Jacobi symbol of +1 decides membership without a 1536-bit modexp.
+    Verification requires it of every commitment ``r``: honest signers
+    produce ``r = g**k`` (a residue by construction), while rejecting
+    the order-2 component up front is what keeps the *batch* equation
+    sound — in a prime-order group a randomized linear combination can
+    only hide a forgery with probability ~2**-128, whereas elements
+    with an order-2 part could cancel in pairs regardless of the
+    coefficients.
+    """
+    return _jacobi(r, P) == 1
 
 
 # ---------------------------------------------------------------------------
@@ -143,12 +178,18 @@ def clear_caches() -> None:
 # Every peer re-verifies the same (creator, endorser) signatures during
 # block validation, so a network of N peers repeats each 1536-bit
 # verification N times.  Signatures are deterministic, so caching by
-# (key, message, signature) is sound.  The cache is a bounded LRU — a
-# full cache evicts the least recently used entry instead of clearing
-# wholesale — and is keyed by the message bytes themselves, so the hot
-# hit path never re-hashes the message.
+# (key, message digest, signature) is sound.  The cache is a bounded
+# LRU — a full cache evicts the least recently used entry instead of
+# clearing wholesale — keyed by the SHA-256 digest of the message, not
+# the message bytes: 50k multi-KB endorsement payloads would otherwise
+# stay pinned by the cache, and the rehash on a hit costs nothing next
+# to even one windowed 1536-bit modexp.
 _VERIFY_CACHE: OrderedDict = OrderedDict()
 _VERIFY_CACHE_MAX = 50_000
+
+
+def _cache_key(y: int, message: bytes, signature: bytes) -> tuple:
+    return (y, hashlib.sha256(message).digest(), signature)
 
 
 def _cache_get(key) -> Optional[bool]:
@@ -193,7 +234,7 @@ class PublicKey:
         Accepts and rejects rather than raising so policy evaluation can
         simply skip invalid endorsements, the way Fabric's VSCC does.
         """
-        key = (self.y, message, signature)
+        key = _cache_key(self.y, message, signature)
         cached = _cache_get(key)
         if cached is not None:
             return cached
@@ -207,7 +248,7 @@ class PublicKey:
             s, r = _decode_signature(signature)
         except SignatureError:
             return False
-        if not (0 <= s < Q and 0 < r < P):
+        if not (0 <= s < Q and 0 < r < P and _in_subgroup(r)):
             return False
         e = _hash_to_int(_int_bytes(r), self.to_bytes(), message) % Q
         return _g_pow(s) == r * _y_pow(self.y, e) % P
@@ -294,11 +335,11 @@ def _batch_coefficients(decoded: dict, indices: Sequence[int], seed: bytes) -> d
     for n, i in enumerate(indices):
         stream = hashlib.sha256(root + n.to_bytes(8, "big")).digest()
         c = int.from_bytes(stream[: BATCH_COEFF_BITS // 8], "big")
-        # Odd coefficients: the ambient group has order 2q, and an odd
-        # c < q cannot be a multiple of any non-trivial element order
-        # (2, q or 2q), closing the order-2 escape a safe-prime group
-        # would otherwise leave open.
-        coefficients[i] = c | 1
+        # Any non-zero c < 2**128 < q is invertible in the order-q
+        # subgroup (the pre-checks reject commitments outside it), so
+        # the only coefficient to avoid is 0, which would drop its
+        # signature from the combined equation entirely.
+        coefficients[i] = c or 1
     return coefficients
 
 
@@ -345,9 +386,12 @@ def verify_batch(
     results: list[Optional[bool]] = [None] * len(items)
     decoded: dict = {}     # index -> (y_bytes, msg_digest, signature, s, r)
     challenges: dict = {}  # index -> (y, e)
+    cache_keys: dict = {}  # index -> verify-cache key
     pending: list[int] = []
     for i, (public_key, message, signature) in enumerate(items):
-        key = (public_key.y, message, signature)
+        msg_digest = hashlib.sha256(message).digest()
+        key = (public_key.y, msg_digest, signature)
+        cache_keys[i] = key
         cached = _cache_get(key)
         if cached is not None:
             results[i] = cached
@@ -358,13 +402,16 @@ def verify_batch(
             results[i] = False
             _cache_put(key, False)
             continue
-        if not (0 <= s < Q and 0 < r < P):
+        # The subgroup pre-check is what makes batching sound: every
+        # surviving commitment lives in the prime-order-q subgroup, so
+        # no order-2 components can cancel across a batch.
+        if not (0 <= s < Q and 0 < r < P and _in_subgroup(r)):
             results[i] = False
             _cache_put(key, False)
             continue
         y_bytes = public_key.to_bytes()
         e = _hash_to_int(_int_bytes(r), y_bytes, message) % Q
-        decoded[i] = (y_bytes, hashlib.sha256(message).digest(), signature, s, r)
+        decoded[i] = (y_bytes, msg_digest, signature, s, r)
         challenges[i] = (public_key.y, e)
         pending.append(i)
 
@@ -379,8 +426,7 @@ def verify_batch(
             PERF.verify_individual += 1
             result = _g_pow(s) == r * _y_pow(y, e) % P
             results[i] = result
-            public_key, message, signature = items[i]
-            _cache_put((public_key.y, message, signature), result)
+            _cache_put(cache_keys[i], result)
             return
         if _batch_holds(decoded, challenges, indices, seed):
             _settle_valid(indices)
@@ -394,8 +440,7 @@ def verify_batch(
         PERF.verify_batched += len(indices)
         for i in indices:
             results[i] = True
-            public_key, message, signature = items[i]
-            _cache_put((public_key.y, message, signature), True)
+            _cache_put(cache_keys[i], True)
 
     if pending:
         settle(pending)

@@ -81,17 +81,24 @@ class Validator:
         channel: "ChannelConfig",
         features: FrameworkFeatures,
         use_shared_memo: Optional[bool] = None,
+        use_batch: Optional[bool] = None,
     ) -> None:
         self._channel = channel
         self._features = features
         self._evaluator = channel.evaluator()
         # None -> consult REPRO_SHARED_VSCC per block; True/False -> pin.
         self._use_shared_memo = use_shared_memo
+        # None -> consult REPRO_BATCH_VERIFY per block; True/False -> pin.
+        self._use_batch = use_batch
         # Per-channel certificate-validation memo: the MSP registry
         # already caches CA checks, but it keys by a 5-field tuple built
         # per call; this memo keys by the certificate object and so costs
-        # one dict probe on the (very) hot validation path.
-        self._cert_memo: dict[Certificate, bool] = {}
+        # one set probe on the (very) hot validation path.  Only
+        # *positive* results are memoized: an MSP can be registered on
+        # the channel after this validator is built, so a rejection must
+        # be re-checked, while a certificate once valid stays valid (the
+        # registry has no revocation).
+        self._cert_memo: set[Certificate] = set()
         # Per-block context: payload bytes computed once per envelope
         # per block-validation pass (see _prewarm_signatures).
         self._payload_bytes: Optional[dict[str, bytes]] = None
@@ -138,8 +145,11 @@ class Validator:
         self, block: Block, ledger: PeerLedger
     ) -> list[ValidationCode]:
         self._payload_bytes = {}
+        use_batch = (
+            batch_verify_enabled() if self._use_batch is None else self._use_batch
+        )
         try:
-            if batch_verify_enabled():
+            if use_batch:
                 self._prewarm_signatures(block, ledger)
             return self._validate_block_inner(block, ledger)
         finally:
@@ -208,12 +218,17 @@ class Validator:
                             )
         return flags
 
+    _CERT_MEMO_MAX = 8192  # backstop; distinct valid certs per channel are few
+
     def _certificate_valid(self, certificate: Certificate) -> bool:
-        cached = self._cert_memo.get(certificate)
-        if cached is None:
-            cached = self._channel.msp_registry.validate_certificate(certificate)
-            self._cert_memo[certificate] = cached
-        return cached
+        if certificate in self._cert_memo:
+            return True
+        valid = self._channel.msp_registry.validate_certificate(certificate)
+        if valid:
+            if len(self._cert_memo) >= self._CERT_MEMO_MAX:  # pragma: no cover
+                self._cert_memo.clear()
+            self._cert_memo.add(certificate)
+        return valid
 
     # -- per-transaction pipeline ------------------------------------------
     def _validate_transaction(

@@ -677,11 +677,16 @@ def check_vscc_memo_agreement(sim: "SimNetwork") -> list:
     The fast path lets the 2nd..Nth peer reuse the flag vector the first
     peer computed for an identical block (``validator.py``'s shared
     memo).  This check replays the committed chain through a *fresh*
-    validator with the memo disabled — so every signature check and
-    policy evaluation actually runs — and demands the flags match what
-    the peers committed.  Any divergence means the memo (or the batched
-    signature pre-pass feeding it) changed an outcome.
+    validator with the memo disabled, the batched signature pre-pass
+    pinned off, and the process-wide verification cache cleared and
+    suspended for the replay's duration — so every signature check and
+    policy evaluation actually runs individually, rather than being
+    answered by the very batch/cache entries the check is meant to
+    independently confirm — and demands the flags match what the peers
+    committed.  Any divergence means the memo, the batched pre-pass, or
+    the verification cache changed an outcome.
     """
+    from repro.common import crypto
     from repro.ledger.ledger import PeerLedger
     from repro.peer.committer import Committer
     from repro.peer.validator import Validator
@@ -694,26 +699,35 @@ def check_vscc_memo_agreement(sim: "SimNetwork") -> list:
     channel = sim.network.channel
     fresh_ledger = PeerLedger()
     fresh_validator = Validator(
-        channel=channel, features=source.features, use_shared_memo=False
+        channel=channel,
+        features=source.features,
+        use_shared_memo=False,
+        use_batch=False,
     )
     committer = Committer(channel=channel, local_msp_id=source.msp_id)
-    for validated in source.ledger.blockchain.blocks():
-        fresh_flags = fresh_validator.validate_block(validated.block, fresh_ledger)
-        committed = list(validated.flags)
-        if fresh_flags != committed:
-            for tx, got, want in zip(
-                validated.block.transactions, committed, fresh_flags
-            ):
-                if got is not want:
-                    violations.append(Violation(
-                        "vscc-memo",
-                        f"block {validated.number}: committed flag {got.value} "
-                        f"but memo-free re-validation says {want.value}",
-                        peer=source.name, tx_id=tx.tx_id,
-                    ))
-        # Advance the fresh ledger with the *committed* flags so one
-        # divergence does not cascade into spurious MVCC mismatches.
-        committer.commit_block(validated.block, committed, fresh_ledger)
+    cache_was_enabled = crypto.verify_cache_enabled()
+    crypto.clear_caches()
+    crypto.set_verify_cache(False)
+    try:
+        for validated in source.ledger.blockchain.blocks():
+            fresh_flags = fresh_validator.validate_block(validated.block, fresh_ledger)
+            committed = list(validated.flags)
+            if fresh_flags != committed:
+                for tx, got, want in zip(
+                    validated.block.transactions, committed, fresh_flags
+                ):
+                    if got is not want:
+                        violations.append(Violation(
+                            "vscc-memo",
+                            f"block {validated.number}: committed flag {got.value} "
+                            f"but memo-free re-validation says {want.value}",
+                            peer=source.name, tx_id=tx.tx_id,
+                        ))
+            # Advance the fresh ledger with the *committed* flags so one
+            # divergence does not cascade into spurious MVCC mismatches.
+            committer.commit_block(validated.block, committed, fresh_ledger)
+    finally:
+        crypto.set_verify_cache(cache_was_enabled)
     return violations
 
 

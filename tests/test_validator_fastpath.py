@@ -130,6 +130,48 @@ class TestSharedVsccMemo:
         report = run_seed(11, 10)
         assert report.ok, report.summary()
 
+    def test_memo_agreement_checker_performs_real_verifications(self):
+        # The checker's replay must not be answered by the batch/cache
+        # entries it is supposed to independently confirm: every
+        # signature check runs individually, and the process-wide cache
+        # toggle is restored afterwards.
+        class _Sim:
+            def __init__(self, net):
+                self.network = net.network
+                self._net = net
+
+            def all_peers(self):
+                return [self._net.peer_of(i) for i in (1, 2, 3)]
+
+        net = _network()
+        _submit(net, "real-verify-key")
+        PERF.reset()
+        assert check_vscc_memo_agreement(_Sim(net)) == []
+        assert PERF.verify_individual > 0
+        assert PERF.verify_cache_hits == 0
+        assert PERF.batch_calls == 0
+        assert crypto.verify_cache_enabled()
+
+
+class TestCertificateMemo:
+    def test_late_msp_registration_not_cached_as_rejection(self):
+        # Only positive results are memoized: a certificate presented
+        # before its MSP is registered on the channel is rejected, but
+        # must become valid once the CA registers — a permanent negative
+        # memo would diverge from the uncached path.
+        from repro.identity.ca import CertificateAuthority
+        from repro.identity.roles import Role
+
+        net = _network()
+        validator = net.peer_of(1)._validator
+        late_ca = CertificateAuthority("LateOrgMSP", seed=b"late-org")
+        certificate = late_ca.enroll("late-peer", Role.PEER).certificate
+        assert not validator._certificate_valid(certificate)
+        net.network.channel.msp_registry.register(late_ca)
+        assert validator._certificate_valid(certificate)
+        # Now memoized positively: no registry call on the second probe.
+        assert certificate in validator._cert_memo
+
 
 class TestBatchedPrePass:
     def test_batched_and_unbatched_flags_agree(self, monkeypatch):
