@@ -171,6 +171,18 @@ def clear_caches() -> None:
     _KEY_TABLES.clear()
 
 
+def clear_verify_cache() -> None:
+    """Drop only the verification-result memo, keeping window tables.
+
+    Benches that replay identical identities across modes must clear the
+    memo between modes (deterministic signatures would let a later mode
+    reuse an earlier mode's verdicts) but should keep the fixed-base
+    tables: they are a one-time substrate cost every mode shares, not
+    part of what any mode ablates.
+    """
+    _VERIFY_CACHE.clear()
+
+
 # ---------------------------------------------------------------------------
 # Verification-result memoization
 # ---------------------------------------------------------------------------

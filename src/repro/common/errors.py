@@ -74,6 +74,26 @@ class ProposalResponseMismatchError(EndorsementError):
     """
 
 
+class EndorsementTimeoutError(EndorsementError):
+    """An endorsement plan ran out of time.
+
+    Raised when outstanding endorsers failed to respond within the wave
+    timeout (crashed, partitioned, or simply slower than the deadline) and
+    the plan had no backups left to escalate to.
+    """
+
+
+class EndorsementPlanExhaustedError(EndorsementError):
+    """Every candidate endorser of a plan was tried without success.
+
+    The collected responses still do not satisfy the endorsement policy
+    and at least one endorser failed outright, so the client cannot
+    assemble a transaction.  The ``response`` attribute (when set) carries
+    the last failure's chaincode response, mirroring how a plain
+    :class:`EndorsementError` from a failed simulation does.
+    """
+
+
 class OrderingError(ReproError):
     """The ordering service rejected or failed to order an envelope."""
 

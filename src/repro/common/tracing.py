@@ -27,7 +27,11 @@ class PerfCounters:
     ``modexp_windowed`` counts table-accelerated fixed-base evaluations;
     ``multiexp_calls`` counts Straus simultaneous multi-exponentiations.
     ``verify_*`` splits signature checks by how they were satisfied, and
-    ``vscc_memo_*`` tracks the shared block-validation memo.  Wall time
+    ``vscc_memo_*`` tracks the shared block-validation memo.  The
+    ``endorse_*``/``proposals_sent``/``plan_*`` counters instrument the
+    execution phase: chaincode simulations run vs answered from the
+    peer-side simulation cache, payloads signed, proposals dispatched,
+    and endorsement-plan escalations/timeouts/exhaustions.  Wall time
     spent inside each peer phase accumulates in ``phase_seconds``.
     """
 
@@ -42,6 +46,13 @@ class PerfCounters:
     table_builds: int = 0        # fixed-base window tables built
     vscc_memo_hits: int = 0
     vscc_memo_misses: int = 0
+    endorse_simulations: int = 0   # chaincode simulations actually executed
+    endorse_signatures: int = 0    # proposal-response payloads signed
+    endorse_cache_hits: int = 0    # endorsements answered from the sim cache
+    proposals_sent: int = 0        # proposals dispatched to endorsers
+    plan_escalations: int = 0      # backup endorsers drafted into a plan
+    plan_timeouts: int = 0         # endorsement waves that hit the timeout
+    plan_failures: int = 0         # plans that exhausted every endorser
     phase_seconds: dict = field(default_factory=dict)  # phase -> seconds
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -62,6 +73,9 @@ class PerfCounters:
             "batch_calls", "batch_bisections", "modexp_full",
             "modexp_windowed", "multiexp_calls", "table_builds",
             "vscc_memo_hits", "vscc_memo_misses",
+            "endorse_simulations", "endorse_signatures", "endorse_cache_hits",
+            "proposals_sent", "plan_escalations", "plan_timeouts",
+            "plan_failures",
         ):
             setattr(self, name, 0)
         self.phase_seconds = {}
@@ -82,6 +96,13 @@ class PerfCounters:
             f"{prefix}table_builds": self.table_builds,
             f"{prefix}vscc_memo_hits": self.vscc_memo_hits,
             f"{prefix}vscc_memo_misses": self.vscc_memo_misses,
+            f"{prefix}endorse_simulations": self.endorse_simulations,
+            f"{prefix}endorse_signatures": self.endorse_signatures,
+            f"{prefix}endorse_cache_hits": self.endorse_cache_hits,
+            f"{prefix}proposals_sent": self.proposals_sent,
+            f"{prefix}plan_escalations": self.plan_escalations,
+            f"{prefix}plan_timeouts": self.plan_timeouts,
+            f"{prefix}plan_failures": self.plan_failures,
         }
         for phase, seconds in sorted(self.phase_seconds.items()):
             snapshot[f"{prefix}{phase}_ms"] = round(seconds * 1000, 3)

@@ -14,13 +14,15 @@ the proposal-response payload.  Two paper-relevant behaviours live here:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.chaincode.api import Chaincode
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.chaincode.stub import ChaincodeStub
 from repro.common.errors import EndorsementError
+from repro.common.tracing import PERF
 from repro.core.defense.features import FrameworkFeatures
 from repro.identity.identity import SigningIdentity
 from repro.ledger.ledger import PeerLedger
@@ -35,6 +37,15 @@ from repro.protocol.response import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.channel import ChannelConfig
+
+#: Bound on cached endorsements per peer between commits; a commit clears
+#: the cache anyway, the cap only guards against unbounded query storms.
+_SIM_CACHE_MAX = 512
+
+
+def endorse_cache_enabled() -> bool:
+    """``REPRO_ENDORSE_CACHE=0`` disables the peer-side simulation cache."""
+    return os.environ.get("REPRO_ENDORSE_CACHE", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -55,20 +66,83 @@ class Endorser:
         channel: "ChannelConfig",
         chaincodes: Mapping[str, Chaincode],
         features: FrameworkFeatures,
+        use_sim_cache: Optional[bool] = None,
     ) -> None:
         self._identity = identity
         self._ledger = ledger
         self._channel = channel
         self._chaincodes = chaincodes
         self._features = features
+        # None = consult REPRO_ENDORSE_CACHE per call (PR 4 toggle pattern).
+        self._use_sim_cache = use_sim_cache
+        self._sim_cache: dict[bytes, EndorsementOutput] = {}
+        self._sim_cache_height = -1
 
-    def process_proposal(self, proposal: Proposal) -> EndorsementOutput:
+    def _cache_enabled(self) -> bool:
+        if self._use_sim_cache is not None:
+            return self._use_sim_cache
+        return endorse_cache_enabled()
+
+    def _cache_lookup(self, proposal: Proposal, reusable: bool) -> Optional[EndorsementOutput]:
+        """Answer from the simulation cache, invalidating on state change.
+
+        Cached entries are only valid against the exact ledger height they
+        were simulated at — any commit may change what the chaincode would
+        read — so the whole cache is dropped when the height moves.  Two
+        key kinds coexist: the exact proposal hash (idempotent redelivery
+        of the *same* proposal, e.g. a plan retry) and the nonce-free
+        simulation digest, consulted only for ``reusable`` requests (the
+        ``evaluate_transaction`` query path, where the caller discards the
+        envelope and only wants the result).  A reusable lookup checks
+        *only* the digest key: a fresh-nonce query can never match an
+        exact proposal hash, and computing it would serialize the whole
+        proposal a second time — on this path the lookup itself is the
+        hot loop.
+        """
+        height = self._ledger.height
+        if height != self._sim_cache_height:
+            self._sim_cache.clear()
+            self._sim_cache_height = height
+            return None
+        if reusable:
+            hit = self._sim_cache.get(proposal.simulation_digest())
+        else:
+            hit = self._sim_cache.get(proposal.proposal_hash())
+        if hit is not None:
+            PERF.endorse_cache_hits += 1
+        return hit
+
+    def _cache_store(self, proposal: Proposal, output: EndorsementOutput) -> None:
+        """Cache read-only results (no public or private writes).
+
+        Write-bearing simulations are never cached: their effects (private
+        write staging, version conflicts) must be observed per request.
+        """
+        if output.private_writes or not output.response.payload.results.is_read_only:
+            return
+        if len(self._sim_cache) >= _SIM_CACHE_MAX:
+            self._sim_cache.clear()
+        self._sim_cache[proposal.proposal_hash()] = output
+        self._sim_cache[proposal.simulation_digest()] = output
+
+    def process_proposal(
+        self, proposal: Proposal, reusable: bool = False
+    ) -> EndorsementOutput:
         """Simulate and endorse; raises :class:`EndorsementError` on failure.
 
         A failed simulation produces a status-500 response and **no
         endorsement** — the error carries the failure response so clients
         can inspect the ``message`` field, mirroring Fabric.
+
+        ``reusable`` marks query-style requests whose result may be served
+        from a previous simulation of the same invocation at the same
+        state height (see :meth:`_cache_lookup`).
         """
+        caching = self._cache_enabled()
+        if caching:
+            cached = self._cache_lookup(proposal, reusable)
+            if cached is not None:
+                return cached
         contract = self._chaincodes.get(proposal.chaincode_id)
         if contract is None:
             raise EndorsementError(
@@ -81,6 +155,7 @@ class Endorser:
             channel=self._channel,
             local_msp_id=self._identity.msp_id,
         )
+        PERF.endorse_simulations += 1
         try:
             payload_bytes = contract.invoke(stub, proposal.function, list(proposal.args))
         except Exception as exc:  # chaincode failures become 500 responses
@@ -114,6 +189,7 @@ class Endorser:
         else:
             signed_payload = original_payload
 
+        PERF.endorse_signatures += 1
         endorsement = Endorsement(
             endorser=self._identity.certificate,
             signature=self._identity.sign(signed_payload.bytes()),
@@ -123,6 +199,9 @@ class Endorser:
             endorsement=endorsement,
             client_response=response,
         )
-        return EndorsementOutput(
+        output = EndorsementOutput(
             response=proposal_response, private_writes=simulation.private_writes
         )
+        if caching:
+            self._cache_store(proposal, output)
+        return output

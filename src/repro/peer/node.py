@@ -104,11 +104,15 @@ class PeerNode:
             self.crashed = False
 
     # -- execution phase ------------------------------------------------------
-    def endorse(self, proposal: Proposal) -> EndorsementOutput:
-        """Simulate + sign a proposal (raises EndorsementError on failure)."""
+    def endorse(self, proposal: Proposal, reusable: bool = False) -> EndorsementOutput:
+        """Simulate + sign a proposal (raises EndorsementError on failure).
+
+        ``reusable`` marks query-style requests eligible for the peer-side
+        simulation cache (see :class:`~repro.peer.endorser.Endorser`).
+        """
         if self.crashed:
             raise EndorsementError(f"peer {self.name} is down")
-        return self._endorser.process_proposal(proposal)
+        return self._endorser.process_proposal(proposal, reusable=reusable)
 
     def stage_private_writes(
         self, tx_id: str, private_writes: tuple[PrivateCollectionWrites, ...]

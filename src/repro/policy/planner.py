@@ -1,0 +1,136 @@
+"""Policy-aware endorsement planning (the Fabric Gateway's "endorsement plan").
+
+The real Fabric Gateway service computes a *plan* from the chaincode's
+endorsement policy: a minimal set of endorsing organizations whose
+signatures will satisfy the policy, plus an ordered list of alternates to
+escalate to when a member of the plan fails, times out, or is down.  This
+module reproduces that planning step on top of the existing
+:mod:`repro.policy` evaluation machinery:
+
+* :func:`plan_endorsement` — split an ordered candidate pool into the
+  minimal *primary* prefix whose certificates satisfy the (chaincode-level)
+  policy and the remaining *backups* used for escalation.  When no prefix —
+  and therefore, by monotonicity, no subset — satisfies the policy, the
+  plan degenerates to "contact everyone" with ``satisfiable=False``, which
+  preserves the legacy endorse-everywhere semantics the paper's attack
+  probes rely on (a non-satisfying set must still be submittable so the
+  validator can reject it).
+* :func:`applied_policies_satisfied` — the early-quorum completion test.
+  Planning happens *before* simulation, so the initial wave is sized from
+  the chaincode-level policy alone; once the first proposal response is in
+  hand its read/write set reveals exactly which policies validation will
+  apply (collection-level write/read policies, the Feature 1 non-member
+  filter), and this predicate re-checks the collected certificates against
+  those — the same spec-level oracle the simulation invariants hold the
+  validator to.  A quorum accepted here therefore commits ``VALID`` iff the
+  full candidate set would have: policy evaluation is monotone in the
+  signer set, so certificates can only ever help, never hurt.
+
+Key-level ("state-based") endorsement policies are the one blind spot:
+they live in committed metadata the client cannot see, exactly as in
+Fabric's gateway.  Transactions governed by them should be submitted with
+an explicit endorser set and no plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.identity.identity import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.defense.features import FrameworkFeatures
+    from repro.network.channel import ChannelConfig
+    from repro.policy.evaluator import AnyPolicy, PolicyEvaluator
+    from repro.protocol.response import ProposalResponsePayload
+
+
+@dataclass(frozen=True)
+class EndorsementPlan:
+    """An ordered endorsement plan: opening wave plus escalation backups.
+
+    ``primary`` and ``backups`` hold whatever candidate objects the caller
+    planned over (anything with a ``certificate`` attribute — peers, in
+    practice); ``satisfiable`` records whether even the full pool can
+    satisfy the planning policy.
+    """
+
+    primary: tuple
+    backups: tuple
+    satisfiable: bool
+
+    @property
+    def candidates(self) -> tuple:
+        return self.primary + self.backups
+
+    @property
+    def size(self) -> int:
+        return len(self.primary) + len(self.backups)
+
+
+def plan_endorsement(
+    evaluator: "PolicyEvaluator",
+    policy: "AnyPolicy | str",
+    candidates: Sequence,
+) -> EndorsementPlan:
+    """Plan over ``candidates`` (ordered): minimal satisfying prefix + rest.
+
+    Grows the prefix one candidate at a time until the accumulated
+    certificates satisfy ``policy`` — the same incremental construction the
+    workload generator and the §IV-A attack helpers use.  Candidate order
+    is the caller's preference order and is preserved, so planning is
+    deterministic for a deterministic pool.
+    """
+    pool = list(candidates)
+    certs: list[Certificate] = []
+    for index, candidate in enumerate(pool):
+        certs.append(candidate.certificate)
+        if evaluator.evaluate(policy, certs):
+            return EndorsementPlan(
+                primary=tuple(pool[: index + 1]),
+                backups=tuple(pool[index + 1:]),
+                satisfiable=True,
+            )
+    return EndorsementPlan(primary=tuple(pool), backups=(), satisfiable=False)
+
+
+def applied_policies_satisfied(
+    channel: "ChannelConfig",
+    features: "FrameworkFeatures",
+    chaincode_id: str,
+    certs: Sequence[Certificate],
+    payload: "ProposalResponsePayload",
+) -> bool:
+    """Whether ``certs`` satisfy every policy validation will apply.
+
+    Derives the policy-selection inputs (read-only, public writes,
+    collections written/touched) from a proposal response's read/write set
+    and defers to the spec-level oracle, so the client-side quorum test and
+    the validator cannot drift apart.
+    """
+    from repro.core.attacks.ops import expected_policy_ok
+
+    results = payload.results
+    collections_written = tuple(sorted({
+        col.collection
+        for ns in results.namespaces
+        for col in ns.collections
+        if col.hashed_writes
+    }))
+    collections_touched = tuple(sorted({
+        name for _ns, name in results.collections_touched()
+    }))
+    has_public_writes = any(
+        ns.writes or ns.metadata_writes for ns in results.namespaces
+    )
+    return expected_policy_ok(
+        channel,
+        features,
+        chaincode_id,
+        list(certs),
+        read_only=results.is_read_only,
+        has_public_writes=has_public_writes,
+        collections_written=collections_written,
+        collections_touched=collections_touched,
+    )

@@ -59,19 +59,55 @@ class Proposal:
         The transient map is deliberately excluded: it must never leak
         into anything that reaches the ordering service.
         """
-        return canonical_bytes(
-            {
-                "channel_id": self.channel_id,
-                "chaincode_id": self.chaincode_id,
-                "function": self.function,
-                "args": list(self.args),
-                "creator": self.creator.to_wire(),
-                "nonce": self.nonce,
-            }
-        )
+        # An N-endorser fan-out serializes the same frozen proposal once
+        # per endorser; stash the canonical form on the instance (the same
+        # memoization pattern as ``ProposalResponsePayload.bytes``) so the
+        # 2nd..Nth dispatch reuses it.
+        cached = getattr(self, "_header_bytes", None)
+        if cached is None:
+            cached = canonical_bytes(
+                {
+                    "channel_id": self.channel_id,
+                    "chaincode_id": self.chaincode_id,
+                    "function": self.function,
+                    "args": list(self.args),
+                    "creator": self.creator.to_wire(),
+                    "nonce": self.nonce,
+                }
+            )
+            object.__setattr__(self, "_header_bytes", cached)
+        return cached
 
     def proposal_hash(self) -> bytes:
-        return sha256(self.header_bytes())
+        cached = getattr(self, "_proposal_hash", None)
+        if cached is None:
+            cached = sha256(self.header_bytes())
+            object.__setattr__(self, "_proposal_hash", cached)
+        return cached
+
+    def simulation_digest(self) -> bytes:
+        """Digest of everything that determines the simulation *result*.
+
+        Unlike :meth:`proposal_hash` this excludes the nonce (two proposals
+        for the same invocation simulate identically) but includes the
+        transient map (private chaincode input changes the outcome).  The
+        peer-side endorsement cache keys read-only evaluates by
+        ``(simulation digest, state height)``.
+        """
+        cached = getattr(self, "_sim_digest", None)
+        if cached is None:
+            cached = sha256(canonical_bytes(
+                {
+                    "channel_id": self.channel_id,
+                    "chaincode_id": self.chaincode_id,
+                    "function": self.function,
+                    "args": list(self.args),
+                    "creator": self.creator.to_wire(),
+                    "transient": {k: self.transient[k] for k in sorted(self.transient)},
+                }
+            ))
+            object.__setattr__(self, "_sim_digest", cached)
+        return cached
 
 
 def new_proposal(

@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.client.gateway import SubmitResult
-from repro.common.errors import ConfigError, SchedulerError
+from repro.common.errors import ConfigError, EndorsementError, SchedulerError
 from repro.ledger.block import Block
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
 from repro.runtime.bus import Message, MessageBus
@@ -47,6 +47,7 @@ from repro.runtime.scheduler import DEFAULT_MAX_EVENTS, EventScheduler
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.network import FabricNetwork
     from repro.peer.node import PeerNode
+    from repro.runtime.endorse import EndorsementCollector
 
 #: Simulated time the orderer waits before cutting an under-filled batch.
 DEFAULT_BATCH_TIMEOUT = 10.0
@@ -54,31 +55,49 @@ DEFAULT_BATCH_TIMEOUT = 10.0
 TOPIC_SUBMIT = "submit"
 TOPIC_DELIVER = "deliver-block"
 TOPIC_GOSSIP = "gossip-push"
+TOPIC_ENDORSE = "endorse-proposal"
+TOPIC_ENDORSE_RESULT = "endorse-result"
 
 ORDERER_ENDPOINT = "orderer"
 CLIENT_SOURCE = "client"
+GATEWAY_ENDPOINT = "gateway"
 
 
 class PendingTransaction:
-    """A future resolved when every peer has committed the transaction."""
+    """A future resolved when every peer has committed the transaction.
 
-    def __init__(self, envelope: TransactionEnvelope, client_payload: bytes = b"") -> None:
+    With the endorsement fan-out path the future is created *before* an
+    envelope exists (endorsement itself happens on the bus); the envelope
+    is attached when the plan's quorum completes, and an endorsement that
+    cannot complete fails the future with a typed error instead.
+    """
+
+    def __init__(
+        self,
+        envelope: Optional[TransactionEnvelope],
+        client_payload: bytes = b"",
+        tx_id: Optional[str] = None,
+    ) -> None:
         self.envelope = envelope
         self.client_payload = client_payload
         self.submitted_at: float = 0.0
         self.committed_at: Optional[float] = None
+        self.error: Optional[Exception] = None
+        self._tx_id = tx_id if tx_id is not None else envelope.tx_id  # type: ignore[union-attr]
         self._result: Optional[SubmitResult] = None
         self._callbacks: list[Callable[["PendingTransaction"], None]] = []
 
     @property
     def tx_id(self) -> str:
-        return self.envelope.tx_id
+        return self._tx_id
 
     @property
     def done(self) -> bool:
-        return self._result is not None
+        return self._result is not None or self.error is not None
 
     def result(self) -> SubmitResult:
+        if self.error is not None:
+            raise self.error
         if self._result is None:
             raise SchedulerError(
                 f"transaction {self.tx_id} has not committed yet — "
@@ -87,10 +106,15 @@ class PendingTransaction:
         return self._result
 
     def add_done_callback(self, callback: Callable[["PendingTransaction"], None]) -> None:
-        if self._result is not None:
+        if self.done:
             callback(self)
         else:
             self._callbacks.append(callback)
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
     def _resolve(self, status: ValidationCode, at: float) -> None:
         self._result = SubmitResult(
@@ -100,9 +124,12 @@ class PendingTransaction:
             envelope=self.envelope,
         )
         self.committed_at = at
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        self._fire_callbacks()
+
+    def _fail(self, error: Exception) -> None:
+        """Resolve the future exceptionally (endorsement could not finish)."""
+        self.error = error
+        self._fire_callbacks()
 
 
 class _BlockProgress:
@@ -145,8 +172,14 @@ class TransactionRuntime:
         self.crash_drops = 0
         self._crash_listeners: list[Callable[["PeerNode"], None]] = []
         self._restart_listeners: list[Callable[["PeerNode"], None]] = []
+        #: Active endorsement collectors, keyed by tx id.  A collector is
+        #: registered when a plan's first wave is dispatched and removed
+        #: when it finishes (quorum reached or failed); late responses for
+        #: finished plans are simply discarded.
+        self._collectors: dict[str, "EndorsementCollector"] = {}
 
         self.bus.register(ORDERER_ENDPOINT, self._on_orderer_message)
+        self.bus.register(GATEWAY_ENDPOINT, self._on_gateway_message)
         # Take over block delivery: the dispatcher fans each cut block out
         # onto per-peer links instead of calling peers inline.  No replay —
         # already-delivered blocks reached the peers synchronously.
@@ -179,14 +212,62 @@ class TransactionRuntime:
         self, envelope: TransactionEnvelope, client_payload: bytes = b""
     ) -> PendingTransaction:
         """Enqueue an assembled envelope for ordering; returns a future."""
-        if envelope.tx_id in self._pending:
-            raise ConfigError(f"transaction {envelope.tx_id} is already in flight")
         pending = PendingTransaction(envelope, client_payload)
         pending.submitted_at = self.now
-        self._pending[envelope.tx_id] = pending
-        self.transactions_submitted += 1
-        self.bus.send(CLIENT_SOURCE, ORDERER_ENDPOINT, TOPIC_SUBMIT, envelope)
+        self.submit_pending(pending)
         return pending
+
+    def submit_pending(self, pending: PendingTransaction) -> None:
+        """Enqueue a future whose envelope was just attached (fan-out path)."""
+        if pending.envelope is None:
+            raise ConfigError(
+                f"transaction {pending.tx_id} has no envelope to submit"
+            )
+        if pending.tx_id in self._pending:
+            raise ConfigError(f"transaction {pending.tx_id} is already in flight")
+        self._pending[pending.tx_id] = pending
+        self.transactions_submitted += 1
+        self.bus.send(CLIENT_SOURCE, ORDERER_ENDPOINT, TOPIC_SUBMIT, pending.envelope)
+
+    # -- the endorsement fan-out ---------------------------------------------
+    def endorse_async(
+        self,
+        gateway,
+        proposal,
+        plan,
+        timeout: float,
+    ) -> PendingTransaction:
+        """Run an endorsement plan over the bus; returns the tx future.
+
+        Proposals for the plan's opening wave are dispatched in parallel
+        sim-time as ``endorse-proposal`` messages; the collector gathers
+        ``endorse-result`` replies, completes as soon as the responses
+        satisfy the policy, escalates to backups on failure/timeout, and
+        finally assembles + submits the envelope through the normal
+        ordering path — or fails the future with a typed
+        :class:`~repro.common.errors.EndorsementError`.
+        """
+        from repro.runtime.endorse import EndorsementCollector
+
+        pending = PendingTransaction(None, tx_id=proposal.tx_id)
+        pending.submitted_at = self.now
+        collector = EndorsementCollector(
+            runtime=self,
+            gateway=gateway,
+            proposal=proposal,
+            plan=plan,
+            pending=pending,
+            timeout=timeout,
+        )
+        self._collectors[proposal.tx_id] = collector
+        collector.start()
+        return pending
+
+    def _on_gateway_message(self, message: Message) -> None:
+        tx_id, peer_name, outcome = message.payload
+        collector = self._collectors.get(tx_id)
+        if collector is not None:
+            collector.on_result(peer_name, outcome)
 
     # -- the ordering phase --------------------------------------------------
     def _on_orderer_message(self, message: Message) -> None:
@@ -242,6 +323,16 @@ class TransactionRuntime:
             elif message.topic == TOPIC_GOSSIP:
                 tx_id, writes = message.payload
                 peer.receive_private_data(tx_id, writes)
+            elif message.topic == TOPIC_ENDORSE:
+                proposal = message.payload
+                try:
+                    result = self.network.process_endorsement(peer, proposal)
+                except EndorsementError as exc:
+                    result = exc
+                self.bus.send(
+                    peer.name, GATEWAY_ENDPOINT, TOPIC_ENDORSE_RESULT,
+                    (proposal.tx_id, peer.name, result),
+                )
             else:  # pragma: no cover - future topics
                 raise ConfigError(f"peer {peer.name!r} got unknown topic {message.topic!r}")
 

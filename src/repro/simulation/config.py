@@ -43,6 +43,7 @@ class SimulationConfig:
     fault_windows: int = 1
     mean_gap: float = 1.0
     colluding_orgs: tuple = ()  # orgs running the forged-read contract
+    plan_rate: float = 0.0  # fraction of ops submitted via endorsement plans
     state_backend: str = "memory"  # peer-ledger storage engine: memory | wal
     extra: dict = field(default_factory=dict)  # forward-compat escape hatch
 
@@ -121,6 +122,9 @@ class SimulationConfig:
             fault_windows=rng.randint(0, 3),
             mean_gap=round(rng.uniform(0.3, 1.5), 3),
             colluding_orgs=colluding,
+            # How much of the workload exercises the plan-based endorsement
+            # path (drawn last so older seeds keep their earlier draws).
+            plan_rate=round(rng.uniform(0.0, 0.8), 3),
             # Not drawn from the rng: the engine changes durability, never
             # behaviour, so it is an environment decision (REPRO_STATE_BACKEND
             # or --backend), not part of the seed's randomness.

@@ -10,6 +10,7 @@ what seed replay and trace shrinking rely on.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -226,6 +227,28 @@ def execute(
     weaken: Optional[str] = None,
 ) -> SimulationReport:
     """Run one (config, ops, faults) triple and check every invariant."""
+    # Whether an op endorses through a plan is recorded per spec
+    # (``use_plan``), so replay must not depend on the ambient
+    # ``REPRO_ENDORSE_PLAN`` kill switch: pin it on for the run.  (The
+    # state backend, by contrast, changes durability but never behaviour,
+    # which is why it *is* an environment decision.)
+    saved_plan = os.environ.get("REPRO_ENDORSE_PLAN")
+    os.environ["REPRO_ENDORSE_PLAN"] = "1"
+    try:
+        return _execute(config, ops, fault_actions, weaken)
+    finally:
+        if saved_plan is None:
+            os.environ.pop("REPRO_ENDORSE_PLAN", None)
+        else:
+            os.environ["REPRO_ENDORSE_PLAN"] = saved_plan
+
+
+def _execute(
+    config: SimulationConfig,
+    ops: list,
+    fault_actions: list,
+    weaken: Optional[str] = None,
+) -> SimulationReport:
     sim = build_network(config)
     runtime = sim.network.runtime
     assert runtime is not None
@@ -321,14 +344,25 @@ def _submitter(sim: SimNetwork, outcome: OpOutcome) -> Callable[[], None]:
                 list(spec.args),
                 transient=transient,
                 endorsing_peers=endorsing,
+                # Plan ops treat the spec's endorsers as an ordered candidate
+                # pool (quorum first, escalation backups after); None keeps
+                # the legacy endorse-every-listed-peer semantics.
+                endorsement_plan=True if spec.use_plan else None,
             )
         except ReproError as exc:
             outcome.error = f"{type(exc).__name__}: {exc}"
             return
         outcome.tx_id = pending.tx_id
-        pending.add_done_callback(
-            lambda p: setattr(outcome, "status", p.result().status)
-        )
+
+        def note_done(p, outcome=outcome) -> None:
+            # Plan-based endorsement resolves exceptionally on timeout or
+            # exhaustion — a client-side error, not a committed status.
+            if p.error is not None:
+                outcome.error = f"{type(p.error).__name__}: {p.error}"
+            else:
+                outcome.status = p.result().status
+
+        pending.add_done_callback(note_done)
 
     return submit
 

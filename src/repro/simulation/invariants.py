@@ -20,6 +20,11 @@ The catalogue (names are the ``invariant`` field of each violation):
 * ``policy-expectation`` — generation-time endorsement-policy soundness:
   an op endorsed by a set the spec-level oracle rejects must be flagged
   ``ENDORSEMENT_POLICY_FAILURE``; one it accepts must never be.
+* ``endorsement-plan`` — early-quorum soundness: every committed
+  ``VALID`` transaction's endorsement set satisfies the applied policies
+  per the spec-level oracle, and widening the set to the full endorser
+  pool never flips the verdict (monotonicity — a plan-shrunk quorum
+  commits exactly what full endorsement would).
 * ``pdc-privacy``      — no peer of a non-member org stores plaintext
   private data it did not itself endorse; hashes only.
 * ``gossip-convergence`` — after reconciliation reaches a fixpoint,
@@ -731,13 +736,90 @@ def check_vscc_memo_agreement(sim: "SimNetwork") -> list:
     return violations
 
 
+def check_endorsement_plan(sim: "SimNetwork", outcomes: list) -> list:
+    """Early-quorum soundness of plan-based endorsement collection.
+
+    The plan path stops collecting endorsements as soon as the responses
+    satisfy the policies validation will apply.  This check holds every
+    committed ``VALID`` transaction to the same spec-level oracle: its
+    endorsement certificates must satisfy the applied policies, and
+    widening the certificate set to the full default endorser pool must
+    not flip the verdict (policy evaluation is monotone in the signer
+    set — more signatures can never invalidate a quorum, which is why an
+    early quorum commits exactly what full endorsement would).  Keys
+    governed by committed key-level ``VALIDATION_PARAMETER`` policies are
+    outside the client-visible oracle (and outside the plan path's
+    completion test) and are skipped.
+    """
+    from repro.policy.planner import applied_policies_satisfied
+
+    violations = []
+    peers = sim.all_peers()
+    if not peers:
+        return violations
+    source = peers[0]
+    channel = sim.network.channel
+    features = sim.network.features
+    governed: set = set()  # (namespace, key) under a key-level policy
+    for validated in source.ledger.blockchain.blocks():
+        for tx, flag in zip(validated.block.transactions, validated.flags):
+            if flag is not ValidationCode.VALID:
+                continue
+            for ns in tx.payload.results.namespaces:
+                for meta in ns.metadata_writes:
+                    if meta.name == "VALIDATION_PARAMETER":
+                        governed.add((ns.namespace, meta.key))
+    full_pool = [p.certificate for p in sim.network.default_endorsers()]
+    for validated in source.ledger.blockchain.blocks():
+        for tx, flag in zip(validated.block.transactions, validated.flags):
+            if flag is not ValidationCode.VALID:
+                continue
+            touched = {
+                (ns.namespace, write.key)
+                for ns in tx.payload.results.namespaces
+                for write in list(ns.writes) + list(ns.metadata_writes)
+            }
+            if touched & governed:
+                continue
+            certs = [e.endorser for e in tx.endorsements]
+            if not applied_policies_satisfied(
+                channel, features, tx.chaincode_id, certs, tx.payload
+            ):
+                violations.append(Violation(
+                    "endorsement-plan",
+                    f"block {validated.number}: VALID transaction's endorsement "
+                    "set does not satisfy the applied policies per the "
+                    "spec-level oracle",
+                    peer=source.name, tx_id=tx.tx_id,
+                ))
+                continue
+            if not applied_policies_satisfied(
+                channel, features, tx.chaincode_id, certs + full_pool, tx.payload
+            ):
+                violations.append(Violation(
+                    "endorsement-plan",
+                    f"block {validated.number}: widening the endorsement set to "
+                    "the full pool flipped the policy verdict (non-monotone "
+                    "evaluation)",
+                    peer=source.name, tx_id=tx.tx_id,
+                ))
+    return violations
+
+
 def check_liveness_accounting(sim: "SimNetwork", outcomes: list) -> list:
-    """Unresolved futures are exactly the envelopes the fault model ate."""
+    """Unresolved futures are exactly the envelopes the fault model ate.
+
+    Transactions whose endorsement plan failed client-side (timeout,
+    exhaustion) have a tx id but were never submitted for ordering — they
+    resolved *exceptionally*, so they are excluded via ``o.error``.
+    """
     violations = []
     runtime = sim.network.runtime
     faults = runtime.bus.faults
     submit_drops = faults.dropped_by_topic.get(TOPIC_SUBMIT, 0)
-    unresolved = [o for o in outcomes if o.tx_id and o.status is None]
+    unresolved = [
+        o for o in outcomes if o.tx_id and o.status is None and o.error is None
+    ]
     if len(unresolved) != submit_drops:
         violations.append(Violation(
             "liveness-accounting",
@@ -763,6 +845,7 @@ def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     violations.extend(check_block_agreement(sim))
     violations.extend(check_reference_validation(sim))
     violations.extend(check_vscc_memo_agreement(sim))
+    violations.extend(check_endorsement_plan(sim, outcomes))
     violations.extend(check_policy_expectations(sim, outcomes))
     violations.extend(check_pdc_privacy(sim, outcomes))
     violations.extend(check_gossip_convergence(sim, outcomes))

@@ -57,6 +57,10 @@ class OpSpec:
     expect_policy_ok: bool
     transient_value: Optional[bytes] = None
     is_attack: bool = False
+    #: Submit through the policy-aware endorsement plan: ``endorsers`` then
+    #: acts as an ordered candidate pool (satisfying set first, escalation
+    #: backups after) instead of an endorse-everyone set.
+    use_plan: bool = False
 
     def private_write_keys(self) -> dict:
         """``{collection: {key, ...}}`` written in plaintext by this op.
@@ -89,6 +93,7 @@ class OpSpec:
                 else self.transient_value.decode("latin-1")
             ),
             "is_attack": self.is_attack,
+            "use_plan": self.use_plan,
         }
 
     @classmethod
@@ -108,6 +113,7 @@ class OpSpec:
                 else data["transient_value"].encode("latin-1")
             ),
             is_attack=data.get("is_attack", False),
+            use_plan=data.get("use_plan", False),
         )
 
 
@@ -326,6 +332,28 @@ class WorkloadGenerator:
         candidates = self._sim.peers_of(org)
         return self._rng.choice(candidates)
 
+    def _plan_flag(self) -> bool:
+        """Draw whether this op goes through the endorsement-plan path."""
+        return self._rng.random() < self._config.plan_rate
+
+    def _with_backups(self, endorsers: tuple, restrict_orgs: Optional[set]) -> tuple:
+        """Append shuffled unused-org peers as escalation backups.
+
+        Only meaningful for plan ops: the satisfying prefix stays first,
+        and a random number of extra candidates gives the collector
+        something to escalate to — randomizing plan size per op.
+        """
+        rng = self._rng
+        used_orgs = {name.split(".", 1)[1] for name in endorsers}
+        pool = [
+            org for org in self._honest_orgs()
+            if org not in used_orgs
+            and (restrict_orgs is None or org in restrict_orgs)
+        ]
+        rng.shuffle(pool)
+        take = rng.randint(0, len(pool))
+        return endorsers + tuple(self._peer_for(org).name for org in pool[:take])
+
     # -- spec assembly ----------------------------------------------------------
     def _public_spec(self, index, at, kind, function, args, read_only=False) -> OpSpec:
         self._active_chaincode = PUBLIC_CHAINCODE
@@ -333,11 +361,15 @@ class WorkloadGenerator:
             restrict_orgs=None, read_only=read_only,
             has_public_writes=not read_only,
         )
+        use_plan = self._plan_flag()
+        if use_plan and ok:
+            endorsers = self._with_backups(endorsers, None)
         return OpSpec(
             index=index, at=at, kind=kind, chaincode_id=PUBLIC_CHAINCODE,
             function=function, args=tuple(args),
             client_org=self._rng.choice(self._honest_orgs()),
             endorsers=endorsers, expect_policy_ok=ok,
+            use_plan=use_plan,
         )
 
     def _pdc_spec(self, index, at, kind, function, args, collection, *,
@@ -349,12 +381,16 @@ class WorkloadGenerator:
             restrict_orgs=restrict, read_only=read_only, has_public_writes=False,
             collections_written=written, collections_touched=(collection,),
         )
+        use_plan = self._plan_flag()
+        if use_plan and ok:
+            endorsers = self._with_backups(endorsers, restrict)
         return OpSpec(
             index=index, at=at, kind=kind, chaincode_id=PDC_CHAINCODE,
             function=function, args=tuple(args),
             client_org=self._rng.choice(self._honest_orgs()),
             endorsers=endorsers, expect_policy_ok=ok,
             transient_value=transient,
+            use_plan=use_plan,
         )
 
     def _move_spec(self, index, at, args) -> OpSpec:
@@ -368,11 +404,15 @@ class WorkloadGenerator:
             collections_written=(src_col, dst_col),
             collections_touched=(src_col, dst_col),
         )
+        use_plan = self._plan_flag()
+        if use_plan and ok:
+            endorsers = self._with_backups(endorsers, self._org_members(src_col))
         return OpSpec(
             index=index, at=at, kind="pdc_move", chaincode_id=PDC_CHAINCODE,
             function="move_private", args=tuple(args),
             client_org=self._rng.choice(self._honest_orgs()),
             endorsers=endorsers, expect_policy_ok=ok,
+            use_plan=use_plan,
         )
 
     # -- attack operations -------------------------------------------------------

@@ -166,7 +166,9 @@ class TestWeakenedValidator:
         assert failing, "weakened validator went undetected"
 
     def test_failure_shrinks_to_a_tiny_trace(self):
-        config = SimulationConfig.generate(1, SWEEP_OPS)
+        # Seed 2 is the first pinned seed whose stream carries an op endorsed
+        # by a non-satisfying set (seed 1's no longer does).
+        config = SimulationConfig.generate(2, SWEEP_OPS)
         ops, faults = generate(config)
         report = execute(config, ops, faults, weaken="skip-endorsement-policy")
         assert not report.ok
