@@ -165,10 +165,32 @@ def _y_pow(y: int, exponent: int) -> int:
     return pow(y, exponent, P)
 
 
+#: Cache clearers registered by other layers (proposal-serialization
+#: memos, endorser simulation caches).  They live here because
+#: ``clear_caches`` is *the* test/bench isolation hook: a cache this
+#: registry misses can bleed state across tests and mask invalidation
+#: bugs.  Registration happens at module import of the owning layer —
+#: those layers import crypto, never the reverse, so no cycle.
+_CACHE_CLEARERS: list = []
+
+
+def register_cache_clearer(clearer) -> None:
+    """Hook a layer's cache reset into :func:`clear_caches`."""
+    if clearer not in _CACHE_CLEARERS:
+        _CACHE_CLEARERS.append(clearer)
+
+
 def clear_caches() -> None:
-    """Drop every process-wide crypto cache (bench/test isolation hook)."""
+    """Drop every process-wide cache (bench/test isolation hook).
+
+    Besides the crypto-local caches this also invokes every registered
+    clearer, so the proposal-serialization memos and the endorsers'
+    simulation caches reset with the same call.
+    """
     _VERIFY_CACHE.clear()
     _KEY_TABLES.clear()
+    for clearer in _CACHE_CLEARERS:
+        clearer()
 
 
 def clear_verify_cache() -> None:
@@ -382,18 +404,14 @@ def _batch_holds(decoded: dict, challenges: dict, indices: Sequence[int], seed: 
     return lhs == rhs
 
 
-def verify_batch(
-    items: Sequence[tuple[PublicKey, bytes, bytes]], seed: bytes = b""
-) -> list[bool]:
-    """Verify many ``(public_key, message, signature)`` triples at once.
+def _screen(
+    items: Sequence[tuple[PublicKey, bytes, bytes]],
+) -> tuple[list, dict, dict, dict, list]:
+    """Cache lookups + structural pre-checks before any batch equation.
 
-    Returns one boolean per item, and always agrees with calling
-    :meth:`PublicKey.verify` item by item: an all-valid batch is settled
-    by a single multi-exponentiation; a failing batch is bisected until
-    every forged signature is isolated by an individual verification.
-    Results (including per-item results from bisection) land in the
-    shared verification cache, so subsequent individual ``verify`` calls
-    on the same triples are O(1) lookups.
+    Returns ``(results, decoded, challenges, cache_keys, pending)``:
+    items answered from the cache or rejected structurally are settled in
+    ``results``; everything else is decoded and queued in ``pending``.
     """
     results: list[Optional[bool]] = [None] * len(items)
     decoded: dict = {}     # index -> (y_bytes, msg_digest, signature, s, r)
@@ -426,6 +444,14 @@ def verify_batch(
         decoded[i] = (y_bytes, msg_digest, signature, s, r)
         challenges[i] = (public_key.y, e)
         pending.append(i)
+    return results, decoded, challenges, cache_keys, pending
+
+
+def _settle_serial(
+    pending: list, decoded: dict, challenges: dict,
+    results: list, cache_keys: dict, seed: bytes,
+) -> None:
+    """Settle pending indices by batch equation + bisection, in-process."""
 
     def settle(indices: list[int]) -> None:
         if len(indices) == 1:
@@ -454,6 +480,148 @@ def verify_batch(
             results[i] = True
             _cache_put(cache_keys[i], True)
 
+    settle(pending)
+
+
+def _verify_batch_serial(
+    items: Sequence[tuple[PublicKey, bytes, bytes]], seed: bytes = b""
+) -> list[bool]:
+    """The single-process reference path (also the worker-shard body)."""
+    results, decoded, challenges, cache_keys, pending = _screen(items)
     if pending:
-        settle(pending)
+        _settle_serial(pending, decoded, challenges, results, cache_keys, seed)
     return [bool(flag) for flag in results]
+
+
+#: Below this many cache-missing items a batch is settled in-process:
+#: the per-shard fixed costs (transcript hash, generator modexp,
+#: multi-exp base cost) would outweigh any split.
+_SHARD_MIN_ITEMS = 8
+
+
+def _verify_chunk_task(payload: tuple) -> tuple[list[bool], dict]:
+    """Worker body: verify one shard of raw ``(y, message, signature)`` triples.
+
+    Runs the complete reference pipeline — decode, subgroup pre-check,
+    challenge derivation, batch equation, bisection — on its shard alone,
+    so soundness never depends on another shard's contents.  Returns the
+    per-item booleans plus the PERF-counter delta the shard produced
+    (merged by the parent only when the shard ran in another process).
+    Module-level and picklable-payload by construction: the process
+    backend dispatches this exact function.
+    """
+    triples, seed = payload
+    before = PERF.snapshot()
+    items = [(PublicKey(y), message, signature) for y, message, signature in triples]
+    flags = _verify_batch_serial(items, seed)
+    return flags, PERF.delta_since(before)
+
+
+def _try_sharded(
+    items: Sequence[tuple[PublicKey, bytes, bytes]],
+    seed: bytes,
+    results: list,
+    cache_keys: dict,
+    pending: list,
+) -> bool:
+    """Shard the pending set across the execution backend's workers.
+
+    Items are grouped by public key first — the batch equation aggregates
+    challenge sums per distinct key, so splitting one key's signatures
+    across shards would repeat its ``y``-exponentiation in every shard —
+    then the groups are placed by the deterministic LPT plan shared with
+    the cost model.  Returns False (caller settles serially) when the
+    backend has one worker, the pending set is too small, or the plan
+    degenerates to a single shard.  Per-shard verdicts are byte-identical
+    to the serial reference regardless of the shard count: a valid shard
+    settles all-True exactly like a valid batch, and an invalid one
+    bisects down to the exact individual equation.
+    """
+    if len(pending) < _SHARD_MIN_ITEMS:
+        return False
+    # Function-level import: repro.runtime pulls in the client/gateway
+    # stack, which imports this module.
+    from repro.runtime.executor import current_backend, plan_shards
+
+    backend = current_backend()
+    if not backend.parallel:
+        return False
+    groups: dict[int, list[int]] = {}
+    for i in pending:
+        groups.setdefault(items[i][0].y, []).append(i)
+    group_lists = list(groups.values())  # insertion order: deterministic
+    plan = plan_shards([len(g) for g in group_lists], backend.workers)
+    if len(plan) <= 1:
+        return False
+    shards = [
+        [i for g in shard_bins for i in group_lists[g]] for shard_bins in plan
+    ]
+    payloads = [
+        ([(items[i][0].y, items[i][1], items[i][2]) for i in shard], seed)
+        for shard in shards
+    ]
+    outputs = backend.map(_verify_chunk_task, payloads)
+    for shard, (flags, delta) in zip(shards, outputs):
+        for i, flag in zip(shard, flags):
+            results[i] = flag
+            _cache_put(cache_keys[i], flag)
+        if backend.remote:
+            # Inline shards already incremented the shared PERF instance;
+            # only cross-process work needs folding back in.
+            PERF.merge(delta)
+    return True
+
+
+def verify_batch(
+    items: Sequence[tuple[PublicKey, bytes, bytes]], seed: bytes = b""
+) -> list[bool]:
+    """Verify many ``(public_key, message, signature)`` triples at once.
+
+    Returns one boolean per item, and always agrees with calling
+    :meth:`PublicKey.verify` item by item: an all-valid batch is settled
+    by a single multi-exponentiation; a failing batch is bisected until
+    every forged signature is isolated by an individual verification.
+    Results (including per-item results from bisection) land in the
+    shared verification cache, so subsequent individual ``verify`` calls
+    on the same triples are O(1) lookups.
+
+    When the active :mod:`execution backend <repro.runtime.executor>` has
+    more than one worker, a large enough batch is sharded across workers
+    (grouped by public key, greedy-LPT placed) with the subgroup
+    pre-check preserved per shard; the merged verdicts are identical to
+    the serial reference for any worker count.
+    """
+    results, decoded, challenges, cache_keys, pending = _screen(items)
+    if pending and not _try_sharded(items, seed, results, cache_keys, pending):
+        _settle_serial(pending, decoded, challenges, results, cache_keys, seed)
+    return [bool(flag) for flag in results]
+
+
+# ---------------------------------------------------------------------------
+# Offloaded signing
+# ---------------------------------------------------------------------------
+
+def _sign_task(payload: tuple) -> tuple[bytes, dict]:
+    """Worker body: one deterministic Schnorr signature plus PERF delta."""
+    x, message = payload
+    before = PERF.snapshot()
+    signature = PrivateKey(x).sign(message)
+    return signature, PERF.delta_since(before)
+
+
+def sign_with_backend(private_key: PrivateKey, message: bytes) -> bytes:
+    """Sign through the active execution backend.
+
+    Signatures are deterministic (RFC 6979-style nonces), so the bytes
+    are identical wherever the modexp runs; a remote backend ships the
+    exponent + message to a worker and merges the PERF delta back, the
+    serial reference signs inline.
+    """
+    from repro.runtime.executor import current_backend
+
+    backend = current_backend()
+    if not backend.remote:
+        return private_key.sign(message)
+    (signature, delta), = backend.map(_sign_task, [(private_key.x, message)])
+    PERF.merge(delta)
+    return signature

@@ -98,6 +98,24 @@ class OrderingError(ReproError):
     """The ordering service rejected or failed to order an envelope."""
 
 
+class MempoolFullError(OrderingError):
+    """The submit pipeline is at its configured mempool bound.
+
+    Open-loop load can otherwise grow the pending-transaction set without
+    limit; a bounded runtime refuses the submission instead, and the
+    caller is expected to back off and resubmit.  Carries the refused
+    ``tx_id`` and the ``limit`` that was hit.
+    """
+
+    def __init__(self, tx_id: str, limit: int) -> None:
+        self.tx_id = tx_id
+        self.limit = limit
+        super().__init__(
+            f"transaction {tx_id} refused: mempool is at its bound "
+            f"({limit} transactions in flight)"
+        )
+
+
 class SchedulerError(ReproError):
     """The simulated-time runtime could not make progress.
 

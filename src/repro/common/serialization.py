@@ -59,3 +59,40 @@ def canonical_bytes(obj: Any) -> bytes:
 def from_canonical_bytes(data: bytes) -> Any:
     """Inverse of :func:`canonical_bytes` (modulo tuples becoming lists)."""
     return _decode(json.loads(data.decode("utf-8")))
+
+
+# ---------------------------------------------------------------------------
+# Serialization-memo epoch
+# ---------------------------------------------------------------------------
+
+# Frozen protocol messages memoise their canonical bytes on the instance
+# (``Proposal.header_bytes``, ``ProposalResponsePayload.bytes``, ...).
+# Those memos live on objects scattered across a run, so "clear the
+# serialization caches" cannot walk them — instead every memo is stamped
+# with the epoch below and ignored once the epoch moves on.
+
+_MEMO_EPOCH = 0
+
+
+def memo_epoch() -> int:
+    """The current serialization-memo generation."""
+    return _MEMO_EPOCH
+
+
+def clear_serialization_memos() -> None:
+    """Invalidate every instance-level serialization memo at once."""
+    global _MEMO_EPOCH
+    _MEMO_EPOCH += 1
+
+
+def _register_with_crypto() -> None:
+    # crypto.clear_caches is the process-wide isolation hook; hooking the
+    # epoch bump there keeps "clear everything" a single call.  Imported
+    # lazily-at-module-load: crypto does not import this module's hook
+    # machinery back, so the edge stays acyclic.
+    from repro.common import crypto
+
+    crypto.register_cache_clearer(clear_serialization_memos)
+
+
+_register_with_crypto()

@@ -18,6 +18,19 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+#: Every integer counter on :class:`PerfCounters`, in declaration order.
+#: ``reset``/``snapshot``/``delta_since``/``merge`` all iterate this one
+#: tuple so adding a counter cannot silently miss a bookkeeping path.
+_COUNTER_FIELDS = (
+    "verify_individual", "verify_batched", "verify_cache_hits",
+    "batch_calls", "batch_bisections", "modexp_full",
+    "modexp_windowed", "multiexp_calls", "table_builds",
+    "vscc_memo_hits", "vscc_memo_misses",
+    "endorse_simulations", "endorse_signatures", "endorse_cache_hits",
+    "proposals_sent", "plan_escalations", "plan_timeouts",
+    "plan_failures", "executor_tasks", "executor_remote_tasks",
+)
+
 
 @dataclass
 class PerfCounters:
@@ -53,6 +66,8 @@ class PerfCounters:
     plan_escalations: int = 0      # backup endorsers drafted into a plan
     plan_timeouts: int = 0         # endorsement waves that hit the timeout
     plan_failures: int = 0         # plans that exhausted every endorser
+    executor_tasks: int = 0        # tasks run through an execution backend
+    executor_remote_tasks: int = 0  # of those, dispatched to a worker process
     phase_seconds: dict = field(default_factory=dict)  # phase -> seconds
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -68,17 +83,35 @@ class PerfCounters:
         return self.modexp_full + self.modexp_windowed
 
     def reset(self) -> None:
-        for name in (
-            "verify_individual", "verify_batched", "verify_cache_hits",
-            "batch_calls", "batch_bisections", "modexp_full",
-            "modexp_windowed", "multiexp_calls", "table_builds",
-            "vscc_memo_hits", "vscc_memo_misses",
-            "endorse_simulations", "endorse_signatures", "endorse_cache_hits",
-            "proposals_sent", "plan_escalations", "plan_timeouts",
-            "plan_failures",
-        ):
+        for name in _COUNTER_FIELDS:
             setattr(self, name, 0)
         self.phase_seconds = {}
+
+    # -- cross-process aggregation ------------------------------------------
+    # Worker processes inherit (or rebuild) their own PERF instance; a task
+    # snapshots the counters on entry and ships back the delta it produced,
+    # which the parent merges so ``Tracer.summary(perf=True)`` reports work
+    # done anywhere.  Inline (serial) tasks increment the shared instance
+    # directly and must NOT be merged a second time.
+
+    def snapshot(self) -> dict:
+        """Copy of the integer counters (``phase_seconds`` excluded)."""
+        return {name: getattr(self, name) for name in _COUNTER_FIELDS}
+
+    def delta_since(self, snapshot: dict) -> dict:
+        """Non-zero counter increments since ``snapshot``."""
+        delta = {}
+        for name in _COUNTER_FIELDS:
+            diff = getattr(self, name) - snapshot.get(name, 0)
+            if diff:
+                delta[name] = diff
+        return delta
+
+    def merge(self, delta: dict) -> None:
+        """Fold a worker's counter delta into this instance."""
+        for name, value in delta.items():
+            if name in _COUNTER_FIELDS and value:
+                setattr(self, name, getattr(self, name) + value)
 
     def as_dict(self, prefix: str = "perf:") -> dict:
         """Flat snapshot, e.g. ``{"perf:modexp_full": 12, ...}``."""
@@ -103,6 +136,8 @@ class PerfCounters:
             f"{prefix}plan_escalations": self.plan_escalations,
             f"{prefix}plan_timeouts": self.plan_timeouts,
             f"{prefix}plan_failures": self.plan_failures,
+            f"{prefix}executor_tasks": self.executor_tasks,
+            f"{prefix}executor_remote_tasks": self.executor_remote_tasks,
         }
         for phase, seconds in sorted(self.phase_seconds.items()):
             snapshot[f"{prefix}{phase}_ms"] = round(seconds * 1000, 3)

@@ -128,6 +128,8 @@ class FabricNetwork:
         latency: "LatencyModel | None" = None,
         faults: "FaultInjector | None" = None,
         batch_timeout: float | None = None,
+        mempool_limit: int | None = None,
+        validate_cost=None,
     ) -> "TransactionRuntime":
         """Switch this network onto the event-driven transaction runtime.
 
@@ -136,6 +138,11 @@ class FabricNetwork:
         synchronous ``submit_transaction`` becomes a thin wrapper that
         runs the event loop until its own commit.  Attach the runtime
         *after* adding peers but before submitting traffic.
+
+        ``mempool_limit`` bounds transactions in flight (default: the
+        ``REPRO_MEMPOOL_LIMIT`` env var, else unbounded); ``validate_cost``
+        attaches a :class:`~repro.runtime.executor.ValidationCostModel`
+        charging each block's validation its simulated service time.
         """
         if self.runtime is not None:
             raise ConfigError("a runtime is already attached to this network")
@@ -149,6 +156,8 @@ class FabricNetwork:
             batch_timeout=(
                 DEFAULT_BATCH_TIMEOUT if batch_timeout is None else batch_timeout
             ),
+            mempool_limit=mempool_limit,
+            validate_cost=validate_cost,
         )
         self.runtime = runtime
         return runtime

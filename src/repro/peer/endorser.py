@@ -15,12 +15,14 @@ the proposal-response payload.  Two paper-relevant behaviours live here:
 from __future__ import annotations
 
 import os
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.chaincode.api import Chaincode
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.chaincode.stub import ChaincodeStub
+from repro.common import crypto
 from repro.common.errors import EndorsementError
 from repro.common.tracing import PERF
 from repro.core.defense.features import FrameworkFeatures
@@ -46,6 +48,22 @@ _SIM_CACHE_MAX = 512
 def endorse_cache_enabled() -> bool:
     """``REPRO_ENDORSE_CACHE=0`` disables the peer-side simulation cache."""
     return os.environ.get("REPRO_ENDORSE_CACHE", "1") != "0"
+
+
+#: Every live endorser, so ``clear_simulation_caches`` (hooked into
+#: ``crypto.clear_caches``) can reach the per-instance simulation caches.
+#: Weak references: registration must not keep dead networks alive.
+_LIVE_ENDORSERS: "weakref.WeakSet[Endorser]" = weakref.WeakSet()
+
+
+def clear_simulation_caches() -> None:
+    """Drop every live endorser's simulation cache (test/bench isolation)."""
+    for endorser in list(_LIVE_ENDORSERS):
+        endorser._sim_cache.clear()
+        endorser._sim_cache_height = -1
+
+
+crypto.register_cache_clearer(clear_simulation_caches)
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,7 @@ class Endorser:
         self._use_sim_cache = use_sim_cache
         self._sim_cache: dict[bytes, EndorsementOutput] = {}
         self._sim_cache_height = -1
+        _LIVE_ENDORSERS.add(self)
 
     def _cache_enabled(self) -> bool:
         if self._use_sim_cache is not None:
@@ -190,9 +209,14 @@ class Endorser:
             signed_payload = original_payload
 
         PERF.endorse_signatures += 1
+        # Signing goes through the execution backend: deterministic nonces
+        # make the signature bytes identical whether the 1536-bit modexp
+        # runs inline (serial reference) or in a worker process.
         endorsement = Endorsement(
             endorser=self._identity.certificate,
-            signature=self._identity.sign(signed_payload.bytes()),
+            signature=crypto.sign_with_backend(
+                self._identity.private_key, signed_payload.bytes()
+            ),
         )
         proposal_response = ProposalResponse(
             payload=signed_payload,

@@ -141,6 +141,14 @@ class PeerNode:
     def on_commit(self, listener: CommitListener) -> None:
         self._commit_listeners.append(listener)
 
+    def validation_workload(self, block: Block) -> list[int]:
+        """Per-key signature group sizes of validating ``block`` here.
+
+        The weight vector the runtime's :class:`~repro.runtime.executor.\
+ValidationCostModel` charges service time for; no crypto runs.
+        """
+        return self._validator.signature_workload(block, self.ledger)
+
     # -- reconciliation ----------------------------------------------------------
     def serve_private_data(
         self, tx_id: str, namespace: str, collection: str

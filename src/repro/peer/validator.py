@@ -25,8 +25,9 @@ before evaluating any policy of a PDC transaction.
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.common import crypto
 from repro.common.tracing import PERF
@@ -158,14 +159,26 @@ class Validator:
     def _prewarm_signatures(self, block: Block, ledger: PeerLedger) -> None:
         """Collect the block's signature checks into one batched call.
 
+        The batch call settles every signature in the shared verification
+        cache, so the per-transaction pipeline below finds each `verify`
+        already answered; validation *decisions* are taken by exactly the
+        same rules in the same order as the unbatched path.
+        """
+        items = self._collect_signature_items(block, ledger, self._payload_bytes)
+        if len(items) > 1:
+            crypto.verify_batch(items, seed=block.header.prev_hash)
+
+    def _collect_signature_items(
+        self, block: Block, ledger: PeerLedger, payload_bytes_out: Optional[dict]
+    ) -> list[tuple]:
+        """The block's batchable ``(public_key, message, signature)`` checks.
+
         Only transactions that survive the cheap structural pre-checks
         (duplicate tx-id, channel, chaincode, certificate validity,
         response status) contribute — anything else short-circuits before
-        its signatures are ever consulted.  The batch call settles every
-        signature in the shared verification cache, so the per-transaction
-        pipeline below finds each `verify` already answered; validation
-        *decisions* are taken by exactly the same rules in the same order
-        as the unbatched path.
+        its signatures are ever consulted.  Serialized payload bytes are
+        stashed in ``payload_bytes_out`` (when given) for reuse by the
+        per-transaction pipeline.
         """
         items: list[tuple] = []
         seen: set[str] = set()
@@ -184,14 +197,31 @@ class Validator:
             if not tx.payload.response.ok:
                 continue
             payload_bytes = tx.payload.bytes()
-            self._payload_bytes[tx.tx_id] = payload_bytes
+            if payload_bytes_out is not None:
+                payload_bytes_out[tx.tx_id] = payload_bytes
             for endorsement in tx.endorsements:
                 if self._certificate_valid(endorsement.endorser):
                     items.append(
                         (endorsement.endorser.public_key, payload_bytes, endorsement.signature)
                     )
-        if len(items) > 1:
-            crypto.verify_batch(items, seed=block.header.prev_hash)
+        return items
+
+    def signature_workload(self, block: Block, ledger: PeerLedger) -> list[int]:
+        """Per-public-key signature group sizes for this block.
+
+        This is the weight vector the execution backend's shard planner
+        (and the simulated-time :class:`~repro.runtime.executor.\
+ValidationCostModel`) operate on — the batch verifier keeps each key's
+        signatures in one shard, so the group sizes bound the achievable
+        split.  No cryptography runs; only the structural pre-checks the
+        batch collector itself performs.
+        """
+        groups: dict[int, int] = {}
+        for public_key, _message, _signature in self._collect_signature_items(
+            block, ledger, None
+        ):
+            groups[public_key.y] = groups.get(public_key.y, 0) + 1
+        return list(groups.values())
 
     def _validate_block_inner(
         self, block: Block, ledger: PeerLedger
@@ -418,3 +448,47 @@ class Validator:
                     if key >= query.start_key and (not query.end_key or key < query.end_key):
                         return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# Multi-channel block validation
+# ---------------------------------------------------------------------------
+
+def validate_blocks(
+    jobs: Sequence[tuple[Validator, Block, PeerLedger]],
+) -> list[list[ValidationCode]]:
+    """Validate one block per channel with a single combined signature pass.
+
+    A peer serving several channels (P2 in Fig. 1) receives one block per
+    channel per delivery round; validating them one at a time leaves the
+    execution backend's workers idle between blocks.  This entry point
+    collects every job's batchable signature checks into **one**
+    ``verify_batch`` call — which the backend shards across its workers —
+    then runs each job's full validation pipeline *in job order*, where
+    every signature check is already settled in the shared verification
+    cache.  The flags are therefore byte-identical to calling
+    ``validator.validate_block(block, ledger)`` per job: the combined
+    batch only changes where (and how parallel) the crypto runs, never
+    what any rule decides.
+
+    ``jobs`` is a sequence of ``(validator, block, ledger)`` triples; the
+    per-job flag lists come back in the same order — the deterministic
+    merge point at the block boundary.
+    """
+    items: list[tuple] = []
+    transcript = hashlib.sha256(b"repro-multi-channel-batch")
+    for validator, block, ledger in jobs:
+        use_batch = (
+            batch_verify_enabled()
+            if validator._use_batch is None
+            else validator._use_batch
+        )
+        if not use_batch:
+            continue
+        items.extend(validator._collect_signature_items(block, ledger, None))
+        transcript.update(block.header.block_hash())
+    if len(items) > 1:
+        crypto.verify_batch(items, seed=transcript.digest())
+    return [
+        validator.validate_block(block, ledger) for validator, block, ledger in jobs
+    ]

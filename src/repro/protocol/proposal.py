@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.common.hashing import sha256, sha256_hex
-from repro.common.serialization import canonical_bytes
+from repro.common.serialization import canonical_bytes, memo_epoch
 from repro.identity.identity import Certificate
 
 _NONCE_COUNTER = itertools.count(1)
@@ -62,10 +62,11 @@ class Proposal:
         # An N-endorser fan-out serializes the same frozen proposal once
         # per endorser; stash the canonical form on the instance (the same
         # memoization pattern as ``ProposalResponsePayload.bytes``) so the
-        # 2nd..Nth dispatch reuses it.
+        # 2nd..Nth dispatch reuses it.  The memo is stamped with the
+        # serialization epoch so ``crypto.clear_caches`` invalidates it.
         cached = getattr(self, "_header_bytes", None)
-        if cached is None:
-            cached = canonical_bytes(
+        if cached is None or cached[0] != memo_epoch():
+            value = canonical_bytes(
                 {
                     "channel_id": self.channel_id,
                     "chaincode_id": self.chaincode_id,
@@ -75,15 +76,16 @@ class Proposal:
                     "nonce": self.nonce,
                 }
             )
+            cached = (memo_epoch(), value)
             object.__setattr__(self, "_header_bytes", cached)
-        return cached
+        return cached[1]
 
     def proposal_hash(self) -> bytes:
         cached = getattr(self, "_proposal_hash", None)
-        if cached is None:
-            cached = sha256(self.header_bytes())
+        if cached is None or cached[0] != memo_epoch():
+            cached = (memo_epoch(), sha256(self.header_bytes()))
             object.__setattr__(self, "_proposal_hash", cached)
-        return cached
+        return cached[1]
 
     def simulation_digest(self) -> bytes:
         """Digest of everything that determines the simulation *result*.
@@ -95,8 +97,8 @@ class Proposal:
         ``(simulation digest, state height)``.
         """
         cached = getattr(self, "_sim_digest", None)
-        if cached is None:
-            cached = sha256(canonical_bytes(
+        if cached is None or cached[0] != memo_epoch():
+            value = sha256(canonical_bytes(
                 {
                     "channel_id": self.channel_id,
                     "chaincode_id": self.chaincode_id,
@@ -106,8 +108,9 @@ class Proposal:
                     "transient": {k: self.transient[k] for k in sorted(self.transient)},
                 }
             ))
+            cached = (memo_epoch(), value)
             object.__setattr__(self, "_sim_digest", cached)
-        return cached
+        return cached[1]
 
 
 def new_proposal(

@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.hashing import sha256
-from repro.common.serialization import canonical_bytes
+from repro.common.serialization import canonical_bytes, memo_epoch
 from repro.identity.identity import Certificate
 
 if TYPE_CHECKING:  # pragma: no cover - break the ledger<->chaincode import cycle
@@ -93,12 +93,13 @@ class ProposalResponsePayload:
         # these bytes.  The payload is deeply frozen, so the serialized
         # form is computed once and stashed on the instance — the 2nd..Nth
         # check (and the 2nd..Nth *peer*, which sees the same object in
-        # this in-process simulator) reuses it.
+        # this in-process simulator) reuses it.  Epoch-stamped so
+        # ``crypto.clear_caches`` invalidates stashed instances too.
         cached = getattr(self, "_serialized", None)
-        if cached is None:
-            cached = canonical_bytes(self.to_wire())
+        if cached is None or cached[0] != memo_epoch():
+            cached = (memo_epoch(), canonical_bytes(self.to_wire()))
             object.__setattr__(self, "_serialized", cached)
-        return cached
+        return cached[1]
 
     def with_hashed_payload(self) -> "ProposalResponsePayload":
         """New Feature 2, generalized: hash every plaintext channel —

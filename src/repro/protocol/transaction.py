@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.common.serialization import canonical_bytes
+from repro.common.serialization import canonical_bytes, memo_epoch
 from repro.identity.identity import Certificate
 from repro.protocol.response import Endorsement, ProposalResponsePayload
 
@@ -58,8 +58,8 @@ class TransactionEnvelope:
         bytes are computed once per envelope per process.
         """
         cached = getattr(self, "_serialized", None)
-        if cached is None:
-            cached = canonical_bytes(
+        if cached is None or cached[0] != memo_epoch():
+            value = canonical_bytes(
                 {
                     "tx_id": self.tx_id,
                     "channel_id": self.channel_id,
@@ -71,8 +71,9 @@ class TransactionEnvelope:
                     "args": list(self.args),
                 }
             )
+            cached = (memo_epoch(), value)
             object.__setattr__(self, "_serialized", cached)
-        return cached
+        return cached[1]
 
     def to_wire(self) -> dict:
         return {

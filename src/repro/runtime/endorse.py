@@ -200,7 +200,13 @@ class EndorsementCollector:
                 "client", "assemble+submit", envelope.tx_id,
                 endorsements=len(envelope.endorsements),
             )
-        self._runtime.submit_pending(self._pending)
+        try:
+            self._runtime.submit_pending(self._pending)
+        except ReproError as exc:
+            # Backpressure on the fan-out path: the collector finishes
+            # inside a scheduler event, so a refused submission (e.g. the
+            # mempool bound) must fail the future, not unwind the loop.
+            self._pending._fail(exc)
 
     def _terminate(self) -> None:
         self._retire()

@@ -33,14 +33,21 @@ The synchronous API stays available: with a runtime attached,
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.client.gateway import SubmitResult
-from repro.common.errors import ConfigError, EndorsementError, SchedulerError
+from repro.common.errors import (
+    ConfigError,
+    EndorsementError,
+    MempoolFullError,
+    SchedulerError,
+)
 from repro.ledger.block import Block
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
 from repro.runtime.bus import Message, MessageBus
+from repro.runtime.executor import ValidationCostModel
 from repro.runtime.faults import FaultInjector, LatencyModel
 from repro.runtime.scheduler import DEFAULT_MAX_EVENTS, EventScheduler
 
@@ -51,6 +58,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Simulated time the orderer waits before cutting an under-filled batch.
 DEFAULT_BATCH_TIMEOUT = 10.0
+
+#: Environment override for the submit-pipeline mempool bound.
+ENV_MEMPOOL_LIMIT = "REPRO_MEMPOOL_LIMIT"
+
+
+def resolve_mempool_limit(limit: Optional[int] = None) -> Optional[int]:
+    """Mempool bound: explicit over ``REPRO_MEMPOOL_LIMIT`` over unbounded."""
+    if limit is None:
+        env = os.environ.get(ENV_MEMPOOL_LIMIT)
+        if env:
+            try:
+                limit = int(env)
+            except ValueError:
+                raise ConfigError(f"invalid {ENV_MEMPOOL_LIMIT} value {env!r}")
+    if limit is not None and limit < 1:
+        raise ConfigError(f"mempool limit must be >= 1, got {limit}")
+    return limit
 
 TOPIC_SUBMIT = "submit"
 TOPIC_DELIVER = "deliver-block"
@@ -152,13 +176,26 @@ class TransactionRuntime:
         latency: Optional[LatencyModel] = None,
         faults: Optional[FaultInjector] = None,
         batch_timeout: float = DEFAULT_BATCH_TIMEOUT,
+        mempool_limit: Optional[int] = None,
+        validate_cost: Optional[ValidationCostModel] = None,
     ) -> None:
         self.network = network
         self.scheduler = EventScheduler(seed=seed)
         self.bus = MessageBus(self.scheduler, latency=latency, faults=faults)
         self.batch_timeout = batch_timeout
+        #: Max transactions in flight; ``None`` keeps the pipeline open-loop.
+        self.mempool_limit = resolve_mempool_limit(mempool_limit)
+        #: Submissions refused by the mempool bound.
+        self.mempool_rejections = 0
+        #: Optional simulated-time model charging each block's validation
+        #: its service time (see :class:`ValidationCostModel`); ``None``
+        #: keeps commits instantaneous — the byte-identical legacy path.
+        self.validate_cost = validate_cost
         self.transactions_submitted = 0
         self.transactions_resolved = 0
+        #: Per-peer validation-station bookkeeping (cost model only).
+        self._busy_until: dict[str, float] = {}
+        self._scheduled_height: dict[str, int] = {}
         self._pending: dict[str, PendingTransaction] = {}
         self._peers: dict[str, "PeerNode"] = {}
         self._deliver: dict[str, Callable[[Block], object]] = {}
@@ -225,6 +262,9 @@ class TransactionRuntime:
             )
         if pending.tx_id in self._pending:
             raise ConfigError(f"transaction {pending.tx_id} is already in flight")
+        if self.mempool_limit is not None and len(self._pending) >= self.mempool_limit:
+            self.mempool_rejections += 1
+            raise MempoolFullError(pending.tx_id, self.mempool_limit)
         self._pending[pending.tx_id] = pending
         self.transactions_submitted += 1
         self.bus.send(CLIENT_SOURCE, ORDERER_ENDPOINT, TOPIC_SUBMIT, pending.envelope)
@@ -354,12 +394,68 @@ class TransactionRuntime:
         buffer[number] = block
         self._drain_inbound(peer)
 
-    def _drain_inbound(self, peer: "PeerNode") -> None:
+    def _drain_inbound(self, peer: "PeerNode") -> int:
+        """Commit (or schedule) every in-order block; returns blocks taken.
+
+        Without a cost model the commit happens inline, exactly as the
+        event arrives — the byte-identical legacy path.  With one, each
+        block instead passes through the peer's validation service
+        station (:meth:`_drain_inbound_timed`).
+        """
+        if self.validate_cost is not None:
+            return self._drain_inbound_timed(peer)
         buffer = self._inbound.setdefault(peer.name, {})
+        taken = 0
         while peer.ledger.blockchain.height in buffer:
             block = buffer.pop(peer.ledger.blockchain.height)
             self._deliver[peer.name](block)
             self._note_committed(block)
+            taken += 1
+        return taken
+
+    def _drain_inbound_timed(self, peer: "PeerNode") -> int:
+        """Schedule ready blocks through the peer's validation station.
+
+        The cost model turns validation from an instantaneous call into a
+        FIFO service station: each block occupies the peer for its modeled
+        service time — ``per_transaction``·txs plus ``per_signature``
+        times the *makespan* of the executor's shard plan over the block's
+        per-key signature groups — so simulated throughput reflects the
+        configured parallelism.  Blocks are scheduled in height order;
+        the actual validate+commit runs when the station frees up, with
+        crash and stale-height guards (a crash or catch-up between
+        scheduling and firing just drops the stale event).
+        """
+        buffer = self._inbound.setdefault(peer.name, {})
+        name = peer.name
+        height = max(
+            self._scheduled_height.get(name, 0), peer.ledger.blockchain.height
+        )
+        taken = 0
+        while height in buffer:
+            block = buffer.pop(height)
+            service = self.validate_cost.service_seconds(
+                peer.validation_workload(block), len(block.transactions)
+            )
+            start = max(self.now, self._busy_until.get(name, 0.0))
+            self._busy_until[name] = start + service
+            height += 1
+            self._scheduled_height[name] = height
+            self.scheduler.call_later(
+                self._busy_until[name] - self.now,
+                lambda p=peer, b=block: self._finish_timed_commit(p, b),
+            )
+            taken += 1
+        return taken
+
+    def _finish_timed_commit(self, peer: "PeerNode", block: Block) -> None:
+        if peer.name in self._crashed:
+            self.crash_drops += 1  # the station died with the process
+            return
+        if block.header.number != peer.ledger.blockchain.height:
+            return  # already committed by a catch-up/restart refill
+        self._deliver[peer.name](block)
+        self._note_committed(block)
 
     def _note_committed(self, block: Block) -> None:
         progress = self._blocks.get(block.header.number)
@@ -402,6 +498,8 @@ class TransactionRuntime:
             listener(peer)
         self._crashed.add(name)
         self._inbound.pop(name, None)  # buffered blocks die with the process
+        self._busy_until.pop(name, None)
+        self._scheduled_height.pop(name, None)
         peer.crash()
 
     def restart_peer(self, name: str) -> None:
@@ -452,13 +550,17 @@ class TransactionRuntime:
             if name in self._crashed:
                 continue  # a down peer cannot reconnect; restart it first
             buffer = self._inbound.setdefault(name, {})
-            before = peer.ledger.blockchain.height
+            before = max(
+                peer.ledger.blockchain.height, self._scheduled_height.get(name, 0)
+            )
             for block in backlog[before:]:
                 number = block.header.number
                 if number >= before and number not in buffer:
                     buffer[number] = block
-            self._drain_inbound(peer)
-            committed += peer.ledger.blockchain.height - before
+            # With a cost model the drain *schedules* commits rather than
+            # performing them, so count what the drain took, not a height
+            # delta (the height moves when the scheduled events fire).
+            committed += self._drain_inbound(peer)
         return committed
 
     # -- the gossip plane ----------------------------------------------------

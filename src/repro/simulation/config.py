@@ -15,6 +15,7 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.runtime.executor import resolve_executor_kind
 from repro.storage import resolve_backend_kind
 
 
@@ -45,6 +46,7 @@ class SimulationConfig:
     colluding_orgs: tuple = ()  # orgs running the forged-read contract
     plan_rate: float = 0.0  # fraction of ops submitted via endorsement plans
     state_backend: str = "memory"  # peer-ledger storage engine: memory | wal
+    executor: str = "serial"  # execution backend spec: serial | process[:N]
     extra: dict = field(default_factory=dict)  # forward-compat escape hatch
 
     # -- derived helpers -----------------------------------------------------
@@ -129,6 +131,11 @@ class SimulationConfig:
             # behaviour, so it is an environment decision (REPRO_STATE_BACKEND
             # or --backend), not part of the seed's randomness.
             state_backend=resolve_backend_kind(),
+            # Likewise not drawn: the execution backend changes where pure
+            # CPU work runs, never what it computes (the parallel-equivalence
+            # invariant enforces exactly that), so it is an environment
+            # decision (REPRO_EXECUTOR or --executor) recorded for replay.
+            executor=resolve_executor_kind(),
         )
 
     @staticmethod

@@ -11,7 +11,7 @@ what seed replay and trace shrinking rely on.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.chaincode.contracts.asset_contract import AssetContract
@@ -26,6 +26,7 @@ from repro.network.collection import CollectionConfig
 from repro.network.network import FabricNetwork
 from repro.protocol.proposal import reset_nonce_counter
 from repro.protocol.transaction import ValidationCode
+from repro.runtime import executor as executor_mod
 from repro.runtime.faults import FaultInjector, LatencyModel
 from repro.runtime.runtime import TOPIC_GOSSIP
 from repro.simulation.config import SimulationConfig
@@ -33,7 +34,9 @@ from repro.simulation.faultplan import generate_fault_schedule
 from repro.simulation.invariants import (
     BlockBoundaryMonitor,
     RecoveryMonitor,
+    Violation,
     run_quiescence_checks,
+    state_digest,
 )
 from repro.simulation.workload import (
     PDC_CHAINCODE,
@@ -231,9 +234,14 @@ def execute(
     # (``use_plan``), so replay must not depend on the ambient
     # ``REPRO_ENDORSE_PLAN`` kill switch: pin it on for the run.  (The
     # state backend, by contrast, changes durability but never behaviour,
-    # which is why it *is* an environment decision.)
+    # which is why it *is* an environment decision.)  The execution
+    # backend is pinned to what the config recorded so a replayed trace
+    # runs the same mechanism the original did — the parallel-equivalence
+    # invariant is what guarantees the *results* never depend on it.
     saved_plan = os.environ.get("REPRO_ENDORSE_PLAN")
+    saved_executor = os.environ.get(executor_mod.ENV_VAR)
     os.environ["REPRO_ENDORSE_PLAN"] = "1"
+    os.environ[executor_mod.ENV_VAR] = config.executor
     try:
         return _execute(config, ops, fault_actions, weaken)
     finally:
@@ -241,6 +249,10 @@ def execute(
             os.environ.pop("REPRO_ENDORSE_PLAN", None)
         else:
             os.environ["REPRO_ENDORSE_PLAN"] = saved_plan
+        if saved_executor is None:
+            os.environ.pop(executor_mod.ENV_VAR, None)
+        else:
+            os.environ[executor_mod.ENV_VAR] = saved_executor
 
 
 def _execute(
@@ -307,6 +319,8 @@ def _execute(
         "recoveries": recovery.recoveries,
         "crash_drops": runtime.crash_drops,
         "state_backend": config.state_backend,
+        "executor": config.executor,
+        "state_digest": state_digest(sim),
     }
     return SimulationReport(
         config=config,
@@ -378,3 +392,112 @@ def run_seed(
     config = SimulationConfig.generate(seed, ops)
     workload, fault_actions = generate(config)
     return execute(config, workload, fault_actions, weaken=weaken)
+
+
+# ---------------------------------------------------------------------------
+# The parallel-equivalence invariant
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EquivalenceReport:
+    """One seed executed on the serial reference and a parallel backend."""
+
+    config: SimulationConfig
+    ops: list
+    fault_actions: list
+    reference: SimulationReport
+    parallel: SimulationReport
+    violations: list  # equivalence violations only
+
+    @property
+    def ok(self) -> bool:
+        """Equivalent *and* both runs individually clean."""
+        return not self.violations and self.reference.ok and self.parallel.ok
+
+    def summary(self) -> str:
+        verdict = "equivalent" if self.ok else (
+            f"{len(self.violations)} EQUIVALENCE VIOLATIONS"
+            if self.violations else "runs not clean"
+        )
+        return (
+            f"seed={self.config.seed} ops={len(self.ops)} "
+            f"serial={self.reference.stats.get('state_digest', '')[:12]} "
+            f"{self.parallel.config.executor}="
+            f"{self.parallel.stats.get('state_digest', '')[:12]} -> {verdict}"
+        )
+
+
+def compare_reports(
+    reference: SimulationReport,
+    parallel: SimulationReport,
+    invariant: str = "parallel-equivalence",
+) -> list:
+    """Byte-level comparison of two executions of the same triple."""
+    violations = []
+    ref_digest = reference.stats.get("state_digest", "")
+    par_digest = parallel.stats.get("state_digest", "")
+    if ref_digest != par_digest:
+        violations.append(Violation(
+            invariant,
+            f"state digest diverges: {reference.config.executor}="
+            f"{ref_digest[:16]} vs {parallel.config.executor}={par_digest[:16]}",
+        ))
+    if reference.stats.get("blocks") != parallel.stats.get("blocks"):
+        violations.append(Violation(
+            invariant,
+            f"block count diverges: {reference.stats.get('blocks')} vs "
+            f"{parallel.stats.get('blocks')}",
+        ))
+    divergent = 0
+    for ref_out, par_out in zip(reference.outcomes, parallel.outcomes):
+        if (ref_out.tx_id, ref_out.status, ref_out.error) != (
+            par_out.tx_id, par_out.status, par_out.error
+        ):
+            divergent += 1
+            if divergent <= 5:
+                violations.append(Violation(
+                    invariant,
+                    f"op {ref_out.spec.index} outcome diverges: "
+                    f"{ref_out.status}/{ref_out.error!r} vs "
+                    f"{par_out.status}/{par_out.error!r}",
+                    tx_id=ref_out.tx_id or "",
+                ))
+    if divergent > 5:
+        violations.append(Violation(
+            invariant, f"... and {divergent - 5} more divergent outcomes"
+        ))
+    return violations
+
+
+def run_parallel_equivalence(
+    seed: int, ops: int, workers: int = 4, weaken: Optional[str] = None
+) -> EquivalenceReport:
+    """Check the ``parallel-equivalence`` invariant for one seed.
+
+    Generalizes the :class:`ReferenceValidator` pattern from the flag
+    level to the whole execution substrate: the same ``(config, ops,
+    faults)`` triple runs once on the byte-identical serial reference and
+    once on the ``process`` pool, and the two histories must agree on the
+    state digest (block chains + flags + world state + private stores),
+    block count, and every per-op outcome.  Any divergence is a
+    ``parallel-equivalence`` violation carrying both digests — proof that
+    offloading crypto to worker processes changed *where* work ran, never
+    what it computed.
+    """
+    config = SimulationConfig.generate(seed, ops)
+    workload, fault_actions = generate(config)
+    reference = execute(
+        replace(config, executor="serial"), workload, fault_actions, weaken=weaken
+    )
+    parallel = execute(
+        replace(config, executor=f"process:{workers}"),
+        workload, fault_actions, weaken=weaken,
+    )
+    return EquivalenceReport(
+        config=config,
+        ops=workload,
+        fault_actions=fault_actions,
+        reference=reference,
+        parallel=parallel,
+        violations=compare_reports(reference, parallel),
+    )

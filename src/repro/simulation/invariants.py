@@ -50,10 +50,12 @@ The catalogue (names are the ``invariant`` field of each violation):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.hashing import hash_value
+from repro.common.serialization import canonical_bytes
 from repro.ledger.version import Version
 from repro.protocol.transaction import ValidationCode
 from repro.runtime.runtime import TOPIC_SUBMIT
@@ -836,6 +838,55 @@ def check_liveness_accounting(sim: "SimNetwork", outcomes: list) -> list:
                 ))
                 break
     return violations
+
+
+def state_digest(sim: "SimNetwork") -> str:
+    """SHA-256 fingerprint of everything ``parallel-equivalence`` compares.
+
+    Covers, per peer in name order: the committed block-hash chain with
+    per-transaction validation flags, the public world state, the private
+    hash store, and the private plaintext store.  Two executions of the
+    same ``(config, ops, faults)`` triple must produce identical digests
+    whatever execution backend ran the crypto — byte-identical block
+    chains, world state and tx statuses, compressed into one comparable
+    string that a report can carry and a failing trace can embed.
+    """
+    digest = hashlib.sha256(b"repro-state-digest")
+    channel = sim.network.channel
+    for name in sorted(sim.peers):
+        peer = sim.peers[name]
+        digest.update(name.encode("utf-8"))
+        for validated in peer.ledger.blockchain.blocks():
+            digest.update(validated.block.header.block_hash())
+            for flag in validated.flags:
+                digest.update(flag.name.encode("ascii"))
+        for ns in sorted(channel.chaincodes):
+            for key, entry in sorted(
+                peer.ledger.world_state.items(ns), key=lambda kv: kv[0]
+            ):
+                digest.update(canonical_bytes(
+                    [ns, key, entry.value, entry.version.to_wire()]
+                ))
+        for chaincode_id, definition in sorted(channel.chaincodes.items()):
+            for collection in definition.collections:
+                for key_hash in sorted(
+                    peer.ledger.private_hashes.key_hashes(chaincode_id, collection.name)
+                ):
+                    entry = peer.ledger.private_hashes.get(
+                        chaincode_id, collection.name, key_hash
+                    )
+                    digest.update(canonical_bytes(
+                        [chaincode_id, collection.name, key_hash,
+                         entry.value_hash, entry.version.to_wire()]
+                    ))
+                for key, entry in sorted(
+                    peer.ledger.private_data.items(chaincode_id, collection.name),
+                    key=lambda kv: kv[0],
+                ):
+                    digest.update(canonical_bytes(
+                        [chaincode_id, collection.name, key, entry.value]
+                    ))
+    return digest.hexdigest()
 
 
 def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:

@@ -1,0 +1,275 @@
+"""Tests for the pluggable execution backends.
+
+Covers the spec/worker resolution chain, the deterministic LPT shard
+planner, both backends' ordered ``map``, the pin/unpin registry, the
+cost model, and — the load-bearing property — byte-identity of sharded
+``verify_batch`` / offloaded signing against the serial reference.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common import crypto
+from repro.common.crypto import generate_keypair, verify_batch
+from repro.common.errors import ConfigError
+from repro.common.tracing import PERF
+from repro.runtime.executor import (
+    ENV_VAR,
+    ENV_WORKERS,
+    ProcessPoolBackend,
+    SerialBackend,
+    ValidationCostModel,
+    current_backend,
+    plan_shards,
+    reset_backend,
+    resolve_executor_kind,
+    resolve_worker_count,
+    set_backend,
+    shard_makespan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_executor_env():
+    saved = {k: os.environ.pop(k, None) for k in (ENV_VAR, ENV_WORKERS)}
+    reset_backend()
+    crypto.clear_verify_cache()
+    yield
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    reset_backend()
+    crypto.clear_verify_cache()
+
+
+# ---------------------------------------------------------------------------
+# Spec resolution
+# ---------------------------------------------------------------------------
+
+class TestResolution:
+    def test_default_is_serial(self):
+        assert resolve_executor_kind() == "serial"
+
+    def test_env_over_default(self):
+        os.environ[ENV_VAR] = "process:3"
+        assert resolve_executor_kind() == "process:3"
+
+    def test_explicit_over_env(self):
+        os.environ[ENV_VAR] = "process"
+        assert resolve_executor_kind("serial") == "serial"
+
+    @pytest.mark.parametrize("bad", ["thread", "process:x", "process:0", "pool:2"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_executor_kind(bad)
+
+    def test_worker_count_precedence(self):
+        # kind default: serial -> 1, process -> 4
+        assert resolve_worker_count(spec="serial") == 1
+        assert resolve_worker_count(spec="process") == 4
+        # env beats the kind default
+        os.environ[ENV_WORKERS] = "6"
+        assert resolve_worker_count(spec="process") == 6
+        # spec-inline beats env
+        assert resolve_worker_count(spec="process:2") == 2
+        # explicit beats everything
+        assert resolve_worker_count(workers=8, spec="process:2") == 8
+
+    def test_bad_worker_counts_rejected(self):
+        os.environ[ENV_WORKERS] = "nope"
+        with pytest.raises(ConfigError):
+            resolve_worker_count(spec="process")
+        with pytest.raises(ConfigError):
+            resolve_worker_count(workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+class TestPlanShards:
+    def test_partition_exactly_once(self):
+        weights = [5, 1, 4, 4, 2, 9, 3, 1]
+        plan = plan_shards(weights, 3)
+        flat = sorted(i for b in plan for i in b)
+        assert flat == list(range(len(weights)))
+
+    def test_deterministic(self):
+        weights = [3, 3, 3, 7, 1, 1, 2]
+        assert plan_shards(weights, 4) == plan_shards(list(weights), 4)
+
+    def test_single_shard_is_everything(self):
+        assert plan_shards([2, 5, 1], 1) == [[0, 1, 2]]
+
+    def test_empty(self):
+        assert plan_shards([], 4) == []
+        assert shard_makespan([], 4) == 0
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ConfigError):
+            plan_shards([1], 0)
+
+    def test_makespan_bounds(self):
+        weights = [5, 1, 4, 4, 2, 9, 3, 1]
+        serial = sum(weights)
+        for shards in (1, 2, 3, 4, 8):
+            span = shard_makespan(weights, shards)
+            assert max(weights) <= span <= serial
+        assert shard_makespan(weights, 1) == serial
+
+    def test_lpt_balances(self):
+        # 4 equal items over 2 bins must split 2/2, not 3/1.
+        plan = plan_shards([1, 1, 1, 1], 2)
+        assert sorted(len(b) for b in plan) == [2, 2]
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+def _double(payload):
+    return payload * 2
+
+
+class TestBackends:
+    def test_serial_map_order(self):
+        backend = SerialBackend(workers=1)
+        assert backend.map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert not backend.parallel
+        assert backend.describe() == "serial:1"
+
+    def test_serial_with_workers_is_parallel_for_planning(self):
+        assert SerialBackend(workers=4).parallel
+
+    def test_process_map_order_and_counters(self):
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            before = PERF.snapshot()
+            assert backend.map(_double, list(range(8))) == [
+                0, 2, 4, 6, 8, 10, 12, 14
+            ]
+            delta = PERF.delta_since(before)
+            assert delta.get("executor_tasks") == 8
+            assert delta.get("executor_remote_tasks") == 8
+        finally:
+            backend.shutdown()
+
+    def test_current_backend_follows_env(self):
+        assert current_backend().kind == "serial"
+        os.environ[ENV_VAR] = "process:2"
+        backend = current_backend()
+        assert backend.kind == "process"
+        assert backend.workers == 2
+        # Same spec -> same cached instance; changed spec -> rebuilt.
+        assert current_backend() is backend
+        os.environ[ENV_VAR] = "serial"
+        assert current_backend().kind == "serial"
+
+    def test_set_backend_pins_over_env(self):
+        os.environ[ENV_VAR] = "process:2"
+        pinned = set_backend("serial", workers=3)
+        assert current_backend() is pinned
+        assert pinned.kind == "serial" and pinned.workers == 3
+        set_backend(None)
+        assert current_backend().kind == "process"
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity of the offloaded crypto
+# ---------------------------------------------------------------------------
+
+def _workload(n_keys=4, per_key=4, forge=()):
+    """(public_key, message, signature) triples with optional forgeries."""
+    items = []
+    for k in range(n_keys):
+        private, public = generate_keypair(f"shard-key-{k}".encode())
+        for m in range(per_key):
+            message = f"msg-{k}-{m}".encode()
+            signature = private.sign(message)
+            if (k, m) in forge:
+                signature = signature[:-1] + bytes([signature[-1] ^ 1])
+            items.append((public, message, signature))
+    return items
+
+
+class TestShardedVerifyIdentity:
+    @pytest.mark.parametrize("forge", [(), ((0, 1), (2, 3)), ((1, 0),)])
+    def test_serial_workers_match_reference(self, forge):
+        items = _workload(forge=set(forge))
+        crypto.clear_verify_cache()
+        reference = crypto._verify_batch_serial(items, seed=b"eq")
+        for workers in (2, 3, 4, 7):
+            set_backend("serial", workers=workers)
+            crypto.clear_verify_cache()
+            assert verify_batch(items, seed=b"eq") == reference
+
+    def test_process_backend_matches_reference(self):
+        items = _workload(forge={(0, 0), (3, 2)})
+        crypto.clear_verify_cache()
+        reference = crypto._verify_batch_serial(items, seed=b"eq")
+        set_backend("process", workers=2)
+        crypto.clear_verify_cache()
+        before = PERF.snapshot()
+        assert verify_batch(items, seed=b"eq") == reference
+        delta = PERF.delta_since(before)
+        # The shards really went to worker processes, and their counter
+        # deltas (modexps, bisections) folded back into the parent.
+        assert delta.get("executor_remote_tasks", 0) >= 2
+        assert delta.get("verify_individual", 0) >= 2  # the two forgeries
+
+    def test_small_batches_stay_serial(self):
+        items = _workload(n_keys=2, per_key=2)
+        set_backend("serial", workers=4)
+        before = PERF.snapshot()
+        flags = verify_batch(items, seed=b"small")
+        assert all(flags)
+        assert PERF.delta_since(before).get("executor_tasks", 0) == 0
+
+    def test_sharded_results_populate_cache(self):
+        items = _workload()
+        set_backend("serial", workers=4)
+        crypto.clear_verify_cache()
+        verify_batch(items, seed=b"cache")
+        before = PERF.snapshot()
+        assert all(public.verify(msg, sig) for public, msg, sig in items)
+        assert PERF.delta_since(before).get("verify_cache_hits") == len(items)
+
+
+class TestSignOffload:
+    def test_sign_with_backend_identity(self):
+        private, public = generate_keypair(b"sign-offload")
+        message = b"the payload"
+        inline = private.sign(message)
+        assert crypto.sign_with_backend(private, message) == inline
+        set_backend("process", workers=2)
+        assert crypto.sign_with_backend(private, message) == inline
+        assert public.verify(message, inline)
+
+
+# ---------------------------------------------------------------------------
+# The cost model
+# ---------------------------------------------------------------------------
+
+class TestValidationCostModel:
+    def test_service_time_scales_with_workers(self):
+        groups = [3, 3, 3, 3]
+        one = ValidationCostModel(workers=1).service_seconds(groups, tx_count=4)
+        four = ValidationCostModel(workers=4).service_seconds(groups, tx_count=4)
+        # 12 signatures serially vs a 3-signature makespan, same tx term.
+        assert one == 0.25 * 4 + 12
+        assert four == 0.25 * 4 + 3
+
+    def test_workers_follow_backend_when_unset(self):
+        set_backend("serial", workers=2)
+        model = ValidationCostModel()
+        assert model.effective_workers() == 2
+        assert model.service_seconds([2, 2], tx_count=0) == 2.0
+
+    def test_empty_block_costs_tx_term_only(self):
+        model = ValidationCostModel(per_transaction=0.5, workers=4)
+        assert model.service_seconds([], tx_count=2) == 1.0

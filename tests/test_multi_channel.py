@@ -93,3 +93,97 @@ class TestChannelIsolation:
             net1.channel.chaincode("s2")
         with pytest.raises(ConfigError):
             net2.channel.chaincode("s1")
+
+
+class TestMultiChannelValidateBlocks:
+    """The combined signature pass over one block per channel."""
+
+    def _blocks_and_observers(self, two_channels):
+        """Commit one block per channel, then enroll fresh observer peers
+        that have not seen them — re-validation targets."""
+        net1, net2 = two_channels
+        members = [net1.default_peer_for("Org1MSP"), net1.default_peer_for("Org4MSP")]
+        net1.client("Org1MSP").submit_transaction(
+            "s1", "set_private", ["PDC1", "k"],
+            transient={"value": b"v"}, endorsing_peers=members,
+        ).raise_for_status()
+        net2.client("Org2MSP").submit_transaction(
+            "s2", "create_asset", ["a1", "5"],
+            endorsing_peers=[net2.default_peer_for("Org2MSP")],
+        ).raise_for_status()
+        block1 = next(net1.peers()[0].ledger.blockchain.blocks()).block
+        block2 = next(net2.peers()[0].ledger.blockchain.blocks()).block
+        # Fresh validator+ledger pairs that have never seen the blocks
+        # (a peer added to the network would be caught up immediately).
+        from repro.ledger.ledger import PeerLedger
+        from repro.peer.validator import Validator
+
+        def job(net, block):
+            # The shared VSCC memo would answer the re-validation from the
+            # committing peers' flags; pin it off so the pipelines (and
+            # their signature checks) actually run.
+            validator = Validator(
+                channel=net.channel, features=net.features, use_shared_memo=False
+            )
+            return (validator, block, PeerLedger(None))
+
+        jobs = [job(net1, block1), job(net2, block2)]
+        twins = [job(net1, block1), job(net2, block2)]
+        return jobs, twins
+
+    def test_flags_identical_to_per_job_validation(self, two_channels):
+        from repro.common import crypto
+        from repro.common.tracing import PERF
+        from repro.peer.validator import validate_blocks
+        from repro.protocol.transaction import ValidationCode
+
+        jobs, twins = self._blocks_and_observers(two_channels)
+        crypto.clear_verify_cache()
+        expected = [
+            validator.validate_block(block, ledger)
+            for validator, block, ledger in twins
+        ]
+        crypto.clear_verify_cache()
+        before = PERF.snapshot()
+        combined = validate_blocks(jobs)
+        delta = PERF.delta_since(before)
+        assert combined == expected
+        assert all(
+            flag is ValidationCode.VALID for flags in combined for flag in flags
+        )
+        # All signatures settled by the combined pre-pass: the per-job
+        # pipelines answered every check from the shared cache, and no
+        # signature fell through to an individual verification.
+        assert delta.get("verify_batched", 0) >= 3  # creator+2 endorsers / creator
+        assert delta.get("verify_individual", 0) == 0
+        assert delta.get("verify_cache_hits", 0) >= delta["verify_batched"]
+
+    def test_workload_reflects_per_key_groups(self, two_channels):
+        jobs, _ = self._blocks_and_observers(two_channels)
+        for validator, block, ledger in jobs:
+            groups = validator.signature_workload(block, ledger)
+            assert groups, "committed block must have batchable signatures"
+            items = validator._collect_signature_items(block, ledger, None)
+            assert sum(groups) == len(items)
+
+    def test_sharded_combined_pass_matches_reference(self, two_channels):
+        """The combined batch through a multi-worker backend still yields
+        the reference flags — the multi-channel face of parallel
+        equivalence."""
+        from repro.common import crypto
+        from repro.peer.validator import validate_blocks
+        from repro.runtime.executor import reset_backend, set_backend
+
+        jobs, twins = self._blocks_and_observers(two_channels)
+        crypto.clear_verify_cache()
+        expected = [
+            validator.validate_block(block, ledger)
+            for validator, block, ledger in twins
+        ]
+        try:
+            set_backend("serial", workers=4)
+            crypto.clear_verify_cache()
+            assert validate_blocks(jobs) == expected
+        finally:
+            reset_backend()
+            crypto.clear_verify_cache()

@@ -70,6 +70,38 @@ class TestWindowTableLRU:
         assert not lru.has_table(5)
         assert len(lru) == 2
 
+    def test_cold_entries_participate_in_eviction(self):
+        # Use-counters compete for the same LRU slots as built tables:
+        # the oldest cold base is evicted first, losing its count.
+        lru = WindowTableLRU(maxsize=2, build_after=5)
+        for base in (3, 5, 7):
+            lru.powmod(base, 2, SMALL_PRIME, 16)
+        assert len(lru) == 2
+        assert 3 not in lru._entries  # the least-recent cold entry
+        assert {5, 7} <= set(lru._entries)
+        assert lru.table_count() == 0
+
+    def test_hot_table_evicted_when_least_recent(self):
+        lru = WindowTableLRU(maxsize=2, build_after=1)
+        lru.powmod(3, 5, SMALL_PRIME, 16)   # builds a table for 3
+        lru.powmod(5, 5, SMALL_PRIME, 16)   # builds a table for 5
+        lru.powmod(5, 6, SMALL_PRIME, 16)   # table hit refreshes 5
+        lru.powmod(7, 5, SMALL_PRIME, 16)   # evicts 3 despite its table
+        assert not lru.has_table(3)
+        assert lru.has_table(5) and lru.has_table(7)
+        assert lru.table_count() == 2
+
+    def test_use_counts_tracked_per_base(self):
+        lru = WindowTableLRU(maxsize=4, build_after=3)
+        for exponent in (4, 5):
+            lru.powmod(3, exponent, SMALL_PRIME, 16)
+            lru.powmod(5, exponent, SMALL_PRIME, 16)
+        lru.powmod(3, 6, SMALL_PRIME, 16)  # third use: only 3 goes hot
+        assert lru.has_table(3)
+        assert not lru.has_table(5)
+        assert lru.table_count() == 1
+        assert len(lru) == 2
+
     def test_results_correct_before_and_after_build(self):
         lru = WindowTableLRU(maxsize=8, build_after=2)
         for exponent in (9, 10, 11, 12):

@@ -579,3 +579,93 @@ class TestSameKeyRaceSeedSweep:
         assert self._race(seed, batch_size) == [
             "MVCC_READ_CONFLICT", "VALID"
         ]
+
+
+# ---------------------------------------------------------------------------
+# mempool bound + backpressure
+# ---------------------------------------------------------------------------
+class TestMempoolBound:
+    def _bounded_network(self, limit, batch_size=50, timeout=None):
+        reset_nonce_counter()
+        reset_ca_instance_counter()
+        net = _public_network(batch_size=batch_size)
+        runtime = net.attach_runtime(
+            seed=5, mempool_limit=limit,
+            **({} if timeout is None else {"batch_timeout": timeout}),
+        )
+        return net, runtime
+
+    def test_submit_refused_at_bound(self):
+        from repro.common.errors import MempoolFullError
+
+        net, runtime = self._bounded_network(limit=2)
+        client = net.client("Org1MSP")
+        endorsers = [net.peers()[0]]
+        for i in range(2):
+            client.submit_async("assetcc", "create_asset", [f"m{i}", "1"],
+                                endorsing_peers=endorsers)
+        with pytest.raises(MempoolFullError) as excinfo:
+            client.submit_async("assetcc", "create_asset", ["m2", "1"],
+                                endorsing_peers=endorsers)
+        assert excinfo.value.limit == 2
+        assert excinfo.value.tx_id
+        assert runtime.mempool_rejections == 1
+        # Existing load is unaffected and drains normally.
+        runtime.run()
+        assert runtime.in_flight() == 0
+        assert net.peers()[0].valid_tx_count == 2
+
+    def test_bound_frees_up_after_commit(self):
+        from repro.common.errors import MempoolFullError
+
+        net, runtime = self._bounded_network(limit=1, batch_size=1)
+        client = net.client("Org1MSP")
+        endorsers = [net.peers()[0]]
+        first = client.submit_async("assetcc", "create_asset", ["f0", "1"],
+                                    endorsing_peers=endorsers)
+        with pytest.raises(MempoolFullError):
+            client.submit_async("assetcc", "create_asset", ["f1", "1"],
+                                endorsing_peers=endorsers)
+        runtime.run()
+        assert first.result().status is ValidationCode.VALID
+        # The slot is free again: the next submission is accepted.
+        second = client.submit_async("assetcc", "create_asset", ["f2", "1"],
+                                     endorsing_peers=endorsers)
+        runtime.run()
+        assert second.result().status is ValidationCode.VALID
+        assert runtime.mempool_rejections == 1
+
+    def test_fanout_path_fails_future_not_loop(self):
+        """Plan-based submissions hit the bound inside scheduler events:
+        the refused futures must fail typed, not unwind ``run()``."""
+        from repro.common.errors import MempoolFullError
+
+        net, runtime = self._bounded_network(limit=1, timeout=500.0)
+        client = net.client("Org1MSP")
+        pendings = [
+            client.submit_async("assetcc", "create_asset", [f"p{i}", "1"],
+                                endorsement_plan=True)
+            for i in range(3)
+        ]
+        runtime.run()  # must not raise
+        outcomes = sorted(
+            "ok" if p.error is None else type(p.error).__name__
+            for p in pendings
+        )
+        assert outcomes == ["MempoolFullError", "MempoolFullError", "ok"]
+        assert runtime.mempool_rejections == 2
+
+    def test_env_resolution(self, monkeypatch):
+        from repro.runtime import resolve_mempool_limit
+
+        assert resolve_mempool_limit() is None
+        assert resolve_mempool_limit(7) == 7
+        monkeypatch.setenv("REPRO_MEMPOOL_LIMIT", "3")
+        assert resolve_mempool_limit() == 3
+        assert resolve_mempool_limit(9) == 9  # explicit beats env
+        monkeypatch.setenv("REPRO_MEMPOOL_LIMIT", "0")
+        with pytest.raises(ConfigError):
+            resolve_mempool_limit()
+        monkeypatch.setenv("REPRO_MEMPOOL_LIMIT", "lots")
+        with pytest.raises(ConfigError):
+            resolve_mempool_limit()

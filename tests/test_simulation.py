@@ -155,6 +155,54 @@ class TestSeedReplay:
 
 
 # ---------------------------------------------------------------------------
+# the parallel-equivalence invariant
+# ---------------------------------------------------------------------------
+class TestParallelEquivalence:
+    def test_process_run_byte_identical_to_serial(self):
+        from repro.simulation import run_parallel_equivalence
+
+        report = run_parallel_equivalence(7, 30, workers=2)
+        assert report.ok, "\n".join(
+            str(v) for v in report.violations
+            + report.reference.violations + report.parallel.violations
+        )
+        assert report.reference.config.executor == "serial"
+        assert report.parallel.config.executor == "process:2"
+        assert (
+            report.reference.stats["state_digest"]
+            == report.parallel.stats["state_digest"]
+        )
+
+    def test_compare_reports_flags_divergence(self):
+        from dataclasses import replace
+
+        from repro.simulation import compare_reports
+
+        first = run_seed(9, 25)
+        second = run_seed(9, 25)
+        assert compare_reports(first, second) == []
+        # Tamper with one side: every difference becomes a typed violation.
+        second.stats["state_digest"] = "0" * 64
+        second.stats["blocks"] = -1
+        second.outcomes[0] = replace(second.outcomes[0], status="tampered")
+        violations = compare_reports(first, second)
+        assert len(violations) == 3
+        assert all(v.invariant == "parallel-equivalence" for v in violations)
+
+    def test_executor_recorded_in_stats_and_wire(self):
+        # generate() records the environment's executor kind (serial unless
+        # REPRO_EXECUTOR pins the suite onto another backend).
+        from repro.runtime.executor import resolve_executor_kind
+
+        expected = resolve_executor_kind()
+        report = run_seed(2, 15)
+        assert report.stats["executor"] == report.config.executor == expected
+        wire = report.config.to_wire()
+        assert wire["executor"] == expected
+        assert SimulationConfig.from_wire(wire).executor == expected
+
+
+# ---------------------------------------------------------------------------
 # teeth: a sabotaged validator must be caught and shrunk small
 # ---------------------------------------------------------------------------
 class TestWeakenedValidator:
