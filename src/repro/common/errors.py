@@ -116,6 +116,25 @@ class MempoolFullError(OrderingError):
         )
 
 
+class RetryExhaustedError(ReproError):
+    """An admission/retry policy ran out of retry budget.
+
+    Raised by the client-side retry layer when a transaction could not be
+    admitted (``MempoolFullError`` on every attempt) or kept aborting on
+    MVCC conflicts until the budget was spent.  Carries the last attempt's
+    ``tx_id``, the number of ``attempts`` made, and the ``reason`` string
+    of the final failure.
+    """
+
+    def __init__(self, tx_id: str, attempts: int, reason: str) -> None:
+        self.tx_id = tx_id
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"transaction {tx_id} abandoned after {attempts} attempts: {reason}"
+        )
+
+
 class SchedulerError(ReproError):
     """The simulated-time runtime could not make progress.
 

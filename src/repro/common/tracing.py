@@ -209,6 +209,35 @@ class Tracer:
             counts.update(PERF.as_dict())
         return counts
 
+    def abort_summary(self) -> dict:
+        """Per-transaction commit/abort breakdown, deduplicated.
+
+        :meth:`summary` counts raw events, which over-counts aborts under
+        contention: every peer records its own ``validate+commit`` event
+        (N peers → N events per transaction) and a retried submission
+        shows up once per attempt.  This view keys everything by tx id —
+        each transaction contributes exactly one flag (every honest peer
+        assigns the same one) and each mempool refusal is counted once
+        per distinct refused transaction — so the totals line up with the
+        ledger: ``committed + aborted`` equals the chain's transaction
+        count, matching ``valid_tx_count`` / ``invalid_tx_count`` at any
+        peer.
+        """
+        flags: dict = {}
+        rejected: set = set()
+        for event in self.events:
+            if event.action == "validate+commit" and event.tx_id:
+                flags[event.tx_id] = event.detail.get("flag", "")
+            elif event.action == "mempool-reject" and event.tx_id:
+                rejected.add(event.tx_id)
+        counts = Counter(flags.values())
+        return {
+            "committed": counts.get("VALID", 0),
+            "aborted": sum(n for flag, n in counts.items() if flag != "VALID"),
+            "by_flag": dict(counts),
+            "mempool_rejected": len(rejected),
+        }
+
     def render(self) -> str:
         return "\n".join(str(event) for event in self.events)
 

@@ -264,6 +264,12 @@ class TransactionRuntime:
             raise ConfigError(f"transaction {pending.tx_id} is already in flight")
         if self.mempool_limit is not None and len(self._pending) >= self.mempool_limit:
             self.mempool_rejections += 1
+            tracer = self.network.tracer
+            if tracer:
+                tracer.record(
+                    "runtime", "mempool-reject", pending.tx_id,
+                    limit=self.mempool_limit,
+                )
             raise MempoolFullError(pending.tx_id, self.mempool_limit)
         self._pending[pending.tx_id] = pending
         self.transactions_submitted += 1

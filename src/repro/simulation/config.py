@@ -48,6 +48,15 @@ class SimulationConfig:
     state_backend: str = "memory"  # peer-ledger storage engine: memory | wal
     executor: str = "serial"  # execution backend spec: serial | process[:N]
     extra: dict = field(default_factory=dict)  # forward-compat escape hatch
+    # -- the tpcc workload family (defaults keep mixed-workload wire data
+    # and older traces loading unchanged) ------------------------------------
+    workload: str = "mixed"  # workload family: mixed | tpcc
+    warehouses: int = 0
+    districts_per_warehouse: int = 0
+    arrival_rate: float = 0.0  # open-loop arrivals per simulated second
+    bursts: tuple = ()  # ((start, end, rate multiplier), ...) burst windows
+    retry_budget: int = 0  # admission/retry policy budget per logical tx
+    mempool_limit: int = 0  # submit-pipeline bound; 0 = unbounded
 
     # -- derived helpers -----------------------------------------------------
     def org_ids(self) -> list[str]:
@@ -151,11 +160,76 @@ class SimulationConfig:
         both = rng.sample(list(principals), 2)
         return f"AND({both[0]}, {both[1]})"
 
+    # -- tpcc generation -----------------------------------------------------
+    @classmethod
+    def generate_tpcc(cls, seed: int, ops: int) -> "SimulationConfig":
+        """Expand ``seed`` into a contended TPC-C-style deployment.
+
+        The shape is narrower than :meth:`generate` on purpose — a fixed
+        three-org network whose private order-lines live in ``PDC1`` —
+        and wilder where contention lives: warehouse/district counts,
+        open-loop arrival rate, burst windows, the retry budget and the
+        mempool bound all vary per seed.
+        """
+        rng = random.Random(f"tpcc-config-{seed}")
+        org_ids = ["Org1MSP", "Org2MSP", "Org3MSP"]
+        members = tuple(sorted(rng.sample(org_ids, 2)))
+        arrival_rate = round(rng.uniform(1.0, 4.0), 3)
+        bursts: tuple = ()
+        if rng.random() < 0.5:
+            start = round(rng.uniform(2.0, 10.0), 3)
+            bursts = ((start, round(start + rng.uniform(3.0, 8.0), 3),
+                       round(rng.uniform(2.0, 4.0), 3)),)
+        return cls(
+            seed=seed,
+            ops=ops,
+            org_count=3,
+            peers_per_org=1,
+            pdc1_members=members,
+            pdc2_members=(),
+            pdc1_policy=None,
+            pdc2_policy=None,
+            chaincode_policy="MAJORITY Endorsement",
+            features="original",
+            batch_size=rng.randint(2, 8),
+            batch_timeout=rng.choice([0.5, 1.0, 2.0]),
+            base_latency=round(rng.uniform(0.2, 0.8), 3),
+            jitter=0.0,
+            gossip_latency=round(rng.uniform(0.2, 1.5), 3),
+            required_peer_count=0,
+            max_peer_count=2,
+            attack_weight=0.0,
+            fault_windows=rng.randint(0, 1),
+            # horizon() spans the open-loop schedule via ops * mean_gap.
+            mean_gap=round(1.0 / arrival_rate, 6),
+            colluding_orgs=(),
+            plan_rate=0.0,
+            state_backend=resolve_backend_kind(),
+            executor=resolve_executor_kind(),
+            workload="tpcc",
+            warehouses=rng.randint(1, 3),
+            districts_per_warehouse=rng.randint(1, 2),
+            arrival_rate=arrival_rate,
+            bursts=bursts,
+            retry_budget=rng.randint(1, 3),
+            mempool_limit=rng.choice([0, 8, 16]),
+        )
+
+    @classmethod
+    def generate_workload(cls, workload: str, seed: int, ops: int) -> "SimulationConfig":
+        """Dispatch to the named workload family's generator."""
+        if workload == "tpcc":
+            return cls.generate_tpcc(seed, ops)
+        if workload == "mixed":
+            return cls.generate(seed, ops)
+        raise ValueError(f"unknown workload family {workload!r}")
+
     # -- wire format ---------------------------------------------------------
     def to_wire(self) -> dict:
         data = asdict(self)
         for key in ("pdc1_members", "pdc2_members", "colluding_orgs"):
             data[key] = list(data[key])
+        data["bursts"] = [list(burst) for burst in data["bursts"]]
         return data
 
     @classmethod
@@ -163,4 +237,7 @@ class SimulationConfig:
         data = dict(data)
         for key in ("pdc1_members", "pdc2_members", "colluding_orgs"):
             data[key] = tuple(data.get(key, ()))
+        data["bursts"] = tuple(
+            tuple(burst) for burst in data.get("bursts", ())
+        )
         return cls(**data)

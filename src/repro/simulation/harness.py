@@ -11,6 +11,7 @@ what seed replay and trace shrinking rely on.
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
@@ -87,6 +88,11 @@ class OpOutcome:
     tx_id: Optional[str] = None
     status: Optional[ValidationCode] = None  # None = never resolved
     error: Optional[str] = None  # client-side failure before ordering
+    # Admission/retry bookkeeping (tpcc workloads; zero elsewhere).
+    attempts: int = 0         # endorsement attempts (distinct tx ids)
+    retries: int = 0          # backoff-and-retry events
+    drops: int = 0            # MempoolFullError refusals absorbed
+    attempt_tx_ids: tuple = ()  # every tx id this op put in flight
 
 
 @dataclass
@@ -145,14 +151,23 @@ def build_network(config: SimulationConfig) -> SimNetwork:
             max_peer_count=config.max_peer_count,
             endorsement_policy=policy,
         ))
-    channel.deploy_chaincode(
-        PDC_CHAINCODE,
-        endorsement_policy=config.chaincode_policy,
-        collections=collections,
-    )
-    channel.deploy_chaincode(
-        PUBLIC_CHAINCODE, endorsement_policy=config.chaincode_policy
-    )
+    if config.workload == "tpcc":
+        from repro.workload.tpcc import TPCC_CHAINCODE
+
+        channel.deploy_chaincode(
+            TPCC_CHAINCODE,
+            endorsement_policy=config.chaincode_policy,
+            collections=collections,
+        )
+    else:
+        channel.deploy_chaincode(
+            PDC_CHAINCODE,
+            endorsement_policy=config.chaincode_policy,
+            collections=collections,
+        )
+        channel.deploy_chaincode(
+            PUBLIC_CHAINCODE, endorsement_policy=config.chaincode_policy
+        )
 
     features = (
         FrameworkFeatures.feature1_only()
@@ -175,16 +190,21 @@ def build_network(config: SimulationConfig) -> SimNetwork:
             peers[peer.name] = peer
         clients[org.msp_id] = network.client(org.msp_id, "client0")
 
-    network.install_chaincode(PUBLIC_CHAINCODE, AssetContract())
-    honest = [p for p in peers.values() if p.msp_id not in colluding]
-    network.install_chaincode(PDC_CHAINCODE, PrivateAssetContract(), peers=honest)
-    dishonest = [p for p in peers.values() if p.msp_id in colluding]
-    if dishonest:
-        network.install_chaincode(
-            PDC_CHAINCODE,
-            ColludingPrivateAssetContract(COLLUDER_FAKE_VALUE),
-            peers=dishonest,
-        )
+    if config.workload == "tpcc":
+        from repro.workload.tpcc import TPCC_CHAINCODE, TpccContract
+
+        network.install_chaincode(TPCC_CHAINCODE, TpccContract())
+    else:
+        network.install_chaincode(PUBLIC_CHAINCODE, AssetContract())
+        honest = [p for p in peers.values() if p.msp_id not in colluding]
+        network.install_chaincode(PDC_CHAINCODE, PrivateAssetContract(), peers=honest)
+        dishonest = [p for p in peers.values() if p.msp_id in colluding]
+        if dishonest:
+            network.install_chaincode(
+                PDC_CHAINCODE,
+                ColludingPrivateAssetContract(COLLUDER_FAKE_VALUE),
+                peers=dishonest,
+            )
 
     latency = LatencyModel(
         base=config.base_latency,
@@ -196,6 +216,9 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         latency=latency,
         faults=FaultInjector(),
         batch_timeout=config.batch_timeout,
+        # 0 = unbounded; a bounded tpcc config exercises the admission/
+        # retry policy against real MempoolFullError backpressure.
+        mempool_limit=config.mempool_limit or None,
     )
     return SimNetwork(config=config, network=network, peers=peers, clients=clients)
 
@@ -212,7 +235,12 @@ def generate(config: SimulationConfig) -> tuple:
     identical one from scratch.
     """
     sim = build_network(config)
-    ops = WorkloadGenerator(config, sim).generate()
+    if config.workload == "tpcc":
+        from repro.workload.tpcc import TpccWorkloadGenerator
+
+        ops = TpccWorkloadGenerator(config, sim).generate()
+    else:
+        ops = WorkloadGenerator(config, sim).generate()
     fault_actions = generate_fault_schedule(
         config, sorted(sim.peers), config.horizon()
     )
@@ -304,6 +332,7 @@ def _execute(
 
     reference = sim.all_peers()[0]
     stats = {
+        "sim_seconds": round(runtime.now, 6),
         "blocks": len(sim.network.orderer.delivered_blocks),
         "submitted": runtime.transactions_submitted,
         "valid": reference.valid_tx_count,
@@ -320,6 +349,25 @@ def _execute(
         "crash_drops": runtime.crash_drops,
         "state_backend": config.state_backend,
         "executor": config.executor,
+        "workload": config.workload,
+        # Contention accounting: how many committed-as-invalid transactions
+        # were read/write races (vs policy or signature failures), and how
+        # much admission/retry work the clients spent getting there.
+        "mvcc_aborts": sum(
+            1
+            for validated in reference.ledger.blockchain.blocks()
+            for flag in validated.flags
+            if flag in (
+                ValidationCode.MVCC_READ_CONFLICT,
+                ValidationCode.PHANTOM_READ_CONFLICT,
+            )
+        ),
+        "retries": sum(o.retries for o in outcomes),
+        "mempool_drops": sum(o.drops for o in outcomes),
+        "retry_exhausted": sum(
+            1 for o in outcomes
+            if o.error is not None and o.error.startswith("RetryExhaustedError")
+        ),
         "state_digest": state_digest(sim),
     }
     return SimulationReport(
@@ -351,6 +399,9 @@ def _submitter(sim: SimNetwork, outcome: OpOutcome) -> Callable[[], None]:
             if spec.transient_value is not None
             else None
         )
+        if sim.config.workload == "tpcc":
+            _submit_with_retry(sim, outcome, client, endorsing, transient)
+            return
         try:
             pending = client.submit_async(
                 spec.chaincode_id,
@@ -381,17 +432,69 @@ def _submitter(sim: SimNetwork, outcome: OpOutcome) -> Callable[[], None]:
     return submit
 
 
+def _submit_with_retry(
+    sim: SimNetwork, outcome: OpOutcome, client, endorsing, transient
+) -> None:
+    """Submit one tpcc op through the admission/retry policy.
+
+    The retry rng is derived from ``(seed, op index)`` — independent of
+    the execution backend and of every other op, so retried schedules
+    replay byte-identically and the parallel-equivalence invariant keeps
+    holding under backpressure.
+    """
+    from repro.workload.retry import RetryPolicy, submit_with_retry_async
+
+    spec = outcome.spec
+    config = sim.config
+
+    def sync(handle) -> None:
+        # Keep the outcome current after every attempt: if a fault drops
+        # an envelope mid-retry, the run never settles and liveness
+        # accounting needs the dropped attempt's tx id on the outcome.
+        outcome.tx_id = handle.tx_id
+        outcome.attempts = handle.attempts
+        outcome.retries = handle.retries
+        outcome.drops = handle.mempool_drops
+        outcome.attempt_tx_ids = handle.attempt_tx_ids
+
+    def on_final(handle) -> None:
+        sync(handle)
+        outcome.status = handle.status
+        if handle.error is not None:
+            outcome.error = f"{type(handle.error).__name__}: {handle.error}"
+
+    try:
+        submit_with_retry_async(
+            sim.network,
+            client,
+            spec.chaincode_id,
+            spec.function,
+            list(spec.args),
+            transient=transient,
+            endorsing_peers=endorsing,
+            policy=RetryPolicy(budget=config.retry_budget),
+            rng=random.Random(f"retry-{config.seed}-{spec.index}"),
+            on_attempt=sync,
+            on_final=on_final,
+        )
+    except ReproError as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+
+
 # ---------------------------------------------------------------------------
 # The one-call entry point
 # ---------------------------------------------------------------------------
 
 def run_seed(
-    seed: int, ops: int, weaken: Optional[str] = None
+    seed: int,
+    ops: int,
+    weaken: Optional[str] = None,
+    workload: str = "mixed",
 ) -> SimulationReport:
     """Expand ``seed`` into (config, workload, faults) and execute it."""
-    config = SimulationConfig.generate(seed, ops)
-    workload, fault_actions = generate(config)
-    return execute(config, workload, fault_actions, weaken=weaken)
+    config = SimulationConfig.generate_workload(workload, seed, ops)
+    ops_list, fault_actions = generate(config)
+    return execute(config, ops_list, fault_actions, weaken=weaken)
 
 
 # ---------------------------------------------------------------------------
@@ -450,8 +553,17 @@ def compare_reports(
         ))
     divergent = 0
     for ref_out, par_out in zip(reference.outcomes, parallel.outcomes):
-        if (ref_out.tx_id, ref_out.status, ref_out.error) != (
-            par_out.tx_id, par_out.status, par_out.error
+        # Retry bookkeeping is part of the observable history: a backend
+        # that made an op retry more (or drop differently) diverged, even
+        # if the final status happens to agree.
+        if (
+            ref_out.tx_id, ref_out.status, ref_out.error,
+            ref_out.attempts, ref_out.retries, ref_out.drops,
+            ref_out.attempt_tx_ids,
+        ) != (
+            par_out.tx_id, par_out.status, par_out.error,
+            par_out.attempts, par_out.retries, par_out.drops,
+            par_out.attempt_tx_ids,
         ):
             divergent += 1
             if divergent <= 5:
@@ -470,7 +582,11 @@ def compare_reports(
 
 
 def run_parallel_equivalence(
-    seed: int, ops: int, workers: int = 4, weaken: Optional[str] = None
+    seed: int,
+    ops: int,
+    workers: int = 4,
+    weaken: Optional[str] = None,
+    workload: str = "mixed",
 ) -> EquivalenceReport:
     """Check the ``parallel-equivalence`` invariant for one seed.
 
@@ -484,18 +600,18 @@ def run_parallel_equivalence(
     offloading crypto to worker processes changed *where* work ran, never
     what it computed.
     """
-    config = SimulationConfig.generate(seed, ops)
-    workload, fault_actions = generate(config)
+    config = SimulationConfig.generate_workload(workload, seed, ops)
+    ops_list, fault_actions = generate(config)
     reference = execute(
-        replace(config, executor="serial"), workload, fault_actions, weaken=weaken
+        replace(config, executor="serial"), ops_list, fault_actions, weaken=weaken
     )
     parallel = execute(
         replace(config, executor=f"process:{workers}"),
-        workload, fault_actions, weaken=weaken,
+        ops_list, fault_actions, weaken=weaken,
     )
     return EquivalenceReport(
         config=config,
-        ops=workload,
+        ops=ops_list,
         fault_actions=fault_actions,
         reference=reference,
         parallel=parallel,

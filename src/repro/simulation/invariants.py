@@ -629,8 +629,13 @@ def check_gossip_convergence(sim: "SimNetwork", outcomes: list) -> list:
         per_col = outcome.spec.private_write_keys()
         for collection, keys in per_col.items():
             written_keys.setdefault(collection, set()).update(keys)
-        if outcome.tx_id:
-            keys_by_tx[outcome.tx_id] = per_col
+        # A retried op put several tx ids in flight (same spec, same
+        # private keys); a missing-data record can name any of them.
+        attempt_ids = outcome.attempt_tx_ids or (
+            (outcome.tx_id,) if outcome.tx_id else ()
+        )
+        for tx_id in attempt_ids:
+            keys_by_tx[tx_id] = per_col
 
     for chaincode_id, definition in sorted(sim.network.channel.chaincodes.items()):
         for collection in definition.collections:

@@ -75,6 +75,11 @@ class OpSpec:
             return {args[0]: {args[1]}}
         if fn == "move_private":
             return {args[0]: {args[2]}, args[1]: {args[2]}}
+        if fn == "new_order" and self.transient_value is not None and args[0]:
+            # (collection, w, d, c, item, qty, olref) — the contract writes
+            # the order-line under the client-chosen ``olref`` suffix, so
+            # the private key is derivable from the spec alone.
+            return {args[0]: {f"ol:{args[1]}:{args[2]}:{args[6]}"}}
         return {}
 
     def to_wire(self) -> dict:

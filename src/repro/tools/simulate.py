@@ -75,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--executor", type=_executor_spec, default=None,
                         help="execution backend spec, e.g. serial or process:4 "
                              "(default: the REPRO_EXECUTOR env var, else serial)")
+    parser.add_argument("--workload", choices=["mixed", "tpcc"], default="mixed",
+                        help="workload family: the mixed asset/PDC mix, or the "
+                             "contended TPC-C-style mix with open-loop arrivals "
+                             "and the admission/retry policy (default mixed)")
     parser.add_argument("--check-equivalence", action="store_true",
                         help="run every seed twice — serial reference vs "
                              "process pool — and fail on any byte-level "
@@ -94,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     started = time.time()
     for seed in range(args.seed_base, args.seed_base + args.seeds):
         seed_started = time.time()
-        config = SimulationConfig.generate(seed, args.ops)
+        config = SimulationConfig.generate_workload(args.workload, seed, args.ops)
         if args.backend is not None:
             config = dataclasses.replace(config, state_backend=args.backend)
         if args.executor is not None:
@@ -129,7 +133,8 @@ def _check_equivalence(args) -> int:
     for seed in range(args.seed_base, args.seed_base + args.seeds):
         seed_started = time.time()
         report = run_parallel_equivalence(
-            seed, args.ops, workers=args.equiv_workers, weaken=args.weaken
+            seed, args.ops, workers=args.equiv_workers, weaken=args.weaken,
+            workload=args.workload,
         )
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
         if report.ok:

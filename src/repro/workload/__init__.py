@@ -1,0 +1,40 @@
+"""Contended workload families driven over the event runtime.
+
+The package hosts workload machinery that is *about traffic shape*, not
+about the Fabric protocol itself:
+
+* :mod:`~repro.workload.tpcc` — a TPC-C-inspired contract (warehouse /
+  district / customer / stock / order tables over world state, private
+  per-collection order-lines) plus the seeded generator that expands a
+  simulation config into NewOrder/Payment traffic with realistic hot-key
+  contention;
+* :mod:`~repro.workload.loadgen` — a seeded open-loop arrival process
+  (piecewise Poisson with burst windows) across N simulated client
+  identities;
+* :mod:`~repro.workload.retry` — the admission/retry policy layered on
+  the bounded mempool: typed backoff-and-retry on ``MempoolFullError``
+  and MVCC aborts with a per-op budget and seed-derived jitter.
+"""
+
+from repro.workload.loadgen import BurstWindow, OpenLoopGenerator
+from repro.workload.retry import (
+    RetryHandle,
+    RetryPolicy,
+    submit_with_retry_async,
+)
+from repro.workload.tpcc import (
+    TPCC_CHAINCODE,
+    TpccContract,
+    TpccWorkloadGenerator,
+)
+
+__all__ = [
+    "BurstWindow",
+    "OpenLoopGenerator",
+    "RetryHandle",
+    "RetryPolicy",
+    "submit_with_retry_async",
+    "TPCC_CHAINCODE",
+    "TpccContract",
+    "TpccWorkloadGenerator",
+]

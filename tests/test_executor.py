@@ -252,6 +252,83 @@ class TestSignOffload:
 
 
 # ---------------------------------------------------------------------------
+# Contention equivalence across backends
+# ---------------------------------------------------------------------------
+
+class TestTpccContentionEquivalence:
+    """Two clients race a NewOrder on the same district's hot key.
+
+    Exactly one commits and one aborts on MVCC — and the whole history
+    (state digest, per-op outcomes, abort attribution) must be
+    byte-identical whether execution ran on the serial reference or the
+    process pool.
+    """
+
+    def _race(self, executor: str):
+        from repro.protocol.transaction import ValidationCode
+        from repro.simulation.config import SimulationConfig
+        from repro.simulation.harness import execute
+        from repro.simulation.workload import OpSpec
+        from repro.workload import TPCC_CHAINCODE
+
+        config = SimulationConfig(
+            seed=777, ops=3, org_count=3, peers_per_org=1,
+            pdc1_members=("Org1MSP", "Org2MSP"),
+            chaincode_policy="MAJORITY Endorsement",
+            batch_size=2, batch_timeout=1.0, base_latency=0.3,
+            jitter=0.0, gossip_latency=0.5, attack_weight=0.0,
+            fault_windows=0, mean_gap=1.0,
+            workload="tpcc", warehouses=1, districts_per_warehouse=1,
+            arrival_rate=1.0, retry_budget=0, mempool_limit=0,
+            executor=executor,
+        )
+        endorsers = ("peer0.Org1MSP", "peer0.Org2MSP")
+        common = dict(
+            chaincode_id=TPCC_CHAINCODE, endorsers=endorsers,
+            expect_policy_ok=True,
+        )
+        ops = [
+            OpSpec(index=0, at=0.1, kind="tpcc_load",
+                   function="load_warehouse", args=("1", "1", "3", "5"),
+                   client_org="Org1MSP", **common),
+            # Both NewOrders read-modify-write district:1:1 before either
+            # commits; batch_size=2 packs them into one block.
+            OpSpec(index=1, at=10.0, kind="tpcc_new_order",
+                   function="new_order",
+                   args=("", "1", "1", "1", "1", "1", "00001"),
+                   client_org="Org1MSP", **common),
+            OpSpec(index=2, at=10.001, kind="tpcc_new_order",
+                   function="new_order",
+                   args=("", "1", "1", "2", "2", "1", "00002"),
+                   client_org="Org2MSP", **common),
+        ]
+        report = execute(config, ops, [])
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        statuses = sorted(o.status.value for o in report.outcomes[1:])
+        assert statuses == ["MVCC_READ_CONFLICT", "VALID"]
+        assert report.outcomes[0].status is ValidationCode.VALID
+        assert report.stats["mvcc_aborts"] == 1
+        return report
+
+    def test_exactly_one_commit_per_conflicting_pair(self):
+        self._race("serial")
+
+    def test_race_outcome_identical_across_backends(self):
+        from repro.simulation.harness import compare_reports
+
+        serial = self._race("serial")
+        parallel = self._race("process:2")
+        assert serial.stats["state_digest"] == parallel.stats["state_digest"]
+        assert compare_reports(serial, parallel) == []
+        # The abort lands on the same transaction in both histories.
+        loser = [o.tx_id for o in serial.outcomes
+                 if o.status is not None and o.status.value != "VALID"]
+        loser_par = [o.tx_id for o in parallel.outcomes
+                     if o.status is not None and o.status.value != "VALID"]
+        assert loser == loser_par and len(loser) == 1
+
+
+# ---------------------------------------------------------------------------
 # The cost model
 # ---------------------------------------------------------------------------
 
