@@ -5,16 +5,30 @@ Measures what the durability layer costs and buys:
 * commit throughput — blocks/s through ``Committer.commit_block`` with
   each backend (the WAL pays a serialize+append+flush per block);
 * recovery time — reopening a ledger from snapshot+WAL as a function of
-  the committed history length, with and without compaction.
+  the committed history length, with and without compaction;
+* join time vs chain length — bringing a new peer onto the channel by
+  replay-from-genesis vs snapshot bootstrap + tail replay.  The state
+  is held constant (a fixed key set, updated in place) while the chain
+  grows, so replay cost tracks history length while snapshot-bootstrap
+  cost tracks state size + the bounded tail.
 
 Results are archived as a rendered table and as machine-readable JSON
-under ``benchmarks/results/``.
+under ``benchmarks/results/``; the join-time sweep is also committed as
+``BENCH_storage.json`` at the repo root (the CI storage-perf-smoke job
+re-generates and archives it).
+
+Env knobs:
+
+* ``REPRO_BENCH_TX`` — base chain length in blocks for the join-time
+  sweep (default 30; the long chain is always 4x the base).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -130,3 +144,136 @@ class TestStorageAblation:
             "after_compaction_ms": round(compacted_ms, 3),
         }
         path.write_text(json.dumps(data, indent=1))
+
+
+# -- join time vs chain length ------------------------------------------------
+
+JOIN_KEYS = 8          # fixed key set: state size is constant as the chain grows
+JOIN_SNAPSHOT_EVERY = 10
+JOIN_TRIALS = 3        # best-of-N joins per leg (distinct peer names)
+
+
+def _join_base_blocks(default: int = 30) -> int:
+    return int(os.environ.get("REPRO_BENCH_TX", default))
+
+
+def _grown_network(blocks: int) -> FabricNetwork:
+    """A single-org channel with ``blocks`` committed single-tx blocks.
+
+    The workload updates the same ``JOIN_KEYS`` keys in place, so world
+    state stays constant-size while the chain (and thus replay cost)
+    grows linearly.  One org means the MAJORITY snapshot policy is
+    satisfied by the producing peer's own signature, so snapshots seal
+    without a countersigning round.
+    """
+    reset_ca_instance_counter()
+    reset_nonce_counter()
+    org = Organization("Org1MSP")
+    channel = ChannelConfig(channel_id="joinchan", organizations=[org])
+    channel.deploy_chaincode("assetcc", endorsement_policy="OR('Org1MSP.member')")
+    net = FabricNetwork(
+        channel=channel,
+        snapshot_every=JOIN_SNAPSHOT_EVERY,
+        prune=False,  # keep the full backlog so the replay leg stays runnable
+    )
+    net.add_peer("Org1MSP")
+    net.install_chaincode("assetcc", AssetContract())
+    client = net.client("Org1MSP")
+    endorser = [net.peers()[0]]
+    for i in range(blocks):
+        key = f"j{i % JOIN_KEYS:03d}"
+        function = "create_asset" if i < JOIN_KEYS else "update_asset"
+        client.submit_transaction(
+            "assetcc", function, [key, str(i)],
+            endorsing_peers=endorser,
+        ).raise_for_status()
+    return net
+
+
+def _timed_join(net: FabricNetwork, kind: str, tag: str) -> float:
+    """Best-of-``JOIN_TRIALS`` wall seconds to bring up one new peer."""
+    best = float("inf")
+    for trial in range(JOIN_TRIALS):
+        name = f"{kind}-{tag}-{trial}"
+        join = net.join_peer if kind == "snap" else net.add_peer
+        start = time.perf_counter()
+        peer = join("Org1MSP", name=name)
+        best = min(best, time.perf_counter() - start)
+        assert peer.ledger.height == net.orderer.delivered_count
+        assert peer.query_public("assetcc", "asset:j000") is not None
+        if kind == "snap":
+            assert peer.ledger.blockchain.genesis_offset > 0, (
+                "snapshot join fell back to full replay"
+            )
+    return best
+
+
+class TestJoinTimeVsChainLength:
+    def test_snapshot_bootstrap_flattens_join_time(self, results_dir):
+        base = _join_base_blocks()
+        chains = [base, 4 * base]
+        # Warm-up network: first-run one-time costs (crypto caches).
+        _timed_join(_grown_network(JOIN_KEYS + 2), "snap", "warmup")
+
+        rows = []
+        for blocks in chains:
+            net = _grown_network(blocks)
+            source = net.peers()[0]
+            assert source.latest_sealed_snapshot() is not None
+            replay_s = _timed_join(net, "replay", f"c{blocks}")
+            snap_s = _timed_join(net, "snap", f"c{blocks}")
+            rows.append({
+                "chain_blocks": blocks,
+                "replay_join_s": round(replay_s, 5),
+                "snapshot_join_s": round(snap_s, 5),
+                "snapshot_height": source.latest_sealed_snapshot().manifest.height,
+            })
+
+        short, long = rows
+        replay_ratio = long["replay_join_s"] / short["replay_join_s"]
+        snap_ratio = long["snapshot_join_s"] / short["snapshot_join_s"]
+
+        lines = [
+            "Ablation — join time vs chain length "
+            f"(fixed {JOIN_KEYS}-key state, snapshot every {JOIN_SNAPSHOT_EVERY})",
+            f"{'chain':>7} {'replay join s':>14} {'snapshot join s':>16}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['chain_blocks']:>7} {row['replay_join_s']:>14.5f} "
+                f"{row['snapshot_join_s']:>16.5f}"
+            )
+        lines.append(
+            f"chain x{chains[1] // chains[0]}: replay join grew {replay_ratio:.2f}x, "
+            f"snapshot join grew {snap_ratio:.2f}x"
+        )
+        record(results_dir, "ablation_storage_join", "\n".join(lines))
+
+        payload = {
+            "workload": {
+                "orgs": 1,
+                "keys": JOIN_KEYS,
+                "snapshot_every": JOIN_SNAPSHOT_EVERY,
+                "chain_blocks": chains,
+                "trials": JOIN_TRIALS,
+                "policy": "MAJORITY Endorsement (snapshot seal)",
+            },
+            "metric": "best-of-trials wall seconds to join one new peer",
+            "rows": rows,
+            "replay_ratio": round(replay_ratio, 3),
+            "snapshot_ratio": round(snap_ratio, 3),
+        }
+        (results_dir / "ablation_storage_join.json").write_text(
+            json.dumps(payload, indent=1)
+        )
+        repo_root = Path(__file__).resolve().parent.parent
+        (repo_root / "BENCH_storage.json").write_text(json.dumps(payload, indent=1) + "\n")
+
+        # Acceptance gates: snapshot-bootstrap join stays flat while
+        # replay-from-genesis tracks chain length.
+        assert snap_ratio <= 1.5, (
+            f"snapshot join grew {snap_ratio:.2f}x over a 4x chain (> 1.5x)"
+        )
+        assert replay_ratio >= 3.0, (
+            f"replay join grew only {replay_ratio:.2f}x over a 4x chain (< 3x)"
+        )

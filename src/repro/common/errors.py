@@ -116,6 +116,35 @@ class MempoolFullError(OrderingError):
         )
 
 
+class PrunedBacklogError(OrderingError):
+    """A delivery cursor asked for blocks below the pruned backlog prefix.
+
+    The ordering service archives delivered blocks once every peer has
+    sealed a snapshot past them; a consumer whose height predates the
+    archive boundary cannot tail-replay and must bootstrap from a state
+    snapshot instead.  Carries the requested ``height`` and the current
+    ``offset`` (the first block still held in the hot backlog).
+    """
+
+    def __init__(self, height: int, offset: int) -> None:
+        self.height = height
+        self.offset = offset
+        super().__init__(
+            f"backlog cursor at height {height} predates the pruned prefix "
+            f"(first hot block is {offset}); bootstrap from a snapshot"
+        )
+
+
+class SnapshotError(LedgerError):
+    """A state snapshot failed verification or could not be applied.
+
+    Raised when a snapshot package's signature set does not satisfy the
+    channel policy, its payload does not reproduce the manifest digests,
+    or a plaintext row does not match its committed hash — a bootstrapping
+    peer must reject the package rather than trust unattested state.
+    """
+
+
 class RetryExhaustedError(ReproError):
     """An admission/retry policy ran out of retry budget.
 

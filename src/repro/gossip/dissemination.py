@@ -25,6 +25,8 @@ from repro.chaincode.rwset import PrivateCollectionWrites
 from repro.common.errors import GossipError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.identity.identity import Certificate
+    from repro.ledger.snapshot import SnapshotManifest, SnapshotPackage, SnapshotRecord
     from repro.network.channel import ChannelConfig
     from repro.peer.node import PeerNode
 
@@ -34,6 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover
 #: gossip-vs-block-delivery races observable.
 GossipTransport = Callable[["PeerNode", "PeerNode", str, PrivateCollectionWrites], None]
 
+#: Pluggable snapshot-signature transport: (source, target, manifest,
+#: certificate, signature).  Same contract as :data:`GossipTransport` —
+#: ``None`` delivers synchronously, the event runtime schedules a bus
+#: message so snapshot attestation races with block delivery and faults.
+SnapshotSigTransport = Callable[
+    ["PeerNode", "PeerNode", "SnapshotManifest", "Certificate", bytes], None
+]
+
 
 class GossipNetwork:
     """The channel-wide gossip membership view."""
@@ -42,7 +52,10 @@ class GossipNetwork:
         self._channel = channel
         self._peers: list["PeerNode"] = []
         self.pushes = 0  # dissemination counter (observability / benches)
+        self.snapshot_sigs = 0  # snapshot-signature broadcast counter
+        self.snapshot_fetches = 0  # snapshot packages served to bootstrappers
         self.transport: Optional[GossipTransport] = None
+        self.snapshot_transport: Optional[SnapshotSigTransport] = None
 
     def register_peer(self, peer: "PeerNode") -> None:
         self._peers.append(peer)
@@ -88,3 +101,82 @@ class GossipNetwork:
                 pushed += 1
                 self.pushes += 1
         return pushed
+
+    # -- snapshot checkpointing --------------------------------------------
+    def broadcast_snapshot_sig(
+        self,
+        source: "PeerNode",
+        manifest: "SnapshotManifest",
+        certificate: "Certificate",
+        signature: bytes,
+    ) -> int:
+        """Push one peer's manifest signature to every other peer."""
+        sent = 0
+        for target in self._peers:
+            if target is source:
+                continue
+            if self.snapshot_transport is not None:
+                self.snapshot_transport(source, target, manifest, certificate, signature)
+            elif not target.crashed:
+                target.receive_snapshot_sig(manifest, certificate, signature)
+            sent += 1
+            self.snapshot_sigs += 1
+        return sent
+
+    def snapshot_offers(
+        self, requester: "PeerNode", min_height: int = 0
+    ) -> list[tuple["PeerNode", "SnapshotRecord"]]:
+        """Live peers' latest sealed snapshots at or past ``min_height``."""
+        offers = []
+        for peer in self._peers:
+            if peer is requester or peer.crashed:
+                continue
+            record = peer.latest_sealed_snapshot()
+            if record is not None and record.manifest.height >= min_height:
+                offers.append((peer, record))
+        return offers
+
+    def _shared_collections(self, requester_msp: str, server_msp: str) -> int:
+        """Collections both organizations are members of.
+
+        A server that shares the requester's memberships can include the
+        private *plaintext* in its package; a non-member server can only
+        ship the attested hashes, leaving the joiner with gaps that
+        reconciliation cannot repair once the blocks are pruned.
+        """
+        shared = 0
+        for definition in self._channel.chaincodes.values():
+            for collection in definition.collections:
+                if collection.is_member_org(requester_msp) and collection.is_member_org(
+                    server_msp
+                ):
+                    shared += 1
+        return shared
+
+    def fetch_snapshot(
+        self, requester: "PeerNode", min_height: int = 0
+    ) -> Optional["SnapshotPackage"]:
+        """Fetch the best available snapshot package for ``requester``.
+
+        Among live offers at or past ``min_height``, prefers servers that
+        share the most collection memberships with the requester (their
+        packages carry the plaintext the requester is entitled to), then
+        the highest offered height, then the peer name — a deterministic
+        choice.  ``None`` when no live peer holds a sealed snapshot at
+        ``min_height`` or above.
+        """
+        offers = self.snapshot_offers(requester, min_height)
+        if not offers:
+            return None
+        server, _ = max(
+            offers,
+            key=lambda offer: (
+                self._shared_collections(requester.msp_id, offer[0].msp_id),
+                offer[1].manifest.height,
+                offer[0].name,
+            ),
+        )
+        package = server.serve_snapshot(requester.msp_id)
+        if package is not None:
+            self.snapshot_fetches += 1
+        return package

@@ -99,8 +99,7 @@ class Reconciler:
 
     @staticmethod
     def _locate(peer: "PeerNode", tx_id: str) -> tuple[int, int]:
-        for validated in peer.ledger.blockchain.blocks():
-            for tx_num, tx in enumerate(validated.block.transactions):
-                if tx.tx_id == tx_id:
-                    return validated.number, tx_num
-        raise KeyError(tx_id)
+        location = peer.ledger.blockchain.locate_transaction(tx_id)
+        if location is None:
+            raise KeyError(tx_id)
+        return location

@@ -10,6 +10,17 @@ block numbers, so lexicographic order is commit order) and are mirrored
 in an in-memory list rebuilt on open — reads never hit the codec.  The
 integrity checks in :meth:`append` run *before* anything is staged, so a
 bad block can never contaminate an atomic batch.
+
+A chain may carry a *pruned prefix*: blocks below ``genesis_offset`` have
+been archived (moved to the cold ``blocks.archive`` namespace, never
+deleted) or were never transferred at all for a snapshot-bootstrapped
+peer.  The prune metadata records ``(offset, anchor_hash, archive_base)``
+so numbering and hash-chain checks still verify — the first live block
+must carry ``prev_hash == anchor_hash``, the hash of the last pruned
+block as attested by the snapshot manifest.  ``archive_base`` is the
+lowest block number the archive actually holds: ``0`` for a peer that
+pruned its own full history (archive intact), ``offset`` for a
+bootstrapped peer that never saw the prefix.
 """
 
 from __future__ import annotations
@@ -23,6 +34,10 @@ from repro.storage import KVBackend, MemoryBackend, WriteBatch, write_op
 from repro.storage.codec import pack_obj, unpack_obj
 
 NS_BLOCKS = "blocks"
+NS_BLOCKS_ARCHIVE = "blocks.archive"
+NS_BLOCKS_META = "blocks.meta"
+
+_PRUNE_META_KEY = "prune"
 
 
 def _block_key(number: int) -> str:
@@ -34,6 +49,12 @@ class Blockchain:
 
     def __init__(self, backend: Optional[KVBackend] = None) -> None:
         self._backend = backend if backend is not None else MemoryBackend()
+        self._offset = 0
+        self._anchor = GENESIS_PREV_HASH
+        self._archive_base = 0
+        raw = self._backend.get(NS_BLOCKS_META, _PRUNE_META_KEY)
+        if raw is not None:
+            self._offset, self._anchor, self._archive_base = unpack_obj(raw)
         self._blocks: list[ValidatedBlock] = []
         self._tx_index: dict[str, tuple[int, int]] = {}
         for _, raw in self._backend.range(NS_BLOCKS):
@@ -45,13 +66,94 @@ class Blockchain:
             self._tx_index.setdefault(tx.tx_id, (block.header.number, tx_num))
         self._blocks.append(validated)
 
+    # -- pruned-prefix accounting --------------------------------------------
+    @property
+    def genesis_offset(self) -> int:
+        """Number of the first live (non-pruned) block."""
+        return self._offset
+
+    @property
+    def archive_base(self) -> int:
+        """Lowest block number held by the cold archive."""
+        return self._archive_base
+
+    @property
+    def full_history_available(self) -> bool:
+        """True when archive + live blocks reach back to block 0."""
+        return self._archive_base == 0
+
+    def _stage_prune_meta(
+        self, batch: WriteBatch, offset: int, anchor: bytes, archive_base: int
+    ) -> None:
+        batch.put(
+            NS_BLOCKS_META,
+            _PRUNE_META_KEY,
+            pack_obj((offset, anchor, archive_base)),
+        )
+
+    def prune_to(self, height: int) -> int:
+        """Archive every block below ``height``; returns the count moved.
+
+        Archiving is a move, not a delete: the raw block bytes land in the
+        cold ``blocks.archive`` namespace, so audits can still replay the
+        full history while the hot chain (and its indexes) stay bounded.
+        The move plus the prune metadata commit in one atomic batch.
+        """
+        target = min(height, self.height)
+        if target <= self._offset:
+            return 0
+        count = target - self._offset
+        pruned = self._blocks[:count]
+        batch = WriteBatch()
+        for validated in pruned:
+            key = _block_key(validated.block.header.number)
+            raw = self._backend.get(NS_BLOCKS, key)
+            if raw is None:  # pragma: no cover - append always persisted it
+                raw = pack_obj(validated)
+            batch.put(NS_BLOCKS_ARCHIVE, key, raw)
+            batch.delete(NS_BLOCKS, key)
+        anchor = pruned[-1].block.header.block_hash()
+        self._stage_prune_meta(batch, target, anchor, self._archive_base)
+
+        def _apply() -> None:
+            del self._blocks[:count]
+            self._offset = target
+            self._anchor = anchor
+
+        batch.on_commit(_apply)
+        self._backend.commit(batch)
+        return count
+
+    def bootstrap_base(
+        self, height: int, last_hash: bytes, batch: WriteBatch
+    ) -> None:
+        """Stage the pruned-prefix base of a snapshot-bootstrapped chain.
+
+        The peer holds no blocks below ``height`` at all (``archive_base
+        == offset``); the next appended block must be number ``height``
+        with ``prev_hash == last_hash`` from the snapshot manifest.
+        """
+        if self._blocks or self._offset:
+            raise LedgerError("cannot bootstrap a non-empty chain")
+        if height < 0:
+            raise LedgerError("bootstrap height must be >= 0")
+        self._stage_prune_meta(batch, height, last_hash, height)
+
+        def _apply() -> None:
+            self._offset = height
+            self._anchor = last_hash
+            self._archive_base = height
+
+        batch.on_commit(_apply)
+
+    # -- chain operations -----------------------------------------------------
     @property
     def height(self) -> int:
-        return len(self._blocks)
+        return self._offset + len(self._blocks)
 
     def last_hash(self) -> bytes:
         if not self._blocks:
-            return GENESIS_PREV_HASH
+            return self._anchor
         return self._blocks[-1].block.header.block_hash()
 
     def append(self, validated: ValidatedBlock, batch: Optional[WriteBatch] = None) -> None:
@@ -77,37 +179,75 @@ class Blockchain:
         )
 
     def block(self, number: int) -> ValidatedBlock:
+        index = number - self._offset
+        if index < 0:
+            raise LedgerError(
+                f"block {number} is pruned (genesis offset {self._offset})"
+            )
         try:
-            return self._blocks[number]
+            return self._blocks[index]
         except IndexError:
             raise LedgerError(f"no block number {number} (height {self.height})") from None
 
     def blocks(self) -> Iterator[ValidatedBlock]:
+        """The live (non-pruned) blocks, in commit order."""
         return iter(self._blocks)
+
+    def archived_blocks(self) -> Iterator[ValidatedBlock]:
+        """Cold-archived blocks, in commit order (decoded on demand)."""
+        for _, raw in self._backend.range(NS_BLOCKS_ARCHIVE):
+            yield unpack_obj(raw)
+
+    def all_blocks(self) -> Iterator[ValidatedBlock]:
+        """Archived + live blocks — the full replayable history when
+        :attr:`full_history_available` holds."""
+        yield from self.archived_blocks()
+        yield from self._blocks
 
     def find_transaction(
         self, tx_id: str
     ) -> Optional[tuple[TransactionEnvelope, ValidationCode]]:
-        """Locate a committed transaction and its validity flag by id."""
+        """Locate a committed transaction and its validity flag by id.
+
+        The index survives pruning (it is the lookup structure, not the
+        history); a hit below the genesis offset decodes the block from
+        the cold archive on demand.
+        """
         location = self._tx_index.get(tx_id)
         if location is None:
             return None
         block_num, tx_num = location
-        validated = self._blocks[block_num]
+        index = block_num - self._offset
+        if index >= 0:
+            validated = self._blocks[index]
+        else:
+            raw = self._backend.get(NS_BLOCKS_ARCHIVE, _block_key(block_num))
+            if raw is None:  # pragma: no cover - index built from held blocks
+                return None
+            validated = unpack_obj(raw)
         return validated.block.transactions[tx_num], validated.flags[tx_num]
 
     def has_transaction(self, tx_id: str) -> bool:
         return tx_id in self._tx_index
 
+    def locate_transaction(self, tx_id: str) -> Optional[tuple[int, int]]:
+        """``(block number, tx number)`` of a committed transaction."""
+        return self._tx_index.get(tx_id)
+
     def all_transactions(self) -> Iterator[tuple[TransactionEnvelope, ValidationCode]]:
-        """Every committed transaction with its flag, in commit order."""
+        """Every live committed transaction with its flag, in commit order."""
         for validated in self._blocks:
             yield from zip(validated.block.transactions, validated.flags)
 
     def verify_chain(self) -> bool:
-        """Re-check the whole hash chain (integrity audit helper)."""
-        prev = GENESIS_PREV_HASH
-        for number, validated in enumerate(self._blocks):
+        """Re-check the live hash chain (integrity audit helper).
+
+        A pruned chain verifies from its anchor: the first live block must
+        be number ``genesis_offset`` and link to the archived prefix's
+        last hash, which the snapshot manifest attested under policy.
+        """
+        prev = self._anchor
+        for number, validated in enumerate(self._blocks, start=self._offset):
             header = validated.block.header
             if header.number != number or header.prev_hash != prev:
                 return False

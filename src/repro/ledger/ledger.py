@@ -139,6 +139,29 @@ class PeerLedger:
         self.backend = self.backend.reopen()
         self._open_stores()
 
+    def rebuild(self) -> None:
+        """Rebuild every store and derived index from the backend.
+
+        Called after bulk raw-row loads (snapshot bootstrap) that bypass
+        the stores' own staging paths.
+        """
+        self._open_stores()
+
+    def reset_stores(self) -> None:
+        """Wipe every namespace, atomically, and rebuild empty stores.
+
+        Used before a snapshot bootstrap over a stale ledger (a restarted
+        peer whose durable height fell behind the pruned backlog): the
+        recovered-but-unreachable state is discarded in favour of the
+        policy-attested snapshot.
+        """
+        batch = WriteBatch()
+        for namespace in self.backend.namespaces():
+            for key, _ in list(self.backend.range(namespace)):
+                batch.delete(namespace, key)
+        self.backend.commit(batch)
+        self._open_stores()
+
     @property
     def height(self) -> int:
         return self.blockchain.height

@@ -1,0 +1,391 @@
+"""Signed state snapshots: checkpointed peer bootstrap with tail replay.
+
+Models Fabric's ledger checkpointing/snapshot feature for the recovery
+and join path.  Every ``REPRO_SNAPSHOT_EVERY`` blocks a peer derives a
+:class:`SnapshotManifest` from its committed state — block height, last
+block hash, a digest over the state every peer shares (public world
+state + metadata + the private *hash* store) and per-collection digests
+over the hashed private entries — signs it, and gossips the signature.
+When the accumulated certificates satisfy the channel policy the
+snapshot is *sealed*: it is now an attested checkpoint any peer may
+bootstrap from, and (under ``REPRO_PRUNE``) the blocks below it may be
+archived.
+
+The manifest deliberately covers only state all peers share.  Private
+*plaintext* never enters the signed digest — a non-member could not
+verify it — but every plaintext row a bootstrapping peer receives must
+hash-match a row of the attested hash store, so the plaintext rides the
+transfer without riding the trust.
+
+A snapshot *package* is what travels to a bootstrapping peer: the
+manifest, the signature set, and the raw backend rows of the state
+namespaces, filtered to the collections the requesting organization is a
+member of.  Loading a package writes the rows verbatim — the
+bootstrapped stores are byte-identical to the server's at the snapshot
+height, which the ``snapshot-equivalence`` invariant checks against a
+replay-from-genesis reference.  Because the BlockToLive metadata rides
+along, the joiner's rebuilt expiry index re-purges anything that expires
+during tail replay, so pruning can never resurrect BTL-purged plaintext.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import ConfigError, SnapshotError
+from repro.common.hashing import hash_key, hash_value
+from repro.common.serialization import canonical_bytes
+from repro.ledger.ledger import (
+    NS_MISSING,
+    NS_PRIVATE_META,
+    NS_PRIVATE_RWSETS,
+    PeerLedger,
+)
+from repro.ledger.private_state import NS_PRIVATE, NS_PRIVATE_HASH
+from repro.ledger.world_state import NS_PUBLIC, NS_PUBLIC_META
+from repro.storage import WriteBatch, split_key
+from repro.storage.codec import pack_obj, unpack_obj, unpack_versioned
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.network.channel import ChannelConfig
+
+ENV_SNAPSHOT_EVERY = "REPRO_SNAPSHOT_EVERY"
+ENV_PRUNE = "REPRO_PRUNE"
+
+#: Channel policy a snapshot's signature set must satisfy before the
+#: snapshot counts as sealed — the same majority-of-orgs rule the default
+#: chaincode endorsement uses.
+SNAPSHOT_POLICY = "MAJORITY Endorsement"
+
+#: Namespaces whose digest every peer can recompute and attest.
+SHARED_NAMESPACES = (NS_PUBLIC, NS_PUBLIC_META, NS_PRIVATE_HASH)
+#: Namespaces carrying member-only rows, filtered per requester org.
+PRIVATE_NAMESPACES = (NS_PRIVATE, NS_PRIVATE_META, NS_MISSING, NS_PRIVATE_RWSETS)
+PAYLOAD_NAMESPACES = SHARED_NAMESPACES + PRIVATE_NAMESPACES
+
+NS_SNAPSHOTS = "snapshots"
+
+#: Sealed snapshots retained per peer; older ones are dropped so snapshot
+#: storage stays bounded regardless of chain length.
+RETAIN_SNAPSHOTS = 2
+
+
+def resolve_snapshot_every(every: Optional[int] = None) -> int:
+    """Snapshot interval: explicit argument > env var > 0 (disabled)."""
+    if every is None:
+        raw = os.environ.get(ENV_SNAPSHOT_EVERY, "").strip()
+        if raw:
+            try:
+                every = int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{ENV_SNAPSHOT_EVERY}={raw!r} is not an integer"
+                ) from None
+        else:
+            every = 0
+    if every < 0:
+        raise ConfigError(f"snapshot interval must be >= 0, got {every}")
+    return every
+
+
+def resolve_prune(prune: Optional[bool] = None) -> bool:
+    """Pruning toggle: explicit argument > env var > False."""
+    if prune is None:
+        raw = os.environ.get(ENV_PRUNE, "").strip()
+        prune = raw not in ("", "0", "false", "no")
+    return bool(prune)
+
+
+@dataclass(frozen=True)
+class SnapshotManifest:
+    """What a peer signs: the attestable summary of its state at a height."""
+
+    channel_id: str
+    height: int
+    last_block_hash: bytes
+    state_hash: str
+    #: Sorted ``(namespace, collection, digest_hex)`` triples over the
+    #: hashed private entries of each collection.
+    collection_digests: tuple
+
+    def signing_bytes(self) -> bytes:
+        return canonical_bytes({
+            "kind": "snapshot-manifest",
+            "channel": self.channel_id,
+            "height": self.height,
+            "last_block_hash": self.last_block_hash,
+            "state_hash": self.state_hash,
+            "collections": [list(entry) for entry in self.collection_digests],
+        })
+
+
+@dataclass
+class SnapshotRecord:
+    """A peer's locally stored snapshot: manifest + payload + signatures."""
+
+    manifest: SnapshotManifest
+    #: Raw backend rows per namespace: ``{namespace: [(key, value), ...]}``.
+    rows: dict
+    #: ``enrollment_id -> (certificate, signature)`` over the manifest.
+    signatures: dict = field(default_factory=dict)
+    sealed: bool = False
+
+
+@dataclass(frozen=True)
+class SnapshotPackage:
+    """What travels to a bootstrapping peer: a membership-filtered record."""
+
+    manifest: SnapshotManifest
+    signatures: dict
+    rows: dict
+
+
+# -- digests -----------------------------------------------------------------
+def digest_rows(rows: dict) -> tuple[str, tuple]:
+    """State hash + per-collection digests over shared-namespace rows.
+
+    Digests are computed over *decoded* canonical forms, not raw bytes,
+    so they are independent of the (pickled, order-sensitive) metadata
+    framing and reproduce identically on every honest peer.
+    """
+    state = hashlib.sha256(b"repro-snapshot-state")
+    for key, raw in rows.get(NS_PUBLIC, ()):
+        value, version = unpack_versioned(raw)
+        state.update(canonical_bytes(["public", key, value, version.to_wire()]))
+    for key, raw in rows.get(NS_PUBLIC_META, ()):
+        metadata = unpack_obj(raw)
+        state.update(canonical_bytes(
+            ["meta", key, [[name, metadata[name]] for name in sorted(metadata)]]
+        ))
+    collections: dict[tuple[str, str], "hashlib._Hash"] = {}
+    for key, raw in rows.get(NS_PRIVATE_HASH, ()):
+        namespace, collection, _ = split_key(key)
+        value_hash, version = unpack_versioned(raw)
+        entry = canonical_bytes(["hash", key, value_hash, version.to_wire()])
+        state.update(entry)
+        hasher = collections.setdefault(
+            (namespace, collection), hashlib.sha256(b"repro-snapshot-collection")
+        )
+        hasher.update(entry)
+    digests = tuple(sorted(
+        (namespace, collection, hasher.hexdigest())
+        for (namespace, collection), hasher in collections.items()
+    ))
+    return state.hexdigest(), digests
+
+
+def collect_rows(ledger: PeerLedger) -> dict:
+    """Every payload namespace's raw rows, in key order."""
+    return {
+        namespace: list(ledger.backend.range(namespace))
+        for namespace in PAYLOAD_NAMESPACES
+    }
+
+
+def build_snapshot(ledger: PeerLedger, channel_id: str) -> SnapshotRecord:
+    """Capture the ledger's state at its current height as a record."""
+    rows = collect_rows(ledger)
+    state_hash, collection_digests = digest_rows(rows)
+    manifest = SnapshotManifest(
+        channel_id=channel_id,
+        height=ledger.height,
+        last_block_hash=ledger.blockchain.last_hash(),
+        state_hash=state_hash,
+        collection_digests=collection_digests,
+    )
+    return SnapshotRecord(manifest=manifest, rows=rows)
+
+
+# -- membership filtering ----------------------------------------------------
+def _member_collections(channel: "ChannelConfig", msp_id: str) -> set:
+    members = set()
+    for name, definition in channel.chaincodes.items():
+        for collection in definition.collections:
+            if collection.is_member_org(msp_id):
+                members.add((name, collection.name))
+    return members
+
+
+def filter_package_for(
+    record: SnapshotRecord, channel: "ChannelConfig", msp_id: str
+) -> SnapshotPackage:
+    """The membership-filtered view of ``record`` served to ``msp_id``.
+
+    Shared namespaces travel whole; member-only rows travel only for
+    collections the requesting organization belongs to, so a snapshot
+    transfer leaks no more plaintext than gossip dissemination would.
+
+    Plaintext rows that do not match an attested hash-store row are
+    dropped from the package: a member can legitimately hold *stale*
+    plaintext (a later hash-delete or overwrite committed while that
+    transaction's plaintext never arrived — a missing-data record marks
+    the gap), but unattested plaintext cannot be verified by the
+    receiver, so it does not transfer.  The shipped missing-data records
+    let the bootstrapped peer reconcile the gap exactly as the serving
+    member does.
+    """
+    member = _member_collections(channel, msp_id)
+    rows = {namespace: list(record.rows.get(namespace, ()))
+            for namespace in SHARED_NAMESPACES}
+    attested = {}
+    for key, raw in record.rows.get(NS_PRIVATE_HASH, ()):
+        namespace, collection, key_hash_hex = split_key(key)
+        attested[(namespace, collection, key_hash_hex)] = unpack_versioned(raw)
+
+    def _attestable(key: str, raw: bytes) -> bool:
+        namespace, collection, plain_key = split_key(key)
+        entry = attested.get((namespace, collection, hash_key(plain_key).hex()))
+        if entry is None:
+            return False
+        value, version = unpack_versioned(raw)
+        return entry == (hash_value(value), version)
+
+    rows[NS_PRIVATE] = [
+        (key, value) for key, value in record.rows.get(NS_PRIVATE, ())
+        if tuple(split_key(key)[:2]) in member and _attestable(key, value)
+    ]
+    rows[NS_PRIVATE_META] = [
+        (key, value) for key, value in record.rows.get(NS_PRIVATE_META, ())
+        if tuple(split_key(key)[:2]) in member
+    ]
+    for namespace in (NS_MISSING, NS_PRIVATE_RWSETS):
+        # Keys are (tx_id, namespace, collection) composites.
+        rows[namespace] = [
+            (key, value) for key, value in record.rows.get(namespace, ())
+            if tuple(split_key(key)[1:3]) in member
+        ]
+    return SnapshotPackage(
+        manifest=record.manifest,
+        signatures=dict(record.signatures),
+        rows=rows,
+    )
+
+
+# -- verification + bootstrap ------------------------------------------------
+def verify_package(package: SnapshotPackage, channel: "ChannelConfig") -> None:
+    """Reject a package whose attestation or payload cannot be trusted."""
+    manifest = package.manifest
+    signing = manifest.signing_bytes()
+    certs = []
+    for _, (certificate, signature) in sorted(package.signatures.items()):
+        if not channel.msp_registry.validate_certificate(certificate):
+            continue
+        if not certificate.public_key.verify(signing, signature):
+            continue
+        certs.append(certificate)
+    if not channel.evaluator().evaluate(SNAPSHOT_POLICY, certs):
+        raise SnapshotError(
+            f"snapshot at height {manifest.height}: signature set does not "
+            f"satisfy {SNAPSHOT_POLICY!r}"
+        )
+    state_hash, collection_digests = digest_rows(package.rows)
+    if state_hash != manifest.state_hash:
+        raise SnapshotError(
+            f"snapshot at height {manifest.height}: payload state hash "
+            f"{state_hash} != manifest {manifest.state_hash}"
+        )
+    # The served payload carries every shared hash row, so its collection
+    # digests must reproduce the manifest's exactly.
+    if collection_digests != manifest.collection_digests:
+        raise SnapshotError(
+            f"snapshot at height {manifest.height}: per-collection digests diverge"
+        )
+    _verify_private_rows(package)
+
+
+def _verify_private_rows(package: SnapshotPackage) -> None:
+    """Every plaintext row must hash-match an attested hash-store row."""
+    hashes = {}
+    for key, raw in package.rows.get(NS_PRIVATE_HASH, ()):
+        namespace, collection, key_hash_hex = split_key(key)
+        hashes[(namespace, collection, key_hash_hex)] = unpack_versioned(raw)
+    for key, raw in package.rows.get(NS_PRIVATE, ()):
+        namespace, collection, plain_key = split_key(key)
+        value, version = unpack_versioned(raw)
+        attested = hashes.get((namespace, collection, hash_key(plain_key).hex()))
+        if attested is None:
+            raise SnapshotError(
+                f"plaintext {plain_key!r} in {namespace}/{collection} has no "
+                f"attested hash entry"
+            )
+        value_hash, hash_version = attested
+        if value_hash != hash_value(value) or hash_version != version:
+            raise SnapshotError(
+                f"plaintext {plain_key!r} in {namespace}/{collection} does "
+                f"not match its attested hash"
+            )
+
+
+def bootstrap_from_package(
+    ledger: PeerLedger, package: SnapshotPackage, channel: "ChannelConfig"
+) -> None:
+    """Load a verified package into an empty ledger, atomically.
+
+    After this, the ledger's stores are byte-identical to the serving
+    peer's (restricted to member collections) at the snapshot height, and
+    its chain accepts block ``height`` with ``prev_hash`` equal to the
+    manifest's last block hash — tail replay picks up from there.
+    """
+    verify_package(package, channel)
+    if ledger.height != 0 or ledger.backend.namespaces():
+        raise SnapshotError("snapshot bootstrap requires an empty ledger")
+    batch = WriteBatch()
+    for namespace, rows in package.rows.items():
+        for key, value in rows:
+            batch.put(namespace, key, value)
+    ledger.blockchain.bootstrap_base(
+        package.manifest.height, package.manifest.last_block_hash, batch
+    )
+    ledger.commit_batch(batch)
+    ledger.rebuild()
+
+
+# -- per-peer persistence ----------------------------------------------------
+def _height_key(height: int) -> str:
+    return f"{height:016d}"
+
+
+class SnapshotStore:
+    """A peer's durable snapshot records, in the ``snapshots`` namespace.
+
+    Reads go through ``ledger.backend`` on every call so the store
+    survives crash/reopen without its own recovery step; the record set
+    is bounded by :data:`RETAIN_SNAPSHOTS` so cost stays O(1).
+    """
+
+    def __init__(self, ledger: PeerLedger) -> None:
+        self._ledger = ledger
+
+    def put(self, record: SnapshotRecord) -> None:
+        self._ledger.backend.put(
+            NS_SNAPSHOTS, _height_key(record.manifest.height), pack_obj(record)
+        )
+
+    def get(self, height: int) -> Optional[SnapshotRecord]:
+        raw = self._ledger.backend.get(NS_SNAPSHOTS, _height_key(height))
+        return unpack_obj(raw) if raw is not None else None
+
+    def records(self) -> list[SnapshotRecord]:
+        return [
+            unpack_obj(raw)
+            for _, raw in self._ledger.backend.range(NS_SNAPSHOTS)
+        ]
+
+    def latest_sealed(self) -> Optional[SnapshotRecord]:
+        sealed = [record for record in self.records() if record.sealed]
+        return sealed[-1] if sealed else None
+
+    def retain_latest(self, keep: int = RETAIN_SNAPSHOTS) -> int:
+        """Drop all but the newest ``keep`` records; returns the count."""
+        keys = [key for key, _ in self._ledger.backend.range(NS_SNAPSHOTS)]
+        dropped = keys[:-keep] if keep else keys
+        if not dropped:
+            return 0
+        batch = WriteBatch()
+        for key in dropped:
+            batch.delete(NS_SNAPSHOTS, key)
+        self._ledger.commit_batch(batch)
+        return len(dropped)

@@ -19,6 +19,11 @@ from repro.common.tracing import PERF, Tracer
 from repro.core.defense.features import FrameworkFeatures
 from repro.gossip.dissemination import GossipNetwork
 from repro.gossip.reconciler import Reconciler
+from repro.ledger.snapshot import (
+    bootstrap_from_package,
+    resolve_prune,
+    resolve_snapshot_every,
+)
 from repro.network.channel import ChannelConfig
 from repro.orderer.service import OrderingService
 from repro.peer.endorser import EndorsementOutput
@@ -46,6 +51,8 @@ class FabricNetwork:
         tracer: "Tracer | None" = None,
         state_backend: str | None = None,
         state_dir: str | None = None,
+        snapshot_every: int | None = None,
+        prune: bool | None = None,
     ) -> None:
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
@@ -55,6 +62,11 @@ class FabricNetwork:
         # scratch directory.
         self.state_backend = resolve_backend_kind(state_backend)
         self._state_dir = state_dir
+        # Snapshot checkpointing interval and pruning toggle for every
+        # peer (resolved from REPRO_SNAPSHOT_EVERY / REPRO_PRUNE when not
+        # given; 0 / False keep the un-snapshotted reference behaviour).
+        self.snapshot_every = resolve_snapshot_every(snapshot_every)
+        self.prune_enabled = resolve_prune(prune)
         self.gossip = GossipNetwork(channel)
         self.reconciler = Reconciler(self.gossip)
         self.orderer = OrderingService(
@@ -67,13 +79,10 @@ class FabricNetwork:
         self.runtime: "TransactionRuntime | None" = None
 
     # -- topology ------------------------------------------------------------
-    def add_peer(
-        self,
-        msp_id: str,
-        name: str = "peer0",
-        features: FrameworkFeatures | None = None,
-    ) -> PeerNode:
-        """Create a peer for ``msp_id`` and wire it into gossip + delivery."""
+    def _build_peer(
+        self, msp_id: str, name: str, features: FrameworkFeatures | None
+    ) -> tuple[PeerNode, Callable[["Block"], object]]:
+        """Enroll, construct and gossip-register a peer (no delivery yet)."""
         org = self.channel.organization(msp_id)
         identity = org.enroll_peer(name)
         backend = open_backend(
@@ -84,17 +93,64 @@ class FabricNetwork:
             channel=self.channel,
             features=features or self.features,
             backend=backend,
+            snapshot_every=self.snapshot_every,
+            prune=self.prune_enabled,
         )
         if peer.name in self._peers:
             raise ConfigError(f"peer {peer.name!r} already exists")
         self._peers[peer.name] = peer
         self.gossip.register_peer(peer)
+        peer.on_snapshot_sig(
+            lambda source, manifest, cert, sig: self.gossip.broadcast_snapshot_sig(
+                source, manifest, cert, sig
+            )
+        )
         handler = self._build_delivery_handler(peer)
         self._peer_delivery[peer.name] = handler
+        return peer, handler
+
+    def add_peer(
+        self,
+        msp_id: str,
+        name: str = "peer0",
+        features: FrameworkFeatures | None = None,
+    ) -> PeerNode:
+        """Create a peer for ``msp_id`` and wire it into gossip + delivery."""
+        peer, handler = self._build_peer(msp_id, name, features)
         if self.runtime is not None:
             self.runtime.register_peer(peer, handler)
         else:
             self.orderer.register_delivery(handler)
+        return peer
+
+    def join_peer(
+        self,
+        msp_id: str,
+        name: str = "peer0",
+        features: FrameworkFeatures | None = None,
+    ) -> PeerNode:
+        """Add a peer that bootstraps from a snapshot + tail replay.
+
+        When a gossip peer offers a sealed snapshot reaching at least the
+        orderer's pruned-backlog offset, the new peer loads the verified
+        package and replays only the tail; otherwise it falls back to the
+        full replay :meth:`add_peer` performs (raising
+        :class:`~repro.common.errors.PrunedBacklogError` if the backlog no
+        longer reaches back to genesis).
+        """
+        peer, handler = self._build_peer(msp_id, name, features)
+        if self.runtime is not None:
+            self.runtime.join_peer(peer, handler)
+            return peer
+        if self.snapshot_every:
+            package = self.gossip.fetch_snapshot(
+                peer, min_height=self.orderer.backlog_offset
+            )
+            if package is not None and package.manifest.height > peer.ledger.height:
+                bootstrap_from_package(peer.ledger, package, self.channel)
+        for block in self.orderer.blocks_since(peer.ledger.height):
+            handler(block)
+        self.orderer.register_delivery(handler, replay=False)
         return peer
 
     def _build_delivery_handler(self, peer: PeerNode) -> Callable[["Block"], object]:

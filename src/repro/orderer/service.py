@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional
 
-from repro.common.errors import OrderingError
+from repro.common.errors import OrderingError, PrunedBacklogError
 from repro.ledger.block import GENESIS_PREV_HASH, Block
 from repro.orderer.block_cutter import BlockCutter
 from repro.orderer.raft import RaftCluster
@@ -42,6 +42,11 @@ class OrderingService:
         self._delivered_batch_ids: set[int] = set()
         self._batch_counter = 0
         self._delivered_blocks: list[Block] = []
+        # Cold-archived prefix of the backlog: blocks every peer has sealed
+        # a snapshot past.  ``_backlog_offset`` is the number of the first
+        # block still in the hot list.
+        self._archived_blocks: list[Block] = []
+        self._backlog_offset = 0
         self.blocks_delivered = 0
 
     @property
@@ -56,19 +61,74 @@ class OrderingService:
 
     @property
     def delivered_blocks(self) -> tuple[Block, ...]:
-        """Every block delivered so far, in order (the channel backlog)."""
-        return tuple(self._delivered_blocks)
+        """Every block delivered so far, in order — archived + hot.
+
+        Audit/invariant surface: the full sequence regardless of pruning.
+        Copies the whole history; delivery paths should use the
+        O(missed-blocks) :meth:`blocks_since` cursor instead.
+        """
+        return tuple(self._archived_blocks) + tuple(self._delivered_blocks)
+
+    @property
+    def delivered_count(self) -> int:
+        """Total blocks delivered so far (archived + hot), O(1)."""
+        return self._backlog_offset + len(self._delivered_blocks)
+
+    @property
+    def backlog_offset(self) -> int:
+        """Number of the first block still in the hot backlog."""
+        return self._backlog_offset
+
+    def blocks_since(self, height: int) -> list[Block]:
+        """The delivery backlog for a consumer already at ``height``.
+
+        O(missed blocks): slices only the hot list.  Raises
+        :class:`PrunedBacklogError` when ``height`` predates the pruned
+        prefix — such a consumer must bootstrap from a state snapshot.
+        """
+        if height < 0:
+            raise OrderingError(f"negative backlog height {height}")
+        if height < self._backlog_offset:
+            raise PrunedBacklogError(height, self._backlog_offset)
+        return self._delivered_blocks[height - self._backlog_offset :]
+
+    def block_at(self, number: int) -> Block:
+        """A delivered block by number, archived or hot."""
+        if number < self._backlog_offset:
+            return self._archived_blocks[number]
+        return self._delivered_blocks[number - self._backlog_offset]
+
+    def prune_delivered(self, height: int) -> int:
+        """Archive hot backlog blocks below ``height``; returns the count.
+
+        A move, not a delete: full-history replay (``register_delivery``
+        with ``replay=True``, audits, invariant checks) still works; only
+        the hot cursor window shrinks.  Callers prune to the minimum
+        snapshot height sealed across all registered peers, so no live
+        consumer's cursor can fall below the offset.
+        """
+        target = min(height, self.delivered_count)
+        if target <= self._backlog_offset:
+            return 0
+        count = target - self._backlog_offset
+        self._archived_blocks.extend(self._delivered_blocks[:count])
+        del self._delivered_blocks[:count]
+        self._backlog_offset = target
+        return count
 
     def register_delivery(self, handler: BlockDeliveryHandler, replay: bool = True) -> None:
         """Subscribe a peer's ``deliver_block`` to new blocks.
 
         With ``replay`` (the default) blocks already ordered are replayed
-        first, so a peer joining the channel late catches up from block 0
-        — Fabric's deliver service behaves the same way.  The event
-        runtime's dispatcher registers with ``replay=False``: the peers it
-        fans out to already received the backlog directly.
+        first — archived prefix included — so a peer joining the channel
+        late catches up from block 0; Fabric's deliver service behaves
+        the same way.  The event runtime's dispatcher registers with
+        ``replay=False``: the peers it fans out to already received the
+        backlog directly.
         """
         if replay:
+            for block in self._archived_blocks:
+                handler(block)
             for block in self._delivered_blocks:
                 handler(block)
         self._delivery_handlers.append(handler)

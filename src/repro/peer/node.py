@@ -19,6 +19,17 @@ from repro.core.defense.features import FrameworkFeatures
 from repro.identity.identity import Certificate, SigningIdentity
 from repro.ledger.block import Block, ValidatedBlock
 from repro.ledger.ledger import PeerLedger
+from repro.ledger.snapshot import (
+    SNAPSHOT_POLICY,
+    SnapshotManifest,
+    SnapshotPackage,
+    SnapshotRecord,
+    SnapshotStore,
+    build_snapshot,
+    filter_package_for,
+    resolve_prune,
+    resolve_snapshot_every,
+)
 from repro.peer.committer import Committer
 from repro.peer.endorser import EndorsementOutput, Endorser
 from repro.peer.validator import Validator
@@ -30,6 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.network.channel import ChannelConfig
 
 CommitListener = Callable[["PeerNode", ValidatedBlock], None]
+SnapshotSigListener = Callable[["PeerNode", SnapshotManifest, Certificate, bytes], None]
+SnapshotSealListener = Callable[["PeerNode", SnapshotRecord], None]
 
 
 class PeerNode:
@@ -41,12 +54,17 @@ class PeerNode:
         channel: "ChannelConfig",
         features: FrameworkFeatures | None = None,
         backend: Optional[KVBackend] = None,
+        snapshot_every: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> None:
         self.identity = identity
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
         self.ledger = PeerLedger(backend)
         self.crashed = False
+        self.snapshot_every = resolve_snapshot_every(snapshot_every)
+        self.prune_enabled = resolve_prune(prune)
+        self.snapshots = SnapshotStore(self.ledger)
         self._chaincodes: dict[str, Chaincode] = {}
         self._endorser = Endorser(
             identity=identity,
@@ -58,6 +76,11 @@ class PeerNode:
         self._validator = Validator(channel=channel, features=self.features)
         self._committer = Committer(channel=channel, local_msp_id=identity.msp_id)
         self._commit_listeners: list[CommitListener] = []
+        self._snapshot_sig_listeners: list[SnapshotSigListener] = []
+        self._snapshot_seal_listeners: list[SnapshotSealListener] = []
+        # Signatures received for a snapshot height this peer has not yet
+        # produced (peers commit the same block at different instants).
+        self._pending_snapshot_sigs: dict[int, list] = {}
 
     # -- identity helpers ---------------------------------------------------
     @property
@@ -95,6 +118,7 @@ class PeerNode:
         """Simulate the peer process dying: drop its storage handles."""
         if not self.crashed:
             self.crashed = True
+            self._pending_snapshot_sigs.clear()
             self.ledger.crash()
 
     def restart(self) -> None:
@@ -136,10 +160,98 @@ class PeerNode:
         PERF.add_phase_time("commit", time.perf_counter() - validated_at)
         for listener in self._commit_listeners:
             listener(self, validated)
+        self.maybe_snapshot()
         return validated
 
     def on_commit(self, listener: CommitListener) -> None:
         self._commit_listeners.append(listener)
+
+    # -- snapshot checkpointing ------------------------------------------------
+    def on_snapshot_sig(self, listener: SnapshotSigListener) -> None:
+        """Observe this peer's own manifest signatures (gossip broadcast)."""
+        self._snapshot_sig_listeners.append(listener)
+
+    def on_snapshot_seal(self, listener: SnapshotSealListener) -> None:
+        """Observe snapshots reaching policy quorum at this peer."""
+        self._snapshot_seal_listeners.append(listener)
+
+    def maybe_snapshot(self) -> Optional[SnapshotRecord]:
+        """Produce a snapshot when the ledger height hits the interval."""
+        every = self.snapshot_every
+        height = self.ledger.height
+        if not every or height == 0 or height % every != 0:
+            return None
+        if self.snapshots.get(height) is not None:
+            return None
+        return self.produce_snapshot()
+
+    def produce_snapshot(self) -> SnapshotRecord:
+        """Capture, sign and store a snapshot at the current height."""
+        record = build_snapshot(self.ledger, self.channel.channel_id)
+        manifest = record.manifest
+        signature = self.identity.sign(manifest.signing_bytes())
+        record.signatures[self.name] = (self.certificate, signature)
+        # Apply signatures that arrived before this peer reached the height.
+        for certificate, sig, their_manifest in self._pending_snapshot_sigs.pop(
+            manifest.height, ()
+        ):
+            if their_manifest == manifest:
+                record.signatures[certificate.enrollment_id] = (certificate, sig)
+        self.snapshots.put(record)
+        self._check_seal(record)
+        for listener in self._snapshot_sig_listeners:
+            listener(self, manifest, self.certificate, signature)
+        return record
+
+    def receive_snapshot_sig(
+        self, manifest: SnapshotManifest, certificate: Certificate, signature: bytes
+    ) -> None:
+        """Gossip handler: accumulate another peer's manifest signature."""
+        if self.crashed:
+            return
+        if not self.channel.msp_registry.validate_certificate(certificate):
+            return
+        if not certificate.public_key.verify(manifest.signing_bytes(), signature):
+            return
+        record = self.snapshots.get(manifest.height)
+        if record is None:
+            if manifest.height > self.ledger.height:
+                self._pending_snapshot_sigs.setdefault(manifest.height, []).append(
+                    (certificate, signature, manifest)
+                )
+            return
+        if record.manifest != manifest:
+            # Divergent state at the same height: never co-sign it.
+            return
+        if certificate.enrollment_id in record.signatures:
+            return
+        record.signatures[certificate.enrollment_id] = (certificate, signature)
+        self.snapshots.put(record)
+        self._check_seal(record)
+
+    def _check_seal(self, record: SnapshotRecord) -> None:
+        if record.sealed:
+            return
+        certs = [cert for cert, _ in record.signatures.values()]
+        if not self.channel.evaluator().evaluate(SNAPSHOT_POLICY, certs):
+            return
+        record.sealed = True
+        self.snapshots.put(record)
+        self.snapshots.retain_latest()
+        if self.prune_enabled:
+            self.ledger.blockchain.prune_to(record.manifest.height)
+        for listener in self._snapshot_seal_listeners:
+            listener(self, record)
+
+    def latest_sealed_snapshot(self) -> Optional[SnapshotRecord]:
+        return self.snapshots.latest_sealed()
+
+    def serve_snapshot(self, msp_id: str) -> Optional[SnapshotPackage]:
+        """Serve the latest sealed snapshot, filtered for ``msp_id``."""
+        record = self.snapshots.latest_sealed()
+        if record is None:
+            return None
+        return filter_package_for(record, self.channel, msp_id)
 
     def validation_workload(self, block: Block) -> list[int]:
         """Per-key signature group sizes of validating ``block`` here.

@@ -42,9 +42,11 @@ from repro.common.errors import (
     ConfigError,
     EndorsementError,
     MempoolFullError,
+    PrunedBacklogError,
     SchedulerError,
 )
 from repro.ledger.block import Block
+from repro.ledger.snapshot import bootstrap_from_package
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
 from repro.runtime.bus import Message, MessageBus
 from repro.runtime.executor import ValidationCostModel
@@ -81,6 +83,7 @@ TOPIC_DELIVER = "deliver-block"
 TOPIC_GOSSIP = "gossip-push"
 TOPIC_ENDORSE = "endorse-proposal"
 TOPIC_ENDORSE_RESULT = "endorse-result"
+TOPIC_SNAPSHOT_SIG = "snapshot-sig"
 
 ORDERER_ENDPOINT = "orderer"
 CLIENT_SOURCE = "client"
@@ -209,6 +212,10 @@ class TransactionRuntime:
         self.crash_drops = 0
         self._crash_listeners: list[Callable[["PeerNode"], None]] = []
         self._restart_listeners: list[Callable[["PeerNode"], None]] = []
+        #: Latest sealed-snapshot height per peer — the orderer's backlog
+        #: prune floor is the minimum over *all* peers (unsealed = 0), so
+        #: no registered consumer's cursor can fall below the offset.
+        self._sealed_heights: dict[str, int] = {}
         #: Active endorsement collectors, keyed by tx id.  A collector is
         #: registered when a plan's first wave is dispatched and removed
         #: when it finishes (quorum reached or failed); late responses for
@@ -225,6 +232,7 @@ class TransactionRuntime:
         for peer in network.peers():
             self.register_peer(peer, network.delivery_handler_for(peer))
         network.gossip.transport = self._send_gossip
+        network.gossip.snapshot_transport = self._send_snapshot_sig
 
     # -- introspection -------------------------------------------------------
     @property
@@ -237,12 +245,39 @@ class TransactionRuntime:
 
     # -- topology ------------------------------------------------------------
     def register_peer(self, peer: "PeerNode", deliver: Callable[[Block], object]) -> None:
-        """Give ``peer`` an inbox; late joiners catch up synchronously."""
-        for block in self.network.orderer.delivered_blocks:
+        """Give ``peer`` an inbox; late joiners catch up synchronously.
+
+        The catch-up pulls only the blocks past the peer's current height
+        through the orderer's cursor — O(missed blocks), not O(chain).  A
+        peer whose height predates a pruned backlog must be bootstrapped
+        from a snapshot first (:meth:`join_peer` does both).
+        """
+        for block in self.network.orderer.blocks_since(peer.ledger.blockchain.height):
             deliver(block)
         self._peers[peer.name] = peer
         self._deliver[peer.name] = deliver
         self.bus.register(peer.name, self._peer_handler(peer))
+        peer.on_snapshot_seal(self._on_peer_sealed)
+        record = peer.latest_sealed_snapshot()
+        if record is not None:
+            self._sealed_heights[peer.name] = record.manifest.height
+
+    def join_peer(self, peer: "PeerNode", deliver: Callable[[Block], object]) -> None:
+        """Admit a newly created peer, bootstrapping from a snapshot.
+
+        When snapshotting is on and some live peer holds a sealed
+        snapshot ahead of the joiner, the joiner loads that package and
+        replays only the tail — the checkpointed-bootstrap path.  Without
+        one (or with snapshots off) it falls back to full replay via
+        :meth:`register_peer`, which requires the backlog to be unpruned.
+        """
+        if self.network.snapshot_every:
+            package = self.network.gossip.fetch_snapshot(
+                peer, min_height=self.network.orderer.backlog_offset
+            )
+            if package is not None and package.manifest.height > peer.ledger.height:
+                bootstrap_from_package(peer.ledger, package, peer.channel)
+        self.register_peer(peer, deliver)
 
     # -- the submit phase ----------------------------------------------------
     def submit(
@@ -369,6 +404,9 @@ class TransactionRuntime:
             elif message.topic == TOPIC_GOSSIP:
                 tx_id, writes = message.payload
                 peer.receive_private_data(tx_id, writes)
+            elif message.topic == TOPIC_SNAPSHOT_SIG:
+                manifest, certificate, signature = message.payload
+                peer.receive_snapshot_sig(manifest, certificate, signature)
             elif message.topic == TOPIC_ENDORSE:
                 proposal = message.payload
                 try:
@@ -529,10 +567,27 @@ class TransactionRuntime:
         for listener in self._restart_listeners:
             listener(peer)
         # Rejoin: pull everything past the recovered height, as the deliver
-        # client does when it reconnects.
+        # client does when it reconnects.  The backlog is pruned only to
+        # the minimum sealed height across peers, so a recovered height
+        # below the offset means the peer's durable state predates every
+        # retained block — rebuild it from a snapshot, then replay the tail.
         buffer = self._inbound.setdefault(name, {})
         height = peer.ledger.blockchain.height
-        for block in self.network.orderer.delivered_blocks[height:]:
+        try:
+            backlog = self.network.orderer.blocks_since(height)
+        except PrunedBacklogError:
+            package = self.network.gossip.fetch_snapshot(
+                peer, min_height=self.network.orderer.backlog_offset
+            )
+            if package is None:
+                raise
+            peer.ledger.reset_stores()
+            bootstrap_from_package(peer.ledger, package, peer.channel)
+            height = peer.ledger.blockchain.height
+            if tracer:
+                tracer.record(name, "peer-snapshot-bootstrap", height=height)
+            backlog = self.network.orderer.blocks_since(height)
+        for block in backlog:
             if block.header.number >= height:
                 buffer.setdefault(block.header.number, block)
         self._drain_inbound(peer)
@@ -551,7 +606,6 @@ class TransactionRuntime:
         ``orderer → peer`` links.
         """
         committed = 0
-        backlog = self.network.orderer.delivered_blocks
         for name, peer in self._peers.items():
             if name in self._crashed:
                 continue  # a down peer cannot reconnect; restart it first
@@ -559,7 +613,7 @@ class TransactionRuntime:
             before = max(
                 peer.ledger.blockchain.height, self._scheduled_height.get(name, 0)
             )
-            for block in backlog[before:]:
+            for block in self.network.orderer.blocks_since(before):
                 number = block.header.number
                 if number >= before and number not in buffer:
                     buffer[number] = block
@@ -578,6 +632,35 @@ class TransactionRuntime:
         writes: PrivateCollectionWrites,
     ) -> None:
         self.bus.send(source.name, target.name, TOPIC_GOSSIP, (tx_id, writes))
+
+    def _send_snapshot_sig(
+        self, source: "PeerNode", target: "PeerNode", manifest, certificate, signature
+    ) -> None:
+        self.bus.send(
+            source.name, target.name, TOPIC_SNAPSHOT_SIG,
+            (manifest, certificate, signature),
+        )
+
+    # -- snapshot checkpointing ----------------------------------------------
+    def _on_peer_sealed(self, peer: "PeerNode", record) -> None:
+        self._sealed_heights[peer.name] = max(
+            self._sealed_heights.get(peer.name, 0), record.manifest.height
+        )
+        self._maybe_prune_backlog()
+
+    def _maybe_prune_backlog(self) -> None:
+        """Archive orderer backlog below the fleet-wide sealed floor.
+
+        Conservative by construction: the floor is the minimum sealed
+        snapshot height over *all* registered peers (a peer with no seal
+        counts as 0), so every live or restartable consumer keeps a valid
+        cursor.  Only peers created *after* pruning — fresh joiners — ever
+        need the snapshot-bootstrap path.
+        """
+        if not self.network.prune_enabled or not self._peers:
+            return
+        floor = min(self._sealed_heights.get(name, 0) for name in self._peers)
+        self.network.orderer.prune_delivered(floor)
 
     # -- driving the loop ----------------------------------------------------
     def run(self, max_events: int = DEFAULT_MAX_EVENTS) -> int:

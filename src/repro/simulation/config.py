@@ -15,6 +15,7 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.ledger.snapshot import resolve_prune, resolve_snapshot_every
 from repro.runtime.executor import resolve_executor_kind
 from repro.storage import resolve_backend_kind
 
@@ -57,6 +58,11 @@ class SimulationConfig:
     bursts: tuple = ()  # ((start, end, rate multiplier), ...) burst windows
     retry_budget: int = 0  # admission/retry policy budget per logical tx
     mempool_limit: int = 0  # submit-pipeline bound; 0 = unbounded
+    # -- snapshot checkpointing (environment decisions like the storage
+    # backend: REPRO_SNAPSHOT_EVERY / REPRO_PRUNE or --snapshot-every /
+    # --prune; 0 / False keep the un-snapshotted reference behaviour) -------
+    snapshot_every: int = 0  # blocks between snapshot manifests; 0 = off
+    prune: bool = False  # archive pre-snapshot blocks once sealed
 
     # -- derived helpers -----------------------------------------------------
     def org_ids(self) -> list[str]:
@@ -145,6 +151,11 @@ class SimulationConfig:
             # invariant enforces exactly that), so it is an environment
             # decision (REPRO_EXECUTOR or --executor) recorded for replay.
             executor=resolve_executor_kind(),
+            # Snapshot cadence and pruning are environment decisions too:
+            # a checkpointed run must commit the same history as the
+            # reference (the snapshot-equivalence invariant enforces it).
+            snapshot_every=resolve_snapshot_every(),
+            prune=resolve_prune(),
         )
 
     @staticmethod
@@ -213,6 +224,8 @@ class SimulationConfig:
             bursts=bursts,
             retry_budget=rng.randint(1, 3),
             mempool_limit=rng.choice([0, 8, 16]),
+            snapshot_every=resolve_snapshot_every(),
+            prune=resolve_prune(),
         )
 
     @classmethod

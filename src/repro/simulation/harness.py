@@ -179,6 +179,8 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         features=features,
         batch_size=config.batch_size,
         state_backend=config.state_backend,
+        snapshot_every=config.snapshot_every,
+        prune=config.prune,
     )
 
     peers: dict = {}
@@ -355,12 +357,23 @@ def _execute(
         # much admission/retry work the clients spent getting there.
         "mvcc_aborts": sum(
             1
-            for validated in reference.ledger.blockchain.blocks()
+            for validated in reference.ledger.blockchain.all_blocks()
             for flag in validated.flags
             if flag in (
                 ValidationCode.MVCC_READ_CONFLICT,
                 ValidationCode.PHANTOM_READ_CONFLICT,
             )
+        ),
+        # Snapshot checkpointing observability (zeros when the feature is
+        # off): sealed snapshots across peers, the orderer's pruned-backlog
+        # offset, and how far each peer's own chain prefix was archived.
+        "snapshots_sealed": sum(
+            1 for p in sim.all_peers() if p.latest_sealed_snapshot() is not None
+        ),
+        "backlog_offset": sim.network.orderer.backlog_offset,
+        "genesis_offset": max(
+            (p.ledger.blockchain.genesis_offset for p in sim.all_peers()),
+            default=0,
         ),
         "retries": sum(o.retries for o in outcomes),
         "mempool_drops": sum(o.drops for o in outcomes),
@@ -587,6 +600,8 @@ def run_parallel_equivalence(
     workers: int = 4,
     weaken: Optional[str] = None,
     workload: str = "mixed",
+    snapshot_every: Optional[int] = None,
+    prune: Optional[bool] = None,
 ) -> EquivalenceReport:
     """Check the ``parallel-equivalence`` invariant for one seed.
 
@@ -601,6 +616,10 @@ def run_parallel_equivalence(
     what it computed.
     """
     config = SimulationConfig.generate_workload(workload, seed, ops)
+    if snapshot_every is not None:
+        config = replace(config, snapshot_every=snapshot_every)
+    if prune is not None:
+        config = replace(config, prune=prune)
     ops_list, fault_actions = generate(config)
     reference = execute(
         replace(config, executor="serial"), ops_list, fault_actions, weaken=weaken

@@ -37,6 +37,12 @@ The catalogue (names are the ``invariant`` field of each violation):
   or its envelope was provably lost: the number of unresolved futures
   equals the number of ``submit``-topic drops, and no unresolved
   transaction appears in any committed block.
+* ``snapshot-equivalence`` — when the run sealed a snapshot, a fresh
+  probe peer bootstrapped from it (checkpoint + tail replay) must be
+  byte-identical to the replay-from-genesis reference: same anchored
+  chain, flags, world state and private hash store, no plaintext at
+  non-member collections, and no BTL-expired plaintext resurrected by
+  the bootstrap.
 * ``durability``        — checked by :class:`RecoveryMonitor` at every
   peer restart, at the exact recovery height (before the peer catches
   up): the recovered chain height equals the crash height (no committed
@@ -171,15 +177,37 @@ class RecoveryMonitor:
                     snapshot[(chaincode_id, collection.name, key)] = entry.value
         return snapshot
 
+    def _state_dicts(self, peer: "PeerNode") -> tuple[dict, dict]:
+        """The peer's committed public state and private hash store."""
+        public = {}
+        for ns in sorted(self._channel.chaincodes):
+            for key, entry in peer.ledger.world_state.items(ns):
+                public[(ns, key)] = (entry.value, entry.version)
+        private = {}
+        for chaincode_id, definition in sorted(self._channel.chaincodes.items()):
+            for collection in definition.collections:
+                for key_hash in peer.ledger.private_hashes.key_hashes(
+                    chaincode_id, collection.name
+                ):
+                    entry = peer.ledger.private_hashes.get(
+                        chaincode_id, collection.name, key_hash
+                    )
+                    private[(chaincode_id, collection.name, key_hash)] = (
+                        entry.value_hash, entry.version
+                    )
+        return public, private
+
     def _on_crash(self, peer: "PeerNode") -> None:
-        self._snapshots[peer.name] = (peer.ledger.height, self._plaintext(peer))
+        self._snapshots[peer.name] = (
+            peer.ledger.height, self._plaintext(peer), self._state_dicts(peer)
+        )
 
     def _on_restart(self, peer: "PeerNode") -> None:
         snapshot = self._snapshots.pop(peer.name, None)
         if snapshot is None:  # pragma: no cover - restart without crash
             return
         self.recoveries += 1
-        crash_height, crash_plaintext = snapshot
+        crash_height, crash_plaintext, crash_state = snapshot
 
         recovered_height = peer.ledger.height
         if recovered_height != crash_height:
@@ -189,16 +217,29 @@ class RecoveryMonitor:
                 peer=peer.name,
             ))
 
-        # Replay the recovered chain through the reference model and demand
-        # byte-identical state at the recovery height.
-        reference = ReferenceValidator(self._channel, self._features)
-        for validated in peer.ledger.blockchain.blocks():
-            reference.expected_flags(validated.block)
-        self.violations.extend(
-            peer_state_violations(
-                self._channel, peer, reference.state, invariant="durability"
+        if peer.ledger.blockchain.full_history_available:
+            # Replay the recovered chain (archived prefix + live tail)
+            # through the reference model and demand byte-identical state
+            # at the recovery height.
+            reference = ReferenceValidator(self._channel, self._features)
+            for validated in peer.ledger.blockchain.all_blocks():
+                reference.expected_flags(validated.block)
+            self.violations.extend(
+                peer_state_violations(
+                    self._channel, peer, reference.state, invariant="durability"
+                )
             )
-        )
+        else:
+            # A snapshot-bootstrapped peer never held the pruned prefix, so
+            # there is nothing to replay from genesis — recovery must still
+            # reproduce the crash-time state byte-for-byte.
+            if self._state_dicts(peer) != crash_state:
+                self.violations.append(Violation(
+                    "durability",
+                    "recovered state diverges from crash-time state on a "
+                    "snapshot-bootstrapped (bounded-history) peer",
+                    peer=peer.name,
+                ))
 
         recovered_plaintext = self._plaintext(peer)
         if recovered_plaintext != crash_plaintext:
@@ -470,12 +511,12 @@ def check_reference_validation(sim: "SimNetwork") -> list:
     reference = ReferenceValidator(sim.network.channel, sim.network.features)
     chain_peer = peers[0]
     expected_by_number = {}
-    for validated in chain_peer.ledger.blockchain.blocks():
+    for validated in chain_peer.ledger.blockchain.all_blocks():
         expected = reference.expected_flags(validated.block)
         expected_by_number[validated.number] = expected
 
     for peer in peers:
-        for validated in peer.ledger.blockchain.blocks():
+        for validated in peer.ledger.blockchain.all_blocks():
             expected = expected_by_number.get(validated.number)
             if expected is None:
                 continue  # height mismatch already reported by block-agreement
@@ -721,7 +762,7 @@ def check_vscc_memo_agreement(sim: "SimNetwork") -> list:
     crypto.clear_caches()
     crypto.set_verify_cache(False)
     try:
-        for validated in source.ledger.blockchain.blocks():
+        for validated in source.ledger.blockchain.all_blocks():
             fresh_flags = fresh_validator.validate_block(validated.block, fresh_ledger)
             committed = list(validated.flags)
             if fresh_flags != committed:
@@ -768,7 +809,7 @@ def check_endorsement_plan(sim: "SimNetwork", outcomes: list) -> list:
     channel = sim.network.channel
     features = sim.network.features
     governed: set = set()  # (namespace, key) under a key-level policy
-    for validated in source.ledger.blockchain.blocks():
+    for validated in source.ledger.blockchain.all_blocks():
         for tx, flag in zip(validated.block.transactions, validated.flags):
             if flag is not ValidationCode.VALID:
                 continue
@@ -777,7 +818,7 @@ def check_endorsement_plan(sim: "SimNetwork", outcomes: list) -> list:
                     if meta.name == "VALIDATION_PARAMETER":
                         governed.add((ns.namespace, meta.key))
     full_pool = [p.certificate for p in sim.network.default_endorsers()]
-    for validated in source.ledger.blockchain.blocks():
+    for validated in source.ledger.blockchain.all_blocks():
         for tx, flag in zip(validated.block.transactions, validated.flags):
             if flag is not ValidationCode.VALID:
                 continue
@@ -861,7 +902,7 @@ def state_digest(sim: "SimNetwork") -> str:
     for name in sorted(sim.peers):
         peer = sim.peers[name]
         digest.update(name.encode("utf-8"))
-        for validated in peer.ledger.blockchain.blocks():
+        for validated in peer.ledger.blockchain.all_blocks():
             digest.update(validated.block.header.block_hash())
             for flag in validated.flags:
                 digest.update(flag.name.encode("ascii"))
@@ -894,6 +935,133 @@ def state_digest(sim: "SimNetwork") -> str:
     return digest.hexdigest()
 
 
+def check_snapshot_equivalence(sim: "SimNetwork") -> list:
+    """A snapshot-bootstrapped peer is equivalent to replay-from-genesis.
+
+    Only meaningful when the run sealed at least one snapshot.  A fresh
+    *probe* peer joins the channel through the checkpointed-bootstrap path
+    (sealed snapshot + tail replay) and, after reconciliation reaches a
+    fixpoint, must be indistinguishable from the replay-from-genesis
+    reference:
+
+    1. same chain height as the orderer, with a verifying (anchored) hash
+       chain whose live blocks match the ordered blocks and the committed
+       flags byte-for-byte;
+    2. public world state and private hash store byte-identical to the
+       reference model replayed over the full history;
+    3. no plaintext for collections its org is not a member of, every
+       plaintext entry hash-matched against the committed hash store, and
+       — the no-resurrection gate — no plaintext whose BTL expired at or
+       below the probe's height (pruning and bootstrap must never revive
+       purged private data; the hash store alone cannot catch this because
+       hashes legitimately outlive the purge).
+
+    The probe is joined outside ``sim.peers``, so the parallel-equivalence
+    state digest and the other quiescence checks are unaffected.
+    """
+    violations = []
+    config = sim.config
+    if not config.snapshot_every:
+        return violations
+    peers = sim.all_peers()
+    if not peers:
+        return violations
+    if not any(p.latest_sealed_snapshot() is not None for p in peers):
+        return violations  # run too short to seal a checkpoint: nothing to test
+    source = peers[0]
+    if not source.ledger.blockchain.full_history_available:
+        return violations  # pragma: no cover - peers archive, never drop
+
+    probe = sim.network.join_peer(source.msp_id, name="probe0")
+    for _ in range(10):
+        if sim.network.reconcile_private_data() == 0:
+            break
+
+    orderer = sim.network.orderer
+    if probe.ledger.height != orderer.delivered_count:
+        violations.append(Violation(
+            "snapshot-equivalence",
+            f"bootstrapped probe at height {probe.ledger.height}, orderer "
+            f"delivered {orderer.delivered_count}",
+            peer=probe.name,
+        ))
+        return violations
+    if not probe.ledger.blockchain.verify_chain():
+        violations.append(Violation(
+            "snapshot-equivalence",
+            "probe's anchored hash chain fails verification",
+            peer=probe.name,
+        ))
+
+    channel = sim.network.channel
+    flags_by_number = {
+        validated.number: tuple(validated.flags)
+        for validated in source.ledger.blockchain.all_blocks()
+    }
+    for validated in probe.ledger.blockchain.blocks():
+        number = validated.number
+        ordered = orderer.block_at(number)
+        if validated.block.header.block_hash() != ordered.header.block_hash():
+            violations.append(Violation(
+                "snapshot-equivalence",
+                f"probe's block {number} differs from the ordered block",
+                peer=probe.name,
+            ))
+        if tuple(validated.flags) != flags_by_number.get(number):
+            violations.append(Violation(
+                "snapshot-equivalence",
+                f"probe's block {number} flags differ from the reference peer",
+                peer=probe.name,
+            ))
+
+    reference = ReferenceValidator(channel, sim.network.features)
+    for validated in source.ledger.blockchain.all_blocks():
+        reference.expected_flags(validated.block)
+    violations.extend(peer_state_violations(
+        channel, probe, reference.state, invariant="snapshot-equivalence"
+    ))
+
+    height = probe.ledger.height
+    for chaincode_id, definition in sorted(channel.chaincodes.items()):
+        for collection in definition.collections:
+            member = collection.is_member_org(probe.msp_id)
+            stored = list(probe.ledger.private_data.items(
+                chaincode_id, collection.name
+            ))
+            if not member:
+                if stored:
+                    violations.append(Violation(
+                        "snapshot-equivalence",
+                        f"bootstrapped non-member holds plaintext for "
+                        f"{collection.name} keys "
+                        f"{[k for k, _ in stored][:5]}",
+                        peer=probe.name,
+                    ))
+                continue
+            btl = collection.block_to_live
+            for key, entry in stored:
+                digest = probe.query_private_hash(
+                    chaincode_id, collection.name, key
+                )
+                if digest is None or hash_value(entry.value) != digest:
+                    violations.append(Violation(
+                        "snapshot-equivalence",
+                        f"probe plaintext for {collection.name}/{key} does "
+                        "not match the committed hash",
+                        peer=probe.name,
+                    ))
+                if btl and entry.version.block_num + btl + 1 <= height:
+                    violations.append(Violation(
+                        "snapshot-equivalence",
+                        f"bootstrap resurrected BTL-expired plaintext "
+                        f"{collection.name}/{key} (written at block "
+                        f"{entry.version.block_num}, btl={btl}, "
+                        f"height={height})",
+                        peer=probe.name,
+                    ))
+    return violations
+
+
 def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     """Run the full catalogue; returns all violations, worst first."""
     violations = []
@@ -906,4 +1074,5 @@ def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     violations.extend(check_pdc_privacy(sim, outcomes))
     violations.extend(check_gossip_convergence(sim, outcomes))
     violations.extend(check_liveness_accounting(sim, outcomes))
+    violations.extend(check_snapshot_equivalence(sim))
     return violations

@@ -132,6 +132,10 @@ class KVBackend(abc.ABC):
     def count(self, namespace: str) -> int:
         """Number of keys in ``namespace`` (O(1) on both engines)."""
 
+    @abc.abstractmethod
+    def namespaces(self) -> list[str]:
+        """Every non-empty namespace (for audits and bootstrap resets)."""
+
     # -- atomic batches ------------------------------------------------------
     @abc.abstractmethod
     def commit(self, batch: WriteBatch) -> None:

@@ -8,18 +8,44 @@ maps) go through stdlib ``pickle``; the bytes are peer-local (never
 signed, never compared across peers), so canonical encoding is not
 required — only exact round-tripping, which the durability invariant
 checks byte-for-byte.
+
+The WAL's on-disk framing, by contrast, must never execute code while
+decoding — a corrupt or adversarial snapshot file fed to ``pickle.loads``
+is an arbitrary-code-execution primitive.  ``pack_ops``/``unpack_ops``
+and ``pack_tables``/``unpack_tables`` are pure ``struct`` codecs for the
+two WAL payload shapes (a batch's op list and a compacted table
+snapshot).  Both start with a magic prefix whose first byte (``0x01``)
+can never open a protocol-2+ pickle stream (those start with ``0x80``),
+so readers can distinguish the formats for one-release read
+compatibility.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
-from typing import Any
+import zlib
+from typing import Any, Iterable, Optional
 
 from repro.ledger.version import Version
 
 _VERSION = struct.Struct("<QQ")
 _PAIR = struct.Struct("<QQ")
+_U32 = struct.Struct("<I")
+
+#: Magic prefixes for the deterministic WAL framings.  First byte 0x01 is
+#: not a valid start of any pickle protocol >= 2 stream (0x80).
+OPS_MAGIC = b"\x01ROP1"
+TABLES_MAGIC = b"\x01RTB1"
+
+#: First byte of every pickle protocol >= 2 stream (the PROTO opcode) —
+#: how legacy pickle WAL payloads are recognized during the one-release
+#: read-compat window.
+PICKLE_MARKER = b"\x80"
+
+
+class CodecError(ValueError):
+    """A byte payload does not decode under the expected framing."""
 
 
 def pack_versioned(value: bytes, version: Version) -> bytes:
@@ -50,3 +76,117 @@ def pack_obj(obj: Any) -> bytes:
 
 def unpack_obj(raw: bytes) -> Any:
     return pickle.loads(raw)
+
+
+# -- deterministic WAL framings ----------------------------------------------
+def _pack_str(out: list, text: str) -> None:
+    encoded = text.encode("utf-8")
+    out.append(_U32.pack(len(encoded)))
+    out.append(encoded)
+
+
+class _Reader:
+    """Bounds-checked cursor over a byte payload."""
+
+    def __init__(self, raw: bytes, offset: int = 0) -> None:
+        self._raw = raw
+        self._offset = offset
+
+    def take(self, count: int) -> bytes:
+        end = self._offset + count
+        if end > len(self._raw):
+            raise CodecError(
+                f"payload truncated: need {count} bytes at {self._offset}, "
+                f"have {len(self._raw) - self._offset}"
+            )
+        chunk = self._raw[self._offset : end]
+        self._offset = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(_U32.size))[0]
+
+    def string(self) -> str:
+        return self.take(self.u32()).decode("utf-8")
+
+    def done(self) -> bool:
+        return self._offset == len(self._raw)
+
+
+def pack_ops(ops: Iterable[tuple[str, str, Optional[bytes]]]) -> bytes:
+    """Frame one batch's op list ``[(namespace, key, value|None)]``."""
+    items = list(ops)
+    out = [OPS_MAGIC, _U32.pack(len(items))]
+    for namespace, key, value in items:
+        _pack_str(out, namespace)
+        _pack_str(out, key)
+        if value is None:  # a delete
+            out.append(b"\x00")
+        else:
+            out.append(b"\x01")
+            out.append(_U32.pack(len(value)))
+            out.append(value)
+    return b"".join(out)
+
+
+def unpack_ops(raw: bytes) -> list[tuple[str, str, Optional[bytes]]]:
+    if not raw.startswith(OPS_MAGIC):
+        raise CodecError("op payload lacks the deterministic-framing magic")
+    reader = _Reader(raw, len(OPS_MAGIC))
+    ops: list[tuple[str, str, Optional[bytes]]] = []
+    for _ in range(reader.u32()):
+        namespace = reader.string()
+        key = reader.string()
+        tag = reader.take(1)
+        if tag == b"\x00":
+            ops.append((namespace, key, None))
+        elif tag == b"\x01":
+            ops.append((namespace, key, reader.take(reader.u32())))
+        else:
+            raise CodecError(f"unknown op tag {tag!r}")
+    if not reader.done():
+        raise CodecError("trailing bytes after the framed op list")
+    return ops
+
+
+def pack_tables(data: dict[str, dict[str, bytes]]) -> bytes:
+    """Frame a compacted table snapshot ``{namespace: {key: value}}``.
+
+    Namespaces and keys are emitted sorted, and the body carries its own
+    trailing crc32, so the same tables always produce the same bytes and
+    a bit flip is detected without ever reaching a deserializer.
+    """
+    out = [TABLES_MAGIC, _U32.pack(len(data))]
+    for namespace in sorted(data):
+        rows = data[namespace]
+        _pack_str(out, namespace)
+        out.append(_U32.pack(len(rows)))
+        for key in sorted(rows):
+            _pack_str(out, key)
+            value = rows[key]
+            out.append(_U32.pack(len(value)))
+            out.append(value)
+    body = b"".join(out)
+    return body + _U32.pack(zlib.crc32(body))
+
+
+def unpack_tables(raw: bytes) -> dict[str, dict[str, bytes]]:
+    if not raw.startswith(TABLES_MAGIC):
+        raise CodecError("table snapshot lacks the deterministic-framing magic")
+    if len(raw) < len(TABLES_MAGIC) + _U32.size:
+        raise CodecError("table snapshot truncated before its checksum")
+    body, checksum = raw[: -_U32.size], _U32.unpack(raw[-_U32.size :])[0]
+    if zlib.crc32(body) != checksum:
+        raise CodecError("table snapshot failed its crc32 check")
+    reader = _Reader(body, len(TABLES_MAGIC))
+    data: dict[str, dict[str, bytes]] = {}
+    for _ in range(reader.u32()):
+        namespace = reader.string()
+        rows: dict[str, bytes] = {}
+        for _ in range(reader.u32()):
+            key = reader.string()
+            rows[key] = reader.take(reader.u32())
+        data[namespace] = rows
+    if not reader.done():
+        raise CodecError("trailing bytes after the framed tables")
+    return data

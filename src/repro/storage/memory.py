@@ -35,6 +35,9 @@ class MemoryBackend(KVBackend):
     def count(self, namespace: str) -> int:
         return self._tables.count(namespace)
 
+    def namespaces(self) -> list[str]:
+        return self._tables.namespaces()
+
     def commit(self, batch: WriteBatch) -> None:
         self._tables.apply(batch.ops)
         batch.run_callbacks()

@@ -2,24 +2,31 @@
 
 Layout of a backend directory::
 
-    snapshot.bin   pickled {namespace: {key: value}} — the compacted base
+    snapshot.bin   framed {namespace: {key: value}} — the compacted base
     wal.log        append-only records, one per committed batch
 
 Each WAL record frames one atomic batch::
 
     [4-byte little-endian payload length][4-byte crc32][payload]
 
-where the payload is the pickled op list ``[(namespace, key, value|None)]``.
-Commit = append record, flush, apply to the in-memory tables.  Recovery =
-load the snapshot, then replay records until the log ends *or* a record is
-torn (truncated mid-write) or fails its checksum — the file is then
-truncated back to the last complete record, so a crash mid-batch can never
-surface half a block.  Every ``compact_every`` commits the tables are
-rewritten as a fresh snapshot (tmp file + atomic rename) and the log is
-reset; replaying a log that predates the rename is idempotent because ops
-are absolute puts/deletes.
+where the payload is the deterministically framed op list
+``[(namespace, key, value|None)]`` (``codec.pack_ops``).  Commit = append
+record, flush, apply to the in-memory tables.  Recovery = load the
+snapshot, then replay records until the log ends *or* a record is torn
+(truncated mid-write) or fails its checksum — the file is then truncated
+back to the last complete record, so a crash mid-batch can never surface
+half a block.  Every ``compact_every`` commits the tables are rewritten
+as a fresh snapshot (tmp file + atomic rename) and the log is reset;
+replaying a log that predates the rename is idempotent because ops are
+absolute puts/deletes.
 
-Stdlib only: ``pickle`` + ``zlib.crc32`` + ``struct``.  By default commits
+Snapshot and record payloads used to be pickled; decoding them is kept
+for one release as a read-compat fallback (old payloads are recognized
+by pickle's 0x80 protocol marker, which no framed payload starts with).
+Everything newly written uses the ``codec`` struct framing, so a corrupt
+or hostile snapshot file can fail a checksum but never execute code.
+
+Stdlib only: ``struct`` + ``zlib.crc32``.  By default commits
 ``flush()`` to the OS (surviving simulated *process* crashes); set
 ``sync="fsync"`` to also survive machine crashes at real-fsync cost.
 """
@@ -34,6 +41,14 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.storage.backend import KVBackend, SortedTables, StorageError, WriteBatch
+from repro.storage.codec import (
+    PICKLE_MARKER,
+    TABLES_MAGIC,
+    pack_ops,
+    pack_tables,
+    unpack_ops,
+    unpack_tables,
+)
 
 SNAPSHOT_FILE = "snapshot.bin"
 SNAPSHOT_TMP = "snapshot.tmp"
@@ -89,9 +104,16 @@ class WalBackend(KVBackend):
             tmp.unlink()
         if not self._snapshot_path.exists():
             return
+        raw = self._snapshot_path.read_bytes()
         try:
-            with open(self._snapshot_path, "rb") as fh:
-                self._tables.load(pickle.load(fh))
+            if raw.startswith(TABLES_MAGIC):
+                self._tables.load(unpack_tables(raw))
+            elif raw.startswith(PICKLE_MARKER):
+                # One-release read compat: snapshots written before the
+                # deterministic framing were pickled.
+                self._tables.load(pickle.loads(raw))
+            else:
+                raise StorageError("unrecognized snapshot framing")
         except Exception as exc:
             raise StorageError(
                 f"corrupt snapshot {self._snapshot_path}: {exc}"
@@ -114,7 +136,11 @@ class WalBackend(KVBackend):
             if zlib.crc32(payload) != checksum:
                 break  # corrupt tail
             try:
-                ops = pickle.loads(payload)
+                if payload.startswith(PICKLE_MARKER):
+                    # One-release read compat for pre-framing records.
+                    ops = pickle.loads(payload)
+                else:
+                    ops = unpack_ops(payload)
             except Exception:
                 break
             self._tables.apply(ops)
@@ -139,6 +165,9 @@ class WalBackend(KVBackend):
     def count(self, namespace: str) -> int:
         return self._tables.count(namespace)
 
+    def namespaces(self) -> list[str]:
+        return self._tables.namespaces()
+
     # -- writes --------------------------------------------------------------
     def commit(self, batch: WriteBatch) -> None:
         if self._closed:
@@ -146,7 +175,7 @@ class WalBackend(KVBackend):
         if not batch.ops:
             batch.run_callbacks()
             return
-        payload = pickle.dumps(batch.ops, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = pack_ops(batch.ops)
         self._wal.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
         self._wal.write(payload)
         self._wal.flush()
@@ -163,7 +192,7 @@ class WalBackend(KVBackend):
         """Fold the log into a fresh snapshot and reset the WAL."""
         tmp = self.directory / SNAPSHOT_TMP
         with open(tmp, "wb") as fh:
-            pickle.dump(self._tables.snapshot(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(pack_tables(self._tables.snapshot()))
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self._snapshot_path)  # atomic: old or new, never half

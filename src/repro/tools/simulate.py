@@ -75,6 +75,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--executor", type=_executor_spec, default=None,
                         help="execution backend spec, e.g. serial or process:4 "
                              "(default: the REPRO_EXECUTOR env var, else serial)")
+    parser.add_argument("--snapshot-every", type=int, default=None,
+                        help="peer snapshot checkpoint cadence in blocks; "
+                             "enables the snapshot-equivalence invariant "
+                             "(default: the REPRO_SNAPSHOT_EVERY env var, "
+                             "else off)")
+    parser.add_argument("--prune", action="store_true",
+                        help="archive pre-snapshot blocks once a snapshot "
+                             "seals (peer chains and the orderer backlog; "
+                             "default: the REPRO_PRUNE env var, else off)")
     parser.add_argument("--workload", choices=["mixed", "tpcc"], default="mixed",
                         help="workload family: the mixed asset/PDC mix, or the "
                              "contended TPC-C-style mix with open-loop arrivals "
@@ -103,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
             config = dataclasses.replace(config, state_backend=args.backend)
         if args.executor is not None:
             config = dataclasses.replace(config, executor=args.executor)
+        if args.snapshot_every is not None:
+            config = dataclasses.replace(config, snapshot_every=args.snapshot_every)
+        if args.prune:
+            config = dataclasses.replace(config, prune=True)
         ops, fault_actions = generate(config)
         report = execute(config, ops, fault_actions, weaken=args.weaken)
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
@@ -135,6 +148,8 @@ def _check_equivalence(args) -> int:
         report = run_parallel_equivalence(
             seed, args.ops, workers=args.equiv_workers, weaken=args.weaken,
             workload=args.workload,
+            snapshot_every=args.snapshot_every,
+            prune=True if args.prune else None,
         )
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
         if report.ok:

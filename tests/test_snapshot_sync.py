@@ -1,0 +1,533 @@
+"""Snapshot state-sync and ledger pruning tests.
+
+Covers the checkpointed-bootstrap pipeline end to end: the orderer's
+delivery cursor and pruned backlog, per-peer block archiving with
+genesis-offset chains, snapshot production / policy sealing / membership
+filtering, joining and restarting peers over bounded history, and the
+BTL guarantee that pruning never resurrects purged plaintext.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.chaincode.contracts import AssetContract, PrivateAssetContract
+from repro.common.errors import (
+    ConfigError,
+    LedgerError,
+    PrunedBacklogError,
+    SnapshotError,
+)
+from repro.common.hashing import hash_value
+from repro.identity.ca import reset_ca_instance_counter
+from repro.identity.organization import Organization
+from repro.ledger.snapshot import (
+    RETAIN_SNAPSHOTS,
+    bootstrap_from_package,
+    resolve_prune,
+    resolve_snapshot_every,
+    verify_package,
+)
+from repro.network.channel import ChannelConfig
+from repro.network.collection import CollectionConfig
+from repro.network.network import FabricNetwork
+from repro.protocol.proposal import reset_nonce_counter
+
+
+CHAINCODE = "pdccc"
+COLLECTION = "PDC1"
+
+
+def _network(
+    org_count: int = 3,
+    snapshot_every: int = 0,
+    prune: bool = False,
+    btl: int = 0,
+    batch_size: int = 1,
+) -> FabricNetwork:
+    """Orgs 1..N, PDC1 = {org1, org2}, MAJORITY policy, one peer each."""
+    reset_ca_instance_counter()
+    reset_nonce_counter()
+    orgs = [Organization(f"Org{i}MSP") for i in range(1, org_count + 1)]
+    channel = ChannelConfig(channel_id="snapchan", organizations=orgs)
+    channel.deploy_chaincode(
+        CHAINCODE,
+        endorsement_policy="MAJORITY Endorsement",
+        collections=[
+            CollectionConfig(
+                name=COLLECTION,
+                policy="OR('Org1MSP.member', 'Org2MSP.member')",
+                required_peer_count=1,
+                max_peer_count=3,
+                block_to_live=btl,
+            )
+        ],
+    )
+    net = FabricNetwork(
+        channel=channel,
+        snapshot_every=snapshot_every,
+        prune=prune,
+        batch_size=batch_size,
+    )
+    for org in orgs:
+        net.add_peer(org.msp_id)
+    net.install_chaincode(CHAINCODE, PrivateAssetContract())
+    channel.deploy_chaincode("assetcc", endorsement_policy="MAJORITY Endorsement")
+    net.install_chaincode("assetcc", AssetContract())
+    return net
+
+
+def _endorsers(net: FabricNetwork):
+    return net.default_endorsers()
+
+
+def _commit_public(net: FabricNetwork, count: int, tag: str = "a", endorsers=None) -> None:
+    client = net.client("Org1MSP")
+    for i in range(count):
+        client.submit_transaction(
+            "assetcc", "create_asset", [f"{tag}{i:04d}", str(i)],
+            endorsing_peers=endorsers or _endorsers(net),
+        ).raise_for_status()
+
+
+def _commit_private(net: FabricNetwork, key: str, value: bytes) -> None:
+    net.client("Org1MSP").submit_transaction(
+        CHAINCODE, "set_private", [COLLECTION, key],
+        transient={"value": value},
+        endorsing_peers=[net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]],
+    ).raise_for_status()
+
+
+def _public_state(peer) -> dict:
+    return {
+        (ns, key): (entry.value, entry.version)
+        for ns in (CHAINCODE, "assetcc")
+        for key, entry in peer.ledger.world_state.items(ns)
+    }
+
+
+# ---------------------------------------------------------------------------
+# env toggles
+# ---------------------------------------------------------------------------
+class TestEnvResolution:
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_EVERY", "7")
+        monkeypatch.setenv("REPRO_PRUNE", "1")
+        assert resolve_snapshot_every(3) == 3
+        assert resolve_prune(False) is False
+
+    def test_env_var_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_EVERY", "12")
+        monkeypatch.setenv("REPRO_PRUNE", "yes")
+        assert resolve_snapshot_every() == 12
+        assert resolve_prune() is True
+
+    def test_defaults_keep_the_feature_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SNAPSHOT_EVERY", raising=False)
+        monkeypatch.delenv("REPRO_PRUNE", raising=False)
+        assert resolve_snapshot_every() == 0
+        assert resolve_prune() is False
+
+    def test_bad_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SNAPSHOT_EVERY", "often")
+        with pytest.raises(ConfigError):
+            resolve_snapshot_every()
+        with pytest.raises(ConfigError):
+            resolve_snapshot_every(-1)
+
+
+# ---------------------------------------------------------------------------
+# orderer delivery cursor + pruned backlog
+# ---------------------------------------------------------------------------
+class TestOrdererCursor:
+    def test_blocks_since_returns_exactly_the_missed_suffix(self):
+        net = _network()
+        _commit_public(net, 5)
+        orderer = net.orderer
+        assert orderer.delivered_count == 5
+        missed = orderer.blocks_since(3)
+        assert [b.header.number for b in missed] == [3, 4]
+        assert orderer.blocks_since(5) == []
+
+    def test_prune_moves_blocks_but_keeps_the_audit_surface(self):
+        net = _network()
+        _commit_public(net, 6)
+        orderer = net.orderer
+        full = [b.header.number for b in orderer.delivered_blocks]
+        assert orderer.prune_delivered(4) == 4
+        assert orderer.backlog_offset == 4
+        assert orderer.delivered_count == 6
+        # delivered_blocks still exposes the full archived+hot sequence.
+        assert [b.header.number for b in orderer.delivered_blocks] == full
+        assert orderer.block_at(1).header.number == 1
+        # Idempotent and monotone: pruning below the offset is a no-op.
+        assert orderer.prune_delivered(2) == 0
+
+    def test_cursor_below_the_offset_raises_pruned_backlog(self):
+        net = _network()
+        _commit_public(net, 6)
+        net.orderer.prune_delivered(4)
+        with pytest.raises(PrunedBacklogError) as err:
+            net.orderer.blocks_since(2)
+        assert err.value.height == 2
+        assert err.value.offset == 4
+        # At or past the offset the cursor still serves.
+        assert [b.header.number for b in net.orderer.blocks_since(4)] == [4, 5]
+
+
+# ---------------------------------------------------------------------------
+# blockchain pruning and archives
+# ---------------------------------------------------------------------------
+class TestBlockchainPruning:
+    def _chain(self, blocks: int = 6):
+        net = _network()
+        _commit_public(net, blocks)
+        return net, net.peers()[0].ledger.blockchain
+
+    def test_prune_archives_and_chain_still_verifies(self):
+        net, chain = self._chain()
+        tip_hash = chain.last_hash()
+        assert chain.prune_to(4) == 4
+        assert chain.genesis_offset == 4
+        assert chain.archive_base == 0
+        assert chain.full_history_available
+        assert chain.height == 6
+        assert chain.last_hash() == tip_hash
+        assert chain.verify_chain()
+        assert [b.block.header.number for b in chain.blocks()] == [4, 5]
+        assert [b.block.header.number for b in chain.all_blocks()] == list(range(6))
+
+    def test_pruned_block_access_raises_but_archive_serves_it(self):
+        net, chain = self._chain()
+        chain.prune_to(3)
+        with pytest.raises(LedgerError):
+            chain.block(1)
+        archived = list(chain.archived_blocks())
+        assert [b.block.header.number for b in archived] == [0, 1, 2]
+
+    def test_tx_lookup_survives_pruning(self):
+        net, chain = self._chain()
+        target = chain.block(1).block.transactions[0]
+        chain.prune_to(4)
+        assert chain.has_transaction(target.tx_id)
+        assert chain.locate_transaction(target.tx_id) == (1, 0)
+        found = chain.find_transaction(target.tx_id)
+        assert found is not None
+        assert found[0].tx_id == target.tx_id
+
+    def test_prune_survives_reopen(self, tmp_path):
+        reset_ca_instance_counter()
+        reset_nonce_counter()
+        org = Organization("Org1MSP")
+        channel = ChannelConfig(channel_id="snapchan", organizations=[org])
+        channel.deploy_chaincode("assetcc", endorsement_policy="OR('Org1MSP.member')")
+        net = FabricNetwork(
+            channel=channel, state_backend="wal", state_dir=str(tmp_path)
+        )
+        net.add_peer("Org1MSP")
+        net.install_chaincode("assetcc", AssetContract())
+        client = net.client("Org1MSP")
+        for i in range(5):
+            client.submit_transaction(
+                "assetcc", "create_asset", [f"w{i}", "1"],
+                endorsing_peers=[net.peers()[0]],
+            ).raise_for_status()
+        ledger = net.peers()[0].ledger
+        ledger.blockchain.prune_to(3)
+        ledger.crash()
+        ledger.reopen()
+        chain = ledger.blockchain
+        assert chain.genesis_offset == 3
+        assert chain.height == 5
+        assert chain.verify_chain()
+        assert [b.block.header.number for b in chain.all_blocks()] == list(range(5))
+
+    def test_bootstrap_base_refuses_a_non_empty_chain(self):
+        net, chain = self._chain(2)
+        from repro.storage import WriteBatch
+
+        with pytest.raises(LedgerError):
+            chain.bootstrap_base(5, b"\x00" * 32, WriteBatch())
+
+
+# ---------------------------------------------------------------------------
+# snapshot production, sealing, serving
+# ---------------------------------------------------------------------------
+class TestSnapshotLifecycle:
+    def test_peers_seal_at_the_cadence_under_majority(self):
+        net = _network(snapshot_every=4)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 7)
+        for peer in net.peers():
+            record = peer.latest_sealed_snapshot()
+            assert record is not None
+            assert record.manifest.height == 8
+            assert record.sealed
+            # All three orgs co-signed an identical manifest.
+            assert len(record.signatures) == 3
+        manifests = {p.latest_sealed_snapshot().manifest for p in net.peers()}
+        assert len(manifests) == 1
+
+    def test_snapshot_store_retains_only_the_latest(self):
+        net = _network(snapshot_every=2)
+        _commit_public(net, 2 * (RETAIN_SNAPSHOTS + 2))
+        records = net.peers()[0].snapshots.records()
+        assert len(records) == RETAIN_SNAPSHOTS
+        heights = [r.manifest.height for r in records]
+        assert heights == sorted(heights)
+        assert heights[-1] == 2 * (RETAIN_SNAPSHOTS + 2)
+
+    def test_member_package_carries_plaintext_nonmember_does_not(self):
+        net = _network(snapshot_every=4)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 3)
+        server = net.peers_of("Org1MSP")[0]
+        member_pkg = server.serve_snapshot("Org2MSP")
+        outsider_pkg = server.serve_snapshot("Org3MSP")
+        verify_package(member_pkg, net.channel)
+        verify_package(outsider_pkg, net.channel)
+        from repro.ledger.private_state import NS_PRIVATE, NS_PRIVATE_HASH
+
+        assert member_pkg.rows[NS_PRIVATE], "member package lost the plaintext"
+        assert outsider_pkg.rows[NS_PRIVATE] == []
+        # Both still carry the attested hash rows (shared namespace).
+        assert member_pkg.rows[NS_PRIVATE_HASH]
+        assert outsider_pkg.rows[NS_PRIVATE_HASH] == member_pkg.rows[NS_PRIVATE_HASH]
+
+    def test_tampered_package_fails_verification(self):
+        net = _network(snapshot_every=4)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 3)
+        package = net.peers_of("Org1MSP")[0].serve_snapshot("Org2MSP")
+        from repro.ledger.private_state import NS_PRIVATE
+
+        key, raw = package.rows[NS_PRIVATE][0]
+        forged = dict(package.rows)
+        forged[NS_PRIVATE] = [(key, raw[:16] + b"forged-plaintext")]
+        with pytest.raises(SnapshotError):
+            verify_package(
+                dataclasses.replace(package, rows=forged), net.channel
+            )
+
+    def test_unsealed_snapshot_is_never_served(self):
+        net = _network(snapshot_every=4)
+        _commit_public(net, 4)
+        peer = net.peers()[0]
+        record = peer.latest_sealed_snapshot()
+        assert record is not None
+        record.sealed = False
+        peer.snapshots.put(record)
+        assert peer.serve_snapshot("Org2MSP") is None
+
+    def test_bootstrap_refuses_a_non_empty_ledger(self):
+        net = _network(snapshot_every=4)
+        _commit_public(net, 4)
+        package = net.peers()[0].serve_snapshot("Org2MSP")
+        with pytest.raises(SnapshotError):
+            bootstrap_from_package(
+                net.peers_of("Org2MSP")[0].ledger, package, net.channel
+            )
+
+
+# ---------------------------------------------------------------------------
+# joining over bounded history
+# ---------------------------------------------------------------------------
+class TestJoinBootstrap:
+    def test_member_joiner_matches_source_state(self):
+        net = _network(snapshot_every=4, prune=True)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 6)
+        net.orderer.prune_delivered(4)
+        source = net.peers_of("Org2MSP")[0]
+
+        probe = net.join_peer("Org2MSP", name="probe0")
+        assert probe.ledger.height == net.orderer.delivered_count
+        assert probe.ledger.blockchain.genesis_offset > 0
+        assert not probe.ledger.blockchain.full_history_available
+        assert probe.ledger.blockchain.verify_chain()
+        assert _public_state(probe) == _public_state(source)
+        assert probe.query_private(CHAINCODE, COLLECTION, "p1") == b"secret-1"
+
+    def test_nonmember_joiner_gets_hashes_not_plaintext(self):
+        net = _network(snapshot_every=4, prune=True)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 6)
+        net.orderer.prune_delivered(4)
+
+        probe = net.join_peer("Org3MSP", name="probe0")
+        assert probe.ledger.height == net.orderer.delivered_count
+        assert probe.query_private(CHAINCODE, COLLECTION, "p1") is None
+        entry = probe.ledger.private_hashes.get_by_key(
+            CHAINCODE, COLLECTION, "p1"
+        )
+        assert entry is not None
+        assert entry.value_hash == hash_value(b"secret-1")
+
+    def test_sync_add_peer_replays_from_the_orderer_archive(self):
+        """Without a runtime the deliver service replays archived blocks,
+        so a full-history join still works over a pruned hot backlog —
+        only the O(missed) cursor (the runtime path) refuses it."""
+        net = _network(snapshot_every=4, prune=True)
+        _commit_public(net, 6)
+        net.orderer.prune_delivered(4)
+        late = net.add_peer("Org1MSP", name="latecomer0")
+        assert late.ledger.height == net.orderer.delivered_count
+        assert late.ledger.blockchain.full_history_available
+        # The snapshot-aware join serves the same backlog with bounded history.
+        probe = net.join_peer("Org1MSP", name="probe0")
+        assert probe.ledger.height == net.orderer.delivered_count
+        assert probe.ledger.blockchain.genesis_offset > 0
+
+    def test_join_falls_back_to_replay_without_a_sealed_snapshot(self):
+        net = _network(snapshot_every=50)  # cadence never reached
+        _commit_public(net, 4)
+        probe = net.join_peer("Org1MSP", name="probe0")
+        assert probe.ledger.height == 4
+        assert probe.ledger.blockchain.genesis_offset == 0
+        assert probe.ledger.blockchain.full_history_available
+
+
+# ---------------------------------------------------------------------------
+# BTL: pruning never resurrects purged plaintext
+# ---------------------------------------------------------------------------
+class TestBtlNoResurrection:
+    def test_expired_plaintext_stays_purged_through_bootstrap(self):
+        net = _network(snapshot_every=4, prune=True, btl=2)
+        _commit_private(net, "ephemeral", b"short-lived")
+        # Committed at block 1, btl=2 -> purged once block 4 commits.
+        _commit_public(net, 7)
+        source = net.peers_of("Org1MSP")[0]
+        assert source.query_private(CHAINCODE, COLLECTION, "ephemeral") is None
+        hash_entry = source.ledger.private_hashes.get_by_key(
+            CHAINCODE, COLLECTION, "ephemeral"
+        )
+        assert hash_entry is not None  # the hash outlives the purge
+
+        probe = net.join_peer("Org2MSP", name="probe0")
+        assert probe.ledger.height == net.orderer.delivered_count
+        assert probe.query_private(CHAINCODE, COLLECTION, "ephemeral") is None
+        probe_hash = probe.ledger.private_hashes.get_by_key(
+            CHAINCODE, COLLECTION, "ephemeral"
+        )
+        assert probe_hash is not None
+        assert probe_hash.value_hash == hash_entry.value_hash
+
+    def test_value_expiring_during_tail_replay_is_purged_on_the_joiner(self):
+        net = _network(snapshot_every=4, prune=False, btl=4)
+        _commit_public(net, 3)
+        _commit_private(net, "tail", b"expiring")  # block 3, expiry at 8
+        _commit_public(net, 6, tag="b")  # snapshot at 4 holds it; purge at 8
+        source = net.peers_of("Org1MSP")[0]
+        assert source.query_private(CHAINCODE, COLLECTION, "tail") is None
+
+        probe = net.join_peer("Org2MSP", name="probe0")
+        # The snapshot shipped the plaintext alive; tail replay must have
+        # re-run the expiry, not resurrected it.
+        assert probe.ledger.blockchain.genesis_offset > 0
+        assert probe.query_private(CHAINCODE, COLLECTION, "tail") is None
+
+
+# ---------------------------------------------------------------------------
+# the event runtime: join, crash, bounded-history restart
+# ---------------------------------------------------------------------------
+class TestRuntimeBoundedHistory:
+    def _runtime_net(self, **kwargs):
+        net = _network(batch_size=1, **kwargs)
+        runtime = net.attach_runtime(seed=11)
+        return net, runtime
+
+    def test_runtime_join_bootstraps_over_pruned_backlog(self):
+        net, runtime = self._runtime_net(snapshot_every=3, prune=True)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 6)
+        runtime.run()
+        # Every peer sealed at >= 6, so the runtime pruned the backlog.
+        assert net.orderer.backlog_offset > 0
+        probe = net.join_peer("Org2MSP", name="probe0")
+        runtime.run()
+        source = net.peers_of("Org2MSP")[0]
+        assert probe.ledger.height == source.ledger.height
+        assert probe.ledger.blockchain.genesis_offset > 0
+        assert _public_state(probe) == _public_state(source)
+        assert probe.query_private(CHAINCODE, COLLECTION, "p1") == b"secret-1"
+
+    def test_restart_over_pruned_backlog_bootstraps_from_snapshot(self):
+        net, runtime = self._runtime_net(snapshot_every=3, prune=True)
+        _commit_public(net, 3)
+        victim = net.peers_of("Org3MSP")[0]
+        runtime.crash_peer(victim.name)
+        survivors = [net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]]
+        client = net.client("Org1MSP")
+        pendings = [
+            client.submit_async(
+                "assetcc", "create_asset", [f"c{i:04d}", str(i)],
+                endorsing_peers=survivors,
+            )
+            for i in range(6)
+        ]
+        runtime.run()
+        # The conservative floor (min sealed over *all* registered peers)
+        # kept the backlog intact while the victim was down and unsealed.
+        assert net.orderer.backlog_offset <= victim.ledger.height
+        # An operator prunes past the victim's height anyway (e.g. the
+        # outage outlived the retention window): the defensive restart
+        # path must rebuild the peer from a snapshot, not fail.
+        reference = net.peers_of("Org1MSP")[0]
+        sealed = reference.latest_sealed_snapshot().manifest.height
+        assert sealed > victim.ledger.height
+        net.orderer.prune_delivered(sealed)
+        runtime.restart_peer(victim.name)
+        runtime.run()
+        # The survivors committed everything; the victim reached the same
+        # state via the snapshot rather than per-block commits, so the
+        # per-transaction trackers are not consulted here.
+        del pendings
+        assert victim.ledger.height == reference.ledger.height
+        assert victim.ledger.blockchain.genesis_offset > 0
+        assert not victim.ledger.blockchain.full_history_available
+        assert victim.ledger.blockchain.verify_chain()
+        assert _public_state(victim) == _public_state(reference)
+
+    def test_runtime_add_peer_refuses_a_pruned_backlog(self):
+        """The runtime's cursor-based registration cannot replay archived
+        blocks; a fresh full-replay join must raise, steering callers to
+        ``join_peer``."""
+        net, runtime = self._runtime_net(snapshot_every=3, prune=True)
+        _commit_public(net, 6)
+        runtime.run()
+        assert net.orderer.backlog_offset > 0
+        with pytest.raises(PrunedBacklogError):
+            net.add_peer("Org1MSP", name="latecomer0")
+
+    def test_conservative_floor_never_strands_a_live_peer(self):
+        """The backlog floor is min(sealed) over registered peers, so a
+        slow-but-live peer can always catch up via plain replay."""
+        net, runtime = self._runtime_net(snapshot_every=3, prune=True)
+        _commit_public(net, 4)
+        runtime.run()
+        laggard = net.peers()[2]
+        floor = min(
+            (p.latest_sealed_snapshot().manifest.height
+             if p.latest_sealed_snapshot() else 0)
+            for p in net.peers()
+        )
+        assert net.orderer.backlog_offset <= floor
+        # Replay from any live peer's height must not raise.
+        net.orderer.blocks_since(laggard.ledger.height)
+
+
+# ---------------------------------------------------------------------------
+# simulate CLI smoke
+# ---------------------------------------------------------------------------
+class TestSimulateFlags:
+    def test_snapshot_and_prune_flags_run_clean(self, capsys):
+        from repro.tools.simulate import main
+
+        assert main([
+            "--seeds", "2", "--ops", "40",
+            "--snapshot-every", "4", "--prune", "--no-shrink",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out

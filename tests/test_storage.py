@@ -9,6 +9,10 @@ test proving the durability invariant actually bites.
 
 from __future__ import annotations
 
+import pickle
+import shutil
+import zlib
+
 import pytest
 
 from repro.chaincode.contracts import AssetContract
@@ -32,7 +36,16 @@ from repro.storage import (
     open_backend,
     resolve_backend_kind,
 )
-from repro.storage.wal import _HEADER
+from repro.storage.codec import (
+    CodecError,
+    OPS_MAGIC,
+    TABLES_MAGIC,
+    pack_ops,
+    pack_tables,
+    unpack_ops,
+    unpack_tables,
+)
+from repro.storage.wal import _HEADER, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE
 
 
 # ---------------------------------------------------------------------------
@@ -190,6 +203,233 @@ class TestWalRecovery:
         backend.put("ns", "k", b"v")
         backend.crash()
         assert backend.reopen().get("ns", "k") == b"v"
+
+
+# ---------------------------------------------------------------------------
+# deterministic WAL codec
+# ---------------------------------------------------------------------------
+class TestWalCodec:
+    OPS = [
+        ("blocks", "0000000000000007", b"\x00" * 40),
+        ("private", "pdccc\x00PDC1\x00p1", b"secret"),
+        ("private", "pdccc\x00PDC1\x00p2", None),  # a delete
+        ("meta", "", b""),  # empty key and empty value both legal
+    ]
+
+    def test_ops_round_trip_deterministically(self):
+        raw = pack_ops(self.OPS)
+        assert raw.startswith(OPS_MAGIC)
+        assert unpack_ops(raw) == self.OPS
+        assert pack_ops(self.OPS) == raw  # same ops, same bytes
+
+    def test_tables_round_trip_and_insertion_order_independence(self):
+        tables = {"b": {"k2": b"2", "k1": b"1"}, "a": {"x": b""}}
+        reordered = {"a": {"x": b""}, "b": {"k1": b"1", "k2": b"2"}}
+        raw = pack_tables(tables)
+        assert raw.startswith(TABLES_MAGIC)
+        assert pack_tables(reordered) == raw  # canonical: sorted emission
+        assert unpack_tables(raw) == {"a": {"x": b""}, "b": {"k1": b"1", "k2": b"2"}}
+
+    def test_every_truncation_of_a_framed_payload_raises(self):
+        for raw, unpack in (
+            (pack_ops(self.OPS), unpack_ops),
+            (pack_tables({"ns": {"k": b"v" * 9}}), unpack_tables),
+        ):
+            for cut in range(len(raw)):
+                with pytest.raises(CodecError):
+                    unpack(raw[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            unpack_ops(pack_ops(self.OPS) + b"\x00")
+        # For tables the trailing crc32 no longer matches the body.
+        with pytest.raises(CodecError):
+            unpack_tables(pack_tables({"ns": {"k": b"v"}}) + b"\x00\x00\x00\x00")
+
+    def test_bit_flip_in_tables_fails_the_crc(self):
+        raw = bytearray(pack_tables({"ns": {"key": b"value"}}))
+        raw[len(TABLES_MAGIC) + 9] ^= 0x40
+        with pytest.raises(CodecError):
+            unpack_tables(bytes(raw))
+
+    def test_framed_payloads_never_start_like_pickle(self):
+        assert not pack_ops(self.OPS).startswith(b"\x80")
+        assert not pack_tables({"ns": {"k": b"v"}}).startswith(b"\x80")
+
+    def test_pickled_legacy_snapshot_and_records_still_readable(self, tmp_path):
+        """One-release read compat: a pre-framing directory opens cleanly."""
+        tables = {"ns": {"old": b"snapshot-row"}}
+        (tmp_path / SNAPSHOT_FILE).write_bytes(
+            pickle.dumps(tables, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        record = pickle.dumps(
+            [("ns", "logged", b"wal-row")], protocol=pickle.HIGHEST_PROTOCOL
+        )
+        (tmp_path / WAL_FILE).write_bytes(
+            _HEADER.pack(len(record), zlib.crc32(record)) + record
+        )
+        backend = WalBackend(tmp_path)
+        assert backend.get("ns", "old") == b"snapshot-row"
+        assert backend.get("ns", "logged") == b"wal-row"
+        assert backend.recovered_torn_bytes == 0
+        # The first write after the upgrade re-frames everything.
+        backend.put("ns", "new", b"framed")
+        backend.compact()
+        assert (tmp_path / SNAPSHOT_FILE).read_bytes().startswith(TABLES_MAGIC)
+        recovered = backend.reopen()
+        assert recovered.get("ns", "old") == b"snapshot-row"
+        assert recovered.get("ns", "new") == b"framed"
+
+
+# ---------------------------------------------------------------------------
+# crash-at-any-point durability
+# ---------------------------------------------------------------------------
+def _state_of(backend) -> dict[str, dict[str, bytes]]:
+    return {
+        ns: dict(backend.range(ns)) for ns in backend.namespaces()
+    }
+
+
+def _seed_backend(directory, commits: int = 6, compact_every: int = 10**9):
+    """A WAL backend with ``commits`` multi-op batches and known contents."""
+    backend = WalBackend(directory, compact_every=compact_every)
+    for i in range(commits):
+        batch = WriteBatch()
+        batch.put("ns", f"k{i:02d}", bytes([i]) * (i + 1))
+        batch.put("other", "rolling", str(i).encode())
+        if i >= 2:
+            batch.delete("ns", f"k{i - 2:02d}")
+        backend.commit(batch)
+    return backend
+
+
+class TestCrashAtEveryByte:
+    """Kill the engine at every byte boundary; recovery must be exact.
+
+    The model: a WAL directory is (snapshot, log); recovery applies the
+    snapshot then the longest prefix of complete, checksum-valid log
+    records.  These sweeps enumerate *every* possible torn-write length
+    for each crash window — mid-append, mid-compaction (before the
+    atomic rename), and between the rename and the log reset — and
+    assert the recovered state matches that model exactly, never a
+    half-applied batch and never an error on a recoverable file.
+    """
+
+    def _prefix_states(self, seed_dir, tmp_path):
+        """Expected table state after replaying the first N log records."""
+        states = []
+        replay = WalBackend(tmp_path / "model", compact_every=10**9)
+        states.append(_state_of(replay))
+        for _, _, payload in self._records((seed_dir / WAL_FILE).read_bytes()):
+            batch = WriteBatch()
+            for namespace, key, value in unpack_ops(payload):
+                if value is None:
+                    batch.delete(namespace, key)
+                else:
+                    batch.put(namespace, key, value)
+            replay.commit(batch)
+            states.append(_state_of(replay))
+        replay.close()
+        return states
+
+    @staticmethod
+    def _records(data: bytes):
+        """``(start, end, payload)`` for each complete record in a log."""
+        offset = 0
+        while offset + _HEADER.size <= len(data):
+            length, _crc = _HEADER.unpack(data[offset : offset + _HEADER.size])
+            end = offset + _HEADER.size + length
+            if end > len(data):
+                break
+            yield offset, end, data[offset + _HEADER.size : end]
+            offset = end
+
+    def test_torn_log_at_every_byte_recovers_record_prefix(self, tmp_path):
+        seed_dir = tmp_path / "seed"
+        _seed_backend(seed_dir).crash()
+        full_log = (seed_dir / WAL_FILE).read_bytes()
+        boundaries = [0] + [end for _, end, _ in self._records(full_log)]
+        states = self._prefix_states(seed_dir, tmp_path)
+        assert len(states) == len(boundaries)
+
+        for cut in range(len(full_log) + 1):
+            work = tmp_path / f"cut{cut}"
+            work.mkdir()
+            (work / WAL_FILE).write_bytes(full_log[:cut])
+            recovered = WalBackend(work)
+            # The longest complete-record prefix at or before the cut.
+            complete = max(b for b in boundaries if b <= cut)
+            expected = states[boundaries.index(complete)]
+            assert _state_of(recovered) == expected, f"cut at byte {cut}"
+            assert recovered.recovered_torn_bytes == cut - complete
+            assert (work / WAL_FILE).stat().st_size == complete
+            recovered.crash()
+
+    def test_crash_mid_compaction_at_every_byte(self, tmp_path):
+        """Death while writing ``snapshot.tmp``: the log still holds all."""
+        seed_dir = tmp_path / "seed"
+        backend = _seed_backend(seed_dir)
+        reference = _state_of(backend)
+        tmp_bytes = pack_tables(backend._tables.snapshot())
+        backend.crash()
+        log_bytes = (seed_dir / WAL_FILE).read_bytes()
+
+        for cut in range(len(tmp_bytes) + 1):
+            work = tmp_path / f"tmp{cut}"
+            work.mkdir()
+            (work / WAL_FILE).write_bytes(log_bytes)
+            (work / SNAPSHOT_TMP).write_bytes(tmp_bytes[:cut])
+            recovered = WalBackend(work)
+            assert _state_of(recovered) == reference, f"tmp cut at byte {cut}"
+            assert not (work / SNAPSHOT_TMP).exists()
+            recovered.crash()
+
+    def test_crash_between_rename_and_log_reset(self, tmp_path):
+        """The post-rename window: full snapshot *and* full log coexist.
+
+        Replaying the stale log over the fresh snapshot must be
+        idempotent — ops are absolute puts/deletes.
+        """
+        seed_dir = tmp_path / "seed"
+        backend = _seed_backend(seed_dir)
+        reference = _state_of(backend)
+        snapshot_bytes = pack_tables(backend._tables.snapshot())
+        backend.crash()
+
+        work = tmp_path / "window"
+        shutil.copytree(seed_dir, work)
+        (work / SNAPSHOT_FILE).write_bytes(snapshot_bytes)
+        recovered = WalBackend(work)
+        assert _state_of(recovered) == reference
+        # And the double-crash: recover, crash again, recover again.
+        recovered.crash()
+        assert _state_of(WalBackend(work)) == reference
+
+    def test_truncated_snapshot_always_detected_never_misread(self, tmp_path):
+        """A damaged ``snapshot.bin`` (no tmp, post-reset log) must raise.
+
+        Unlike the log — whose tail legitimately tears — the snapshot is
+        only ever installed by an atomic rename, so any truncation is
+        corruption and recovery must refuse rather than guess.
+        """
+        seed_dir = tmp_path / "seed"
+        backend = _seed_backend(seed_dir, compact_every=10**9)
+        backend.compact()
+        backend.crash()
+        snapshot_bytes = (seed_dir / SNAPSHOT_FILE).read_bytes()
+        reference_dir = tmp_path / "ref"
+        reference_dir.mkdir()
+        (reference_dir / SNAPSHOT_FILE).write_bytes(snapshot_bytes)
+        reference = _state_of(WalBackend(reference_dir))
+
+        for cut in range(len(snapshot_bytes)):
+            work = tmp_path / f"snap{cut}"
+            work.mkdir()
+            (work / SNAPSHOT_FILE).write_bytes(snapshot_bytes[:cut])
+            with pytest.raises(StorageError):
+                WalBackend(work)
+        # The untruncated snapshot still opens to the full state.
+        assert _state_of(WalBackend(reference_dir)) == reference
 
 
 # ---------------------------------------------------------------------------
