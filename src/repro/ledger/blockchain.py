@@ -57,13 +57,23 @@ class Blockchain:
             self._offset, self._anchor, self._archive_base = unpack_obj(raw)
         self._blocks: list[ValidatedBlock] = []
         self._tx_index: dict[str, tuple[int, int]] = {}
+        # The tx index must cover the archived prefix too: the validator's
+        # duplicate-tx-id check and reconciliation lookups consult it, and
+        # a reopen after prune_to() would otherwise accept replayed tx ids
+        # from pruned history.  Archived blocks are decoded once here for
+        # their ids and locations only — they are not kept in memory.
+        for _, raw in self._backend.range(NS_BLOCKS_ARCHIVE):
+            self._index_transactions(unpack_obj(raw))
         for _, raw in self._backend.range(NS_BLOCKS):
             self._cache(unpack_obj(raw))
 
-    def _cache(self, validated: ValidatedBlock) -> None:
+    def _index_transactions(self, validated: ValidatedBlock) -> None:
         block = validated.block
         for tx_num, tx in enumerate(block.transactions):
             self._tx_index.setdefault(tx.tx_id, (block.header.number, tx_num))
+
+    def _cache(self, validated: ValidatedBlock) -> None:
+        self._index_transactions(validated)
         self._blocks.append(validated)
 
     # -- pruned-prefix accounting --------------------------------------------

@@ -29,11 +29,26 @@ from repro.ledger.private_state import PrivateDataStore, PrivateHashStore
 from repro.ledger.transient_store import TransientStore
 from repro.ledger.world_state import WorldState
 from repro.storage import KVBackend, WriteBatch, compose_key, open_backend, read_through, split_key, write_op
-from repro.storage.codec import pack_obj, pack_u64_pair, unpack_obj, unpack_u64_pair
+from repro.storage.codec import (
+    PICKLE_MARKER,
+    U64_PAIR_SIZE,
+    CodecError,
+    Reader,
+    pack_private_writes,
+    pack_str,
+    pack_u64_pair,
+    unpack_obj,
+    unpack_private_writes,
+    unpack_u64_pair,
+)
 
 NS_MISSING = "missing"
 NS_PRIVATE_META = "private.meta"
 NS_PRIVATE_RWSETS = "private.rwsets"
+
+#: Deterministic framing magic for missing-data records (first byte 0x01
+#: can never open a pickle protocol >= 2 stream).
+MISSING_MAGIC = b"\x01RMD1"
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,43 @@ class MissingPrivateData:
     block_num: int
     namespace: str
     collection: str
+
+
+def pack_missing_record(missing: "MissingPrivateData") -> bytes:
+    """Frame a missing-data record with the deterministic struct codec.
+
+    Missing rows ride snapshot packages between peers, so (like the WAL
+    payloads) they must decode without ever reaching ``pickle``.
+    """
+    out = [MISSING_MAGIC]
+    pack_str(out, missing.tx_id)
+    out.append(pack_u64_pair(missing.block_num, 0))
+    pack_str(out, missing.namespace)
+    pack_str(out, missing.collection)
+    return b"".join(out)
+
+
+def unpack_missing_record(raw: bytes) -> MissingPrivateData:
+    """Strictly decode a framed missing-data record (no pickle fallback)."""
+    if not raw.startswith(MISSING_MAGIC):
+        raise CodecError("missing-data record lacks the deterministic-framing magic")
+    reader = Reader(raw, len(MISSING_MAGIC))
+    tx_id = reader.string()
+    block_num, _ = unpack_u64_pair(reader.take(U64_PAIR_SIZE))
+    namespace = reader.string()
+    collection = reader.string()
+    if not reader.done():
+        raise CodecError("trailing bytes after the framed missing-data record")
+    return MissingPrivateData(
+        tx_id=tx_id, block_num=block_num, namespace=namespace, collection=collection
+    )
+
+
+def decode_missing_record(raw: bytes) -> MissingPrivateData:
+    """Decode a peer-local missing row, accepting last release's pickle."""
+    if raw.startswith(PICKLE_MARKER):
+        return unpack_obj(raw)
+    return unpack_missing_record(raw)
 
 
 class PrivateRwsetArchive(MutableMapping):
@@ -58,6 +110,34 @@ class PrivateRwsetArchive(MutableMapping):
     def __init__(self, backend: KVBackend) -> None:
         self._backend = backend
 
+    @staticmethod
+    def encode(writes) -> bytes:
+        """Frame a :class:`~repro.chaincode.rwset.PrivateCollectionWrites`."""
+        return pack_private_writes(
+            writes.namespace,
+            writes.collection,
+            [(w.key, w.value, w.is_delete) for w in writes.writes],
+        )
+
+    @staticmethod
+    def decode(raw: bytes):
+        """Decode a peer-local archive row, accepting last release's pickle."""
+        # Imported here: repro.chaincode pulls in the stub, which imports
+        # this module — a top-level import would be circular.
+        from repro.chaincode.rwset import KVWrite, PrivateCollectionWrites
+
+        if raw.startswith(PICKLE_MARKER):
+            return unpack_obj(raw)
+        namespace, collection, writes = unpack_private_writes(raw)
+        return PrivateCollectionWrites(
+            namespace=namespace,
+            collection=collection,
+            writes=tuple(
+                KVWrite(key=key, value=value, is_delete=is_delete)
+                for key, value, is_delete in writes
+            ),
+        )
+
     def stage(
         self,
         tx_id: str,
@@ -71,14 +151,14 @@ class PrivateRwsetArchive(MutableMapping):
             batch,
             NS_PRIVATE_RWSETS,
             compose_key(tx_id, namespace, collection),
-            pack_obj(writes),
+            self.encode(writes),
         )
 
     def __getitem__(self, key: tuple[str, str, str]):
         raw = self._backend.get(NS_PRIVATE_RWSETS, compose_key(*key))
         if raw is None:
             raise KeyError(key)
-        return unpack_obj(raw)
+        return self.decode(raw)
 
     def __setitem__(self, key: tuple[str, str, str], writes) -> None:
         self.stage(*key, writes, None)
@@ -113,7 +193,7 @@ class PeerLedger:
         self.transient_store = TransientStore(backend=backend)
         self.committed_private_rwsets = PrivateRwsetArchive(backend)
         self.missing_private = [
-            unpack_obj(raw) for _, raw in backend.range(NS_MISSING)
+            decode_missing_record(raw) for _, raw in backend.range(NS_MISSING)
         ]
         # BlockToLive expiry index: expiry height -> private keys due then.
         self._expiry_buckets: dict[int, set[tuple[str, str, str]]] = {}
@@ -175,7 +255,7 @@ class PeerLedger:
             batch,
             NS_MISSING,
             compose_key(missing.tx_id, missing.namespace, missing.collection),
-            pack_obj(missing),
+            pack_missing_record(missing),
             on_commit=lambda: self.missing_private.append(missing),
         )
 

@@ -15,7 +15,12 @@ The manifest deliberately covers only state all peers share.  Private
 *plaintext* never enters the signed digest — a non-member could not
 verify it — but every plaintext row a bootstrapping peer receives must
 hash-match a row of the attested hash store, so the plaintext rides the
-transfer without riding the trust.
+transfer without riding the trust.  The remaining member-only rows are
+verified the same way rather than trusted: ``private.meta`` must be
+exactly re-derivable from the attested versions plus the channel's BTL
+configuration, and missing-data/rwset rows must decode under the strict
+deterministic framing and agree with their keys (``verify_package``).
+No byte of a received package is ever fed to ``pickle``.
 
 A snapshot *package* is what travels to a bootstrapping peer: the
 manifest, the signature set, and the raw backend rows of the state
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -43,11 +49,21 @@ from repro.ledger.ledger import (
     NS_PRIVATE_META,
     NS_PRIVATE_RWSETS,
     PeerLedger,
+    unpack_missing_record,
 )
 from repro.ledger.private_state import NS_PRIVATE, NS_PRIVATE_HASH
 from repro.ledger.world_state import NS_PUBLIC, NS_PUBLIC_META
 from repro.storage import WriteBatch, split_key
-from repro.storage.codec import pack_obj, unpack_obj, unpack_versioned
+from repro.storage.codec import (
+    U64_PAIR_SIZE,
+    CodecError,
+    pack_obj,
+    unpack_bytes_map,
+    unpack_obj,
+    unpack_private_writes,
+    unpack_u64_pair,
+    unpack_versioned,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.network.channel import ChannelConfig
@@ -156,7 +172,9 @@ def digest_rows(rows: dict) -> tuple[str, tuple]:
         value, version = unpack_versioned(raw)
         state.update(canonical_bytes(["public", key, value, version.to_wire()]))
     for key, raw in rows.get(NS_PUBLIC_META, ()):
-        metadata = unpack_obj(raw)
+        # Strict deterministic decode: these rows may come from another
+        # peer's package, so they must never reach pickle.
+        metadata = unpack_bytes_map(raw)
         state.update(canonical_bytes(
             ["meta", key, [[name, metadata[name]] for name in sorted(metadata)]]
         ))
@@ -266,7 +284,18 @@ def filter_package_for(
 
 # -- verification + bootstrap ------------------------------------------------
 def verify_package(package: SnapshotPackage, channel: "ChannelConfig") -> None:
-    """Reject a package whose attestation or payload cannot be trusted."""
+    """Reject a package whose attestation or payload cannot be trusted.
+
+    Shared namespaces are hash-checked against the signed manifest.  The
+    member-only namespaces cannot ride the manifest (non-members hold no
+    rows to attest, and missing-data records are inherently per-peer), so
+    they are verified against attested data instead: plaintext must
+    hash-match the attested hash store, ``private.meta`` must be exactly
+    re-derivable from the attested versions and the channel's BTL
+    configuration, and missing/rwset rows must decode under the strict
+    deterministic framing and agree with their composite keys.  No byte of
+    the package ever reaches ``pickle``.
+    """
     manifest = package.manifest
     signing = manifest.signing_bytes()
     certs = []
@@ -281,19 +310,28 @@ def verify_package(package: SnapshotPackage, channel: "ChannelConfig") -> None:
             f"snapshot at height {manifest.height}: signature set does not "
             f"satisfy {SNAPSHOT_POLICY!r}"
         )
-    state_hash, collection_digests = digest_rows(package.rows)
-    if state_hash != manifest.state_hash:
+    try:
+        state_hash, collection_digests = digest_rows(package.rows)
+        if state_hash != manifest.state_hash:
+            raise SnapshotError(
+                f"snapshot at height {manifest.height}: payload state hash "
+                f"{state_hash} != manifest {manifest.state_hash}"
+            )
+        # The served payload carries every shared hash row, so its collection
+        # digests must reproduce the manifest's exactly.
+        if collection_digests != manifest.collection_digests:
+            raise SnapshotError(
+                f"snapshot at height {manifest.height}: per-collection digests diverge"
+            )
+        _verify_private_rows(package)
+        _verify_private_meta_rows(package, channel)
+        _verify_ancillary_rows(package, channel)
+    except SnapshotError:
+        raise
+    except (CodecError, struct.error, ValueError) as exc:
         raise SnapshotError(
-            f"snapshot at height {manifest.height}: payload state hash "
-            f"{state_hash} != manifest {manifest.state_hash}"
-        )
-    # The served payload carries every shared hash row, so its collection
-    # digests must reproduce the manifest's exactly.
-    if collection_digests != manifest.collection_digests:
-        raise SnapshotError(
-            f"snapshot at height {manifest.height}: per-collection digests diverge"
-        )
-    _verify_private_rows(package)
+            f"snapshot at height {manifest.height}: malformed payload row: {exc}"
+        ) from None
 
 
 def _verify_private_rows(package: SnapshotPackage) -> None:
@@ -316,6 +354,131 @@ def _verify_private_rows(package: SnapshotPackage) -> None:
             raise SnapshotError(
                 f"plaintext {plain_key!r} in {namespace}/{collection} does "
                 f"not match its attested hash"
+            )
+
+
+def _verify_private_meta_rows(
+    package: SnapshotPackage, channel: "ChannelConfig"
+) -> None:
+    """``private.meta`` rows must be re-derivable from attested data.
+
+    A meta row records ``(commit block, BTL expiry)`` for a plaintext key
+    and drives the joiner's purge schedule, so a forged row could expire
+    shipped plaintext early or let it outlive its BlockToLive.  The
+    receiver pins every row to data it already verified: the expiry must
+    be exactly what the channel's collection config derives from the
+    commit block, the commit block must lie below the snapshot height,
+    and — whenever the package ships the key's plaintext — the commit
+    block must equal the attested version.  A row for a key without
+    shipped plaintext (a stale or deleted key) only schedules a no-op
+    purge, so the structural checks suffice there.  Conversely, every
+    shipped plaintext row must carry its meta row, or BTL purge could
+    never fire for it on the joiner.
+    """
+    manifest = package.manifest
+    btl_map = channel.block_to_live_map()
+    plaintext_versions = {}
+    for key, raw in package.rows.get(NS_PRIVATE, ()):
+        namespace, collection, plain_key = split_key(key)
+        _, version = unpack_versioned(raw)
+        plaintext_versions[(namespace, collection, plain_key)] = version
+    meta_blocks: dict[tuple, int] = {}
+    for key, raw in package.rows.get(NS_PRIVATE_META, ()):
+        parts = split_key(key)
+        if len(parts) != 3:
+            raise SnapshotError(f"malformed private.meta key {key!r}")
+        namespace, collection, plain_key = parts
+        if (namespace, collection) not in btl_map:
+            raise SnapshotError(
+                f"private.meta row for unknown collection {namespace}/{collection}"
+            )
+        if len(raw) != U64_PAIR_SIZE:
+            raise SnapshotError(f"private.meta value for {key!r} is not a u64 pair")
+        block_num, expiry = unpack_u64_pair(raw)
+        if block_num >= manifest.height:
+            raise SnapshotError(
+                f"private.meta commit height {block_num} for {key!r} is not "
+                f"below the snapshot height {manifest.height}"
+            )
+        btl = btl_map[(namespace, collection)]
+        expected = block_num + btl + 1 if btl else 0
+        if expiry != expected:
+            raise SnapshotError(
+                f"private.meta expiry for {key!r} is {expiry}, expected "
+                f"{expected} from commit height {block_num} under btl={btl}"
+            )
+        version = plaintext_versions.get((namespace, collection, plain_key))
+        if version is not None and version.block_num != block_num:
+            raise SnapshotError(
+                f"private.meta commit height {block_num} for {key!r} does not "
+                f"match the shipped plaintext version {version.block_num}"
+            )
+        meta_blocks[(namespace, collection, plain_key)] = block_num
+    for (namespace, collection, plain_key), version in plaintext_versions.items():
+        if (namespace, collection, plain_key) not in meta_blocks:
+            raise SnapshotError(
+                f"plaintext {plain_key!r} in {namespace}/{collection} has no "
+                f"private.meta row: its BTL expiry could never be scheduled"
+            )
+
+
+def _verify_ancillary_rows(
+    package: SnapshotPackage, channel: "ChannelConfig"
+) -> None:
+    """Missing-data and committed-rwset rows must be coherent, not trusted.
+
+    Neither namespace can be pinned to the manifest (missing records are
+    per-peer, rwset archives depend on which plaintext a member held), but
+    both decode under the strict deterministic framing, must agree with
+    their composite keys, and may only reference known collections.  A
+    fabricated rwset row is further bounded downstream: reconciling peers
+    re-verify every served rwset against the on-chain hashes before
+    applying it (:meth:`PrivateCollectionWrites.matches_hashes`).
+    """
+    manifest = package.manifest
+    known = set(channel.block_to_live_map())
+    rwset_keys = set()
+    for key, raw in package.rows.get(NS_PRIVATE_RWSETS, ()):
+        parts = split_key(key)
+        if len(parts) != 3:
+            raise SnapshotError(f"malformed private.rwsets key {key!r}")
+        tx_id, namespace, collection = parts
+        if (namespace, collection) not in known:
+            raise SnapshotError(
+                f"rwset row for unknown collection {namespace}/{collection}"
+            )
+        row_namespace, row_collection, _ = unpack_private_writes(raw)
+        if (row_namespace, row_collection) != (namespace, collection):
+            raise SnapshotError(
+                f"rwset row {key!r} disagrees with its framed payload "
+                f"({row_namespace}/{row_collection})"
+            )
+        rwset_keys.add((tx_id, namespace, collection))
+    for key, raw in package.rows.get(NS_MISSING, ()):
+        parts = split_key(key)
+        if len(parts) != 3:
+            raise SnapshotError(f"malformed missing-data key {key!r}")
+        tx_id, namespace, collection = parts
+        record = unpack_missing_record(raw)
+        if (record.tx_id, record.namespace, record.collection) != (
+            tx_id, namespace, collection,
+        ):
+            raise SnapshotError(
+                f"missing-data row {key!r} disagrees with its framed record"
+            )
+        if (namespace, collection) not in known:
+            raise SnapshotError(
+                f"missing-data row for unknown collection {namespace}/{collection}"
+            )
+        if record.block_num >= manifest.height:
+            raise SnapshotError(
+                f"missing-data row {key!r} claims block {record.block_num} at "
+                f"or above the snapshot height {manifest.height}"
+            )
+        if (tx_id, namespace, collection) in rwset_keys:
+            raise SnapshotError(
+                f"missing-data row {key!r} coexists with a committed rwset "
+                f"for the same transaction"
             )
 
 
@@ -379,9 +542,23 @@ class SnapshotStore:
         return sealed[-1] if sealed else None
 
     def retain_latest(self, keep: int = RETAIN_SNAPSHOTS) -> int:
-        """Drop all but the newest ``keep`` records; returns the count."""
-        keys = [key for key, _ in self._ledger.backend.range(NS_SNAPSHOTS)]
-        dropped = keys[:-keep] if keep else keys
+        """Drop all but the newest ``keep`` records; returns the count.
+
+        The newest *sealed* record is retained unconditionally: it is the
+        peer's serving/bootstrap source, and the chain may already be
+        pruned to its height — a seal that arrives late (via gossip) for
+        an older height must not be dropped in favour of newer records
+        that never reached quorum.
+        """
+        entries = [
+            (key, unpack_obj(raw))
+            for key, raw in self._ledger.backend.range(NS_SNAPSHOTS)
+        ]
+        kept = {key for key, _ in entries[-keep:]} if keep else set()
+        sealed = [key for key, record in entries if record.sealed]
+        if sealed:
+            kept.add(sealed[-1])
+        dropped = [key for key, _ in entries if key not in kept]
         if not dropped:
             return 0
         batch = WriteBatch()

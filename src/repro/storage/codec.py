@@ -33,10 +33,15 @@ _VERSION = struct.Struct("<QQ")
 _PAIR = struct.Struct("<QQ")
 _U32 = struct.Struct("<I")
 
-#: Magic prefixes for the deterministic WAL framings.  First byte 0x01 is
+#: Byte length of a packed ``(u64, u64)`` pair.
+U64_PAIR_SIZE = _PAIR.size
+
+#: Magic prefixes for the deterministic framings.  First byte 0x01 is
 #: not a valid start of any pickle protocol >= 2 stream (0x80).
 OPS_MAGIC = b"\x01ROP1"
 TABLES_MAGIC = b"\x01RTB1"
+BYTES_MAP_MAGIC = b"\x01RMM1"
+PRIVATE_WRITES_MAGIC = b"\x01RPW1"
 
 #: First byte of every pickle protocol >= 2 stream (the PROTO opcode) —
 #: how legacy pickle WAL payloads are recognized during the one-release
@@ -78,14 +83,18 @@ def unpack_obj(raw: bytes) -> Any:
     return pickle.loads(raw)
 
 
-# -- deterministic WAL framings ----------------------------------------------
-def _pack_str(out: list, text: str) -> None:
+# -- deterministic framings ---------------------------------------------------
+def pack_str(out: list, text: str) -> None:
+    """Append a length-prefixed UTF-8 string to an output chunk list."""
     encoded = text.encode("utf-8")
     out.append(_U32.pack(len(encoded)))
     out.append(encoded)
 
 
-class _Reader:
+_pack_str = pack_str
+
+
+class Reader:
     """Bounds-checked cursor over a byte payload."""
 
     def __init__(self, raw: bytes, offset: int = 0) -> None:
@@ -111,6 +120,92 @@ class _Reader:
 
     def done(self) -> bool:
         return self._offset == len(self._raw)
+
+
+_Reader = Reader
+
+
+def pack_bytes_map(data: dict[str, bytes]) -> bytes:
+    """Frame a ``{name: bytes}`` map deterministically (sorted names).
+
+    The framing behind world-state key metadata: the rows travel inside
+    snapshot packages and are digested on the receiving peer, so they
+    must decode without ever reaching ``pickle``.
+    """
+    out = [BYTES_MAP_MAGIC, _U32.pack(len(data))]
+    for name in sorted(data):
+        pack_str(out, name)
+        value = data[name]
+        out.append(_U32.pack(len(value)))
+        out.append(value)
+    return b"".join(out)
+
+
+def unpack_bytes_map(raw: bytes) -> dict[str, bytes]:
+    if not raw.startswith(BYTES_MAP_MAGIC):
+        raise CodecError("bytes map lacks the deterministic-framing magic")
+    reader = Reader(raw, len(BYTES_MAP_MAGIC))
+    data: dict[str, bytes] = {}
+    for _ in range(reader.u32()):
+        name = reader.string()
+        data[name] = reader.take(reader.u32())
+    if not reader.done():
+        raise CodecError("trailing bytes after the framed bytes map")
+    return data
+
+
+def pack_private_writes(
+    namespace: str,
+    collection: str,
+    writes: Iterable[tuple[str, Optional[bytes], bool]],
+) -> bytes:
+    """Frame one collection's plaintext writes ``[(key, value|None, is_delete)]``.
+
+    The value framing of the committed private-rwset archive.  Archive
+    rows ride snapshot packages between peers (they are what
+    reconciliation serves), so the framing is a pure struct codec — a
+    corrupt or adversarial row raises :class:`CodecError` instead of
+    reaching a deserializer that can execute code.
+    """
+    items = list(writes)
+    out = [PRIVATE_WRITES_MAGIC]
+    pack_str(out, namespace)
+    pack_str(out, collection)
+    out.append(_U32.pack(len(items)))
+    for key, value, is_delete in items:
+        pack_str(out, key)
+        if is_delete:
+            out.append(b"\x00")
+        else:
+            if value is None:
+                raise CodecError(f"non-delete private write {key!r} has no value")
+            out.append(b"\x01")
+            out.append(_U32.pack(len(value)))
+            out.append(value)
+    return b"".join(out)
+
+
+def unpack_private_writes(
+    raw: bytes,
+) -> tuple[str, str, list[tuple[str, Optional[bytes], bool]]]:
+    if not raw.startswith(PRIVATE_WRITES_MAGIC):
+        raise CodecError("private writes lack the deterministic-framing magic")
+    reader = Reader(raw, len(PRIVATE_WRITES_MAGIC))
+    namespace = reader.string()
+    collection = reader.string()
+    writes: list[tuple[str, Optional[bytes], bool]] = []
+    for _ in range(reader.u32()):
+        key = reader.string()
+        tag = reader.take(1)
+        if tag == b"\x00":
+            writes.append((key, None, True))
+        elif tag == b"\x01":
+            writes.append((key, reader.take(reader.u32()), False))
+        else:
+            raise CodecError(f"unknown private-write tag {tag!r}")
+    if not reader.done():
+        raise CodecError("trailing bytes after the framed private writes")
+    return namespace, collection, writes
 
 
 def pack_ops(ops: Iterable[tuple[str, str, Optional[bytes]]]) -> bytes:

@@ -251,6 +251,46 @@ class TestBlockchainPruning:
         with pytest.raises(LedgerError):
             chain.bootstrap_base(5, b"\x00" * 32, WriteBatch())
 
+    def test_archived_tx_ids_stay_duplicates_after_crash_and_reopen(self, tmp_path):
+        """The tx index must cover the archive across reopen: a replayed
+        tx id from pruned history is still rejected as a duplicate, and
+        reconciliation lookups still resolve it."""
+        reset_ca_instance_counter()
+        reset_nonce_counter()
+        org = Organization("Org1MSP")
+        channel = ChannelConfig(channel_id="snapchan", organizations=[org])
+        channel.deploy_chaincode("assetcc", endorsement_policy="OR('Org1MSP.member')")
+        net = FabricNetwork(
+            channel=channel, state_backend="wal", state_dir=str(tmp_path)
+        )
+        net.add_peer("Org1MSP")
+        net.install_chaincode("assetcc", AssetContract())
+        client = net.client("Org1MSP")
+        for i in range(5):
+            client.submit_transaction(
+                "assetcc", "create_asset", [f"w{i}", "1"],
+                endorsing_peers=[net.peers()[0]],
+            ).raise_for_status()
+        peer = net.peers()[0]
+        ledger = peer.ledger
+        replayed = ledger.blockchain.block(1).block.transactions[0]
+        ledger.blockchain.prune_to(3)
+        ledger.crash()
+        ledger.reopen()
+        chain = ledger.blockchain
+        assert chain.has_transaction(replayed.tx_id)
+        assert chain.locate_transaction(replayed.tx_id) == (1, 0)
+        found = chain.find_transaction(replayed.tx_id)
+        assert found is not None
+        assert found[0].tx_id == replayed.tx_id
+        # An envelope replayed from the pruned prefix must be flagged.
+        from repro.ledger.block import Block
+        from repro.protocol.transaction import ValidationCode
+
+        block = Block.create(chain.height, chain.last_hash(), (replayed,))
+        validated = peer.deliver_block(block)
+        assert validated.flags == [ValidationCode.DUPLICATE_TXID]
+
 
 # ---------------------------------------------------------------------------
 # snapshot production, sealing, serving
@@ -310,6 +350,97 @@ class TestSnapshotLifecycle:
             verify_package(
                 dataclasses.replace(package, rows=forged), net.channel
             )
+
+    def test_forged_private_meta_rows_fail_verification(self):
+        """BTL metadata is re-derived from attested data, never trusted."""
+        from repro.ledger.ledger import NS_PRIVATE_META
+        from repro.storage.codec import pack_u64_pair, unpack_u64_pair
+
+        net = _network(snapshot_every=4, btl=5)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 3)
+        package = net.peers_of("Org1MSP")[0].serve_snapshot("Org2MSP")
+        verify_package(package, net.channel)  # the honest package passes
+        [(key, raw)] = package.rows[NS_PRIVATE_META]
+        block_num, expiry = unpack_u64_pair(raw)
+
+        def forged_with(meta_rows):
+            forged = dict(package.rows)
+            forged[NS_PRIVATE_META] = meta_rows
+            return dataclasses.replace(package, rows=forged)
+
+        # An altered expiry height (the BTL-consistency attack).
+        with pytest.raises(SnapshotError):
+            verify_package(
+                forged_with([(key, pack_u64_pair(block_num, expiry + 3))]),
+                net.channel,
+            )
+        # A shifted commit height that keeps the expiry formula intact
+        # still contradicts the attested plaintext version.
+        with pytest.raises(SnapshotError):
+            verify_package(
+                forged_with([(key, pack_u64_pair(block_num + 1, expiry + 1))]),
+                net.channel,
+            )
+        # Dropping the row entirely would leave shipped plaintext immortal.
+        with pytest.raises(SnapshotError):
+            verify_package(forged_with([]), net.channel)
+
+    def test_pickled_rows_in_a_package_are_rejected_not_loaded(self):
+        """Package rows must decode under the deterministic framing; pickle
+        bytes from another peer raise instead of reaching a deserializer."""
+        import pickle
+
+        from repro.ledger.ledger import (
+            MissingPrivateData,
+            NS_MISSING,
+            NS_PRIVATE_RWSETS,
+        )
+        from repro.ledger.world_state import NS_PUBLIC_META
+        from repro.storage import compose_key
+
+        net = _network(snapshot_every=4)
+        _commit_private(net, "p1", b"secret-1")
+        _commit_public(net, 3)
+        package = net.peers_of("Org1MSP")[0].serve_snapshot("Org2MSP")
+        missing = MissingPrivateData("tx-x", 1, CHAINCODE, COLLECTION)
+        composite = compose_key("tx-x", CHAINCODE, COLLECTION)
+        cases = [
+            (NS_MISSING, composite, pickle.dumps(missing)),
+            (NS_PRIVATE_RWSETS, composite, pickle.dumps(("anything",))),
+            (NS_PUBLIC_META, compose_key("assetcc", "x"), pickle.dumps({"m": b"v"})),
+        ]
+        for namespace, key, raw in cases:
+            forged = dict(package.rows)
+            forged[namespace] = list(forged.get(namespace, ())) + [(key, raw)]
+            with pytest.raises(SnapshotError):
+                verify_package(
+                    dataclasses.replace(package, rows=forged), net.channel
+                )
+
+    def test_late_seal_survives_retention(self):
+        """A seal arriving after newer unsealed checkpoints exist must not
+        be dropped — it is the peer's only serving/bootstrap source."""
+        from repro.ledger.snapshot import SnapshotRecord
+
+        net = _network(snapshot_every=4)
+        _commit_public(net, 4)
+        peer = net.peers()[0]
+        sealed = peer.latest_sealed_snapshot()
+        assert sealed is not None
+        # Newer checkpoints that never reached quorum.
+        for bump in (1, 2, 3):
+            manifest = dataclasses.replace(
+                sealed.manifest, height=sealed.manifest.height + bump
+            )
+            peer.snapshots.put(
+                SnapshotRecord(manifest=manifest, rows=sealed.rows, sealed=False)
+            )
+        assert peer.snapshots.retain_latest() == 1
+        survivor = peer.snapshots.latest_sealed()
+        assert survivor is not None
+        assert survivor.manifest.height == sealed.manifest.height
+        assert peer.serve_snapshot("Org2MSP") is not None
 
     def test_unsealed_snapshot_is_never_served(self):
         net = _network(snapshot_every=4)

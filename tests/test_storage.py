@@ -37,12 +37,18 @@ from repro.storage import (
     resolve_backend_kind,
 )
 from repro.storage.codec import (
+    BYTES_MAP_MAGIC,
     CodecError,
     OPS_MAGIC,
+    PRIVATE_WRITES_MAGIC,
     TABLES_MAGIC,
+    pack_bytes_map,
     pack_ops,
+    pack_private_writes,
     pack_tables,
+    unpack_bytes_map,
     unpack_ops,
+    unpack_private_writes,
     unpack_tables,
 )
 from repro.storage.wal import _HEADER, SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE
@@ -279,6 +285,105 @@ class TestWalCodec:
         recovered = backend.reopen()
         assert recovered.get("ns", "old") == b"snapshot-row"
         assert recovered.get("ns", "new") == b"framed"
+
+
+class TestValueCodecs:
+    """The deterministic framings for cross-peer store *values*.
+
+    World-state metadata maps, missing-data records and committed private
+    rwsets all ride snapshot packages between peers, so (like the WAL
+    payloads) their values must decode without ever reaching ``pickle``.
+    """
+
+    WRITES = [("k1", b"v1", False), ("k2", None, True), ("", b"", False)]
+
+    def test_bytes_map_round_trip_is_canonical(self):
+        data = {"b": b"2", "a": b"", "": b"x"}
+        raw = pack_bytes_map(data)
+        assert raw.startswith(BYTES_MAP_MAGIC)
+        assert not raw.startswith(b"\x80")
+        assert unpack_bytes_map(raw) == data
+        assert pack_bytes_map({"a": b"", "": b"x", "b": b"2"}) == raw
+
+    def test_private_writes_round_trip(self):
+        raw = pack_private_writes("cc", "PDC1", self.WRITES)
+        assert raw.startswith(PRIVATE_WRITES_MAGIC)
+        assert unpack_private_writes(raw) == ("cc", "PDC1", self.WRITES)
+
+    def test_every_truncation_raises(self):
+        for raw, unpack in (
+            (pack_bytes_map({"name": b"value" * 3}), unpack_bytes_map),
+            (pack_private_writes("cc", "PDC1", self.WRITES), unpack_private_writes),
+        ):
+            for cut in range(len(raw)):
+                with pytest.raises(CodecError):
+                    unpack(raw[:cut])
+            with pytest.raises(CodecError):
+                unpack(raw + b"\x00")
+
+    def test_pickle_bytes_are_rejected_outright(self):
+        for unpack in (unpack_bytes_map, unpack_private_writes):
+            with pytest.raises(CodecError):
+                unpack(pickle.dumps({"a": b"b"}, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def test_missing_record_round_trip_and_strictness(self):
+        from repro.ledger.ledger import (
+            MissingPrivateData,
+            decode_missing_record,
+            pack_missing_record,
+            unpack_missing_record,
+        )
+
+        record = MissingPrivateData(
+            tx_id="tx-1", block_num=7, namespace="cc", collection="PDC1"
+        )
+        raw = pack_missing_record(record)
+        assert not raw.startswith(b"\x80")
+        assert unpack_missing_record(raw) == record
+        legacy = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(CodecError):
+            unpack_missing_record(legacy)  # cross-peer path: strict
+        assert decode_missing_record(legacy) == record  # peer-local fallback
+        for cut in range(len(raw)):
+            with pytest.raises(CodecError):
+                unpack_missing_record(raw[:cut])
+
+    def test_legacy_pickled_store_rows_still_decode_locally(self):
+        from repro.ledger.ledger import (
+            MissingPrivateData,
+            NS_MISSING,
+            NS_PRIVATE_RWSETS,
+        )
+        from repro.ledger.world_state import NS_PUBLIC_META
+        from repro.storage import compose_key
+
+        ledger = PeerLedger()
+        writes = PrivateCollectionWrites(
+            namespace="cc",
+            collection="PDC1",
+            writes=(KVWrite(key="k", value=b"v"),),
+        )
+        missing = MissingPrivateData("tx-9", 3, "cc", "PDC1")
+        ledger.backend.put(
+            NS_PUBLIC_META, compose_key("cc", "k"), pickle.dumps({"m": b"old"})
+        )
+        ledger.backend.put(
+            NS_PRIVATE_RWSETS,
+            compose_key("tx-9", "cc", "PDC1"),
+            pickle.dumps(writes),
+        )
+        ledger.backend.put(
+            NS_MISSING, compose_key("tx-9", "cc", "PDC1"), pickle.dumps(missing)
+        )
+        assert ledger.world_state.get_metadata("cc", "k", "m") == b"old"
+        assert ledger.committed_private_rwsets[("tx-9", "cc", "PDC1")] == writes
+        ledger.rebuild()
+        assert ledger.missing_private == [missing]
+        # A rewrite upgrades the row to the deterministic framing.
+        ledger.world_state.set_metadata("cc", "k", "m2", b"new")
+        upgraded = ledger.backend.get(NS_PUBLIC_META, compose_key("cc", "k"))
+        assert upgraded.startswith(BYTES_MAP_MAGIC)
+        assert ledger.world_state.get_metadata("cc", "k", "m") == b"old"
 
 
 # ---------------------------------------------------------------------------
