@@ -360,20 +360,21 @@ class Gateway:
 
         Version conflicts are the *expected* outcome of concurrent
         read-modify-writes (Section II-B3); the standard client remedy is
-        to re-simulate against fresh state and resubmit.  Other failure
-        codes are not retried — they indicate policy or integrity
-        problems, not contention.
+        to re-simulate against fresh state and resubmit.  An orderer
+        early abort (``REPRO_REORDER=1``) is the same verdict delivered
+        sooner, so it is retried the same way.  Other failure codes are
+        not retried — they indicate policy or integrity problems, not
+        contention.
         """
+        from repro.workload.retry import RETRIABLE_STATUSES
+
         last: SubmitResult | None = None
         for _attempt in range(max_attempts):
             last = self.submit_transaction(
                 chaincode_id, function, args, transient=transient,
                 endorsing_peers=endorsing_peers,
             )
-            if last.status not in (
-                ValidationCode.MVCC_READ_CONFLICT,
-                ValidationCode.PHANTOM_READ_CONFLICT,
-            ):
+            if last.status not in RETRIABLE_STATUSES:
                 return last
         assert last is not None
         return last

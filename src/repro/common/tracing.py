@@ -29,6 +29,8 @@ _COUNTER_FIELDS = (
     "endorse_simulations", "endorse_signatures", "endorse_cache_hits",
     "proposals_sent", "plan_escalations", "plan_timeouts",
     "plan_failures", "executor_tasks", "executor_remote_tasks",
+    "reorder_batches", "reorder_displaced", "reorder_max_distance",
+    "early_aborts",
 )
 
 
@@ -68,6 +70,10 @@ class PerfCounters:
     plan_failures: int = 0         # plans that exhausted every endorser
     executor_tasks: int = 0        # tasks run through an execution backend
     executor_remote_tasks: int = 0  # of those, dispatched to a worker process
+    reorder_batches: int = 0       # batches through the conflict-aware pipeline
+    reorder_displaced: int = 0     # emitted txs not at their arrival position
+    reorder_max_distance: int = 0  # largest |emitted - arrival| displacement
+    early_aborts: int = 0          # doomed txs dropped before block inclusion
     phase_seconds: dict = field(default_factory=dict)  # phase -> seconds
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -138,6 +144,10 @@ class PerfCounters:
             f"{prefix}plan_failures": self.plan_failures,
             f"{prefix}executor_tasks": self.executor_tasks,
             f"{prefix}executor_remote_tasks": self.executor_remote_tasks,
+            f"{prefix}reorder_batches": self.reorder_batches,
+            f"{prefix}reorder_displaced": self.reorder_displaced,
+            f"{prefix}reorder_max_distance": self.reorder_max_distance,
+            f"{prefix}early_aborts": self.early_aborts,
         }
         for phase, seconds in sorted(self.phase_seconds.items()):
             snapshot[f"{prefix}{phase}_ms"] = round(seconds * 1000, 3)
@@ -222,19 +232,45 @@ class Tracer:
         ledger: ``committed + aborted`` equals the chain's transaction
         count, matching ``valid_tx_count`` / ``invalid_tx_count`` at any
         peer.
+
+        MVCC/phantom aborts are additionally split by conflict *scope*
+        (recorded by the traced delivery handler): ``mvcc_within_block``
+        conflicts lose to an earlier write in the same block — the
+        population intra-block reordering can rescue — while
+        ``mvcc_cross_block`` conflicts were stale before the block was
+        cut, which only orderer-side early abort addresses.
+        ``early_aborted`` counts transactions the conflict-aware orderer
+        dropped before block inclusion (never committed, so disjoint from
+        the flag buckets).
         """
+        mvcc_flags = ("MVCC_READ_CONFLICT", "PHANTOM_READ_CONFLICT")
         flags: dict = {}
+        scopes: dict = {}
         rejected: set = set()
+        early: set = set()
         for event in self.events:
             if event.action == "validate+commit" and event.tx_id:
                 flags[event.tx_id] = event.detail.get("flag", "")
+                if "scope" in event.detail:
+                    scopes[event.tx_id] = event.detail["scope"]
             elif event.action == "mempool-reject" and event.tx_id:
                 rejected.add(event.tx_id)
+            elif event.action == "early-abort" and event.tx_id:
+                early.add(event.tx_id)
         counts = Counter(flags.values())
         return {
             "committed": counts.get("VALID", 0),
             "aborted": sum(n for flag, n in counts.items() if flag != "VALID"),
             "by_flag": dict(counts),
+            "mvcc_within_block": sum(
+                1 for tx_id, flag in flags.items()
+                if flag in mvcc_flags and scopes.get(tx_id) == "within-block"
+            ),
+            "mvcc_cross_block": sum(
+                1 for tx_id, flag in flags.items()
+                if flag in mvcc_flags and scopes.get(tx_id) == "cross-block"
+            ),
+            "early_aborted": len(early),
             "mempool_rejected": len(rejected),
         }
 

@@ -25,6 +25,7 @@ from repro.ledger.snapshot import (
     resolve_snapshot_every,
 )
 from repro.network.channel import ChannelConfig
+from repro.orderer.reorder import ReorderPipeline, conflict_scopes, resolve_reorder
 from repro.orderer.service import OrderingService
 from repro.peer.endorser import EndorsementOutput
 from repro.peer.node import PeerNode
@@ -53,6 +54,7 @@ class FabricNetwork:
         state_dir: str | None = None,
         snapshot_every: int | None = None,
         prune: bool | None = None,
+        reorder: bool | None = None,
     ) -> None:
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
@@ -69,13 +71,30 @@ class FabricNetwork:
         self.prune_enabled = resolve_prune(prune)
         self.gossip = GossipNetwork(channel)
         self.reconciler = Reconciler(self.gossip)
+        # Conflict-aware ordering (resolved from REPRO_REORDER when not
+        # given): the orderer reorders each cut batch along its conflict
+        # graph and early-aborts provably doomed transactions.
+        self.reorder_enabled = resolve_reorder(reorder)
         self.orderer = OrderingService(
-            cluster_size=orderer_cluster_size, batch_size=batch_size
+            cluster_size=orderer_cluster_size,
+            batch_size=batch_size,
+            reorderer=(
+                ReorderPipeline(channel, self.features)
+                if self.reorder_enabled
+                else None
+            ),
         )
         self._peers: dict[str, PeerNode] = {}
         self._peer_delivery: dict[str, Callable[["Block"], object]] = {}
         self._disseminate = disseminate_on_endorsement
         self.tracer = tracer
+        if self.reorder_enabled and tracer is not None:
+            self.orderer.on_early_abort(
+                lambda envelope, reason, conflict_block: tracer.record(
+                    "orderer", "early-abort", envelope.tx_id,
+                    reason=reason, conflict_block=conflict_block,
+                )
+            )
         self.runtime: "TransactionRuntime | None" = None
 
     # -- topology ------------------------------------------------------------
@@ -163,10 +182,12 @@ class FabricNetwork:
                 "orderer", "deliver-block", block=block.header.number, to=_peer.name
             )
             validated = _peer.deliver_block(block)
+            scopes = conflict_scopes(block.transactions, validated.flags)
             for tx, flag in zip(block.transactions, validated.flags):
-                self.tracer.record(
-                    _peer.name, "validate+commit", tx.tx_id, flag=flag.value
-                )
+                detail = {"flag": flag.value}
+                if tx.tx_id in scopes:
+                    detail["scope"] = scopes[tx.tx_id]
+                self.tracer.record(_peer.name, "validate+commit", tx.tx_id, **detail)
             return validated
 
         return traced_delivery
@@ -331,6 +352,15 @@ class FabricNetwork:
             return self.runtime.run_until_committed(pending)
         self.orderer.submit(envelope)
         self.orderer.flush()
+        if self.orderer.early_abort_info(envelope.tx_id) is not None:
+            # Early-aborted envelopes never reach a block, so no peer has
+            # a status for them — the orderer's verdict is the outcome.
+            return SubmitResult(
+                tx_id=envelope.tx_id,
+                status=ValidationCode.ORDERER_EARLY_ABORT,
+                payload=client_payload,
+                envelope=envelope,
+            )
         status = self.status_of(envelope.tx_id)
         return SubmitResult(
             tx_id=envelope.tx_id,

@@ -48,10 +48,16 @@ class BlockCutter:
         return []
 
     def flush(self) -> list[tuple[TransactionEnvelope, ...]]:
-        """Force-cut whatever is pending (used at end of a test scenario)."""
-        if not self._pending:
-            return []
-        return [self._cut()]
+        """Force-cut whatever is pending, draining in ``batch_size`` batches.
+
+        A backlog larger than ``batch_size`` (possible when callers submit
+        in bulk before flushing) must never produce an oversized block —
+        the size limit is a block invariant, not a steady-state heuristic.
+        """
+        batches: list[tuple[TransactionEnvelope, ...]] = []
+        while self._pending:
+            batches.append(self._cut(self.batch_size))
+        return batches
 
     def _cut(self, count: int | None = None) -> tuple[TransactionEnvelope, ...]:
         if count is None or count >= len(self._pending):

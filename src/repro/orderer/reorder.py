@@ -1,0 +1,736 @@
+"""Conflict-aware ordering: intra-block reordering and early abort.
+
+Under hot-key contention most ordered transactions die at MVCC
+validation: they were endorsed against a state version that another
+transaction — earlier in the same block or in an already-cut block —
+has since overwritten.  Unlike real Fabric, this reproduction's
+:class:`~repro.protocol.transaction.TransactionEnvelope` carries its
+read/write sets in the clear (``payload.results``), so the ordering
+service can see the conflicts *before* sealing a block, exactly the
+opening Fabric++ (Sharma et al., SIGMOD'19) exploits:
+
+1. **Reorder within the batch.**  Build the conflict graph over the
+   batch — a ``reads-before-writes`` edge for every reader of a key
+   another transaction writes (so the reader keeps its snapshot), and an
+   arrival-order ``write-write`` edge between writers of the same key
+   (so last-writer-wins is preserved) — break cycles with a greedy
+   feedback-vertex heuristic, and emit a topological order that lets the
+   maximum number of transactions survive intra-block MVCC.
+2. **Early-abort the provably doomed.**  A transaction whose read
+   versions are already stale against the orderer's delivered-write
+   shadow — or that loses a read-modify-write race no order can resolve
+   — would be flagged ``MVCC_READ_CONFLICT``/``PHANTOM_READ_CONFLICT``
+   by every peer in *any* block position.  The pipeline drops it from
+   the batch and surfaces :data:`~repro.protocol.transaction.\
+ValidationCode.ORDERER_EARLY_ABORT` to the client, which re-endorses
+   through the normal retry path without the transaction ever occupying
+   block space or validation work.
+
+Soundness is the hard part, and it is enforced two ways.  First, the
+pipeline only aborts a transaction that its *shadow oracle* predicts
+doomed both in the emitted order **and** in the original arrival order
+(arrival-order doom is what makes the abort indistinguishable from the
+post-commit abort the un-reordered system would have produced; a
+transaction that some order could save is never aborted, it is merely
+ordered or left on-chain as invalid).  Second, the ``reorder-soundness``
+simulation invariant (:mod:`repro.simulation.invariants`) re-validates
+every aborted transaction with the independent ``ReferenceValidator``
+in arrival order and fails the run on any false abort, and checks every
+emitted block is a permutation of its non-aborted input.
+
+The shadow oracle mirrors the full validator pipeline — duplicate tx-id,
+channel/chaincode, creator certificate + signature, response status,
+endorsement-policy selection (including committed key-level
+``VALIDATION_PARAMETER`` policies, tracked from the shadow's own
+metadata view) and the MVCC/phantom version rules — because a
+structurally invalid transaction must never advance the shadow state.
+All predictions are pure functions of the envelope bytes and the shadow,
+so the pipeline is deterministic: the cycle-break tie uses a seeded
+hash of the tx id (never Python's randomized ``hash``), which keeps
+serial and process-pool executions byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.tracing import PERF
+from repro.ledger.version import Version
+from repro.protocol.transaction import TransactionEnvelope, ValidationCode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.defense.features import FrameworkFeatures
+    from repro.network.channel import ChannelConfig
+
+#: Environment toggle: ``REPRO_REORDER=1`` enables the pipeline.
+ENV_REORDER = "REPRO_REORDER"
+
+#: The two flags a conflict-aware orderer may predict-and-abort on.
+_CONFLICT_FLAGS = (
+    ValidationCode.MVCC_READ_CONFLICT,
+    ValidationCode.PHANTOM_READ_CONFLICT,
+)
+
+#: ``scope`` classification of a committed MVCC/phantom abort.
+SCOPE_WITHIN_BLOCK = "within-block"
+SCOPE_CROSS_BLOCK = "cross-block"
+
+
+def resolve_reorder(enabled: Optional[bool] = None) -> bool:
+    """Reorder toggle: explicit argument > ``REPRO_REORDER`` > off."""
+    if enabled is None:
+        raw = os.environ.get(ENV_REORDER, "").strip()
+        enabled = raw not in ("", "0", "false", "no")
+    return bool(enabled)
+
+
+# ---------------------------------------------------------------------------
+# Read/write profiles
+# ---------------------------------------------------------------------------
+
+class _TxProfile:
+    """One envelope's conflict surface, extracted once per batch."""
+
+    __slots__ = (
+        "tx", "index", "reads", "writes", "hashed_reads", "hashed_writes",
+        "ranges",
+    )
+
+    def __init__(self, tx: TransactionEnvelope, index: int) -> None:
+        self.tx = tx
+        self.index = index  # arrival position within the batch
+        self.reads: list = []          # ((ns, key), Version | None)
+        self.writes: set = set()       # (ns, key)
+        self.hashed_reads: list = []   # ((ns, col, key_hash), Version | None)
+        self.hashed_writes: set = set()  # (ns, col, key_hash)
+        self.ranges: list = []         # (ns, start, end, ((key, version), ...))
+        for ns in tx.payload.results.namespaces:
+            for read in ns.reads:
+                self.reads.append(((ns.namespace, read.key), read.version))
+            for write in ns.writes:
+                self.writes.add((ns.namespace, write.key))
+            for query in ns.range_queries:
+                self.ranges.append((
+                    ns.namespace, query.start_key, query.end_key,
+                    tuple((r.key, r.version) for r in query.reads),
+                ))
+            for col in ns.collections:
+                for hashed in col.hashed_reads:
+                    self.hashed_reads.append((
+                        (ns.namespace, col.collection, hashed.key_hash),
+                        hashed.version,
+                    ))
+                for hashed in col.hashed_writes:
+                    self.hashed_writes.add(
+                        (ns.namespace, col.collection, hashed.key_hash)
+                    )
+
+    def reads_key_of(self, other: "_TxProfile") -> bool:
+        """Does this transaction read (or range-cover) a key ``other`` writes?"""
+        for key, _version in self.reads:
+            if key in other.writes:
+                return True
+        for key, _version in self.hashed_reads:
+            if key in other.hashed_writes:
+                return True
+        for ns, start, end, _recorded in self.ranges:
+            for write_ns, key in other.writes:
+                if write_ns != ns:
+                    continue
+                if key >= start and (not end or key < end):
+                    return True
+        return False
+
+    def writes_overlap(self, other: "_TxProfile") -> bool:
+        return bool(
+            self.writes & other.writes
+            or self.hashed_writes & other.hashed_writes
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """What the pipeline did to one cut batch (the invariant's audit trail).
+
+    ``aborted`` holds ``(envelope, reason, conflict_block)`` triples;
+    ``block_number`` is the number the emitted block received, or ``None``
+    when every transaction of the batch was aborted (no block exists).
+    """
+
+    arrival: tuple
+    emitted: tuple
+    aborted: tuple
+    block_number: Optional[int]
+
+
+def _tiebreak(tx_id: str) -> str:
+    """Seeded, process-independent tie-break token for cycle breaking."""
+    return hashlib.sha256(f"reorder-fvs:{tx_id}".encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+class ReorderPipeline:
+    """Conflict-aware batch transformer attached to one ordering service.
+
+    Stateful: the *shadow* tracks the committed world exactly as the
+    peers will see it — every predicted-VALID write of every emitted
+    block advances ``(ns, key) -> (Version, writing block)`` maps (a
+    deleted key keeps a tombstone so a later conflict can still be
+    attributed to the deleting block), plus the committed key-level
+    metadata the endorsement-policy rules consult and the set of
+    committed tx ids for duplicate detection.  Because the orderer is a
+    single total order over batches, the shadow at batch *N* equals the
+    committed state at height *N* — which is what makes the early-abort
+    prediction exact rather than heuristic.
+    """
+
+    def __init__(self, channel: "ChannelConfig", features: "FrameworkFeatures") -> None:
+        self._channel = channel
+        self._features = features
+        self._evaluator = channel.evaluator()
+        # (ns, key) -> (Version | None, block_num): None = deleted (tombstone).
+        self._public: dict = {}
+        # (ns, col, key_hash) -> (Version | None, block_num).
+        self._private: dict = {}
+        # (ns, key) -> {metadata name: bytes} — for key-level policies.
+        self._meta: dict = {}
+        self._seen_tx: set = set()
+        #: Audit trail consumed by the ``reorder-soundness`` invariant.
+        self.records: list[BatchRecord] = []
+        # Lifetime totals (mirrored into the process-wide PERF counters).
+        self.batches = 0
+        self.displaced = 0
+        self.max_distance = 0
+        self.early_aborts = 0
+
+    # -- the per-batch entry point -----------------------------------------
+    def process_batch(
+        self, batch: tuple, next_block_number: int
+    ) -> tuple[tuple, list]:
+        """Reorder one cut batch; returns ``(emitted, aborted)``.
+
+        ``emitted`` is the (possibly empty) transaction sequence to seal
+        into block ``next_block_number``; ``aborted`` lists
+        ``(envelope, reason, conflict_block)`` for every transaction
+        dropped as provably doomed — ``conflict_block`` names the block
+        whose write kills it (the emitted block itself for an in-batch
+        race), so callers can resolve the abort with post-commit timing.
+        """
+        started = time.perf_counter()
+        try:
+            return self._process(batch, next_block_number)
+        finally:
+            PERF.add_phase_time("reorder", time.perf_counter() - started)
+
+    def _process(self, batch: tuple, next_block_number: int) -> tuple[tuple, list]:
+        profiles = [_TxProfile(tx, i) for i, tx in enumerate(batch)]
+
+        # Candidates are transactions that pass every structural check
+        # (anything else commits with its structural flag, in arrival
+        # order, and must not influence the conflict graph).  A tx id
+        # duplicated inside the batch is structural too: which occurrence
+        # survives is an ordering artifact, so neither is reordered.
+        in_batch_counts: dict = {}
+        for profile in profiles:
+            in_batch_counts[profile.tx.tx_id] = (
+                in_batch_counts.get(profile.tx.tx_id, 0) + 1
+            )
+        candidates = [
+            p for p in profiles
+            if in_batch_counts[p.tx.tx_id] == 1
+            and self._structural_flag(p.tx) is None
+        ]
+        candidate_ids = {p.tx.tx_id for p in candidates}
+        tail = [p for p in profiles if p.tx.tx_id not in candidate_ids]
+
+        # Doom in *arrival* order: the flags the un-reordered block would
+        # have carried.  Only arrival-doomed transactions are abortable —
+        # aborting anything else would change an outcome some client
+        # legitimately observed as VALID.
+        arrival_flags = self._predict_sequence([p.tx for p in profiles])
+        arrival_doomed = {
+            profiles[i].tx.tx_id
+            for i, flag in enumerate(arrival_flags)
+            if flag in _CONFLICT_FLAGS
+        }
+
+        ordered = self._topological_order(candidates)
+        trial = [p.tx for p in ordered] + [p.tx for p in tail]
+
+        # Doom in the *emitted* order; doomed-in-both get aborted.  An
+        # invalid transaction contributes no block writes, so removing
+        # the aborted ones cannot change any survivor's flag.
+        trial_flags = self._predict_sequence(trial)
+        aborted: list = []
+        emitted: list = []
+        for tx, flag in zip(trial, trial_flags):
+            if (
+                flag in _CONFLICT_FLAGS
+                and tx.tx_id in arrival_doomed
+                and tx.tx_id in candidate_ids
+            ):
+                aborted.append((
+                    tx,
+                    flag.value.lower().replace("_", "-"),
+                    self._conflict_block(tx, trial, trial_flags, next_block_number),
+                ))
+            else:
+                emitted.append(tx)
+
+        block_number = next_block_number if emitted else None
+        # The definitive prediction runs on the final sequence so shadow
+        # versions carry the true (block, position) heights, then applies.
+        final_flags = self._predict_sequence(emitted)
+        if block_number is not None:
+            self._apply_sequence(emitted, final_flags, block_number)
+
+        self._account(batch, emitted, aborted)
+        self.records.append(BatchRecord(
+            arrival=tuple(batch),
+            emitted=tuple(emitted),
+            aborted=tuple(aborted),
+            block_number=block_number,
+        ))
+        return tuple(emitted), aborted
+
+    # -- conflict graph + deterministic order ------------------------------
+    def _topological_order(self, candidates: list) -> list:
+        """Order candidates so readers precede writers of their keys.
+
+        Edges: ``i -> j`` when *i* must commit before *j* — a reader
+        before any writer of a key it read (rw), and the arrival-earlier
+        writer before the arrival-later one for a shared written key (ww,
+        which keeps last-writer-wins deterministic).  Cycles (mutual
+        read-modify-writes) are broken by greedily removing the node with
+        the most intra-cycle edges — ties going to the latest arrival,
+        then to a seeded hash of the tx id — which keeps the arrival-first
+        member of a symmetric RMW clique, exactly the transaction the
+        un-reordered block would have validated.  Removed nodes re-enter
+        the emitted sequence *after* every survivor, in arrival order.
+        """
+        nodes = list(candidates)
+        edges: dict = {p.tx.tx_id: set() for p in nodes}
+        for reader in nodes:
+            for writer in nodes:
+                if reader is writer:
+                    continue
+                if reader.reads_key_of(writer):
+                    edges[reader.tx.tx_id].add(writer.tx.tx_id)
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1:]:
+                if first.writes_overlap(second):
+                    edges[first.tx.tx_id].add(second.tx.tx_id)
+
+        by_id = {p.tx.tx_id: p for p in nodes}
+        losers: list = []
+        while True:
+            cyclic = self._cyclic_nodes(edges)
+            if not cyclic:
+                break
+            victim = max(
+                cyclic,
+                key=lambda tx_id: (
+                    sum(1 for t in edges[tx_id] if t in cyclic)
+                    + sum(1 for t in cyclic if tx_id in edges[t]),
+                    by_id[tx_id].index,
+                    _tiebreak(tx_id),
+                ),
+            )
+            losers.append(by_id[victim])
+            edges.pop(victim)
+            for targets in edges.values():
+                targets.discard(victim)
+
+        survivors = {tx_id for tx_id in edges}
+        indegree = {tx_id: 0 for tx_id in survivors}
+        for source, targets in edges.items():
+            for target in targets:
+                indegree[target] += 1
+        ready = sorted(
+            (tx_id for tx_id, degree in indegree.items() if degree == 0),
+            key=lambda tx_id: by_id[tx_id].index,
+        )
+        ordered: list = []
+        while ready:
+            # Smallest arrival index first: minimal displacement, and a
+            # deterministic emit order for any edge set.
+            tx_id = ready.pop(0)
+            ordered.append(by_id[tx_id])
+            for target in sorted(edges[tx_id], key=lambda t: by_id[t].index):
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    position = 0
+                    while (
+                        position < len(ready)
+                        and by_id[ready[position]].index < by_id[target].index
+                    ):
+                        position += 1
+                    ready.insert(position, target)
+        losers.sort(key=lambda p: p.index)
+        return ordered + losers
+
+    @staticmethod
+    def _cyclic_nodes(edges: dict) -> set:
+        """Every node on some directed cycle (iterative trim of the DAG part)."""
+        indegree: dict = {tx_id: 0 for tx_id in edges}
+        outdegree: dict = {tx_id: len(targets) for tx_id, targets in edges.items()}
+        reverse: dict = {tx_id: set() for tx_id in edges}
+        for source, targets in edges.items():
+            for target in targets:
+                indegree[target] += 1
+                reverse[target].add(source)
+        alive = set(edges)
+        queue = [
+            tx_id for tx_id in alive
+            if indegree[tx_id] == 0 or outdegree[tx_id] == 0
+        ]
+        while queue:
+            tx_id = queue.pop()
+            if tx_id not in alive:
+                continue
+            alive.discard(tx_id)
+            for target in edges[tx_id]:
+                if target in alive:
+                    indegree[target] -= 1
+                    if indegree[target] == 0:
+                        queue.append(target)
+            for source in reverse[tx_id]:
+                if source in alive:
+                    outdegree[source] -= 1
+                    if outdegree[source] == 0:
+                        queue.append(source)
+        return alive
+
+    # -- the shadow oracle ---------------------------------------------------
+    def _predict_sequence(self, transactions: list) -> list:
+        """The flags the peers will assign to this sequence (no state change)."""
+        flags: list = []
+        block_writes: set = set()
+        block_private: set = set()
+        block_tx_ids: set = set()
+        for tx in transactions:
+            flag = self._structural_flag(tx, block_tx_ids)
+            if flag is None:
+                flag = self._conflict_flag(tx, block_writes, block_private)
+            flags.append(flag)
+            block_tx_ids.add(tx.tx_id)
+            if flag is ValidationCode.VALID:
+                for ns in tx.payload.results.namespaces:
+                    for write in ns.writes:
+                        block_writes.add((ns.namespace, write.key))
+                    for col in ns.collections:
+                        for hashed in col.hashed_writes:
+                            block_private.add(
+                                (ns.namespace, col.collection, hashed.key_hash)
+                            )
+        return flags
+
+    def _structural_flag(
+        self, tx: TransactionEnvelope, block_tx_ids: Optional[set] = None
+    ) -> Optional[ValidationCode]:
+        """The non-MVCC flag this transaction will carry, or None if clean.
+
+        Mirrors the validator's check order exactly — a stale read behind
+        a bad signature must be flagged for the signature, so such a
+        transaction is never early-abort material.
+        """
+        if tx.tx_id in self._seen_tx or (block_tx_ids and tx.tx_id in block_tx_ids):
+            return ValidationCode.DUPLICATE_TXID
+        if tx.channel_id != self._channel.channel_id:
+            return ValidationCode.INVALID_OTHER
+        if not self._channel.chaincodes.get(tx.chaincode_id):
+            return ValidationCode.INVALID_OTHER
+        if not self._channel.msp_registry.validate_certificate(tx.creator):
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.verify_creator_signature():
+            return ValidationCode.BAD_CREATOR_SIGNATURE
+        if not tx.payload.response.ok:
+            return ValidationCode.BAD_RESPONSE_STATUS
+        if not self._policies_ok(tx):
+            return ValidationCode.ENDORSEMENT_POLICY_FAILURE
+        return None
+
+    def _conflict_flag(
+        self, tx: TransactionEnvelope, block_writes: set, block_private: set
+    ) -> ValidationCode:
+        """MVCC + phantom verdict against shadow state and in-block writes."""
+        for ns in tx.payload.results.namespaces:
+            for read in ns.reads:
+                if (ns.namespace, read.key) in block_writes:
+                    return ValidationCode.MVCC_READ_CONFLICT
+                if self._shadow_version(ns.namespace, read.key) != read.version:
+                    return ValidationCode.MVCC_READ_CONFLICT
+            for col in ns.collections:
+                for hashed in col.hashed_reads:
+                    full = (ns.namespace, col.collection, hashed.key_hash)
+                    if full in block_private:
+                        return ValidationCode.MVCC_READ_CONFLICT
+                    entry = self._private.get(full)
+                    committed = entry[0] if entry else None
+                    if committed != hashed.version:
+                        return ValidationCode.MVCC_READ_CONFLICT
+        for ns in tx.payload.results.namespaces:
+            for query in ns.range_queries:
+                if not self._range_fresh(ns.namespace, query, block_writes):
+                    return ValidationCode.PHANTOM_READ_CONFLICT
+        return ValidationCode.VALID
+
+    def _shadow_version(self, namespace: str, key: str) -> Optional[Version]:
+        entry = self._public.get((namespace, key))
+        return entry[0] if entry else None
+
+    def _range_fresh(self, namespace: str, query, block_writes: set) -> bool:
+        current = []
+        for (ns, key), (version, _block) in sorted(self._public.items()):
+            if ns != namespace or version is None:
+                continue
+            if key < query.start_key or (query.end_key and key >= query.end_key):
+                continue
+            current.append((key, version))
+        if current != [(r.key, r.version) for r in query.reads]:
+            return False
+        for write_ns, key in block_writes:
+            if write_ns != namespace:
+                continue
+            if key >= query.start_key and (
+                not query.end_key or key < query.end_key
+            ):
+                return False
+        return True
+
+    def _policies_ok(self, tx: TransactionEnvelope) -> bool:
+        """The endorsement-policy verdict, with key policies from the shadow."""
+        definition = self._channel.chaincode(tx.chaincode_id)
+        results = tx.payload.results
+        payload_bytes = tx.payload.bytes()
+        signers = []
+        for endorsement in tx.endorsements:
+            if not self._channel.msp_registry.validate_certificate(
+                endorsement.endorser
+            ):
+                continue
+            if endorsement.verify(payload_bytes):
+                signers.append(endorsement.endorser)
+
+        touched = results.collections_touched()
+        if touched and self._features.filter_nonmember_endorsements:
+            member_orgs: Optional[set] = None
+            for namespace, name in touched:
+                orgs = self._channel.collection(namespace, name).member_orgs()
+                member_orgs = orgs if member_orgs is None else member_orgs & orgs
+            signers = [c for c in signers if c.msp_id in (member_orgs or set())]
+
+        need_chaincode = False
+        extra: list = []
+        if results.is_read_only:
+            need_chaincode = True
+            if self._features.collection_policy_on_reads:
+                for namespace, name in sorted(touched):
+                    config = self._channel.collection(namespace, name)
+                    if config.endorsement_policy is not None:
+                        extra.append(config.endorsement_policy)
+        else:
+            for ns in results.namespaces:
+                for write in ns.writes:
+                    key_policy = self._key_policy(ns.namespace, write.key)
+                    if key_policy is not None:
+                        extra.append(key_policy)
+                    else:
+                        need_chaincode = True
+                for meta in ns.metadata_writes:
+                    key_policy = self._key_policy(ns.namespace, meta.key)
+                    if key_policy is not None:
+                        extra.append(key_policy)
+                    else:
+                        need_chaincode = True
+                for col in ns.collections:
+                    if not col.hashed_writes:
+                        continue
+                    config = self._channel.collection(ns.namespace, col.collection)
+                    if config.endorsement_policy is not None:
+                        extra.append(config.endorsement_policy)
+                    else:
+                        need_chaincode = True
+
+        if need_chaincode and not self._evaluator.evaluate(
+            definition.endorsement_policy, signers
+        ):
+            return False
+        return all(self._evaluator.evaluate(text, signers) for text in extra)
+
+    def _key_policy(self, namespace: str, key: str) -> Optional[str]:
+        value = self._meta.get((namespace, key), {}).get("VALIDATION_PARAMETER")
+        return value.decode("utf-8") if value is not None else None
+
+    # -- conflict attribution ----------------------------------------------
+    def _conflict_block(
+        self, tx: TransactionEnvelope, trial: list, trial_flags: list,
+        next_block_number: int,
+    ) -> Optional[int]:
+        """Which block's write dooms ``tx`` (for abort-resolution timing).
+
+        An in-batch race resolves with the block being cut; a stale read
+        resolves with the *latest* shadow block that rewrote any of the
+        transaction's keys.  ``None`` means no attributable block (the
+        caller resolves the abort immediately).
+        """
+        block_writes: set = set()
+        block_private: set = set()
+        for other, flag in zip(trial, trial_flags):
+            if other.tx_id == tx.tx_id:
+                break
+            if flag is not ValidationCode.VALID:
+                continue
+            for ns in other.payload.results.namespaces:
+                for write in ns.writes:
+                    block_writes.add((ns.namespace, write.key))
+                for col in ns.collections:
+                    for hashed in col.hashed_writes:
+                        block_private.add(
+                            (ns.namespace, col.collection, hashed.key_hash)
+                        )
+        latest: Optional[int] = None
+        for ns in tx.payload.results.namespaces:
+            for read in ns.reads:
+                full = (ns.namespace, read.key)
+                if full in block_writes:
+                    return next_block_number
+                entry = self._public.get(full)
+                committed = entry[0] if entry else None
+                if committed != read.version and entry is not None:
+                    latest = entry[1] if latest is None else max(latest, entry[1])
+            for col in ns.collections:
+                for hashed in col.hashed_reads:
+                    full = (ns.namespace, col.collection, hashed.key_hash)
+                    if full in block_private:
+                        return next_block_number
+                    entry = self._private.get(full)
+                    committed = entry[0] if entry else None
+                    if committed != hashed.version and entry is not None:
+                        latest = entry[1] if latest is None else max(latest, entry[1])
+            for query in ns.range_queries:
+                if not self._range_fresh(ns.namespace, query, block_writes):
+                    in_block = any(
+                        write_ns == ns.namespace
+                        and key >= query.start_key
+                        and (not query.end_key or key < query.end_key)
+                        for write_ns, key in block_writes
+                    )
+                    if in_block:
+                        return next_block_number
+                    for (shadow_ns, key), (_version, block) in self._public.items():
+                        if shadow_ns != ns.namespace:
+                            continue
+                        if key < query.start_key or (
+                            query.end_key and key >= query.end_key
+                        ):
+                            continue
+                        latest = block if latest is None else max(latest, block)
+        return latest
+
+    # -- shadow maintenance --------------------------------------------------
+    def _apply_sequence(
+        self, transactions: list, flags: list, block_number: int
+    ) -> None:
+        """Advance the shadow exactly as the peers' committers will."""
+        for tx_num, (tx, flag) in enumerate(zip(transactions, flags)):
+            self._seen_tx.add(tx.tx_id)
+            if flag is not ValidationCode.VALID:
+                continue
+            version = Version(block_number, tx_num)
+            for ns in tx.payload.results.namespaces:
+                for write in ns.writes:
+                    full = (ns.namespace, write.key)
+                    if write.is_delete:
+                        self._public[full] = (None, block_number)
+                        self._meta.pop(full, None)
+                    else:
+                        self._public[full] = (version, block_number)
+                for meta in ns.metadata_writes:
+                    self._meta.setdefault(
+                        (ns.namespace, meta.key), {}
+                    )[meta.name] = meta.value
+                for col in ns.collections:
+                    for hashed in col.hashed_writes:
+                        full = (ns.namespace, col.collection, hashed.key_hash)
+                        if hashed.is_delete:
+                            self._private[full] = (None, block_number)
+                        else:
+                            self._private[full] = (version, block_number)
+
+    # -- accounting ----------------------------------------------------------
+    def _account(self, batch: tuple, emitted: list, aborted: list) -> None:
+        self.batches += 1
+        PERF.reorder_batches += 1
+        # Displacement is measured among emitted transactions only — an
+        # abort is not a reordering of what remains.
+        arrival_positions = {
+            tx.tx_id: position
+            for position, tx in enumerate(
+                tx for tx in batch if tx.tx_id in {e.tx_id for e in emitted}
+            )
+        }
+        for position, tx in enumerate(emitted):
+            distance = abs(position - arrival_positions[tx.tx_id])
+            if distance:
+                self.displaced += 1
+                PERF.reorder_displaced += 1
+            if distance > self.max_distance:
+                self.max_distance = distance
+            if distance > PERF.reorder_max_distance:
+                PERF.reorder_max_distance = distance
+        self.early_aborts += len(aborted)
+        PERF.early_aborts += len(aborted)
+
+
+# ---------------------------------------------------------------------------
+# Conflict-scope classification (shared with tracing / stats)
+# ---------------------------------------------------------------------------
+
+def conflict_scopes(transactions, flags) -> dict:
+    """Classify each MVCC/phantom abort of a validated block by scope.
+
+    ``within-block`` — the transaction's reads (or range windows) overlap
+    a key an earlier *valid* transaction of the same block wrote; this is
+    the population intra-block reordering can rescue.  ``cross-block`` —
+    the conflict predates the block (a stale read against committed
+    state), which only early abort can address.  Returns
+    ``{tx_id: scope}`` for the conflicted transactions only.
+    """
+    scopes: dict = {}
+    block_writes: set = set()
+    block_private: set = set()
+    for tx, flag in zip(transactions, flags):
+        if flag in _CONFLICT_FLAGS:
+            profile = _TxProfile(tx, 0)
+            within = any(key in block_writes for key, _v in profile.reads) or any(
+                key in block_private for key, _v in profile.hashed_reads
+            )
+            if not within:
+                for ns, start, end, _recorded in profile.ranges:
+                    for write_ns, key in block_writes:
+                        if write_ns != ns:
+                            continue
+                        if key >= start and (not end or key < end):
+                            within = True
+                            break
+                    if within:
+                        break
+            scopes[tx.tx_id] = SCOPE_WITHIN_BLOCK if within else SCOPE_CROSS_BLOCK
+        elif flag is ValidationCode.VALID:
+            for ns in tx.payload.results.namespaces:
+                for write in ns.writes:
+                    block_writes.add((ns.namespace, write.key))
+                for col in ns.collections:
+                    for hashed in col.hashed_writes:
+                        block_private.add(
+                            (ns.namespace, col.collection, hashed.key_hash)
+                        )
+    return scopes

@@ -31,11 +31,18 @@ class OrderingService:
         batch_size: int = 10,
         batch_timeout_ticks: int = 2,
         raft_rng: Optional[random.Random] = None,
+        reorderer: Optional[Any] = None,
     ) -> None:
         self._cutter = BlockCutter(batch_size=batch_size, batch_timeout_ticks=batch_timeout_ticks)
         self._cluster = RaftCluster(
             size=cluster_size, on_commit=self._on_raft_commit, rng=raft_rng
         )
+        # Optional conflict-aware pipeline (repro.orderer.reorder) run on
+        # every cut batch before consensus: may reorder the batch and
+        # divert provably doomed envelopes to the early-abort handlers.
+        self._reorderer = reorderer
+        self._early_aborts: dict[str, tuple[str, Optional[int]]] = {}
+        self._abort_handlers: list[Callable[[TransactionEnvelope, str, Optional[int]], Any]] = []
         self._delivery_handlers: list[BlockDeliveryHandler] = []
         self._next_block_number = 0
         self._prev_hash = GENESIS_PREV_HASH
@@ -53,6 +60,21 @@ class OrderingService:
     def raft(self) -> RaftCluster:
         """The underlying cluster (exposed for fault-injection tests)."""
         return self._cluster
+
+    @property
+    def reorderer(self) -> Optional[Any]:
+        """The conflict-aware pipeline, or ``None`` when reorder is off."""
+        return self._reorderer
+
+    def on_early_abort(
+        self, handler: Callable[[TransactionEnvelope, str, Optional[int]], Any]
+    ) -> None:
+        """Subscribe to early aborts: ``handler(envelope, reason, conflict_block)``."""
+        self._abort_handlers.append(handler)
+
+    def early_abort_info(self, tx_id: str) -> Optional[tuple[str, Optional[int]]]:
+        """``(reason, conflict_block)`` if ``tx_id`` was early-aborted, else None."""
+        return self._early_aborts.get(tx_id)
 
     @property
     def pending_count(self) -> int:
@@ -143,19 +165,37 @@ class OrderingService:
         if not envelope.tx_id:
             raise OrderingError("envelope missing tx id")
         for batch in self._cutter.add(envelope):
-            self._order_batch(batch)
+            self._process_batch(batch)
 
     def tick(self) -> None:
         """Advance batch timers (cuts on timeout)."""
         for batch in self._cutter.tick():
-            self._order_batch(batch)
+            self._process_batch(batch)
 
     def flush(self) -> None:
         """Cut and order whatever is pending — used to finish a scenario."""
         for batch in self._cutter.flush():
-            self._order_batch(batch)
+            self._process_batch(batch)
 
     # -- consensus + delivery --------------------------------------------------
+    def _process_batch(self, batch: tuple[TransactionEnvelope, ...]) -> None:
+        """Run the (optional) conflict-aware pipeline, then order the batch.
+
+        The surviving batch is ordered and delivered *before* the abort
+        handlers fire, so a handler looking up the conflicting block (to
+        align abort timing with that block's commit) finds it in flight.
+        """
+        if self._reorderer is None:
+            self._order_batch(batch)
+            return
+        emitted, aborted = self._reorderer.process_batch(batch, self._next_block_number)
+        if emitted:
+            self._order_batch(emitted)
+        for envelope, reason, conflict_block in aborted:
+            self._early_aborts[envelope.tx_id] = (reason, conflict_block)
+            for handler in self._abort_handlers:
+                handler(envelope, reason, conflict_block)
+
     def _order_batch(self, batch: tuple[TransactionEnvelope, ...]) -> None:
         self._batch_counter += 1
         self._cluster.replicate_and_commit((self._batch_counter, batch))

@@ -222,6 +222,12 @@ class TransactionRuntime:
         #: finished plans are simply discarded.
         self._collectors: dict[str, "EndorsementCollector"] = {}
 
+        #: Early-aborted tx ids waiting for their conflicting block to
+        #: fully commit before resolving (keeps abort-observation timing
+        #: aligned with the post-commit abort the client would otherwise
+        #: have seen), keyed by that block's number.
+        self._aborts_by_block: dict[int, list[str]] = {}
+
         self.bus.register(ORDERER_ENDPOINT, self._on_orderer_message)
         self.bus.register(GATEWAY_ENDPOINT, self._on_gateway_message)
         # Take over block delivery: the dispatcher fans each cut block out
@@ -229,6 +235,7 @@ class TransactionRuntime:
         # already-delivered blocks reached the peers synchronously.
         network.orderer.clear_delivery_handlers()
         network.orderer.register_delivery(self._dispatch_block, replay=False)
+        network.orderer.on_early_abort(self._on_early_abort)
         for peer in network.peers():
             self.register_peer(peer, network.delivery_handler_for(peer))
         network.gossip.transport = self._send_gossip
@@ -515,6 +522,33 @@ class TransactionRuntime:
                 status = self.network.status_of(tx.tx_id)
                 pending._resolve(status, at=self.now)
                 self.transactions_resolved += 1
+        for tx_id in self._aborts_by_block.pop(block.header.number, []):
+            self._resolve_early_abort(tx_id)
+
+    def _on_early_abort(
+        self, envelope: TransactionEnvelope, reason: str, conflict_block: Optional[int]
+    ) -> None:
+        """An ordering-time abort from the conflict-aware pipeline.
+
+        If the write that dooms the transaction lives in a block still
+        being delivered, resolution waits for that block's full commit —
+        the moment the equivalent post-commit MVCC abort would have become
+        observable; otherwise the conflict is already committed state and
+        the client learns immediately (the early part of early abort).
+        """
+        tx_id = envelope.tx_id
+        if tx_id not in self._pending:
+            return
+        if conflict_block is not None and conflict_block in self._blocks:
+            self._aborts_by_block.setdefault(conflict_block, []).append(tx_id)
+        else:
+            self._resolve_early_abort(tx_id)
+
+    def _resolve_early_abort(self, tx_id: str) -> None:
+        pending = self._pending.pop(tx_id, None)
+        if pending is not None:
+            pending._resolve(ValidationCode.ORDERER_EARLY_ABORT, at=self.now)
+            self.transactions_resolved += 1
 
     # -- crash / recovery -----------------------------------------------------
     def on_crash(self, listener: Callable[["PeerNode"], None]) -> None:

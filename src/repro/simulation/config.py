@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.ledger.snapshot import resolve_prune, resolve_snapshot_every
+from repro.orderer.reorder import resolve_reorder
 from repro.runtime.executor import resolve_executor_kind
 from repro.storage import resolve_backend_kind
 
@@ -63,6 +64,16 @@ class SimulationConfig:
     # --prune; 0 / False keep the un-snapshotted reference behaviour) -------
     snapshot_every: int = 0  # blocks between snapshot manifests; 0 = off
     prune: bool = False  # archive pre-snapshot blocks once sealed
+    # -- conflict-aware ordering (an environment decision like the above:
+    # REPRO_REORDER or --reorder; False keeps the arrival-order reference
+    # behaviour) ------------------------------------------------------------
+    reorder: bool = False  # reorder batches + early-abort doomed txs
+    # -- peer validation service time: simulated seconds charged per block
+    # transaction (0 = instantaneous, the legacy clock).  Nonzero makes
+    # chain space cost real time, so committed-as-invalid waste shows up
+    # as throughput, not just as a counter.  Charged identically under
+    # every executor so parallel-equivalence still holds. -------------------
+    validate_cost: float = 0.0
 
     # -- derived helpers -----------------------------------------------------
     def org_ids(self) -> list[str]:
@@ -156,6 +167,10 @@ class SimulationConfig:
             # reference (the snapshot-equivalence invariant enforces it).
             snapshot_every=resolve_snapshot_every(),
             prune=resolve_prune(),
+            # Conflict-aware ordering is an environment decision too: it
+            # must only drop provably doomed transactions (the
+            # reorder-soundness invariant enforces it).
+            reorder=resolve_reorder(),
         )
 
     @staticmethod
@@ -226,6 +241,7 @@ class SimulationConfig:
             mempool_limit=rng.choice([0, 8, 16]),
             snapshot_every=resolve_snapshot_every(),
             prune=resolve_prune(),
+            reorder=resolve_reorder(),
         )
 
     @classmethod

@@ -28,6 +28,7 @@ from repro.network.network import FabricNetwork
 from repro.protocol.proposal import reset_nonce_counter
 from repro.protocol.transaction import ValidationCode
 from repro.runtime import executor as executor_mod
+from repro.runtime.executor import ValidationCostModel
 from repro.runtime.faults import FaultInjector, LatencyModel
 from repro.runtime.runtime import TOPIC_GOSSIP
 from repro.simulation.config import SimulationConfig
@@ -181,6 +182,7 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         state_backend=config.state_backend,
         snapshot_every=config.snapshot_every,
         prune=config.prune,
+        reorder=config.reorder,
     )
 
     peers: dict = {}
@@ -213,6 +215,18 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         jitter=config.jitter,
         topic_base={TOPIC_GOSSIP: config.gossip_latency},
     )
+    # A nonzero validate_cost turns peer validation into a FIFO service
+    # station charging per-transaction simulated time.  The worker count
+    # is pinned to 1 so the charge is identical under every executor —
+    # the parallel-equivalence invariant compares byte-level histories,
+    # which must not depend on where crypto happens to run.
+    validate_cost = None
+    if config.validate_cost:
+        validate_cost = ValidationCostModel(
+            per_signature=0.0,
+            per_transaction=config.validate_cost,
+            workers=1,
+        )
     network.attach_runtime(
         seed=config.seed,
         latency=latency,
@@ -221,6 +235,7 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         # 0 = unbounded; a bounded tpcc config exercises the admission/
         # retry policy against real MempoolFullError backpressure.
         mempool_limit=config.mempool_limit or None,
+        validate_cost=validate_cost,
     )
     return SimNetwork(config=config, network=network, peers=peers, clients=clients)
 
@@ -364,6 +379,12 @@ def _execute(
                 ValidationCode.PHANTOM_READ_CONFLICT,
             )
         ),
+        # Scope split of those aborts (within == rescuable by intra-block
+        # reordering, cross == addressable only by early abort), plus the
+        # conflict-aware orderer's own accounting (zeros when reorder is
+        # off).
+        **_conflict_scope_stats(reference),
+        **_reorder_stats(sim.network.orderer),
         # Snapshot checkpointing observability (zeros when the feature is
         # off): sealed snapshots across peers, the orderer's pruned-backlog
         # offset, and how far each peer's own chain prefix was archived.
@@ -391,6 +412,41 @@ def _execute(
         violations=violations,
         stats=stats,
     )
+
+
+def _conflict_scope_stats(reference) -> dict:
+    """Classify the reference peer's MVCC/phantom aborts by conflict scope."""
+    from repro.orderer.reorder import conflict_scopes
+
+    within = cross = 0
+    for validated in reference.ledger.blockchain.all_blocks():
+        scopes = conflict_scopes(validated.block.transactions, validated.flags)
+        for scope in scopes.values():
+            if scope == "within-block":
+                within += 1
+            else:
+                cross += 1
+    return {"mvcc_within_block": within, "mvcc_cross_block": cross}
+
+
+def _reorder_stats(orderer) -> dict:
+    """The conflict-aware pipeline's totals (zeros when reorder is off)."""
+    pipeline = getattr(orderer, "reorderer", None)
+    if pipeline is None:
+        return {
+            "reorder": False,
+            "reorder_batches": 0,
+            "reorder_displaced": 0,
+            "reorder_max_distance": 0,
+            "early_aborts": 0,
+        }
+    return {
+        "reorder": True,
+        "reorder_batches": pipeline.batches,
+        "reorder_displaced": pipeline.displaced,
+        "reorder_max_distance": pipeline.max_distance,
+        "early_aborts": pipeline.early_aborts,
+    }
 
 
 def _submitter(sim: SimNetwork, outcome: OpOutcome) -> Callable[[], None]:
@@ -564,6 +620,16 @@ def compare_reports(
             f"block count diverges: {reference.stats.get('blocks')} vs "
             f"{parallel.stats.get('blocks')}",
         ))
+    # Contention accounting is derived from the committed history (and,
+    # for early aborts, from the orderer pipeline that shaped it) — any
+    # divergence means the backends did not see the same conflicts.
+    for stat in ("mvcc_within_block", "mvcc_cross_block", "early_aborts"):
+        if reference.stats.get(stat) != parallel.stats.get(stat):
+            violations.append(Violation(
+                invariant,
+                f"{stat} diverges: {reference.stats.get(stat)} vs "
+                f"{parallel.stats.get(stat)}",
+            ))
     divergent = 0
     for ref_out, par_out in zip(reference.outcomes, parallel.outcomes):
         # Retry bookkeeping is part of the observable history: a backend
@@ -602,6 +668,7 @@ def run_parallel_equivalence(
     workload: str = "mixed",
     snapshot_every: Optional[int] = None,
     prune: Optional[bool] = None,
+    reorder: Optional[bool] = None,
 ) -> EquivalenceReport:
     """Check the ``parallel-equivalence`` invariant for one seed.
 
@@ -620,6 +687,8 @@ def run_parallel_equivalence(
         config = replace(config, snapshot_every=snapshot_every)
     if prune is not None:
         config = replace(config, prune=prune)
+    if reorder is not None:
+        config = replace(config, reorder=reorder)
     ops_list, fault_actions = generate(config)
     reference = execute(
         replace(config, executor="serial"), ops_list, fault_actions, weaken=weaken

@@ -43,6 +43,15 @@ The catalogue (names are the ``invariant`` field of each violation):
   chain, flags, world state and private hash store, no plaintext at
   non-member collections, and no BTL-expired plaintext resurrected by
   the bootstrap.
+* ``reorder-soundness`` — when the conflict-aware orderer ran
+  (``REPRO_REORDER=1``), every processed batch's audit record must show:
+  the emitted block is exactly a permutation of the non-aborted input
+  (no transaction lost or duplicated), the delivered block matches the
+  pipeline's emitted sequence, and every early-aborted transaction —
+  re-validated by the independent :class:`ReferenceValidator` in
+  *arrival order* against the pre-block model state — fails with an
+  MVCC/phantom conflict (no false aborts: the orderer only ever
+  short-circuits a verdict the peers would have reached anyway).
 * ``durability``        — checked by :class:`RecoveryMonitor` at every
   peer restart, at the exact recovery height (before the peer catches
   up): the recovered chain height equals the crash height (no committed
@@ -289,12 +298,15 @@ class ReferenceValidator:
         self.state = _ModelState()
 
     # -- block-level ----------------------------------------------------------
-    def expected_flags(self, block: "Block") -> list:
+    def peek_flags(self, transactions) -> list:
+        """The flags a block with these transactions would get — model
+        state untouched.  Used by the ``reorder-soundness`` check to ask
+        what the *arrival-order* (pre-reorder) batch would have done."""
         flags = []
         block_writes: set = set()
         block_private: set = set()
         block_tx_ids: set = set()
-        for tx in block.transactions:
+        for tx in transactions:
             flag = self._expect(tx, block_writes, block_private, block_tx_ids)
             flags.append(flag)
             block_tx_ids.add(tx.tx_id)
@@ -305,6 +317,10 @@ class ReferenceValidator:
                     for col in ns.collections:
                         for hw in col.hashed_writes:
                             block_private.add((ns.namespace, col.collection, hw.key_hash))
+        return flags
+
+    def expected_flags(self, block: "Block") -> list:
+        flags = self.peek_flags(block.transactions)
         # Apply the block to the model only after all flags are decided.
         for tx_num, (tx, flag) in enumerate(zip(block.transactions, flags)):
             self.state.seen_tx.add(tx.tx_id)
@@ -1062,6 +1078,75 @@ def check_snapshot_equivalence(sim: "SimNetwork") -> list:
     return violations
 
 
+def check_reorder_soundness(sim: "SimNetwork") -> list:
+    """Audit the conflict-aware orderer's batch records (reorder runs only).
+
+    Three guarantees, checked per processed batch with an independent
+    :class:`ReferenceValidator` replaying the emitted chain alongside:
+
+    * **No loss or duplication** — the emitted sequence is exactly a
+      permutation of the batch's non-aborted arrivals, and matches the
+      block the orderer actually delivered under that number.
+    * **No false aborts** — every early-aborted transaction, re-validated
+      in *arrival order* against the pre-block model state, fails with an
+      MVCC/phantom flag: the client was told nothing it would not have
+      learned from the un-reordered block.
+    * **Model advance** — the reference model consumes each emitted block,
+      so later batches are judged against exactly the committed state
+      their peers saw.
+    """
+    from collections import Counter
+
+    orderer = sim.network.orderer
+    pipeline = getattr(orderer, "reorderer", None)
+    if pipeline is None or not pipeline.records:
+        return []
+    violations = []
+    mvcc_flags = (
+        ValidationCode.MVCC_READ_CONFLICT,
+        ValidationCode.PHANTOM_READ_CONFLICT,
+    )
+    reference = ReferenceValidator(sim.network.channel, sim.network.features)
+    for index, record in enumerate(pipeline.records):
+        arrival_ids = [tx.tx_id for tx in record.arrival]
+        aborted_ids = [env.tx_id for env, _reason, _blk in record.aborted]
+        emitted_ids = [tx.tx_id for tx in record.emitted]
+        if Counter(emitted_ids) != Counter(arrival_ids) - Counter(aborted_ids):
+            violations.append(Violation(
+                "reorder-soundness",
+                f"batch {index}: emitted block is not a permutation of the "
+                f"non-aborted input ({len(arrival_ids)} arrived, "
+                f"{len(aborted_ids)} aborted, {len(emitted_ids)} emitted)",
+            ))
+        if record.aborted:
+            # Re-validate the ORIGINAL arrival-order batch against the
+            # pre-block model: each aborted tx must have been doomed there.
+            flags = reference.peek_flags(record.arrival)
+            flag_by_id = {
+                tx.tx_id: flag for tx, flag in zip(record.arrival, flags)
+            }
+            for tx_id in aborted_ids:
+                flag = flag_by_id.get(tx_id)
+                if flag not in mvcc_flags:
+                    violations.append(Violation(
+                        "reorder-soundness",
+                        f"batch {index}: false early abort — arrival-order "
+                        f"re-validation gives {flag}, not an MVCC/phantom "
+                        "conflict",
+                        tx_id=tx_id,
+                    ))
+        if record.block_number is not None:
+            block = orderer.block_at(record.block_number)
+            if [tx.tx_id for tx in block.transactions] != emitted_ids:
+                violations.append(Violation(
+                    "reorder-soundness",
+                    f"batch {index}: delivered block {record.block_number} "
+                    "does not match the pipeline's emitted sequence",
+                ))
+            reference.expected_flags(block)
+    return violations
+
+
 def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     """Run the full catalogue; returns all violations, worst first."""
     violations = []
@@ -1075,4 +1160,5 @@ def run_quiescence_checks(sim: "SimNetwork", outcomes: list) -> list:
     violations.extend(check_gossip_convergence(sim, outcomes))
     violations.extend(check_liveness_accounting(sim, outcomes))
     violations.extend(check_snapshot_equivalence(sim))
+    violations.extend(check_reorder_soundness(sim))
     return violations

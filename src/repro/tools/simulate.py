@@ -84,6 +84,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="archive pre-snapshot blocks once a snapshot "
                              "seals (peer chains and the orderer backlog; "
                              "default: the REPRO_PRUNE env var, else off)")
+    parser.add_argument("--reorder", action="store_true",
+                        help="conflict-aware ordering: reorder each batch "
+                             "along its conflict graph and early-abort "
+                             "provably doomed transactions; enables the "
+                             "reorder-soundness invariant (default: the "
+                             "REPRO_REORDER env var, else off)")
     parser.add_argument("--workload", choices=["mixed", "tpcc"], default="mixed",
                         help="workload family: the mixed asset/PDC mix, or the "
                              "contended TPC-C-style mix with open-loop arrivals "
@@ -116,6 +122,8 @@ def main(argv: list[str] | None = None) -> int:
             config = dataclasses.replace(config, snapshot_every=args.snapshot_every)
         if args.prune:
             config = dataclasses.replace(config, prune=True)
+        if args.reorder:
+            config = dataclasses.replace(config, reorder=True)
         ops, fault_actions = generate(config)
         report = execute(config, ops, fault_actions, weaken=args.weaken)
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
@@ -150,6 +158,7 @@ def _check_equivalence(args) -> int:
             workload=args.workload,
             snapshot_every=args.snapshot_every,
             prune=True if args.prune else None,
+            reorder=True if args.reorder else None,
         )
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
         if report.ok:

@@ -16,7 +16,11 @@ Two failure classes are retried, each the safe way:
 * MVCC / phantom aborts — the conflicting transaction *committed* (as
   invalid), so the retry **re-endorses a fresh proposal** (new tx id,
   re-reading current state); the aborted attempt stays on-chain as an
-  invalid transaction, exactly like a Fabric client SDK retry.
+  invalid transaction, exactly like a Fabric client SDK retry.  An
+  orderer **early abort** (``REPRO_REORDER=1``) is the same verdict made
+  sooner: the envelope never reached a block, but its reads are provably
+  stale, so the retry likewise re-endorses fresh — the only difference is
+  that no invalid transaction occupies chain space.
 
 Everything else (chaincode errors, policy failures, bad signatures) is
 deterministic — retrying would fail identically — and finishes the
@@ -45,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover
 RETRIABLE_STATUSES = (
     ValidationCode.MVCC_READ_CONFLICT,
     ValidationCode.PHANTOM_READ_CONFLICT,
+    ValidationCode.ORDERER_EARLY_ABORT,
 )
 
 

@@ -1,0 +1,330 @@
+"""Tests for conflict-aware ordering (``REPRO_REORDER``).
+
+The reorder pipeline lives *inside* the ordering service: each cut batch
+is reordered along its conflict graph and transactions whose reads are
+provably stale — doomed in both the emitted order AND the arrival
+order — are aborted before they occupy chain space.  These tests pin the
+client-visible contract (early-abort status on the sync and retry
+paths), the pipeline's structural properties (permutation, bounded
+displacement, determinism) and the :meth:`BlockCutter.flush` regression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.chaincode.contracts import AssetContract
+from repro.identity.ca import reset_ca_instance_counter
+from repro.identity.organization import Organization
+from repro.network.channel import ChannelConfig
+from repro.network.network import FabricNetwork
+from repro.orderer.block_cutter import BlockCutter
+from repro.orderer.reorder import resolve_reorder
+from repro.protocol.proposal import reset_nonce_counter
+from repro.protocol.transaction import ValidationCode
+from repro.simulation.config import SimulationConfig
+from repro.simulation.harness import (
+    execute,
+    generate,
+    run_parallel_equivalence,
+)
+from repro.workload import RetryPolicy, submit_with_retry_async
+
+
+def _asset_network(batch_size: int = 1) -> FabricNetwork:
+    """Three orgs, one public asset chaincode, reordering ON."""
+    reset_nonce_counter()
+    reset_ca_instance_counter()
+    orgs = [Organization(f"Org{i}MSP") for i in (1, 2, 3)]
+    channel = ChannelConfig(channel_id="reorderchan", organizations=orgs)
+    channel.deploy_chaincode(
+        "assetcc",
+        endorsement_policy="OR('Org1MSP.member', 'Org2MSP.member', "
+                           "'Org3MSP.member')",
+    )
+    net = FabricNetwork(channel=channel, batch_size=batch_size, reorder=True)
+    for org in orgs:
+        net.add_peer(org.msp_id)
+    net.install_chaincode("assetcc", AssetContract())
+    return net
+
+
+def _tx_occurrences(net: FabricNetwork, tx_id: str) -> int:
+    peer = net.peers()[0]
+    return sum(
+        1
+        for validated in peer.ledger.blockchain.blocks()
+        for tx in validated.block.transactions
+        if tx.tx_id == tx_id
+    )
+
+
+# ---------------------------------------------------------------------------
+# The env toggle
+# ---------------------------------------------------------------------------
+
+class TestResolveReorder:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REORDER", raising=False)
+        assert resolve_reorder() is False
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("", False), ("0", False), ("false", False), ("no", False),
+        ("1", True), ("true", True), ("on", True),
+    ])
+    def test_env_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_REORDER", raw)
+        assert resolve_reorder() is expected
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REORDER", "1")
+        assert resolve_reorder(False) is False
+        monkeypatch.setenv("REPRO_REORDER", "0")
+        assert resolve_reorder(True) is True
+
+
+# ---------------------------------------------------------------------------
+# BlockCutter.flush regression: a bulk backlog must never produce an
+# oversized block.
+# ---------------------------------------------------------------------------
+
+class TestFlushDrainsInBatchSizeBatches:
+    class _Envelope:
+        def __init__(self, n):
+            self.tx_id = f"tx{n}"
+
+    def test_backlog_larger_than_batch_size(self):
+        cutter = BlockCutter(batch_size=3)
+        cut_by_add = []
+        for i in range(7):
+            cut_by_add.extend(cutter.add(self._Envelope(i)))
+        assert [len(b) for b in cut_by_add] == [3, 3]
+        assert [len(b) for b in cutter.flush()] == [1]
+
+    def test_flush_without_intermediate_cuts(self):
+        # Stuff the backlog directly (how bulk submission before a flush
+        # looks to the cutter when batch_size is reconfigured downward).
+        cutter = BlockCutter(batch_size=3)
+        cutter._pending.extend(self._Envelope(i) for i in range(8))
+        batches = cutter.flush()
+        assert [len(b) for b in batches] == [3, 3, 2]
+        assert cutter.flush() == []
+
+
+# ---------------------------------------------------------------------------
+# The client-visible contract
+# ---------------------------------------------------------------------------
+
+class TestEarlyAbortSyncPath:
+    def test_stale_envelope_early_aborted(self):
+        net = _asset_network(batch_size=1)
+        client = net.client("Org1MSP")
+        endorsers = [net.peers_of("Org1MSP")[0]]
+        client.submit_transaction(
+            "assetcc", "create_asset", ["k", "10"], endorsing_peers=endorsers
+        ).raise_for_status()
+        # Endorse a read-modify-write now (captures the current version)...
+        proposal = client._proposal("assetcc", "add_to_asset", ["k", "1"])
+        responses = [
+            net.request_endorsement(p, proposal).response for p in endorsers
+        ]
+        stale = client.assemble(proposal, responses)
+        # ...then move the key forward before submitting the stale tx.
+        client.submit_transaction(
+            "assetcc", "add_to_asset", ["k", "5"], endorsing_peers=endorsers
+        ).raise_for_status()
+        result = net.submit_envelope(stale)
+        assert result.status is ValidationCode.ORDERER_EARLY_ABORT
+        # The doomed envelope never reached a block on any peer...
+        assert _tx_occurrences(net, stale.tx_id) == 0
+        # ...the orderer remembers why it died...
+        reason, conflict_block = net.orderer.early_abort_info(stale.tx_id)
+        assert reason == "mvcc-read-conflict"
+        assert conflict_block is not None
+        # ...and the surviving write is untouched.
+        assert net.peers()[0].query_public("assetcc", "asset:k") == b"15"
+
+    def test_sync_retry_recovers_from_early_abort(self):
+        net = _asset_network(batch_size=1)
+        client = net.client("Org1MSP")
+        endorsers = [net.peers_of("Org1MSP")[0]]
+        client.submit_transaction(
+            "assetcc", "create_asset", ["k", "10"], endorsing_peers=endorsers
+        ).raise_for_status()
+        original_request = net.request_endorsement
+        state = {"sabotaged": False}
+
+        def sabotaging(peer, proposal):
+            output = original_request(peer, proposal)
+            if not state["sabotaged"] and proposal.function == "add_to_asset":
+                state["sabotaged"] = True
+                net.request_endorsement = original_request
+                net.client("Org2MSP").submit_transaction(
+                    "assetcc", "add_to_asset", ["k", "100"],
+                    endorsing_peers=endorsers,
+                ).raise_for_status()
+            return output
+
+        net.request_endorsement = sabotaging
+        result = client.submit_with_retry(
+            "assetcc", "add_to_asset", ["k", "5"], endorsing_peers=endorsers
+        )
+        assert result.committed
+        assert net.peers()[0].query_public("assetcc", "asset:k") == b"115"
+
+
+class TestEarlyAbortRetryPath:
+    """The admission/retry policy treats an early abort exactly like a
+    post-commit MVCC abort: one retry-budget unit, a fresh re-endorsed
+    proposal, never a duplicate commit — minus the invalid tx on chain."""
+
+    def _race(self):
+        net = _asset_network(batch_size=2)
+        runtime = net.attach_runtime(seed=9, batch_timeout=2.0)
+        endorsers = net.default_endorsers()[:1]
+        load = net.client("Org1MSP").submit_async(
+            "assetcc", "create_asset", ["hot", "0"], endorsing_peers=endorsers
+        )
+        runtime.run()
+        assert load.result().status is ValidationCode.VALID
+        handles = [
+            submit_with_retry_async(
+                net, net.client(org), "assetcc", "add_to_asset",
+                ["hot", amount], endorsing_peers=endorsers,
+                policy=RetryPolicy(budget=2, base_backoff=0.3),
+                rng=random.Random(f"race-{org}"),
+            )
+            for org, amount in (("Org1MSP", "100"), ("Org2MSP", "7"))
+        ]
+        runtime.run()
+        return net, handles
+
+    def test_one_budget_unit_fresh_proposal_no_duplicate(self):
+        net, handles = self._race()
+        assert all(h.done and h.status is ValidationCode.VALID for h in handles)
+        winner, loser = sorted(handles, key=lambda h: h.attempts)
+        assert winner.attempts == 1 and winner.retries == 0
+        # Exactly one budget unit spent, on a fresh proposal.
+        assert loser.attempts == 2
+        assert loser.retries == 1
+        aborted, final = loser.attempt_tx_ids
+        assert aborted != final
+        # The early-aborted attempt never occupied chain space; the
+        # fresh one committed exactly once.
+        assert _tx_occurrences(net, aborted) == 0
+        assert _tx_occurrences(net, final) == 1
+        assert net.orderer.early_abort_info(aborted) is not None
+        # Both increments applied exactly once.
+        assert net.peers()[0].query_public("assetcc", "asset:hot") == b"107"
+
+
+# ---------------------------------------------------------------------------
+# Pipeline properties, seed-swept
+# ---------------------------------------------------------------------------
+
+def _contended_records(seed: int, batch_size: int = 4):
+    """Drive a burst of same-key RMWs through a reordering runtime and
+    return the pipeline's audit trail."""
+    net = _asset_network(batch_size=batch_size)
+    runtime = net.attach_runtime(seed=seed, batch_timeout=2.0)
+    endorsers = net.default_endorsers()[:1]
+    load = net.client("Org1MSP").submit_async(
+        "assetcc", "create_asset", ["hot", "0"], endorsing_peers=endorsers
+    )
+    runtime.run()
+    assert load.result().status is ValidationCode.VALID
+    for i, org in enumerate(("Org1MSP", "Org2MSP", "Org3MSP", "Org1MSP")):
+        net.client(org).submit_async(
+            "assetcc", "add_to_asset", ["hot", str(i + 1)],
+            endorsing_peers=endorsers,
+        )
+    runtime.run()
+    records = net.orderer.reorderer.records
+    assert records, "the contended burst must have produced batches"
+    return net, records
+
+
+class TestPipelineProperties:
+    @pytest.mark.parametrize("seed", range(1, 6))
+    def test_emitted_is_permutation_of_non_aborted_arrival(self, seed):
+        _net, records = _contended_records(seed)
+        for record in records:
+            aborted_ids = {env.tx_id for env, _, _ in record.aborted}
+            survivors = sorted(
+                tx.tx_id for tx in record.arrival
+                if tx.tx_id not in aborted_ids
+            )
+            assert sorted(tx.tx_id for tx in record.emitted) == survivors
+
+    @pytest.mark.parametrize("seed", range(1, 6))
+    def test_displacement_bounded_by_batch_size(self, seed):
+        batch_size = 4
+        _net, records = _contended_records(seed, batch_size=batch_size)
+        for record in records:
+            assert len(record.arrival) <= batch_size
+            arrival_pos = {tx.tx_id: i for i, tx in enumerate(record.arrival)}
+            for pos, tx in enumerate(record.emitted):
+                assert abs(pos - arrival_pos[tx.tx_id]) < batch_size
+
+    @pytest.mark.parametrize("seed", range(1, 6))
+    def test_deterministic_across_runs(self, seed):
+        _net1, records1 = _contended_records(seed)
+        _net2, records2 = _contended_records(seed)
+        trail1 = [
+            ([tx.tx_id for tx in r.emitted],
+             sorted(env.tx_id for env, _, _ in r.aborted),
+             r.block_number)
+            for r in records1
+        ]
+        trail2 = [
+            ([tx.tx_id for tx in r.emitted],
+             sorted(env.tx_id for env, _, _ in r.aborted),
+             r.block_number)
+            for r in records2
+        ]
+        assert trail1 == trail2
+
+
+# ---------------------------------------------------------------------------
+# Whole-simulation properties
+# ---------------------------------------------------------------------------
+
+class TestSimulationProperties:
+    @pytest.mark.parametrize("seed", [1, 3])
+    def test_tpcc_sweep_green_with_reorder(self, seed):
+        config = dataclasses.replace(
+            SimulationConfig.generate_tpcc(seed, 40), reorder=True
+        )
+        ops, faults = generate(config)
+        report = execute(config, ops, faults)
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.stats["reorder"] is True
+        assert report.stats["reorder_batches"] > 0
+
+    def test_simulation_deterministic_with_reorder(self):
+        config = dataclasses.replace(
+            SimulationConfig.generate_tpcc(3, 40), reorder=True
+        )
+        ops, faults = generate(config)
+        first = execute(config, ops, faults)
+        second = execute(config, ops, faults)
+        assert first.ok and second.ok
+        for key in ("state_digest", "blocks", "valid", "invalid",
+                    "early_aborts", "reorder_batches", "reorder_displaced",
+                    "mvcc_aborts"):
+            assert first.stats[key] == second.stats[key], key
+
+    @pytest.mark.parametrize("seed", [2, 4])
+    def test_serial_process_equivalence_with_reorder(self, seed):
+        report = run_parallel_equivalence(
+            seed, 30, workers=2, workload="tpcc", reorder=True
+        )
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        assert report.reference.stats["reorder"] is True
+        assert (
+            report.reference.stats["early_aborts"]
+            == report.parallel.stats["early_aborts"]
+        )

@@ -157,7 +157,7 @@ class TestAbortSummary:
         runtime = net.attach_runtime(seed=2, mempool_limit=2, batch_timeout=1.0)
         return net, runtime, tracer, random_mod
 
-    def test_breakdown_matches_ledger_counts(self):
+    def test_breakdown_matches_ledger_counts(self, no_reorder):
         from repro.workload import RetryPolicy, submit_with_retry_async
 
         net, runtime, tracer, random_mod = self._contended_runtime()
@@ -205,5 +205,7 @@ class TestAbortSummary:
     def test_empty_tracer_yields_zeroes(self):
         tracer = Tracer()
         assert tracer.abort_summary() == {
-            "committed": 0, "aborted": 0, "by_flag": {}, "mempool_rejected": 0,
+            "committed": 0, "aborted": 0, "by_flag": {},
+            "mvcc_within_block": 0, "mvcc_cross_block": 0,
+            "early_aborted": 0, "mempool_rejected": 0,
         }

@@ -376,7 +376,7 @@ class TestAdmissionRetry:
         # Resubmitting after a refusal must not commit the envelope twice.
         assert _tx_occurrences(net, handle.tx_id) == 1
 
-    def test_mvcc_abort_retried_as_fresh_transaction(self):
+    def test_mvcc_abort_retried_as_fresh_transaction(self, no_reorder):
         # batch_size=2 packs the two racing read-modify-writes of the
         # warehouse ytd hot key into one block: one commits, one aborts.
         net, runtime = _bounded_tpcc(limit=None, batch_size=2, batch_timeout=2.0)
@@ -408,7 +408,7 @@ class TestAdmissionRetry:
         # Both payments applied exactly once: ytd = 100 + 7.
         assert peer.query_public(TPCC_CHAINCODE, "warehouse:1") == b"107"
 
-    def test_mvcc_budget_exhaustion_keeps_the_final_status(self):
+    def test_mvcc_budget_exhaustion_keeps_the_final_status(self, no_reorder):
         net, runtime = _bounded_tpcc(limit=None, batch_size=2, batch_timeout=2.0)
         endorsers = net.default_endorsers()[:2]
         handles = [
@@ -513,9 +513,11 @@ class TestTpccSimulation:
         report = run_seed(seed, 40, workload="tpcc")
         assert report.ok, [str(v) for v in report.violations[:5]]
         assert report.stats["workload"] == "tpcc"
-        # The hot district keys really collide: committed-as-invalid
-        # transactions show up and the retry layer spent work on them.
-        assert report.stats["mvcc_aborts"] > 0
+        # The hot district keys really collide and the retry layer spent
+        # work on them.  Without reordering the losers commit on-chain as
+        # invalid; with REPRO_REORDER=1 the orderer early-aborts them
+        # instead — either way the conflicts must show up somewhere.
+        assert report.stats["mvcc_aborts"] + report.stats["early_aborts"] > 0
         assert report.stats["retries"] > 0
 
     def test_bounded_seed_exercises_backpressure(self):
