@@ -31,6 +31,8 @@ _COUNTER_FIELDS = (
     "plan_failures", "executor_tasks", "executor_remote_tasks",
     "reorder_batches", "reorder_displaced", "reorder_max_distance",
     "early_aborts",
+    "gossip_pushes", "gossip_batched_payloads", "gossip_digest_rounds",
+    "gossip_reconcile_pulls", "gossip_bytes",
 )
 
 
@@ -74,6 +76,11 @@ class PerfCounters:
     reorder_displaced: int = 0     # emitted txs not at their arrival position
     reorder_max_distance: int = 0  # largest |emitted - arrival| displacement
     early_aborts: int = 0          # doomed txs dropped before block inclusion
+    gossip_pushes: int = 0         # per-record private-rwset pushes
+    gossip_batched_payloads: int = 0  # coalesced per-target gossip messages
+    gossip_digest_rounds: int = 0  # anti-entropy digest exchanges completed
+    gossip_reconcile_pulls: int = 0  # gaps filled by pull (reconciler + AE)
+    gossip_bytes: int = 0          # private-rwset + digest wire bytes
     phase_seconds: dict = field(default_factory=dict)  # phase -> seconds
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -148,6 +155,11 @@ class PerfCounters:
             f"{prefix}reorder_displaced": self.reorder_displaced,
             f"{prefix}reorder_max_distance": self.reorder_max_distance,
             f"{prefix}early_aborts": self.early_aborts,
+            f"{prefix}gossip_pushes": self.gossip_pushes,
+            f"{prefix}gossip_batched_payloads": self.gossip_batched_payloads,
+            f"{prefix}gossip_digest_rounds": self.gossip_digest_rounds,
+            f"{prefix}gossip_reconcile_pulls": self.gossip_reconcile_pulls,
+            f"{prefix}gossip_bytes": self.gossip_bytes,
         }
         for phase, seconds in sorted(self.phase_seconds.items()):
             snapshot[f"{prefix}{phase}_ms"] = round(seconds * 1000, 3)

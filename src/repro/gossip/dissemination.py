@@ -15,14 +15,34 @@ Note the endorser itself need not be a collection member — a non-member
 endorser of a write-only transaction holds the plaintext write set it
 produced and disseminates it to the members, which is what makes the
 paper's fake-write injection commit at victim members.
+
+Two wire-level behaviours are environment decisions (§15 of the
+architecture notes):
+
+* ``REPRO_GOSSIP_BATCH`` — coalesce every private rwset of one
+  endorsement into a single per-target payload (one message per target
+  instead of one per (collection, target)).  Default off: the reference
+  per-push path stays the baseline, and the ``gossip-equivalence``
+  invariant pins both paths to byte-identical private state.
+* ``REPRO_ANTI_ENTROPY_EVERY`` — cadence (simulated seconds) of the
+  digest-driven anti-entropy loop (see ``gossip.anti_entropy``); ``0``
+  disables the loop and leaves pull reconciliation on demand only.
+
+Independent of both toggles, the push set is *rotated* deterministically
+from the run seed: ``eligible[:max_peer_count]`` would always starve the
+same tail peers, which then pay every reconciliation round.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.chaincode.rwset import PrivateCollectionWrites
-from repro.common.errors import GossipError
+from repro.common.errors import ConfigError, GossipError
+from repro.common.tracing import PERF
+from repro.storage.codec import pack_private_writes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.identity.identity import Certificate
@@ -44,29 +64,128 @@ SnapshotSigTransport = Callable[
     ["PeerNode", "PeerNode", "SnapshotManifest", "Certificate", bytes], None
 ]
 
+#: Pluggable batched-push transport: (source, target, tx_id, writes tuple).
+#: Installed by the event runtime alongside :data:`GossipTransport`; when
+#: absent, batched payloads deliver synchronously like reference pushes.
+GossipBatchTransport = Callable[
+    ["PeerNode", "PeerNode", str, tuple[PrivateCollectionWrites, ...]], None
+]
+
+ENV_GOSSIP_BATCH = "REPRO_GOSSIP_BATCH"
+ENV_ANTI_ENTROPY_EVERY = "REPRO_ANTI_ENTROPY_EVERY"
+
+
+def resolve_gossip_batch(enabled: Optional[bool] = None) -> bool:
+    """Batching toggle: explicit argument > ``REPRO_GOSSIP_BATCH`` > off."""
+    if enabled is None:
+        raw = os.environ.get(ENV_GOSSIP_BATCH, "").strip()
+        enabled = raw not in ("", "0", "false", "no")
+    return bool(enabled)
+
+
+def resolve_anti_entropy_every(every: Optional[float] = None) -> float:
+    """Anti-entropy cadence: argument > ``REPRO_ANTI_ENTROPY_EVERY`` > off."""
+    if every is None:
+        raw = os.environ.get(ENV_ANTI_ENTROPY_EVERY, "").strip()
+        if not raw:
+            return 0.0
+        try:
+            every = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{ENV_ANTI_ENTROPY_EVERY} must be a number of simulated "
+                f"seconds, got {raw!r}"
+            )
+    every = float(every)
+    if every < 0:
+        raise ConfigError(f"anti-entropy cadence must be >= 0, got {every}")
+    return every
+
+
+def payload_bytes(writes: PrivateCollectionWrites) -> int:
+    """Wire size of one collection rwset (the archive framing)."""
+    return len(
+        pack_private_writes(
+            writes.namespace,
+            writes.collection,
+            [(w.key, w.value, w.is_delete) for w in writes.writes],
+        )
+    )
+
 
 class GossipNetwork:
     """The channel-wide gossip membership view."""
 
-    def __init__(self, channel: "ChannelConfig") -> None:
+    def __init__(self, channel: "ChannelConfig", batch: Optional[bool] = None) -> None:
         self._channel = channel
         self._peers: list["PeerNode"] = []
-        self.pushes = 0  # dissemination counter (observability / benches)
+        self.batch_enabled = resolve_gossip_batch(batch)
+        #: Seed for deterministic push-set rotation and anti-entropy source
+        #: selection; ``attach_runtime`` overwrites it with the run seed.
+        self.rotation_seed = 0
+        self.pushes = 0  # per-record dissemination counter (observability)
+        self.batched_payloads = 0  # coalesced wire messages (batch mode)
+        self.digest_rounds = 0  # anti-entropy digest exchanges completed
+        self.reconcile_pulls = 0  # gaps filled by pull (reconciler + AE)
+        self.bytes_sent = 0  # private-rwset + digest wire bytes
         self.snapshot_sigs = 0  # snapshot-signature broadcast counter
         self.snapshot_fetches = 0  # snapshot packages served to bootstrappers
         self.transport: Optional[GossipTransport] = None
+        self.batch_transport: Optional[GossipBatchTransport] = None
         self.snapshot_transport: Optional[SnapshotSigTransport] = None
+        self._member_memo: dict[tuple[str, str], tuple["PeerNode", ...]] = {}
 
     def register_peer(self, peer: "PeerNode") -> None:
         self._peers.append(peer)
+        self._member_memo.clear()
 
     def peers(self) -> list["PeerNode"]:
         return list(self._peers)
 
     def member_peers(self, namespace: str, collection: str) -> list["PeerNode"]:
-        config = self._channel.collection(namespace, collection)
-        members = config.member_orgs()
-        return [p for p in self._peers if p.msp_id in members]
+        memo = self._member_memo.get((namespace, collection))
+        if memo is None:
+            config = self._channel.collection(namespace, collection)
+            members = config.member_orgs()
+            memo = tuple(p for p in self._peers if p.msp_id in members)
+            self._member_memo[(namespace, collection)] = memo
+        return list(memo)
+
+    def _rotate(
+        self, eligible: list["PeerNode"], tx_id: str, namespace: str, collection: str
+    ) -> list["PeerNode"]:
+        """Rotate the eligible list by a seed/tx-derived offset.
+
+        Keeps the push *set* a deterministic function of (seed, tx,
+        collection) — identical across the reference and batched paths,
+        which the gossip-equivalence invariant depends on — while
+        spreading the MaxPeerCount cap across members over time instead
+        of always starving the same tail.
+        """
+        if len(eligible) <= 1:
+            return eligible
+        token = f"{self.rotation_seed}:{tx_id}:{namespace}:{collection}"
+        offset = zlib.crc32(token.encode("utf-8")) % len(eligible)
+        return eligible[offset:] + eligible[:offset]
+
+    def _push_targets(
+        self, endorsing_peer: "PeerNode", tx_id: str, writes: PrivateCollectionWrites
+    ) -> list["PeerNode"]:
+        """Eligible push targets for one collection rwset, rotated+capped."""
+        config = self._channel.collection(writes.namespace, writes.collection)
+        eligible = [
+            p
+            for p in self.member_peers(writes.namespace, writes.collection)
+            if p is not endorsing_peer
+        ]
+        if len(eligible) < config.required_peer_count:
+            raise GossipError(
+                f"collection {writes.collection!r} requires dissemination to "
+                f"{config.required_peer_count} peers but only {len(eligible)} "
+                f"member peers are reachable"
+            )
+        rotated = self._rotate(eligible, tx_id, writes.namespace, writes.collection)
+        return rotated[: config.max_peer_count]
 
     def disseminate(
         self,
@@ -76,30 +195,61 @@ class GossipNetwork:
     ) -> int:
         """Push plaintext private writes to collection members.
 
-        Returns the number of pushes performed; raises
-        :class:`GossipError` when ``RequiredPeerCount`` cannot be met.
+        Returns the number of per-record pushes performed (a batched
+        payload carrying N collection rwsets counts as N pushes but one
+        wire message); raises :class:`GossipError` when
+        ``RequiredPeerCount`` cannot be met.
         """
+        if self.batch_enabled:
+            return self._disseminate_batched(endorsing_peer, tx_id, private_writes)
         pushed = 0
         for writes in private_writes:
-            config = self._channel.collection(writes.namespace, writes.collection)
-            eligible = [
-                p
-                for p in self.member_peers(writes.namespace, writes.collection)
-                if p is not endorsing_peer
-            ]
-            if len(eligible) < config.required_peer_count:
-                raise GossipError(
-                    f"collection {writes.collection!r} requires dissemination to "
-                    f"{config.required_peer_count} peers but only {len(eligible)} "
-                    f"member peers are reachable"
-                )
-            for target in eligible[: config.max_peer_count]:
+            size = payload_bytes(writes)
+            for target in self._push_targets(endorsing_peer, tx_id, writes):
                 if self.transport is not None:
                     self.transport(endorsing_peer, target, tx_id, writes)
                 else:
                     target.receive_private_data(tx_id, writes)
                 pushed += 1
                 self.pushes += 1
+                self.bytes_sent += size
+                PERF.gossip_pushes += 1
+                PERF.gossip_bytes += size
+        return pushed
+
+    def _disseminate_batched(
+        self,
+        endorsing_peer: "PeerNode",
+        tx_id: str,
+        private_writes: tuple[PrivateCollectionWrites, ...],
+    ) -> int:
+        """One coalesced payload per target, covering every collection.
+
+        The per-destination queues fill while iterating the endorsement's
+        collection rwsets (RequiredPeerCount is still enforced per
+        collection) and flush at the end — one wire message per target.
+        Queue order is deterministic: dict insertion order follows the
+        (collection, rotated member) iteration.
+        """
+        pushed = 0
+        queues: dict["PeerNode", list[PrivateCollectionWrites]] = {}
+        for writes in private_writes:
+            for target in self._push_targets(endorsing_peer, tx_id, writes):
+                queues.setdefault(target, []).append(writes)
+                pushed += 1
+                self.pushes += 1
+                PERF.gossip_pushes += 1
+        for target, records in queues.items():
+            batch = tuple(records)
+            size = sum(payload_bytes(writes) for writes in batch)
+            if self.batch_transport is not None:
+                self.batch_transport(endorsing_peer, target, tx_id, batch)
+            else:
+                target.receive_private_batch(tx_id, batch)
+            self.batched_payloads += 1
+            self.bytes_sent += size
+            PERF.gossip_batched_payloads += 1
+            PERF.gossip_bytes += size
         return pushed
 
     # -- snapshot checkpointing --------------------------------------------

@@ -6,18 +6,126 @@ original private data and records the gap.  The reconciler later pulls the
 committed private rwset from another member peer, re-verifies it against
 the on-chain hashes, and applies it — mirroring Fabric's pvtdata
 reconciliation loop.
+
+One round iterates the ledger's per-(namespace, collection) gap index
+instead of scanning a flat list: member sources and their archived tx-id
+sets are computed once per collection, ``find_transaction`` lookups are
+memoized per round, and a source that provably lacks a tx is never
+probed.  The verify-then-apply step lives in :func:`apply_pulled_rwset`
+so the digest-driven anti-entropy loop (``gossip.anti_entropy``) applies
+pulled data under exactly the same hash, staleness and BTL rules.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.hashing import hash_key
+from repro.common.tracing import PERF
 from repro.ledger.version import Version
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaincode.rwset import PrivateCollectionWrites
     from repro.gossip.dissemination import GossipNetwork
+    from repro.ledger.ledger import MissingPrivateData
     from repro.peer.node import PeerNode
+
+#: Per-round memo of ``tx_id -> (hashed namespace rwset, (block, tx))`` —
+#: or ``None`` when the tx cannot be located at the repairing peer.
+LocateMemo = dict
+
+
+def _locate_tx(peer: "PeerNode", tx_id: str, memo: Optional[LocateMemo]):
+    """Find ``tx_id``'s rwset + position at ``peer``, memoized per round.
+
+    Works after pruning too: ``find_transaction``/``locate_transaction``
+    fall back to the peer's archived-history index once the block itself
+    is gone.
+    """
+    if memo is not None and tx_id in memo:
+        return memo[tx_id]
+    located = peer.ledger.blockchain.find_transaction(tx_id)
+    entry = None
+    if located is not None:
+        tx, _flag = located
+        location = peer.ledger.blockchain.locate_transaction(tx_id)
+        if location is not None:
+            entry = (tx.payload.results, location)
+    if memo is not None:
+        memo[tx_id] = entry
+    return entry
+
+
+def apply_pulled_rwset(
+    peer: "PeerNode",
+    missing: "MissingPrivateData",
+    plaintext: "PrivateCollectionWrites",
+    memo: Optional[LocateMemo] = None,
+) -> bool:
+    """Verify and apply one pulled private rwset at ``peer``.
+
+    The shared repair step of the on-demand reconciler and the
+    anti-entropy loop.  Never trusts the pulled data: it must match the
+    on-chain hashes of the recorded tx.  Each write then passes the
+    staleness rule (the committed *hash* store must still point at this
+    tx's version — a later tx overwriting or deleting the key wins), and
+    a collection whose BlockToLive already expired by apply time is
+    resolved *without* writing plaintext — repairing a gap must never
+    resurrect data every member has purged.
+
+    Returns True when the gap was dealt with (the missing record is
+    resolved), False when this plaintext cannot repair it.
+    """
+    entry = _locate_tx(peer, missing.tx_id, memo)
+    if entry is None:
+        return False
+    results, (block_num, tx_num) = entry
+    ns_set = results.namespace(missing.namespace)
+    if ns_set is None:
+        return False
+    hashed_col = ns_set.collection(missing.collection)
+    if hashed_col is None:
+        return False
+    if not plaintext.matches_hashes(hashed_col):
+        return False
+
+    config = peer.channel.collection(missing.namespace, missing.collection)
+    btl = config.block_to_live
+    expired = bool(btl) and peer.ledger.height >= block_num + btl + 1
+    version = Version(block_num, tx_num)
+    if not expired:
+        for write in plaintext.writes:
+            # Staleness check (as in Fabric's reconciler): only apply a
+            # pulled write while the committed *hash* store still points
+            # at this transaction's version.  A later transaction may
+            # have overwritten or deleted the key since the gap was
+            # recorded — applying the old write then would resurrect
+            # deleted data or roll the plaintext back behind the hashes.
+            current = peer.ledger.private_hashes.get_version(
+                missing.namespace, missing.collection, hash_key(write.key)
+            )
+            if write.is_delete:
+                if current is None:
+                    peer.ledger.private_data.delete(
+                        missing.namespace, missing.collection, write.key
+                    )
+            elif current == version:
+                peer.ledger.private_data.put(
+                    missing.namespace, missing.collection, write.key,
+                    write.value or b"", version,
+                )
+                peer.ledger.note_private_commit(
+                    missing.namespace,
+                    missing.collection,
+                    write.key,
+                    block_num,
+                    btl=btl,
+                )
+        peer.ledger.committed_private_rwsets[
+            (missing.tx_id, missing.namespace, missing.collection)
+        ] = plaintext
+    peer.ledger.resolve_missing(missing.tx_id, missing.namespace, missing.collection)
+    return True
 
 
 class Reconciler:
@@ -29,77 +137,38 @@ class Reconciler:
     def reconcile_peer(self, peer: "PeerNode") -> int:
         """Attempt to repair every recorded gap at ``peer``; returns fills."""
         filled = 0
-        for missing in list(peer.ledger.missing_private):
-            if self._reconcile_one(peer, missing):
-                filled += 1
+        memo: LocateMemo = {}
+        for (namespace, collection), gaps in list(
+            peer.ledger.missing_by_collection().items()
+        ):
+            sources = [
+                s
+                for s in self._gossip.member_peers(namespace, collection)
+                if s is not peer
+            ]
+            if not sources:
+                continue
+            # One archive-index lookup per source per collection; a source
+            # that provably lacks the tx is skipped without a probe.
+            holdings = [
+                (s, s.ledger.committed_private_rwsets.tx_ids_for(namespace, collection))
+                for s in sources
+            ]
+            for missing in list(gaps.values()):
+                for source, tx_ids in holdings:
+                    if missing.tx_id not in tx_ids:
+                        continue
+                    plaintext = source.serve_private_data(
+                        missing.tx_id, namespace, collection
+                    )
+                    if plaintext is None:
+                        continue
+                    if apply_pulled_rwset(peer, missing, plaintext, memo):
+                        self._gossip.reconcile_pulls += 1
+                        PERF.gossip_reconcile_pulls += 1
+                        filled += 1
+                        break
         return filled
 
     def reconcile_all(self) -> int:
         return sum(self.reconcile_peer(peer) for peer in self._gossip.peers())
-
-    def _reconcile_one(self, peer: "PeerNode", missing) -> bool:
-        located = peer.ledger.blockchain.find_transaction(missing.tx_id)
-        if located is None:
-            return False
-        tx, _flag = located
-        ns_set = tx.payload.results.namespace(missing.namespace)
-        if ns_set is None:
-            return False
-        hashed_col = ns_set.collection(missing.collection)
-        if hashed_col is None:
-            return False
-
-        for source in self._gossip.member_peers(missing.namespace, missing.collection):
-            if source is peer:
-                continue
-            plaintext = source.serve_private_data(
-                missing.tx_id, missing.namespace, missing.collection
-            )
-            if plaintext is None:
-                continue
-            # Never trust a pulled rwset without re-checking the hashes.
-            if not plaintext.matches_hashes(hashed_col):
-                continue
-            block_num, tx_num = self._locate(peer, missing.tx_id)
-            version = Version(block_num, tx_num)
-            for write in plaintext.writes:
-                # Staleness check (as in Fabric's reconciler): only apply a
-                # pulled write while the committed *hash* store still points
-                # at this transaction's version.  A later transaction may
-                # have overwritten or deleted the key since the gap was
-                # recorded — applying the old write then would resurrect
-                # deleted data or roll the plaintext back behind the hashes.
-                current = peer.ledger.private_hashes.get_version(
-                    missing.namespace, missing.collection, hash_key(write.key)
-                )
-                if write.is_delete:
-                    if current is None:
-                        peer.ledger.private_data.delete(
-                            missing.namespace, missing.collection, write.key
-                        )
-                elif current == version:
-                    peer.ledger.private_data.put(
-                        missing.namespace, missing.collection, write.key,
-                        write.value or b"", version,
-                    )
-                    config = peer.channel.collection(missing.namespace, missing.collection)
-                    peer.ledger.note_private_commit(
-                        missing.namespace,
-                        missing.collection,
-                        write.key,
-                        block_num,
-                        btl=config.block_to_live,
-                    )
-            peer.ledger.committed_private_rwsets[
-                (missing.tx_id, missing.namespace, missing.collection)
-            ] = plaintext
-            peer.ledger.resolve_missing(missing.tx_id, missing.namespace, missing.collection)
-            return True
-        return False
-
-    @staticmethod
-    def _locate(peer: "PeerNode", tx_id: str) -> tuple[int, int]:
-        location = peer.ledger.blockchain.locate_transaction(tx_id)
-        if location is None:
-            raise KeyError(tx_id)
-        return location

@@ -109,6 +109,26 @@ class PrivateRwsetArchive(MutableMapping):
 
     def __init__(self, backend: KVBackend) -> None:
         self._backend = backend
+        # Per-(namespace, collection) tx-id index: what anti-entropy digests
+        # are assembled from, O(1) per lookup instead of a full range scan.
+        self._by_collection: dict[tuple[str, str], set[str]] = {}
+        for composite, _ in backend.range(NS_PRIVATE_RWSETS):
+            tx_id, namespace, collection = split_key(composite)
+            self._by_collection.setdefault((namespace, collection), set()).add(tx_id)
+
+    def _index_add(self, tx_id: str, namespace: str, collection: str) -> None:
+        self._by_collection.setdefault((namespace, collection), set()).add(tx_id)
+
+    def _index_drop(self, tx_id: str, namespace: str, collection: str) -> None:
+        bucket = self._by_collection.get((namespace, collection))
+        if bucket is not None:
+            bucket.discard(tx_id)
+            if not bucket:
+                del self._by_collection[(namespace, collection)]
+
+    def tx_ids_for(self, namespace: str, collection: str) -> frozenset:
+        """Transactions with an archived rwset for ``(namespace, collection)``."""
+        return frozenset(self._by_collection.get((namespace, collection), ()))
 
     @staticmethod
     def encode(writes) -> bytes:
@@ -152,6 +172,7 @@ class PrivateRwsetArchive(MutableMapping):
             NS_PRIVATE_RWSETS,
             compose_key(tx_id, namespace, collection),
             self.encode(writes),
+            on_commit=lambda: self._index_add(tx_id, namespace, collection),
         )
 
     def __getitem__(self, key: tuple[str, str, str]):
@@ -167,6 +188,7 @@ class PrivateRwsetArchive(MutableMapping):
         if self._backend.get(NS_PRIVATE_RWSETS, compose_key(*key)) is None:
             raise KeyError(key)
         self._backend.delete(NS_PRIVATE_RWSETS, compose_key(*key))
+        self._index_drop(*key)
 
     def __iter__(self) -> Iterator[tuple[str, str, str]]:
         for composite, _ in self._backend.range(NS_PRIVATE_RWSETS):
@@ -192,9 +214,13 @@ class PeerLedger:
         self.blockchain = Blockchain(backend)
         self.transient_store = TransientStore(backend=backend)
         self.committed_private_rwsets = PrivateRwsetArchive(backend)
-        self.missing_private = [
-            decode_missing_record(raw) for _, raw in backend.range(NS_MISSING)
-        ]
+        # Missing-gap index: flat map for ordered iteration plus a
+        # per-(namespace, collection) view so one reconciliation round is
+        # O(repairable gaps), not O(gaps x member peers x list scans).
+        self._missing: dict[tuple[str, str, str], MissingPrivateData] = {}
+        self._missing_by_col: dict[tuple[str, str], dict[str, MissingPrivateData]] = {}
+        for _, raw in backend.range(NS_MISSING):
+            self._missing_add(decode_missing_record(raw))
         # BlockToLive expiry index: expiry height -> private keys due then.
         self._expiry_buckets: dict[int, set[tuple[str, str, str]]] = {}
         self._expiry_heap: list[int] = []
@@ -247,6 +273,34 @@ class PeerLedger:
         return self.blockchain.height
 
     # -- missing-private bookkeeping ----------------------------------------
+    def _missing_add(self, missing: MissingPrivateData) -> None:
+        self._missing[(missing.tx_id, missing.namespace, missing.collection)] = missing
+        self._missing_by_col.setdefault(
+            (missing.namespace, missing.collection), {}
+        )[missing.tx_id] = missing
+
+    def _missing_drop(self, tx_id: str, namespace: str, collection: str) -> None:
+        self._missing.pop((tx_id, namespace, collection), None)
+        col_map = self._missing_by_col.get((namespace, collection))
+        if col_map is not None:
+            col_map.pop(tx_id, None)
+            if not col_map:
+                del self._missing_by_col[(namespace, collection)]
+
+    @property
+    def missing_private(self) -> list[MissingPrivateData]:
+        """Every unrepaired gap, in record order (a fresh list)."""
+        return list(self._missing.values())
+
+    def missing_by_collection(self) -> dict[tuple[str, str], dict[str, MissingPrivateData]]:
+        """Gaps grouped per (namespace, collection): ``{tx_id: record}``."""
+        return self._missing_by_col
+
+    def get_missing(
+        self, tx_id: str, namespace: str, collection: str
+    ) -> Optional[MissingPrivateData]:
+        return self._missing.get((tx_id, namespace, collection))
+
     def record_missing(
         self, missing: MissingPrivateData, batch: Optional[WriteBatch] = None
     ) -> None:
@@ -256,7 +310,7 @@ class PeerLedger:
             NS_MISSING,
             compose_key(missing.tx_id, missing.namespace, missing.collection),
             pack_missing_record(missing),
-            on_commit=lambda: self.missing_private.append(missing),
+            on_commit=lambda: self._missing_add(missing),
         )
 
     def resolve_missing(
@@ -266,24 +320,13 @@ class PeerLedger:
         collection: str,
         batch: Optional[WriteBatch] = None,
     ) -> None:
-        def drop() -> None:
-            self.missing_private = [
-                m
-                for m in self.missing_private
-                if not (
-                    m.tx_id == tx_id
-                    and m.namespace == namespace
-                    and m.collection == collection
-                )
-            ]
-
         write_op(
             self.backend,
             batch,
             NS_MISSING,
             compose_key(tx_id, namespace, collection),
             None,
-            on_commit=drop,
+            on_commit=lambda: self._missing_drop(tx_id, namespace, collection),
         )
 
     # -- BlockToLive expiry --------------------------------------------------

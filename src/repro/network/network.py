@@ -17,7 +17,11 @@ from repro.client.gateway import Gateway, SubmitResult
 from repro.common.errors import ConfigError, EndorsementError
 from repro.common.tracing import PERF, Tracer
 from repro.core.defense.features import FrameworkFeatures
-from repro.gossip.dissemination import GossipNetwork
+from repro.gossip.dissemination import (
+    GossipNetwork,
+    resolve_anti_entropy_every,
+    resolve_gossip_batch,
+)
 from repro.gossip.reconciler import Reconciler
 from repro.ledger.snapshot import (
     bootstrap_from_package,
@@ -55,6 +59,8 @@ class FabricNetwork:
         snapshot_every: int | None = None,
         prune: bool | None = None,
         reorder: bool | None = None,
+        gossip_batch: bool | None = None,
+        anti_entropy_every: float | None = None,
     ) -> None:
         self.channel = channel
         self.features = features or FrameworkFeatures.original()
@@ -69,7 +75,13 @@ class FabricNetwork:
         # given; 0 / False keep the un-snapshotted reference behaviour).
         self.snapshot_every = resolve_snapshot_every(snapshot_every)
         self.prune_enabled = resolve_prune(prune)
-        self.gossip = GossipNetwork(channel)
+        # Gossip fast path (resolved from REPRO_GOSSIP_BATCH /
+        # REPRO_ANTI_ENTROPY_EVERY when not given): coalesced per-target
+        # dissemination payloads, and the cadence of the digest-driven
+        # anti-entropy loop the runtime schedules (0 = off).
+        self.gossip_batch_enabled = resolve_gossip_batch(gossip_batch)
+        self.anti_entropy_every = resolve_anti_entropy_every(anti_entropy_every)
+        self.gossip = GossipNetwork(channel, batch=self.gossip_batch_enabled)
         self.reconciler = Reconciler(self.gossip)
         # Conflict-aware ordering (resolved from REPRO_REORDER when not
         # given): the orderer reorders each cut batch along its conflict

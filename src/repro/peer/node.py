@@ -149,6 +149,18 @@ class PeerNode:
         """Gossip push handler: store disseminated private data."""
         self.ledger.transient_store.put(tx_id, writes, self.ledger.height)
 
+    def receive_private_batch(
+        self, tx_id: str, batch: tuple[PrivateCollectionWrites, ...]
+    ) -> None:
+        """Batched-gossip handler: one payload, every collection rwset.
+
+        Routed through :meth:`receive_private_data` per record so that the
+        per-record handler stays the single delivery seam in both
+        dissemination modes.
+        """
+        for writes in batch:
+            self.receive_private_data(tx_id, writes)
+
     # -- validation phase ------------------------------------------------------
     def deliver_block(self, block: Block) -> ValidatedBlock:
         """Validate and commit an ordered block (steps 13-20 of Fig. 2)."""
@@ -267,6 +279,34 @@ ValidationCostModel` charges service time for; no crypto runs.
     ) -> Optional[PrivateCollectionWrites]:
         """Serve a committed private rwset to a reconciling member peer."""
         return self.ledger.committed_private_rwsets.get((tx_id, namespace, collection))
+
+    def serve_private_batch(
+        self, requests: tuple[tuple[str, str, str], ...]
+    ) -> list[tuple[str, str, str, PrivateCollectionWrites]]:
+        """Serve a batched multi-gap pull: every requested rwset held here."""
+        responses = []
+        for tx_id, namespace, collection in requests:
+            writes = self.ledger.committed_private_rwsets.get(
+                (tx_id, namespace, collection)
+            )
+            if writes is not None:
+                responses.append((tx_id, namespace, collection, writes))
+        return responses
+
+    def private_digest(
+        self, scopes: tuple[tuple[str, str], ...]
+    ) -> dict[tuple[str, str], tuple[str, ...]]:
+        """Sorted tx ids with an archived private rwset, per scope."""
+        return {
+            (namespace, collection): tuple(
+                sorted(
+                    self.ledger.committed_private_rwsets.tx_ids_for(
+                        namespace, collection
+                    )
+                )
+            )
+            for namespace, collection in scopes
+        }
 
     # -- queries (used by applications, tests and the leakage analysis) -------
     def query_public(self, chaincode_id: str, key: str) -> Optional[bytes]:

@@ -45,6 +45,7 @@ from repro.common.errors import (
     PrunedBacklogError,
     SchedulerError,
 )
+from repro.gossip.anti_entropy import ANTI_ENTROPY_TOPICS, AntiEntropyEngine
 from repro.ledger.block import Block
 from repro.ledger.snapshot import bootstrap_from_package
 from repro.protocol.transaction import TransactionEnvelope, ValidationCode
@@ -81,9 +82,15 @@ def resolve_mempool_limit(limit: Optional[int] = None) -> Optional[int]:
 TOPIC_SUBMIT = "submit"
 TOPIC_DELIVER = "deliver-block"
 TOPIC_GOSSIP = "gossip-push"
+TOPIC_GOSSIP_BATCH = "gossip-batch"
 TOPIC_ENDORSE = "endorse-proposal"
 TOPIC_ENDORSE_RESULT = "endorse-result"
 TOPIC_SNAPSHOT_SIG = "snapshot-sig"
+
+#: Every topic carrying private-data gossip traffic (dissemination in
+#: both modes plus the anti-entropy exchange) — what a "gossip blackout"
+#: fault window or a gossip latency override should cover.
+GOSSIP_TOPICS = (TOPIC_GOSSIP, TOPIC_GOSSIP_BATCH) + ANTI_ENTROPY_TOPICS
 
 ORDERER_ENDPOINT = "orderer"
 CLIENT_SOURCE = "client"
@@ -239,7 +246,18 @@ class TransactionRuntime:
         for peer in network.peers():
             self.register_peer(peer, network.delivery_handler_for(peer))
         network.gossip.transport = self._send_gossip
+        network.gossip.batch_transport = self._send_gossip_batch
         network.gossip.snapshot_transport = self._send_snapshot_sig
+        # The run seed drives deterministic push-set rotation and the
+        # anti-entropy source rotation — identical across ablation legs.
+        network.gossip.rotation_seed = seed
+        #: Digest-driven anti-entropy loop; ``None`` when the network's
+        #: cadence is 0 (the on-demand reconciler remains available).
+        self.anti_entropy: Optional[AntiEntropyEngine] = None
+        every = getattr(network, "anti_entropy_every", 0.0)
+        if every:
+            self.anti_entropy = AntiEntropyEngine(self, every)
+            self.anti_entropy.arm()
 
     # -- introspection -------------------------------------------------------
     @property
@@ -411,6 +429,12 @@ class TransactionRuntime:
             elif message.topic == TOPIC_GOSSIP:
                 tx_id, writes = message.payload
                 peer.receive_private_data(tx_id, writes)
+            elif message.topic == TOPIC_GOSSIP_BATCH:
+                tx_id, batch = message.payload
+                peer.receive_private_batch(tx_id, batch)
+            elif message.topic in ANTI_ENTROPY_TOPICS:
+                if self.anti_entropy is not None:
+                    self.anti_entropy.on_message(peer, message)
             elif message.topic == TOPIC_SNAPSHOT_SIG:
                 manifest, certificate, signature = message.payload
                 peer.receive_snapshot_sig(manifest, certificate, signature)
@@ -509,6 +533,10 @@ class TransactionRuntime:
         self._note_committed(block)
 
     def _note_committed(self, block: Block) -> None:
+        if self.anti_entropy is not None:
+            # A commit may have recorded fresh gaps; make sure a tick is
+            # pending to discover them (no-op while one already is).
+            self.anti_entropy.arm()
         progress = self._blocks.get(block.header.number)
         if progress is None:  # pragma: no cover - defensive
             return
@@ -666,6 +694,15 @@ class TransactionRuntime:
         writes: PrivateCollectionWrites,
     ) -> None:
         self.bus.send(source.name, target.name, TOPIC_GOSSIP, (tx_id, writes))
+
+    def _send_gossip_batch(
+        self,
+        source: "PeerNode",
+        target: "PeerNode",
+        tx_id: str,
+        batch: tuple[PrivateCollectionWrites, ...],
+    ) -> None:
+        self.bus.send(source.name, target.name, TOPIC_GOSSIP_BATCH, (tx_id, batch))
 
     def _send_snapshot_sig(
         self, source: "PeerNode", target: "PeerNode", manifest, certificate, signature

@@ -15,6 +15,7 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.gossip.dissemination import resolve_anti_entropy_every, resolve_gossip_batch
 from repro.ledger.snapshot import resolve_prune, resolve_snapshot_every
 from repro.orderer.reorder import resolve_reorder
 from repro.runtime.executor import resolve_executor_kind
@@ -68,6 +69,12 @@ class SimulationConfig:
     # REPRO_REORDER or --reorder; False keeps the arrival-order reference
     # behaviour) ------------------------------------------------------------
     reorder: bool = False  # reorder batches + early-abort doomed txs
+    # -- the gossip fast path (environment decisions like the above:
+    # REPRO_GOSSIP_BATCH / REPRO_ANTI_ENTROPY_EVERY or --gossip-batch /
+    # --anti-entropy-every; off keeps the per-push reference behaviour
+    # and on-demand-only reconciliation) -------------------------------------
+    gossip_batch: bool = False  # coalesce one endorsement's pushes per target
+    anti_entropy_every: float = 0.0  # digest-loop cadence (sim s); 0 = off
     # -- peer validation service time: simulated seconds charged per block
     # transaction (0 = instantaneous, the legacy clock).  Nonzero makes
     # chain space cost real time, so committed-as-invalid waste shows up
@@ -171,6 +178,11 @@ class SimulationConfig:
             # must only drop provably doomed transactions (the
             # reorder-soundness invariant enforces it).
             reorder=resolve_reorder(),
+            # The gossip fast path is an environment decision as well: the
+            # gossip-equivalence invariant pins batched dissemination to
+            # the reference path's byte-identical private state.
+            gossip_batch=resolve_gossip_batch(),
+            anti_entropy_every=resolve_anti_entropy_every(),
         )
 
     @staticmethod
@@ -242,6 +254,8 @@ class SimulationConfig:
             snapshot_every=resolve_snapshot_every(),
             prune=resolve_prune(),
             reorder=resolve_reorder(),
+            gossip_batch=resolve_gossip_batch(),
+            anti_entropy_every=resolve_anti_entropy_every(),
         )
 
     @classmethod

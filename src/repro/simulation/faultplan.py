@@ -11,8 +11,9 @@ Window shapes:
 
 * **delivery partition** — cut a subset of ``orderer → peer`` links
   (peers fall behind and later catch up out of order);
-* **gossip blackout** — drop the ``gossip-push`` topic entirely (members
-  record missing private data; the reconciler must repair it);
+* **gossip blackout** — drop the whole gossip topic family (per-record
+  pushes, batched payloads, anti-entropy digests and pulls) so members
+  record missing private data; the reconciler must repair it;
 * **gossip link cuts** — cut individual ``peer → peer`` links;
 * **submit loss** — a per-topic drop rate on ``submit`` (envelopes are
   lost before ordering; their futures never resolve, and the liveness
@@ -34,7 +35,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.runtime.runtime import TOPIC_DELIVER, TOPIC_GOSSIP, TOPIC_SUBMIT
+from repro.runtime.runtime import GOSSIP_TOPICS, TOPIC_DELIVER, TOPIC_SUBMIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import TransactionRuntime
@@ -118,8 +119,14 @@ def generate_fault_schedule(
                 actions.append(FaultAction(at=end, kind="restore_link",
                                            src="orderer", dst=name))
         elif shape == "gossip_blackout":
-            actions.append(FaultAction(at=start, kind="drop_topic", topic=TOPIC_GOSSIP))
-            actions.append(FaultAction(at=end, kind="allow_topic", topic=TOPIC_GOSSIP))
+            # A blackout must silence the gossip plane regardless of
+            # dissemination mode — dropping only the per-record topic
+            # would let the batched leg sail through (and the AE loop
+            # repair gaps mid-blackout), so every gossip-family topic
+            # goes dark for the window.
+            for topic in GOSSIP_TOPICS:
+                actions.append(FaultAction(at=start, kind="drop_topic", topic=topic))
+                actions.append(FaultAction(at=end, kind="allow_topic", topic=topic))
         elif shape == "gossip_links":
             pairs = [(a, b) for a in peer_names for b in peer_names if a != b]
             count = min(len(pairs), rng.randint(1, 4))

@@ -30,7 +30,7 @@ from repro.protocol.transaction import ValidationCode
 from repro.runtime import executor as executor_mod
 from repro.runtime.executor import ValidationCostModel
 from repro.runtime.faults import FaultInjector, LatencyModel
-from repro.runtime.runtime import TOPIC_GOSSIP
+from repro.runtime.runtime import GOSSIP_TOPICS
 from repro.simulation.config import SimulationConfig
 from repro.simulation.faultplan import generate_fault_schedule
 from repro.simulation.invariants import (
@@ -183,6 +183,8 @@ def build_network(config: SimulationConfig) -> SimNetwork:
         snapshot_every=config.snapshot_every,
         prune=config.prune,
         reorder=config.reorder,
+        gossip_batch=config.gossip_batch,
+        anti_entropy_every=config.anti_entropy_every,
     )
 
     peers: dict = {}
@@ -213,7 +215,10 @@ def build_network(config: SimulationConfig) -> SimNetwork:
     latency = LatencyModel(
         base=config.base_latency,
         jitter=config.jitter,
-        topic_base={TOPIC_GOSSIP: config.gossip_latency},
+        # Every gossip-family topic — per-record pushes, batched payloads
+        # and the anti-entropy exchange — shares the gossip latency, so
+        # the dissemination mode never changes per-message timing.
+        topic_base={topic: config.gossip_latency for topic in GOSSIP_TOPICS},
     )
     # A nonzero validate_cost turns peer validation into a FIFO service
     # station charging per-transaction simulated time.  The worker count
@@ -402,6 +407,15 @@ def _execute(
             1 for o in outcomes
             if o.error is not None and o.error.startswith("RetryExhaustedError")
         ),
+        # Gossip-plane accounting: per-record pushes (mode-independent),
+        # coalesced wire payloads (batch mode only), anti-entropy digest
+        # exchanges, pull repairs through either path, and wire bytes.
+        "gossip_batch": config.gossip_batch,
+        "gossip_pushes": sim.network.gossip.pushes,
+        "gossip_payloads": sim.network.gossip.batched_payloads,
+        "gossip_digest_rounds": sim.network.gossip.digest_rounds,
+        "gossip_reconcile_pulls": sim.network.gossip.reconcile_pulls,
+        "gossip_bytes": sim.network.gossip.bytes_sent,
         "state_digest": state_digest(sim),
     }
     return SimulationReport(
@@ -623,7 +637,17 @@ def compare_reports(
     # Contention accounting is derived from the committed history (and,
     # for early aborts, from the orderer pipeline that shaped it) — any
     # divergence means the backends did not see the same conflicts.
-    for stat in ("mvcc_within_block", "mvcc_cross_block", "early_aborts"):
+    # Gossip-plane accounting joins the comparison with one carve-out:
+    # the two legs of the gossip-equivalence invariant differ in payload
+    # packaging *by design* (batched payloads and wire bytes), but the
+    # per-record push count and the anti-entropy repair work must still
+    # agree — same records pushed, same gaps pulled.
+    compared_stats = ("mvcc_within_block", "mvcc_cross_block", "early_aborts",
+                      "gossip_pushes", "gossip_digest_rounds",
+                      "gossip_reconcile_pulls")
+    if invariant != "gossip-equivalence":
+        compared_stats += ("gossip_payloads", "gossip_bytes")
+    for stat in compared_stats:
         if reference.stats.get(stat) != parallel.stats.get(stat):
             violations.append(Violation(
                 invariant,
@@ -669,6 +693,8 @@ def run_parallel_equivalence(
     snapshot_every: Optional[int] = None,
     prune: Optional[bool] = None,
     reorder: Optional[bool] = None,
+    gossip_batch: Optional[bool] = None,
+    anti_entropy_every: Optional[float] = None,
 ) -> EquivalenceReport:
     """Check the ``parallel-equivalence`` invariant for one seed.
 
@@ -689,6 +715,10 @@ def run_parallel_equivalence(
         config = replace(config, prune=prune)
     if reorder is not None:
         config = replace(config, reorder=reorder)
+    if gossip_batch is not None:
+        config = replace(config, gossip_batch=gossip_batch)
+    if anti_entropy_every is not None:
+        config = replace(config, anti_entropy_every=anti_entropy_every)
     ops_list, fault_actions = generate(config)
     reference = execute(
         replace(config, executor="serial"), ops_list, fault_actions, weaken=weaken
@@ -704,4 +734,98 @@ def run_parallel_equivalence(
         reference=reference,
         parallel=parallel,
         violations=compare_reports(reference, parallel),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The gossip-equivalence invariant
+# ---------------------------------------------------------------------------
+
+#: Fault kinds whose runtime effect draws from the scheduler's RNG *per
+#: message*.  The two gossip-equivalence legs send different message
+#: counts by design, so any per-message draw would desynchronize the
+#: shared RNG stream and every later jittered/iid-dropped event with it —
+#: a schedule divergence that has nothing to do with gossip semantics.
+#: Deterministic faults (cut links, dead topics, crash windows) stay.
+_RNG_FAULT_KINDS = ("topic_rate", "drop_rate", "jitter")
+
+
+@dataclass
+class GossipEquivalenceReport:
+    """One seed executed on the reference and the batched gossip path."""
+
+    config: SimulationConfig
+    ops: list
+    fault_actions: list
+    reference: SimulationReport
+    batched: SimulationReport
+    violations: list  # equivalence violations only
+
+    @property
+    def ok(self) -> bool:
+        """Equivalent *and* both runs individually clean."""
+        return not self.violations and self.reference.ok and self.batched.ok
+
+    def summary(self) -> str:
+        verdict = "equivalent" if self.ok else (
+            f"{len(self.violations)} EQUIVALENCE VIOLATIONS"
+            if self.violations else "runs not clean"
+        )
+        return (
+            f"seed={self.config.seed} ops={len(self.ops)} "
+            f"reference={self.reference.stats.get('state_digest', '')[:12]} "
+            f"batched={self.batched.stats.get('state_digest', '')[:12]} "
+            f"payloads={self.batched.stats.get('gossip_payloads', 0)} "
+            f"vs pushes={self.reference.stats.get('gossip_pushes', 0)} "
+            f"-> {verdict}"
+        )
+
+
+def run_gossip_equivalence(
+    seed: int,
+    ops: int,
+    workload: str = "mixed",
+    anti_entropy_every: float = 4.0,
+) -> GossipEquivalenceReport:
+    """Check the ``gossip-equivalence`` invariant for one seed.
+
+    The same ``(config, ops, faults)`` triple runs twice — per-push
+    reference dissemination vs batched per-target payloads — with the
+    anti-entropy loop at the same cadence in both legs, and the two
+    histories must agree byte-for-byte: state digest (which covers every
+    peer's private plaintext, hashes and versions), block count, per-op
+    outcomes, and the mode-independent gossip accounting (records
+    pushed, digest rounds, pull repairs).
+
+    Jitter is forced to zero and RNG-drawing fault kinds are filtered
+    from the schedule (see :data:`_RNG_FAULT_KINDS`): both draw from the
+    scheduler RNG once per message, and the legs differ in message count
+    by design.  Everything else — deterministic partitions, dead gossip
+    topics, crash/restart windows, latency asymmetries — applies to both
+    legs identically.
+    """
+    config = SimulationConfig.generate_workload(workload, seed, ops)
+    config = replace(
+        config,
+        jitter=0.0,
+        gossip_batch=False,
+        anti_entropy_every=anti_entropy_every,
+    )
+    ops_list, fault_actions = generate(config)
+    fault_actions = [
+        action for action in fault_actions if action.kind not in _RNG_FAULT_KINDS
+    ]
+    reference = execute(config, ops_list, fault_actions)
+    batched = execute(
+        replace(config, gossip_batch=True), ops_list, fault_actions
+    )
+    return GossipEquivalenceReport(
+        config=config,
+        ops=ops_list,
+        fault_actions=fault_actions,
+        reference=reference,
+        batched=batched,
+        violations=compare_reports(
+            reference, batched, invariant="gossip-equivalence"
+        ),
     )

@@ -29,6 +29,7 @@ from repro.simulation.harness import (
     WEAKENERS,
     execute,
     generate,
+    run_gossip_equivalence,
     run_parallel_equivalence,
 )
 from repro.simulation.shrink import (
@@ -90,6 +91,15 @@ def main(argv: list[str] | None = None) -> int:
                              "provably doomed transactions; enables the "
                              "reorder-soundness invariant (default: the "
                              "REPRO_REORDER env var, else off)")
+    parser.add_argument("--gossip-batch", action="store_true",
+                        help="batched gossip fast path: coalesce each "
+                             "endorsement's private rwsets into one payload "
+                             "per target peer (default: the "
+                             "REPRO_GOSSIP_BATCH env var, else off)")
+    parser.add_argument("--anti-entropy-every", type=float, default=None,
+                        help="digest-driven anti-entropy cadence in simulated "
+                             "seconds; 0 disables the loop (default: the "
+                             "REPRO_ANTI_ENTROPY_EVERY env var, else off)")
     parser.add_argument("--workload", choices=["mixed", "tpcc"], default="mixed",
                         help="workload family: the mixed asset/PDC mix, or the "
                              "contended TPC-C-style mix with open-loop arrivals "
@@ -101,6 +111,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--equiv-workers", type=int, default=4,
                         help="worker count for the parallel leg of "
                              "--check-equivalence (default 4)")
+    parser.add_argument("--check-gossip-equivalence", action="store_true",
+                        help="run every seed twice — per-record reference "
+                             "dissemination vs the batched fast path, same "
+                             "anti-entropy cadence — and fail on any "
+                             "byte-level divergence (the gossip-equivalence "
+                             "invariant)")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -108,6 +124,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check_equivalence:
         return _check_equivalence(args)
+
+    if args.check_gossip_equivalence:
+        return _check_gossip_equivalence(args)
 
     failures = 0
     started = time.time()
@@ -124,6 +143,11 @@ def main(argv: list[str] | None = None) -> int:
             config = dataclasses.replace(config, prune=True)
         if args.reorder:
             config = dataclasses.replace(config, reorder=True)
+        if args.gossip_batch:
+            config = dataclasses.replace(config, gossip_batch=True)
+        if args.anti_entropy_every is not None:
+            config = dataclasses.replace(
+                config, anti_entropy_every=args.anti_entropy_every)
         ops, fault_actions = generate(config)
         report = execute(config, ops, fault_actions, weaken=args.weaken)
         print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
@@ -186,6 +210,51 @@ def _check_equivalence(args) -> int:
     elapsed = time.time() - started
     print(f"{args.seeds} seeds x2 runs, {failures} failing "
           f"equivalence ({elapsed:.1f}s total)")
+    return 1 if failures else 0
+
+
+def _check_gossip_equivalence(args) -> int:
+    """Sweep seeds through the gossip-equivalence invariant.
+
+    A failing seed dumps its (config, ops, faults) triple plus both
+    digests and the violations as ``gossip-equivalence-seed{N}.json``
+    for artifact upload; the trace replays with ``--replay`` under
+    either dissemination mode.
+    """
+    every = args.anti_entropy_every if args.anti_entropy_every is not None else 4.0
+    failures = 0
+    started = time.time()
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        seed_started = time.time()
+        report = run_gossip_equivalence(
+            seed, args.ops, workload=args.workload, anti_entropy_every=every,
+        )
+        print(f"{report.summary()} ({time.time() - seed_started:.1f}s)")
+        if report.ok:
+            continue
+        failures += 1
+        for violation in (
+            report.violations
+            + report.reference.violations[:4]
+            + report.batched.violations[:4]
+        ):
+            print(f"    {violation}")
+        out_dir = args.trace_dir or Path(".")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = out_dir / f"gossip-equivalence-seed{seed}.json"
+        trace_path.write_text(json.dumps({
+            "config": report.config.to_wire(),
+            "ops": [op.to_wire() for op in report.ops],
+            "faults": [action.to_wire() for action in report.fault_actions],
+            "violations": [str(v) for v in report.violations],
+            "reference_digest": report.reference.stats.get("state_digest"),
+            "batched_digest": report.batched.stats.get("state_digest"),
+            "anti_entropy_every": every,
+        }, indent=1))
+        print(f"    trace: {trace_path}")
+    elapsed = time.time() - started
+    print(f"{args.seeds} seeds x2 runs, {failures} failing "
+          f"gossip-equivalence ({elapsed:.1f}s total)")
     return 1 if failures else 0
 
 

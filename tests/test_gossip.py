@@ -13,7 +13,7 @@ from repro.network.network import FabricNetwork
 
 
 def _network(required_peer_count=0, max_peer_count=3, member_orgs=("Org1MSP", "Org2MSP"),
-             org_count=3, disseminate=True):
+             org_count=3, disseminate=True, btl=0, collections=("PDC1",), **net_kwargs):
     orgs = [Organization(f"Org{i}MSP") for i in range(1, org_count + 1)]
     channel = ChannelConfig(channel_id="gossipchannel", organizations=orgs)
     members = ", ".join(f"'{o}.member'" for o in member_orgs)
@@ -22,14 +22,17 @@ def _network(required_peer_count=0, max_peer_count=3, member_orgs=("Org1MSP", "O
         endorsement_policy="MAJORITY Endorsement",
         collections=[
             CollectionConfig(
-                name="PDC1",
+                name=name,
                 policy=f"OR({members})",
                 required_peer_count=required_peer_count,
                 max_peer_count=max_peer_count,
+                block_to_live=btl,
             )
+            for name in collections
         ],
     )
-    net = FabricNetwork(channel=channel, disseminate_on_endorsement=disseminate)
+    net = FabricNetwork(channel=channel, disseminate_on_endorsement=disseminate,
+                        **net_kwargs)
     for org in orgs:
         net.add_peer(org.msp_id)
     net.install_chaincode("pdccc", PrivateAssetContract())
@@ -179,7 +182,7 @@ class TestReconciliationUnderFaults:
         endorsers = [net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]]
         client = net.client("Org1MSP")
 
-        runtime.bus.faults.drop_topic("gossip-push")
+        runtime.bus.faults.drop_topics(("gossip-push", "gossip-batch"))
         for i in range(4):
             client.submit_async(
                 "pdccc", "set_private", ["PDC1", f"k{i}"],
@@ -215,7 +218,7 @@ class TestReconciliationUnderFaults:
         org2 = net.peers_of("Org2MSP")[0]
         client = net.client("Org1MSP")
 
-        runtime.bus.faults.drop_topic("gossip-push")
+        runtime.bus.faults.drop_topics(("gossip-push", "gossip-batch"))
         client.submit_async("pdccc", "set_private", ["PDC1", "k"],
                             transient={"value": b"old"}, endorsing_peers=endorsers)
         runtime.run()
@@ -238,7 +241,7 @@ class TestReconciliationUnderFaults:
         org2 = net.peers_of("Org2MSP")[0]
         client = net.client("Org1MSP")
 
-        runtime.bus.faults.drop_topic("gossip-push")
+        runtime.bus.faults.drop_topics(("gossip-push", "gossip-batch"))
         client.submit_async("pdccc", "set_private", ["PDC1", "k"],
                             transient={"value": b"S"}, endorsing_peers=endorsers)
         runtime.run()
@@ -252,3 +255,279 @@ class TestReconciliationUnderFaults:
         net.reconcile_private_data()
         assert org2.query_private("pdccc", "PDC1", "k") is None
         assert not org2.ledger.missing_private
+
+
+def _reset_counters():
+    from repro.identity.ca import reset_ca_instance_counter
+    from repro.protocol.proposal import reset_nonce_counter
+
+    reset_nonce_counter()
+    reset_ca_instance_counter()
+
+
+class TestMembershipMemo:
+    def test_member_peers_memo_invalidated_on_register(self):
+        net = _network()
+        before = {p.name for p in net.gossip.member_peers("pdccc", "PDC1")}
+        extra = net.add_peer("Org2MSP", "peer1")
+        after = {p.name for p in net.gossip.member_peers("pdccc", "PDC1")}
+        assert after == before | {extra.name}
+
+    def test_member_peers_returns_a_fresh_list(self):
+        """Callers may mutate the result without corrupting the memo."""
+        net = _network()
+        net.gossip.member_peers("pdccc", "PDC1").clear()
+        assert net.gossip.member_peers("pdccc", "PDC1")
+
+
+class TestRotation:
+    """Deterministic push-set rotation under a MaxPeerCount cap."""
+
+    def _recipients(self, count=8):
+        """Which member peer receives each of ``count`` capped pushes."""
+        _reset_counters()
+        net = _network(
+            max_peer_count=1,
+            member_orgs=("Org1MSP", "Org2MSP", "Org3MSP"),
+        )
+        p1 = net.peers_of("Org1MSP")[0]
+        others = [net.peers_of("Org2MSP")[0], net.peers_of("Org3MSP")[0]]
+        client = net.client("Org1MSP")
+        sequence = []
+        for i in range(count):
+            before = {p.name: len(p.ledger.transient_store) for p in others}
+            net.request_endorsement(
+                p1,
+                client._proposal(
+                    "pdccc", "set_private", ["PDC1", f"k{i}"], {"value": b"v"}
+                ),
+            )
+            got = [p.name for p in others
+                   if len(p.ledger.transient_store) > before[p.name]]
+            assert len(got) == 1  # the cap admits exactly one target
+            sequence.append(got[0])
+        return sequence
+
+    def test_rotation_spreads_capped_pushes_across_members(self):
+        """Regression: ``eligible[:max_peer_count]`` starved the same tail
+        peers on every tx, so they paid every reconciliation round."""
+        assert len(set(self._recipients())) == 2
+
+    def test_rotation_is_deterministic(self):
+        assert self._recipients() == self._recipients()
+
+
+class TestBatchedDissemination:
+    """The REPRO_GOSSIP_BATCH fast path: one payload per target."""
+
+    def _two_collection_network(self, **kwargs):
+        _reset_counters()
+        return _network(
+            member_orgs=("Org1MSP", "Org2MSP", "Org3MSP"),
+            collections=("PDC1", "PDC2"),
+            **kwargs,
+        )
+
+    def _move(self, net):
+        """Seed PDC1 then move the key to PDC2 — a two-collection tx."""
+        p1 = net.peers_of("Org1MSP")[0]
+        p2 = net.peers_of("Org2MSP")[0]
+        client = net.client("Org1MSP")
+        client.submit_transaction(
+            "pdccc", "set_private", ["PDC1", "k"],
+            transient={"value": b"S"}, endorsing_peers=[p1, p2],
+        ).raise_for_status()
+        counters = (net.gossip.pushes, net.gossip.batched_payloads)
+        client.submit_transaction(
+            "pdccc", "move_private", ["PDC1", "PDC2", "k"],
+            endorsing_peers=[p1, p2],
+        ).raise_for_status()
+        return counters
+
+    def test_batch_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GOSSIP_BATCH", raising=False)
+        net = self._two_collection_network()
+        assert net.gossip.batch_enabled is False
+        self._move(net)
+        assert net.gossip.batched_payloads == 0
+        assert net.gossip.pushes > 0
+
+    def test_batch_coalesces_one_payload_per_target(self):
+        """A two-collection endorsement ships ONE wire message per target
+        (2 records each) instead of one message per (collection, target)."""
+        net = self._two_collection_network(gossip_batch=True)
+        pushes_before, payloads_before = self._move(net)
+        # Each of the 2 endorsers pushes both collection rwsets to the
+        # 2 other members: 8 per-record pushes but only 4 payloads.
+        assert net.gossip.pushes - pushes_before == 8
+        assert net.gossip.batched_payloads - payloads_before == 4
+
+    def test_batch_commits_the_same_state_as_reference(self):
+        reference = self._two_collection_network(gossip_batch=False)
+        self._move(reference)
+        batched = self._two_collection_network(gossip_batch=True)
+        self._move(batched)
+        for net in (reference, batched):
+            org3 = net.peers_of("Org3MSP")[0]
+            assert org3.query_private("pdccc", "PDC2", "k") == b"S"
+            assert org3.query_private("pdccc", "PDC1", "k") is None
+            assert not org3.ledger.missing_private
+
+    def test_perf_counters_track_gossip_work(self):
+        from repro.common.tracing import PERF
+
+        before = PERF.snapshot()
+        net = self._two_collection_network(gossip_batch=True)
+        self._move(net)
+        delta = PERF.delta_since(before)
+        assert delta.get("gossip_pushes", 0) == net.gossip.pushes
+        assert delta.get("gossip_batched_payloads", 0) == net.gossip.batched_payloads
+        assert delta.get("gossip_bytes", 0) == net.gossip.bytes_sent
+        for key in ("perf:gossip_pushes", "perf:gossip_batched_payloads",
+                    "perf:gossip_digest_rounds", "perf:gossip_reconcile_pulls",
+                    "perf:gossip_bytes"):
+            assert key in PERF.as_dict()
+
+    def test_batch_respects_required_peer_count(self):
+        _reset_counters()
+        net = _network(required_peer_count=3, gossip_batch=True)
+        p1 = net.peers_of("Org1MSP")[0]
+        with pytest.raises(GossipError):
+            net.request_endorsement(
+                p1,
+                net.client("Org1MSP")._proposal(
+                    "pdccc", "set_private", ["PDC1", "k"], {"value": b"S"}
+                ),
+            )
+
+
+class TestAntiEntropy:
+    """The digest-driven repair loop riding the event runtime's bus."""
+
+    def _runtime_network(self, every=2.0, **net_kwargs):
+        from repro.runtime import FaultInjector, LatencyModel
+
+        _reset_counters()
+        net = _network(
+            member_orgs=("Org1MSP", "Org2MSP", "Org3MSP"),
+            anti_entropy_every=every,
+            **net_kwargs,
+        )
+        runtime = net.attach_runtime(
+            seed=5, latency=LatencyModel(base=1.0), faults=FaultInjector()
+        )
+        return net, runtime
+
+    def _submit_missed(self, net, runtime, count, offset=0):
+        """Commit ``count`` PDC writes whose dissemination is blacked out."""
+        endorsers = [net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]]
+        client = net.client("Org1MSP")
+        runtime.bus.faults.drop_topics(("gossip-push", "gossip-batch"))
+        for i in range(offset, offset + count):
+            client.submit_async(
+                "pdccc", "set_private", ["PDC1", f"k{i}"],
+                transient={"value": f"v{i}".encode()},
+                endorsing_peers=endorsers,
+            )
+
+    def test_disabled_cadence_means_no_engine(self):
+        _net, runtime = self._runtime_network(every=0.0)
+        assert runtime.anti_entropy is None
+
+    def test_anti_entropy_repairs_gaps_without_manual_reconcile(self):
+        """Dissemination is dropped but the AE topics stay up: by the time
+        the runtime drains to idle, the digest loop has pulled every gap —
+        no reconcile_private_data() call anywhere."""
+        net, runtime = self._runtime_network()
+        self._submit_missed(net, runtime, 3)
+        runtime.run()
+
+        org3 = net.peers_of("Org3MSP")[0]
+        assert not org3.ledger.missing_private
+        for i in range(3):
+            assert org3.query_private("pdccc", "PDC1", f"k{i}") == f"v{i}".encode()
+        assert runtime.anti_entropy.fills == 3
+        assert runtime.anti_entropy.pull_requests >= 1
+        assert net.gossip.digest_rounds >= 1
+        assert net.gossip.reconcile_pulls == 3
+
+    def test_backed_off_sources_retry_when_new_gaps_appear(self):
+        """With pull responses also dropped the loop must terminate (the
+        per-source attempt budget), leave the gaps for quiescence repair,
+        and give backed-off sources another chance once fresh gaps arrive
+        after the heal."""
+        from repro.gossip.anti_entropy import TOPIC_AE_PULL_RESPONSE
+
+        net, runtime = self._runtime_network()
+        self._submit_missed(net, runtime, 3)
+        runtime.bus.faults.drop_topic(TOPIC_AE_PULL_RESPONSE)
+        runtime.run()  # terminates: every source exhausts its budget
+
+        org3 = net.peers_of("Org3MSP")[0]
+        assert len(org3.ledger.missing_private) == 3
+        engine = runtime.anti_entropy
+        org3_attempts = [
+            n for (requester, _), n in engine._attempts.items()
+            if requester == org3.name
+        ]
+        assert org3_attempts
+        assert all(n >= engine.max_source_attempts for n in org3_attempts)
+
+        runtime.bus.faults.heal()
+        self._submit_missed(net, runtime, 1, offset=3)  # a fresh gap
+        runtime.run()
+        assert not org3.ledger.missing_private  # old gaps repaired too
+        for i in range(4):
+            assert org3.query_private("pdccc", "PDC1", f"k{i}") == f"v{i}".encode()
+
+
+class TestReconcilePruningEdges:
+    """Reconciliation where history management complicates the repair."""
+
+    def _gapped_network(self, count=4, **kwargs):
+        """A member peer that missed every push (MaxPeerCount=0)."""
+        _reset_counters()
+        net = _network(max_peer_count=0, **kwargs)
+        p1, p2 = net.peers_of("Org1MSP")[0], net.peers_of("Org2MSP")[0]
+        extra = net.add_peer("Org1MSP", "peer1")
+        net.install_chaincode("pdccc", PrivateAssetContract(), peers=[extra])
+        client = net.client("Org1MSP")
+        for i in range(count):
+            client.submit_transaction(
+                "pdccc", "set_private", ["PDC1", f"k{i}"],
+                transient={"value": f"v{i}".encode()},
+                endorsing_peers=[p1, p2],
+            ).raise_for_status()
+        return net, extra
+
+    def test_gap_in_pruned_history_still_repairs(self):
+        """The gap's block is archived off the hot chain before the
+        reconciler runs: hash verification must locate the tx through the
+        archived-history index, not the live blocks."""
+        net, extra = self._gapped_network()
+        assert len(extra.ledger.missing_private) == 4
+        assert extra.ledger.blockchain.prune_to(3) == 3
+        assert extra.ledger.blockchain.genesis_offset == 3
+
+        assert net.reconcile_private_data() == 4
+        assert not extra.ledger.missing_private
+        for i in range(4):
+            assert extra.query_private("pdccc", "PDC1", f"k{i}") == f"v{i}".encode()
+
+    def test_btl_expired_gap_resolves_without_resurrection(self):
+        """A gap whose collection BTL expired mid-reconcile is resolved —
+        but the plaintext is NOT written back: the members purged it, and
+        repair must never resurrect it."""
+        net, extra = self._gapped_network(btl=2)
+        # k0 committed at block 1 with btl=2 -> purged once height >= 4;
+        # after 4 blocks the members have dropped it.
+        p2 = net.peers_of("Org2MSP")[0]
+        assert extra.ledger.height == 4
+        assert p2.query_private("pdccc", "PDC1", "k0") is None
+        assert p2.query_private("pdccc", "PDC1", "k3") == b"v3"
+
+        assert net.reconcile_private_data() == 4
+        assert not extra.ledger.missing_private
+        # The expired gap resolved without plaintext; live ones repaired.
+        assert extra.query_private("pdccc", "PDC1", "k0") is None
+        assert extra.query_private("pdccc", "PDC1", "k3") == b"v3"
